@@ -1,0 +1,339 @@
+//! A particle-filter tracker: the *model-based* comparator class.
+//!
+//! The paper's related work (Section 2) contrasts FTTT with model-based
+//! tracking — Kalman/particle/variational filters that assume a target
+//! motion model and fuse measurements over time. This module implements
+//! the standard bootstrap particle filter over the same RSS substrate:
+//!
+//! * **State**: position + velocity per particle.
+//! * **Motion model**: constant velocity with Gaussian acceleration noise
+//!   (the detailed mobility assumption the paper criticizes such methods
+//!   for needing).
+//! * **Likelihood**: each responding node's mean group RSS vs the
+//!   path-loss prediction, Gaussian in dB with the radio σ.
+//! * **Resampling**: systematic, when the effective sample size drops
+//!   below half the particle count.
+//!
+//! Unlike FTTT it uses absolute RSS values (not just pairwise order), so
+//! it is sensitive to calibration error in `PL(d₀)` — the flip side the
+//! paper's range-free design avoids.
+
+use fttt::tracker::{Localization, TrackingRun};
+use rand::Rng;
+use wsn_geometry::{Point, Rect, Vector};
+use wsn_mobility::Trace;
+use wsn_network::{GroupSampler, GroupSampling, SensorField};
+use wsn_signal::{Gaussian, PathLossModel};
+
+/// One particle: position and velocity hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Particle {
+    pos: Point,
+    vel: Vector,
+    weight: f64,
+}
+
+/// Bootstrap particle filter over RSS grouping samplings.
+#[derive(Debug, Clone)]
+pub struct ParticleFilter {
+    field: Rect,
+    positions: Vec<Point>,
+    model: PathLossModel,
+    particles: Vec<Particle>,
+    /// Std-dev of the per-step acceleration noise, m/s².
+    pub accel_std: f64,
+    /// Assumed maximum speed used to initialize velocities, m/s.
+    pub max_speed: f64,
+    /// Time between localizations, seconds.
+    pub dt: f64,
+    count: usize,
+    initialized: bool,
+}
+
+impl ParticleFilter {
+    /// Creates a filter with `count` particles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `count ≥ 2`, and `dt`, `max_speed`, `accel_std` are
+    /// positive and finite.
+    pub fn new(
+        positions: &[Point],
+        field: Rect,
+        model: PathLossModel,
+        count: usize,
+        max_speed: f64,
+        dt: f64,
+    ) -> Self {
+        assert!(count >= 2, "need at least two particles, got {count}");
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        assert!(max_speed > 0.0 && max_speed.is_finite(), "max speed must be positive");
+        Self {
+            field,
+            positions: positions.to_vec(),
+            model,
+            particles: Vec::with_capacity(count),
+            accel_std: 1.0,
+            max_speed,
+            dt,
+            count,
+            initialized: false,
+        }
+    }
+
+    /// Forgets all particles (new track).
+    pub fn reset(&mut self) {
+        self.particles.clear();
+        self.initialized = false;
+    }
+
+    fn initialize<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.particles = (0..self.count)
+            .map(|_| {
+                let pos = Point::new(
+                    rng.gen_range(self.field.min.x..=self.field.max.x),
+                    rng.gen_range(self.field.min.y..=self.field.max.y),
+                );
+                let speed = rng.gen_range(0.0..=self.max_speed);
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                Particle {
+                    pos,
+                    vel: Vector::new(speed * theta.cos(), speed * theta.sin()),
+                    weight: 1.0 / self.count as f64,
+                }
+            })
+            .collect();
+        self.initialized = true;
+    }
+
+    fn predict<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let accel = Gaussian::new(0.0, self.accel_std);
+        for p in &mut self.particles {
+            p.vel = p.vel + Vector::new(accel.sample(rng), accel.sample(rng)) * self.dt;
+            // Soft speed cap: renormalize excessive velocities.
+            let speed = p.vel.norm();
+            if speed > self.max_speed {
+                p.vel = p.vel * (self.max_speed / speed);
+            }
+            p.pos = self.field.clamp(p.pos + p.vel * self.dt);
+        }
+    }
+
+    /// Per-node mean RSS over the group (`None` for silent nodes).
+    fn mean_observations(&self, group: &GroupSampling) -> Vec<Option<f64>> {
+        (0..group.node_count())
+            .map(|j| {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for r in group.column(j).flatten() {
+                    sum += r.dbm();
+                    n += 1;
+                }
+                (n > 0).then(|| sum / n as f64)
+            })
+            .collect()
+    }
+
+    fn update_weights(&mut self, observations: &[Option<f64>], samples_per_node: usize) {
+        // Group-mean noise std: σ/√k.
+        let sigma = (self.model.sigma / (samples_per_node as f64).sqrt()).max(1e-3);
+        for p in &mut self.particles {
+            let mut log_lik = 0.0;
+            for (node_pos, obs) in self.positions.iter().zip(observations) {
+                if let Some(obs) = obs {
+                    let predicted = self.model.mean_rss(node_pos.distance(p.pos)).dbm();
+                    let z = (obs - predicted) / sigma;
+                    log_lik += -0.5 * z * z;
+                }
+            }
+            p.weight = p.weight.max(1e-300) * log_lik.exp().max(1e-300);
+        }
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        if total > 0.0 && total.is_finite() {
+            for p in &mut self.particles {
+                p.weight /= total;
+            }
+        } else {
+            // Degenerate weights: reset to uniform rather than NaN-ing out.
+            let w = 1.0 / self.particles.len() as f64;
+            for p in &mut self.particles {
+                p.weight = w;
+            }
+        }
+    }
+
+    fn effective_sample_size(&self) -> f64 {
+        1.0 / self.particles.iter().map(|p| p.weight * p.weight).sum::<f64>()
+    }
+
+    fn resample_systematic<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.particles.len();
+        let start: f64 = rng.gen_range(0.0..1.0 / n as f64);
+        let mut out = Vec::with_capacity(n);
+        let mut cum = self.particles[0].weight;
+        let mut i = 0usize;
+        for k in 0..n {
+            let u = start + k as f64 / n as f64;
+            while u > cum && i + 1 < n {
+                i += 1;
+                cum += self.particles[i].weight;
+            }
+            out.push(Particle { weight: 1.0 / n as f64, ..self.particles[i] });
+        }
+        self.particles = out;
+    }
+
+    /// The weighted-mean position of the particle cloud.
+    pub fn estimate(&self) -> Point {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for p in &self.particles {
+            x += p.weight * p.pos.x;
+            y += p.weight * p.pos.y;
+        }
+        Point::new(x, y)
+    }
+
+    /// One predict–update–resample cycle over a grouping sampling.
+    pub fn localize<R: Rng + ?Sized>(&mut self, group: &GroupSampling, rng: &mut R) -> Point {
+        if !self.initialized {
+            self.initialize(rng);
+        } else {
+            self.predict(rng);
+        }
+        let obs = self.mean_observations(group);
+        self.update_weights(&obs, group.instants());
+        if self.effective_sample_size() < self.particles.len() as f64 / 2.0 {
+            self.resample_systematic(rng);
+        }
+        self.estimate()
+    }
+
+    /// Tracks a target along `trace`, one localization per trace point.
+    pub fn track<R: Rng + ?Sized>(
+        &mut self,
+        field: &SensorField,
+        sampler: &GroupSampler,
+        trace: &Trace,
+        rng: &mut R,
+    ) -> TrackingRun {
+        let mut localizations = Vec::with_capacity(trace.len());
+        for p in trace.points() {
+            let group = sampler.sample(field, p.pos, rng);
+            let estimate = self.localize(&group, rng);
+            localizations.push(Localization {
+                t: p.t,
+                truth: p.pos,
+                estimate,
+                face: fttt::facemap::FaceId(0),
+                similarity: 0.0,
+                error: estimate.distance(p.pos),
+                evaluated: self.particles.len(),
+            });
+        }
+        TrackingRun { localizations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wsn_mobility::WaypointPath;
+    use wsn_network::Deployment;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn setup(sigma: f64) -> (SensorField, ParticleFilter, GroupSampler) {
+        let field = Rect::square(100.0);
+        let deployment = Deployment::grid(9, field);
+        let sf = SensorField::new(deployment, 150.0);
+        let model = PathLossModel::new(-40.0, 0.0, 4.0, sigma);
+        let pf =
+            ParticleFilter::new(&sf.deployment().positions(), field, model, 500, 5.0, 1.0);
+        let sampler = GroupSampler::new(model, 5);
+        (sf, pf, sampler)
+    }
+
+    #[test]
+    fn converges_on_stationary_target() {
+        let (field, mut pf, sampler) = setup(2.0);
+        let target = Point::new(33.0, 62.0);
+        let mut r = rng(1);
+        let mut last = Point::new(50.0, 50.0);
+        for _ in 0..20 {
+            let g = sampler.sample(&field, target, &mut r);
+            last = pf.localize(&g, &mut r);
+        }
+        assert!(last.distance(target) < 8.0, "estimate {last} vs target {target}");
+    }
+
+    #[test]
+    fn tracks_a_moving_target() {
+        let (field, mut pf, sampler) = setup(4.0);
+        let trace = WaypointPath::new(vec![Point::new(20.0, 50.0), Point::new(80.0, 50.0)])
+            .walk_constant(3.0, 1.0);
+        let run = pf.track(&field, &sampler, &trace, &mut rng(2));
+        // The filter needs a few steps to converge from its uniform prior;
+        // judge the second half of the run.
+        let half = run.localizations.len() / 2;
+        let late_mean: f64 = run.localizations[half..]
+            .iter()
+            .map(|l| l.error)
+            .sum::<f64>()
+            / (run.localizations.len() - half) as f64;
+        assert!(late_mean < 12.0, "late mean {late_mean}");
+    }
+
+    #[test]
+    fn estimates_stay_in_field() {
+        let (field, mut pf, sampler) = setup(6.0);
+        let mut r = rng(3);
+        for i in 0..30 {
+            let target = Point::new(5.0 + 3.0 * i as f64, 95.0 - 2.5 * i as f64);
+            let g = sampler.sample(&field, field.rect().clamp(target), &mut r);
+            let est = pf.localize(&g, &mut r);
+            assert!(field.rect().contains(est));
+        }
+    }
+
+    #[test]
+    fn blackout_does_not_nan() {
+        let (field, mut pf, sampler) = setup(6.0);
+        let mut r = rng(4);
+        // Nothing responds: weights degenerate → uniform fallback.
+        let g = wsn_network::GroupSampling::empty(field.len(), 5);
+        let _ = sampler;
+        let est = pf.localize(&g, &mut r);
+        assert!(est.is_finite());
+        assert!(field.rect().contains(est));
+    }
+
+    #[test]
+    fn reset_forgets_the_track() {
+        let (field, mut pf, sampler) = setup(2.0);
+        let mut r = rng(5);
+        let g = sampler.sample(&field, Point::new(20.0, 20.0), &mut r);
+        let _ = pf.localize(&g, &mut r);
+        assert!(pf.initialized);
+        pf.reset();
+        assert!(!pf.initialized);
+        assert!(pf.particles.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "two particles")]
+    fn tiny_filter_rejected() {
+        let field = Rect::square(10.0);
+        let _ = ParticleFilter::new(
+            &[Point::new(1.0, 1.0)],
+            field,
+            PathLossModel::paper_default(),
+            1,
+            5.0,
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Weighted centroid localization (WCL): the classic range-free RSS
+//! estimator, added as a non-face comparator.
+//!
+//! WCL needs no offline division at all: the estimate is the
+//! RSS-weighted centroid of the responding sensors,
+//! `p̂ = Σ wᵢ·posᵢ / Σ wᵢ` with `wᵢ = 10^{RSSᵢ/(10·g)}` (linear-scale power
+//! tempered by the degree `g`). It is the natural "no machinery" baseline:
+//! anything the face-based strategies buy must show up as an improvement
+//! over this.
+
+use fttt::tracker::{Localization, TrackingRun};
+use rand::Rng;
+use wsn_geometry::{Point, Rect};
+use wsn_mobility::Trace;
+use wsn_network::{GroupSampler, GroupSampling, SensorField};
+
+/// The weighted-centroid tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCentroid {
+    positions: Vec<Point>,
+    field: Rect,
+    /// Weighting degree `g`: larger `g` flattens the weights toward a
+    /// plain centroid; `g → 0` approaches nearest-node snapping.
+    pub degree: f64,
+}
+
+impl WeightedCentroid {
+    /// Creates the tracker for sensors at `positions` over `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sensors are given or `degree` is not
+    /// strictly positive.
+    pub fn new(positions: &[Point], field: Rect, degree: f64) -> Self {
+        assert!(positions.len() >= 2, "need at least two sensors");
+        assert!(degree > 0.0 && degree.is_finite(), "degree must be positive");
+        Self { positions: positions.to_vec(), field, degree }
+    }
+
+    /// The conventional setting `g = β` (weights ∝ an estimate of `1/d`).
+    pub fn with_path_loss_degree(positions: &[Point], field: Rect, beta: f64) -> Self {
+        Self::new(positions, field, beta)
+    }
+
+    /// Localizes one grouping sampling: weights use each responding
+    /// node's mean RSS over the group; silent nodes contribute nothing.
+    /// With no responders at all, returns the field centre.
+    pub fn localize(&self, group: &GroupSampling) -> Point {
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for (j, pos) in self.positions.iter().enumerate() {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for reading in group.column(j).flatten() {
+                sum += reading.dbm();
+                count += 1;
+            }
+            if count == 0 {
+                continue;
+            }
+            let mean_dbm = sum / count as f64;
+            let w = 10f64.powf(mean_dbm / (10.0 * self.degree));
+            wx += w * pos.x;
+            wy += w * pos.y;
+            wsum += w;
+        }
+        if wsum <= 0.0 {
+            self.field.center()
+        } else {
+            self.field.clamp(Point::new(wx / wsum, wy / wsum))
+        }
+    }
+
+    /// Tracks a target along `trace`, one localization per trace point.
+    pub fn track<R: Rng + ?Sized>(
+        &self,
+        field: &SensorField,
+        sampler: &GroupSampler,
+        trace: &Trace,
+        rng: &mut R,
+    ) -> TrackingRun {
+        let mut localizations = Vec::with_capacity(trace.len());
+        for p in trace.points() {
+            let group = sampler.sample(field, p.pos, rng);
+            let estimate = self.localize(&group);
+            localizations.push(Localization {
+                t: p.t,
+                truth: p.pos,
+                estimate,
+                face: fttt::facemap::FaceId(0),
+                similarity: 0.0,
+                error: estimate.distance(p.pos),
+                evaluated: field.len(),
+            });
+        }
+        TrackingRun { localizations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wsn_mobility::WaypointPath;
+    use wsn_network::{Deployment, FaultModel, NodeId};
+    use wsn_signal::PathLossModel;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn setup(sigma: f64) -> (SensorField, WeightedCentroid, GroupSampler) {
+        let field = Rect::square(100.0);
+        let deployment = Deployment::grid(9, field);
+        let sensor_field = SensorField::new(deployment, 150.0);
+        let wcl =
+            WeightedCentroid::with_path_loss_degree(&sensor_field.deployment().positions(), field, 4.0);
+        let sampler = GroupSampler::new(PathLossModel::new(-40.0, 0.0, 4.0, sigma), 5);
+        (sensor_field, wcl, sampler)
+    }
+
+    #[test]
+    fn estimate_pulls_toward_the_target() {
+        let (field, wcl, sampler) = setup(0.0);
+        let mut r = rng(1);
+        // A target near a corner node: the estimate must land closer to
+        // that corner than the plain centroid of the deployment (50, 50).
+        let target = Point::new(20.0, 20.0);
+        let group = sampler.sample(&field, target, &mut r);
+        let est = wcl.localize(&group);
+        assert!(
+            est.distance(target) < Point::new(50.0, 50.0).distance(target),
+            "estimate {est} not pulled toward {target}"
+        );
+    }
+
+    #[test]
+    fn estimate_stays_in_field() {
+        let (field, wcl, sampler) = setup(6.0);
+        let mut r = rng(2);
+        for i in 0..50 {
+            let target = Point::new(2.0 + (i as f64 * 1.9) % 96.0, (i as f64 * 7.3) % 99.0);
+            let group = sampler.sample(&field, target, &mut r);
+            let est = wcl.localize(&group);
+            assert!(field.rect().contains(est), "{est} escaped the field");
+        }
+    }
+
+    #[test]
+    fn blackout_falls_back_to_center() {
+        let (field, wcl, sampler) = setup(6.0);
+        let dead: Vec<NodeId> = field.nodes().iter().map(|n| n.id).collect();
+        let faulty = sampler.with_fault(FaultModel::with_dead_nodes(dead));
+        let mut r = rng(3);
+        let group = faulty.sample(&field, Point::new(10.0, 10.0), &mut r);
+        assert_eq!(wcl.localize(&group), Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn tracks_a_straight_walk_reasonably() {
+        let (field, wcl, sampler) = setup(6.0);
+        let trace = WaypointPath::new(vec![Point::new(20.0, 50.0), Point::new(80.0, 50.0)])
+            .walk_constant(3.0, 1.0);
+        let run = wcl.track(&field, &sampler, &trace, &mut rng(4));
+        let stats = run.error_stats();
+        // WCL is crude but far better than guessing.
+        assert!(stats.mean < 25.0, "mean {}", stats.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn zero_degree_rejected() {
+        let _ = WeightedCentroid::new(&[Point::ORIGIN, Point::new(1.0, 1.0)], Rect::square(10.0), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the baseline trackers.
+
+use fttt::vector::SamplingVector;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_baselines::{one_shot_vector, DirectMle, ParticleFilter, PathMatching, WeightedCentroid};
+use wsn_geometry::{Point, Rect};
+use wsn_network::{pair_count, Deployment, GroupSampler, SensorField};
+use wsn_signal::PathLossModel;
+
+fn world(n: usize, seed: u64) -> (SensorField, GroupSampler) {
+    let field = Rect::square(100.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let d = Deployment::random_uniform(n, field, &mut rng);
+    let sf = SensorField::new(d, 150.0);
+    let sampler = GroupSampler::new(PathLossModel::paper_default(), 5);
+    (sf, sampler)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One-shot vectors have the canonical dimension and only use the
+    /// ternary alphabet (plus '*').
+    #[test]
+    fn one_shot_vector_shape(n in 2usize..10, seed in 0u64..500, x in 5.0..95.0f64, y in 5.0..95.0f64) {
+        let (sf, sampler) = world(n, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 1);
+        let g = sampler.sample(&sf, Point::new(x, y), &mut rng);
+        let v: SamplingVector = one_shot_vector(&g);
+        prop_assert_eq!(v.len(), pair_count(n));
+        prop_assert!(v.is_ternary());
+    }
+
+    /// Every baseline's estimates stay inside the monitored field for
+    /// arbitrary targets and seeds.
+    #[test]
+    fn estimates_stay_in_field(seed in 0u64..200, x in 1.0..99.0f64, y in 1.0..99.0f64) {
+        let field = Rect::square(100.0);
+        let (sf, sampler) = world(8, seed);
+        let positions = sf.deployment().positions();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 7);
+        let g = sampler.sample(&sf, Point::new(x, y), &mut rng);
+
+        let mle = DirectMle::new(&positions, field, 4.0);
+        let (est, _) = mle.localize(&g);
+        prop_assert!(field.contains(est), "DirectMLE escaped: {}", est);
+
+        let mut pm = PathMatching::new(&positions, field, 4.0, 5.0, 0.5);
+        let (est, _, _, _) = pm.localize(&g);
+        prop_assert!(field.contains(est), "PM escaped: {}", est);
+
+        let wcl = WeightedCentroid::with_path_loss_degree(&positions, field, 4.0);
+        prop_assert!(field.contains(wcl.localize(&g)));
+
+        let mut pf = ParticleFilter::new(
+            &positions, field, PathLossModel::paper_default(), 100, 5.0, 0.5);
+        prop_assert!(field.contains(pf.localize(&g, &mut rng)));
+    }
+
+    /// PM with an enormous velocity bound and full forgetting behaves like
+    /// Direct MLE on the very first localization (both reduce to one-shot
+    /// ML matching from a cold start).
+    #[test]
+    fn pm_cold_start_matches_mle(seed in 0u64..200, x in 10.0..90.0f64, y in 10.0..90.0f64) {
+        let field = Rect::square(100.0);
+        let (sf, sampler) = world(6, seed);
+        let positions = sf.deployment().positions();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 3);
+        let g = sampler.sample(&sf, Point::new(x, y), &mut rng);
+        let mle = DirectMle::new(&positions, field, 4.0);
+        let mut pm = PathMatching::new(&positions, field, 4.0, 1e6, 0.5);
+        let (est_mle, _) = mle.localize(&g);
+        let (est_pm, _, _, _) = pm.localize(&g);
+        prop_assert!(
+            est_mle.distance(est_pm) < 1e-9,
+            "cold-start mismatch: MLE {} vs PM {}", est_mle, est_pm
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench: exhaustive vs heuristic matching (Section 4.4).
+//!
+//! Measures a single localization's matching cost: the O(n⁴) ergodic scan
+//! against Algorithm 2 warm-started at the answer's neighborhood (the
+//! tracking steady state) and cold-started at the field centre.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fttt::facemap::FaceMap;
+use fttt::matching::{match_exhaustive, match_heuristic};
+use fttt::sampling::basic_sampling_vector;
+use fttt::vector::SamplingVector;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_geometry::{Point, Rect};
+use wsn_network::{Deployment, GroupSampler, SensorField};
+use wsn_signal::{uncertainty_constant, PathLossModel};
+
+struct Setup {
+    map: FaceMap,
+    vector: SamplingVector,
+    truth: Point,
+}
+
+fn setup(n: usize, seed: u64) -> Setup {
+    let field = Rect::square(100.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let deployment = Deployment::random_uniform(n, field, &mut rng);
+    let sensor_field = SensorField::new(deployment, 200.0);
+    let c = uncertainty_constant(1.0, 4.0, 6.0);
+    let map = FaceMap::build(&sensor_field.deployment().positions(), field, c, 1.0);
+    let sampler = GroupSampler::new(PathLossModel::paper_default(), 5);
+    let truth = Point::new(47.0, 53.0);
+    let group = sampler.sample(&sensor_field, truth, &mut rng);
+    Setup { map, vector: basic_sampling_vector(&group), truth }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    for n in [10usize, 20, 40] {
+        let s = setup(n, 7);
+        let warm_start = s.map.face_at(s.truth).unwrap();
+        let cold_start = s.map.center_face();
+        g.bench_with_input(BenchmarkId::new("exhaustive", n), &s, |b, s| {
+            b.iter(|| match_exhaustive(&s.map, &s.vector));
+        });
+        g.bench_with_input(BenchmarkId::new("heuristic_warm", n), &s, |b, s| {
+            b.iter(|| match_heuristic(&s.map, &s.vector, warm_start));
+        });
+        g.bench_with_input(BenchmarkId::new("heuristic_cold", n), &s, |b, s| {
+            b.iter(|| match_heuristic(&s.map, &s.vector, cold_start));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

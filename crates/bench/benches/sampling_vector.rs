@@ -1,0 +1,49 @@
+//! Criterion bench: Algorithm 1 (sampling-vector construction).
+//!
+//! The paper claims O(n²·k) time; this bench sweeps n at fixed k and k at
+//! fixed n to expose both factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fttt::sampling::{basic_sampling_vector, extended_sampling_vector};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_geometry::{Point, Rect};
+use wsn_network::{Deployment, GroupSampler, GroupSampling, SensorField};
+use wsn_signal::PathLossModel;
+
+fn sample_group(n: usize, k: usize, seed: u64) -> GroupSampling {
+    let field = Rect::square(100.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let deployment = Deployment::random_uniform(n, field, &mut rng);
+    let sensor_field = SensorField::new(deployment, 200.0);
+    let sampler = GroupSampler::new(PathLossModel::paper_default(), k);
+    sampler.sample(&sensor_field, Point::new(50.0, 50.0), &mut rng)
+}
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1/nodes");
+    for n in [10usize, 20, 40, 80] {
+        let group = sample_group(n, 5, 1);
+        g.bench_with_input(BenchmarkId::new("basic", n), &group, |b, group| {
+            b.iter(|| basic_sampling_vector(group));
+        });
+        g.bench_with_input(BenchmarkId::new("extended", n), &group, |b, group| {
+            b.iter(|| extended_sampling_vector(group));
+        });
+    }
+    g.finish();
+}
+
+fn bench_samples(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1/samples");
+    for k in [3usize, 5, 9, 16] {
+        let group = sample_group(20, k, 2);
+        g.bench_with_input(BenchmarkId::new("basic", k), &group, |b, group| {
+            b.iter(|| basic_sampling_vector(group));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nodes, bench_samples);
+criterion_main!(benches);

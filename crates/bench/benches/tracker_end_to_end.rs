@@ -1,0 +1,72 @@
+//! Criterion bench: one full localization (sample → Algorithm 1 → match)
+//! and a short tracking run, for every strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fttt::config::PaperParams;
+use fttt::tracker::{Tracker, TrackerOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_baselines::{DirectMle, PathMatching};
+
+fn bench_localize(c: &mut Criterion) {
+    let params = PaperParams::default().with_nodes(15);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let field = params.random_field(&mut rng);
+    let map = params.face_map(&field);
+    let sampler = params.sampler();
+    let group = sampler.sample(&field, wsn_geometry::Point::new(50.0, 50.0), &mut rng);
+
+    let mut g = c.benchmark_group("localize_once/n15");
+    g.bench_function("fttt_exhaustive", |b| {
+        let mut tracker = Tracker::new(map.clone(), TrackerOptions::default());
+        b.iter(|| tracker.localize(&group));
+    });
+    g.bench_function("fttt_heuristic", |b| {
+        let mut tracker = Tracker::new(map.clone(), TrackerOptions::heuristic());
+        b.iter(|| tracker.localize(&group));
+    });
+    g.bench_function("fttt_extended", |b| {
+        let mut tracker = Tracker::new(map.clone(), TrackerOptions::extended());
+        b.iter(|| tracker.localize(&group));
+    });
+    let positions = field.deployment().positions();
+    g.bench_function("direct_mle", |b| {
+        let mle = DirectMle::new(&positions, params.rect(), params.cell_size);
+        b.iter(|| mle.localize(&group));
+    });
+    g.bench_function("pm", |b| {
+        let mut pm = PathMatching::new(
+            &positions,
+            params.rect(),
+            params.cell_size,
+            params.max_speed,
+            params.localization_period(),
+        );
+        b.iter(|| pm.localize(&group));
+    });
+    g.finish();
+}
+
+fn bench_track_10s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("track_10s");
+    g.sample_size(10);
+    for n in [10usize, 25] {
+        let params = PaperParams::default().with_nodes(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let field = params.random_field(&mut rng);
+        let map = params.face_map(&field);
+        let sampler = params.sampler();
+        let trace = params.random_trace(10.0, &mut rng);
+        g.bench_with_input(BenchmarkId::new("fttt_basic", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tracker = Tracker::new(map.clone(), TrackerOptions::default());
+                let mut run_rng = ChaCha8Rng::seed_from_u64(12);
+                tracker.track(&field, &sampler, &trace, &mut run_rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_localize, bench_track_10s);
+criterion_main!(benches);

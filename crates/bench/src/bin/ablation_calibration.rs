@@ -1,0 +1,99 @@
+//! Ablation: sensor calibration error — the case for range-free tracking.
+//!
+//! The particle filter consumes *absolute* RSS, so per-node gain variation
+//! (hardware spread, antenna orientation, battery sag) reads as distance
+//! error. FTTT consumes *pairwise order statistics*: a global gain shift
+//! cancels exactly, and per-node spread only biases pairs whose RSS gap is
+//! smaller than the offset difference. This sweep injects per-node
+//! calibration offsets `~ N(0, σ_cal²)` unknown to every tracker.
+
+use fttt::config::PaperParams;
+use fttt::tracker::{Tracker, TrackerOptions};
+use fttt_bench::{Cli, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_baselines::{ExtendedKalman, ParticleFilter, WeightedCentroid};
+use wsn_parallel::{par_map, seed_for};
+use wsn_signal::Gaussian;
+
+fn errors_at(sigma_cal: f64, trials: usize, seed: u64) -> (f64, f64, f64, f64) {
+    let params = PaperParams::default().with_nodes(15);
+    let idx: Vec<u64> = (0..trials as u64).collect();
+    let out: Vec<(f64, f64, f64, f64)> = par_map(&idx, |_, &i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
+        let field = params.random_field(&mut rng);
+        let trace = params.random_trace(60.0, &mut rng);
+        let positions = field.deployment().positions();
+        let offsets: Vec<f64> = {
+            let g = Gaussian::new(0.0, sigma_cal);
+            (0..field.len()).map(|_| g.sample(&mut rng)).collect()
+        };
+        let sampler = params.sampler().with_node_offsets(offsets);
+
+        let map = params.face_map(&field);
+        let mut fttt = Tracker::new(map, TrackerOptions::default());
+        let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
+        let e_fttt = fttt.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+
+        let mut pf = ParticleFilter::new(
+            &positions,
+            params.rect(),
+            params.model(),
+            1000,
+            params.max_speed,
+            params.localization_period(),
+        );
+        let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
+        let e_pf = pf.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+
+        let wcl = WeightedCentroid::with_path_loss_degree(&positions, params.rect(), params.beta);
+        let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
+        let e_wcl = wcl.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+
+        let mut ekf = ExtendedKalman::new(
+            &positions,
+            params.rect(),
+            params.model(),
+            params.localization_period(),
+        );
+        let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
+        let e_ekf = ekf.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        (e_fttt, e_pf, e_wcl, e_ekf)
+    });
+    let n = out.len() as f64;
+    (
+        out.iter().map(|o| o.0).sum::<f64>() / n,
+        out.iter().map(|o| o.1).sum::<f64>() / n,
+        out.iter().map(|o| o.2).sum::<f64>() / n,
+        out.iter().map(|o| o.3).sum::<f64>() / n,
+    )
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(8);
+    let sigmas = if cli.fast { vec![0.0, 6.0] } else { vec![0.0, 1.5, 3.0, 6.0, 9.0, 12.0] };
+
+    let mut t = Table::new(
+        format!("Ablation — per-node calibration error σ_cal (n = 15, k = 5, {trials} trials)"),
+        &["σ_cal (dB)", "FTTT (m)", "PF (m)", "EKF (m)", "WCL (m)"],
+    );
+    for &s in &sigmas {
+        let (fttt, pf, wcl, ekf) = errors_at(s, trials, cli.seed);
+        t.row(&[
+            format!("{s:.1}"),
+            format!("{fttt:.2}"),
+            format!("{pf:.2}"),
+            format!("{ekf:.2}"),
+            format!("{wcl:.2}"),
+        ]);
+        eprintln!("[ablation_calibration] σ = {s} done");
+    }
+    t.print();
+    t.write_csv(&cli.out.join("ablation_calibration.csv"));
+    println!();
+    println!("Expected shape: the absolute-RSS methods (particle filter, WCL) lose");
+    println!("accuracy roughly linearly in σ_cal; FTTT's pairwise-order design damps");
+    println!("it, overtaking the particle filter once calibration error reaches the");
+    println!("few-dB hardware spread a real mote fleet exhibits.");
+}

@@ -1,0 +1,98 @@
+//! Ablation: the uncertainty constant C (Section 3.2).
+//!
+//! Builds the face map with constants between the bisector division
+//! (C = 1, the certain-sequence strawman) and several multiples of the
+//! radio-derived eq.-3 value, then tracks with basic FTTT on each. Shows
+//! that modelling the uncertain band — neither ignoring it nor inflating
+//! it — is what buys the accuracy.
+
+use fttt::config::PaperParams;
+use fttt::facemap::FaceMap;
+use fttt::tracker::{Tracker, TrackerOptions};
+use fttt_bench::{Cli, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_parallel::{par_map, seed_for};
+
+fn mean_error_for_c(params: &PaperParams, c: f64, trials: usize, seed: u64) -> (f64, f64) {
+    let idx: Vec<u64> = (0..trials as u64).collect();
+    let stats: Vec<(f64, f64)> = par_map(&idx, |_, &i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
+        let field = params.random_field(&mut rng);
+        let trace = params.random_trace(60.0, &mut rng);
+        let map = FaceMap::build(
+            &field.deployment().positions(),
+            params.rect(),
+            c,
+            params.cell_size,
+        );
+        let mut tracker = Tracker::new(map, TrackerOptions::default());
+        let run = tracker.track(&field, &params.sampler(), &trace, &mut rng);
+        let s = run.error_stats();
+        (s.mean, s.std)
+    });
+    let n = stats.len() as f64;
+    (
+        stats.iter().map(|s| s.0).sum::<f64>() / n,
+        stats.iter().map(|s| s.1).sum::<f64>() / n,
+    )
+}
+
+fn sweep(params: &PaperParams, c_star: f64, trials: usize, seed: u64, title: String) -> Table {
+    let mut t = Table::new(title, &["C", "C/C*", "mean err (m)", "std (m)"]);
+    for factor in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        // factor 0 ⟹ C = 1 exactly (bisector division).
+        let c = 1.0 + factor * (c_star - 1.0);
+        let (mean, std) = mean_error_for_c(params, c, trials, seed);
+        t.row(&[
+            format!("{c:.4}"),
+            format!("{factor:.2}"),
+            format!("{mean:.2}"),
+            format!("{std:.2}"),
+        ]);
+        eprintln!("[ablation_constant] factor = {factor} done");
+    }
+    t
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(10);
+    let params = PaperParams::default().with_nodes(15);
+    let c_star = params.uncertainty_constant();
+
+    // Under the idealized sensing model the flip-possible band *is* the
+    // eq.-3 band, so C = C* makes the offline division exactly consistent
+    // with the online statistics — the cleanest test of whether modelling
+    // the uncertain area is what buys accuracy.
+    let ideal = sweep(
+        &params.with_idealized_noise(),
+        c_star,
+        trials,
+        cli.seed,
+        format!(
+            "Ablation — face-map constant C under idealized sensing (C* = {c_star:.4}; n = 15, {trials} trials)"
+        ),
+    );
+    ideal.print();
+    ideal.write_csv(&cli.out.join("ablation_constant_idealized.csv"));
+
+    println!();
+    let gauss = sweep(
+        &params,
+        c_star,
+        trials,
+        cli.seed,
+        format!(
+            "Ablation — face-map constant C under Gaussian shadowing (C* = {c_star:.4}; n = 15, {trials} trials)"
+        ),
+    );
+    gauss.print();
+    gauss.write_csv(&cli.out.join("ablation_constant_gaussian.csv"));
+    println!();
+    println!("Expected shape: under idealized sensing the error is minimized at the");
+    println!("eq.-3 constant (C/C* = 1) — both ignoring the uncertain area (C = 1)");
+    println!("and inflating it are worse. Under heavy Gaussian shadowing no single");
+    println!("C is consistent with the unbounded flip statistics, and the optimum");
+    println!("flattens out — see EXPERIMENTS.md.");
+}

@@ -1,0 +1,51 @@
+//! Ablation: strategy fault tolerance (Section 4.4.3).
+//!
+//! Sweeps the per-localization node-failure probability and compares FTTT
+//! (whose eq.-6 rule fills missing pairs) against the baselines on the
+//! same failing networks.
+
+use fttt::PaperParams;
+use fttt_bench::{trial_stats, Cli, MethodKind, Scenario, Table};
+use wsn_network::FaultModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(10);
+    let probs = if cli.fast { vec![0.0, 0.3] } else { vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5] };
+
+    let mut t = Table::new(
+        format!("Ablation — node-failure probability (n = 15, k = 5, ε = 1, {trials} trials)"),
+        &["P(fail)", "FTTT (m)", "FTTT-ext (m)", "PM (m)", "DirectMLE (m)", "WCL (m)"],
+    );
+    for &p in &probs {
+        let scenario = Scenario::new(PaperParams::default().with_nodes(15))
+            .with_fault(FaultModel::with_node_failure(p));
+        let cells: Vec<String> = [
+            MethodKind::FtttBasic,
+            MethodKind::FtttExtended,
+            MethodKind::Pm,
+            MethodKind::DirectMle,
+            MethodKind::Wcl,
+        ]
+        .iter()
+        .map(|&m| format!("{:.2}", trial_stats(&scenario, m, trials, cli.seed).mean_error))
+        .collect();
+        t.row(&[
+            format!("{p:.1}"),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+            cells[4].clone(),
+        ]);
+        eprintln!("[ablation_faults] p = {p} done");
+    }
+    t.print();
+    t.write_csv(&cli.out.join("ablation_faults.csv"));
+    println!();
+    println!("Expected shape: every method degrades as nodes fail. FTTT's eq.-6");
+    println!("fill keeps the degradation graceful (no dimension collapse, estimates");
+    println!("stay in-field); PM's temporal smoothing makes it the flattest curve at");
+    println!("extreme failure rates, while the extended FTTT stays best in the");
+    println!("moderate-failure regime the rule was designed for.");
+}

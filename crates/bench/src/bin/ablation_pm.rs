@@ -1,0 +1,78 @@
+//! Ablation: strict vs robust path matching.
+//!
+//! The literal PM formulation — infinite-horizon score accumulation plus a
+//! hard maximum-velocity constraint — locks onto wrong path hypotheses
+//! under noisy one-shot sequences and can end up *worse* than the
+//! memoryless Direct MLE (DESIGN.md §3a.3). This ablation quantifies the
+//! gap between the strict rule and the windowed/robust form the suite uses
+//! as its PM baseline.
+
+use fttt::PaperParams;
+use fttt_bench::{Cli, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_baselines::{DirectMle, PathMatching};
+use wsn_parallel::{par_map, seed_for};
+
+fn mean_error(strict: bool, n: usize, trials: usize, seed: u64) -> f64 {
+    let params = PaperParams::default().with_nodes(n);
+    let idx: Vec<u64> = (0..trials as u64).collect();
+    let means: Vec<f64> = par_map(&idx, |_, &i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
+        let field = params.random_field(&mut rng);
+        let trace = params.random_trace(60.0, &mut rng);
+        let mut pm = PathMatching::new(
+            &field.deployment().positions(),
+            params.rect(),
+            params.cell_size,
+            params.max_speed,
+            params.localization_period(),
+        );
+        if strict {
+            pm = pm.strict();
+        } else {
+            pm = pm.robust();
+        }
+        pm.track(&field, &params.sampler(), &trace, &mut rng).error_stats().mean
+    });
+    means.iter().sum::<f64>() / means.len() as f64
+}
+
+fn mle_error(n: usize, trials: usize, seed: u64) -> f64 {
+    let params = PaperParams::default().with_nodes(n);
+    let idx: Vec<u64> = (0..trials as u64).collect();
+    let means: Vec<f64> = par_map(&idx, |_, &i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
+        let field = params.random_field(&mut rng);
+        let trace = params.random_trace(60.0, &mut rng);
+        let mle =
+            DirectMle::new(&field.deployment().positions(), params.rect(), params.cell_size);
+        mle.track(&field, &params.sampler(), &trace, &mut rng).error_stats().mean
+    });
+    means.iter().sum::<f64>() / means.len() as f64
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(10);
+    let nodes = if cli.fast { vec![10usize, 25] } else { vec![10, 15, 20, 25, 30, 40] };
+
+    let mut t = Table::new(
+        format!("Ablation — strict vs robust PM (k = 5, ε = 1, {trials} trials)"),
+        &["n", "strict PM (m)", "robust PM (m)", "DirectMLE (m)"],
+    );
+    for &n in &nodes {
+        t.row(&[
+            n.to_string(),
+            format!("{:.2}", mean_error(true, n, trials, cli.seed)),
+            format!("{:.2}", mean_error(false, n, trials, cli.seed)),
+            format!("{:.2}", mle_error(n, trials, cli.seed)),
+        ]);
+        eprintln!("[ablation_pm] n = {n} done");
+    }
+    t.print();
+    t.write_csv(&cli.out.join("ablation_pm.csv"));
+    println!();
+    println!("Expected shape: strict PM trails even Direct MLE (hypothesis lock-in);");
+    println!("the windowed robust form recovers the published intent and beats MLE.");
+}

@@ -1,0 +1,87 @@
+//! The complexity claims of Sections 4.2–4.4, measured.
+//!
+//! * Storage: faces and neighbor links grow `O(n⁴)` (bounded by the
+//!   raster size), signature dimension `C(n,2) = O(n²)`.
+//! * Time: Algorithm 1 is `O(n²·k)`; exhaustive matching `O(n⁴)`;
+//!   heuristic matching `O(n²)`-ish per localization.
+
+use fttt::config::PaperParams;
+use fttt::matching::{match_exhaustive, match_heuristic};
+use fttt::sampling::basic_sampling_vector;
+use fttt_bench::{Cli, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::parse();
+    let nodes = if cli.fast { vec![5usize, 10, 20] } else { vec![5, 10, 15, 20, 25, 30, 35, 40] };
+
+    let mut t = Table::new(
+        "Complexity scaling (cell = 1 m, 100×100 m², k = 5)",
+        &[
+            "n",
+            "pairs",
+            "faces",
+            "links",
+            "map (ms)",
+            "map (MB)",
+            "alg1 (µs)",
+            "exh match (µs)",
+            "heur match (µs)",
+        ],
+    );
+    for &n in &nodes {
+        let params = PaperParams::default().with_nodes(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+        let field = params.random_field(&mut rng);
+        let t0 = Instant::now();
+        let map = params.face_map(&field);
+        let map_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let sampler = params.sampler();
+        let target = params.rect().center();
+        let group = sampler.sample(&field, target, &mut rng);
+
+        let reps = 50;
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            let _ = basic_sampling_vector(&group);
+        }
+        let alg1_us = t1.elapsed().as_secs_f64() / reps as f64 * 1e6;
+
+        let v = basic_sampling_vector(&group);
+        let t2 = Instant::now();
+        for _ in 0..reps {
+            let _ = match_exhaustive(&map, &v);
+        }
+        let exh_us = t2.elapsed().as_secs_f64() / reps as f64 * 1e6;
+
+        let start = map.face_at(target).unwrap();
+        let t3 = Instant::now();
+        for _ in 0..reps {
+            let _ = match_heuristic(&map, &v, start);
+        }
+        let heur_us = t3.elapsed().as_secs_f64() / reps as f64 * 1e6;
+
+        t.row(&[
+            n.to_string(),
+            map.pair_dimension().to_string(),
+            map.face_count().to_string(),
+            (map.neighbor_link_count() / 2).to_string(),
+            format!("{map_ms:.0}"),
+            format!("{:.1}", map.memory_bytes() as f64 / (1 << 20) as f64),
+            format!("{alg1_us:.1}"),
+            format!("{exh_us:.1}"),
+            format!("{heur_us:.1}"),
+        ]);
+        eprintln!("[complexity] n = {n} done");
+    }
+    t.print();
+    t.write_csv(&cli.out.join("complexity_scaling.csv"));
+    println!();
+    println!("Expected shape: faces/links grow steeply with n until the raster");
+    println!("saturates (every cell its own face); exhaustive matching time tracks");
+    println!("faces × pairs, while the heuristic's time stays near-flat — the");
+    println!("O(n⁴) → O(n²) drop of Section 4.4.2.");
+}

@@ -1,0 +1,74 @@
+//! Diagnostic: what the sampling vectors are actually made of.
+//!
+//! Explains the Fig.-12(b) behaviour mechanistically: under Gaussian
+//! shadowing the fraction of `0` (flip-observed) components grows with the
+//! sampling times k — the strict all-k-agree rule turns borderline pairs
+//! into zeros the fixed-C face map does not expect — while under the
+//! idealized band model it stays pinned to the band's geometry.
+
+use fttt::config::PaperParams;
+use fttt::diagnostics::VectorComposition;
+use fttt::sampling::basic_sampling_vector;
+use fttt_bench::{Cli, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_parallel::{par_map, seed_for};
+
+fn composition(params: &PaperParams, trials: usize, seed: u64) -> VectorComposition {
+    let idx: Vec<u64> = (0..trials as u64).collect();
+    let comps: Vec<VectorComposition> = par_map(&idx, |_, &i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
+        let field = params.random_field(&mut rng);
+        let trace = params.random_trace(30.0, &mut rng);
+        let sampler = params.sampler();
+        let mut agg = VectorComposition::default();
+        for p in trace.points() {
+            let group = sampler.sample(&field, p.pos, &mut rng);
+            agg.add(&VectorComposition::of(&basic_sampling_vector(&group)));
+        }
+        agg
+    });
+    let mut total = VectorComposition::default();
+    for c in &comps {
+        total.add(c);
+    }
+    total
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(8);
+    let ks = if cli.fast { vec![3usize, 9] } else { vec![2, 3, 5, 7, 9, 12, 16] };
+
+    let mut t = Table::new(
+        format!("Diagnostic — sampling-vector composition vs k (n = 15, {trials} trials)"),
+        &["k", "gauss: 0-frac", "gauss: *-frac", "ideal: 0-frac", "ideal: *-frac"],
+    );
+    for &k in &ks {
+        let gauss = composition(
+            &PaperParams::default().with_nodes(15).with_samples(k),
+            trials,
+            cli.seed,
+        );
+        let ideal = composition(
+            &PaperParams::default().with_nodes(15).with_samples(k).with_idealized_noise(),
+            trials,
+            cli.seed,
+        );
+        t.row(&[
+            k.to_string(),
+            format!("{:.3}", gauss.flipped_fraction()),
+            format!("{:.3}", gauss.unknown_fraction()),
+            format!("{:.3}", ideal.flipped_fraction()),
+            format!("{:.3}", ideal.unknown_fraction()),
+        ]);
+        eprintln!("[diag_composition] k = {k} done");
+    }
+    t.print();
+    t.write_csv(&cli.out.join("diag_composition.csv"));
+    println!();
+    println!("Expected shape: the Gaussian 0-fraction climbs steadily with k (every");
+    println!("borderline pair eventually witnesses a flip), while the idealized");
+    println!("0-fraction saturates at the geometric measure of the uncertain bands.");
+    println!("The *-fraction depends only on coverage (R vs field), not on k.");
+}

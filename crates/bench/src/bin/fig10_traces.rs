@@ -1,0 +1,58 @@
+//! Fig. 10: example trajectories — PM vs FTTT under grid and random
+//! deployment (k = 5, ε = 1).
+//!
+//! Tracks one random-waypoint target with both methods in the same world
+//! (same deployment, trace and noise) and dumps the estimated trajectories
+//! as CSV next to a summary table. The paper's visual claim is that FTTT's
+//! point cloud hugs the true trace while PM's scatters.
+
+use fttt_bench::{run_once, Cli, MethodKind, Scenario, Table};
+use fttt::PaperParams;
+
+fn main() {
+    let cli = Cli::parse();
+    let params = PaperParams::default().with_nodes(16).with_samples(5).with_epsilon(1.0);
+
+    let mut summary = Table::new(
+        "Fig. 10 — one 60 s tracking example (k = 5, ε = 1, n = 16)",
+        &["deployment", "method", "mean err (m)", "std (m)", "max err (m)"],
+    );
+
+    for (deploy_name, grid) in [("grid", true), ("random", false)] {
+        for method in [MethodKind::Pm, MethodKind::FtttBasic] {
+            let scenario = if grid {
+                Scenario::new(params).with_grid()
+            } else {
+                Scenario::new(params)
+            };
+            let run = run_once(&scenario, method, cli.seed);
+            let stats = run.error_stats();
+            summary.row(&[
+                deploy_name.into(),
+                method.label().into(),
+                format!("{:.2}", stats.mean),
+                format!("{:.2}", stats.std),
+                format!("{:.2}", stats.max),
+            ]);
+
+            let mut csv = Table::new("trace", &["t", "truth_x", "truth_y", "est_x", "est_y", "error"]);
+            for l in &run.localizations {
+                csv.row(&[
+                    format!("{:.2}", l.t),
+                    format!("{:.2}", l.truth.x),
+                    format!("{:.2}", l.truth.y),
+                    format!("{:.2}", l.estimate.x),
+                    format!("{:.2}", l.estimate.y),
+                    format!("{:.2}", l.error),
+                ]);
+            }
+            csv.write_csv(
+                &cli.out.join(format!("fig10_{deploy_name}_{}.csv", method.label().to_lowercase())),
+            );
+        }
+    }
+    summary.print();
+    println!();
+    println!("Expected shape: FTTT's mean/max error well below PM's in both");
+    println!("deployments (the paper's Fig. 10 point clouds).");
+}

@@ -1,0 +1,56 @@
+//! Fig. 12(a): impact of the sensing resolution ε on FTTT's mean error
+//! (k = 5; n ∈ {10, 15, 20, 25}; ε ∈ [0.5, 3] dBm).
+
+use fttt::PaperParams;
+use fttt_bench::{trial_stats, Cli, MethodKind, Scenario, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(10);
+    let node_counts = [10usize, 15, 20, 25];
+    let epsilons = if cli.fast { vec![0.5, 1.5, 3.0] } else { vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0] };
+
+    let run = |idealized: bool, title: String| -> Table {
+        let mut t = Table::new(title, &["ε (dBm)", "n=10", "n=15", "n=20", "n=25"]);
+        for &eps in &epsilons {
+            let mut cells = vec![format!("{eps:.1}")];
+            for &n in &node_counts {
+                let mut params =
+                    PaperParams::default().with_nodes(n).with_samples(5).with_epsilon(eps);
+                if idealized {
+                    params = params.with_idealized_noise();
+                }
+                let scenario = Scenario::new(params);
+                let agg = trial_stats(&scenario, MethodKind::FtttBasic, trials, cli.seed);
+                cells.push(format!("{:.2}", agg.mean_error));
+            }
+            t.row(&cells);
+            eprintln!("[fig12a{}] ε = {eps} done", if idealized { "/ideal" } else { "" });
+        }
+        t
+    };
+
+    let ideal = run(
+        true,
+        format!(
+            "Fig. 12(a) — FTTT mean error vs resolution ε, idealized sensing (k = 5, {trials} trials)"
+        ),
+    );
+    ideal.print();
+    ideal.write_csv(&cli.out.join("fig12a_resolution_idealized.csv"));
+    println!();
+    let gauss = run(
+        false,
+        format!(
+            "Fig. 12(a) addendum — same sweep under Gaussian eq.-1 shadowing ({trials} trials)"
+        ),
+    );
+    gauss.print();
+    gauss.write_csv(&cli.out.join("fig12a_resolution_gaussian.csv"));
+    println!();
+    println!("Expected shape (paper, top table): error grows with ε — a coarser");
+    println!("sensing resolution widens every uncertain band and with it the faces;");
+    println!("steepest for small n, flattening for n ≥ 20. Under Gaussian shadowing");
+    println!("(bottom) σ = 6 dominates ε in eq. (3), so the ε sensitivity is mostly");
+    println!("washed out — see EXPERIMENTS.md.");
+}

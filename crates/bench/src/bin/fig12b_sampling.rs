@@ -1,0 +1,75 @@
+//! Fig. 12(b): impact of the grouping sampling times k on FTTT's mean
+//! error (ε = 1; n ∈ 10–40; k ∈ {3, 5, 7, 9}).
+
+use fttt::PaperParams;
+use fttt_bench::{trial_stats, Cli, MethodKind, Scenario, Table};
+
+fn run_table(
+    title: &str,
+    idealized: bool,
+    nodes: &[usize],
+    ks: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Table {
+    let mut t = Table::new(title, &["n", "k=3", "k=5", "k=7", "k=9"]);
+    for &n in nodes {
+        let mut cells = vec![n.to_string()];
+        for &k in ks {
+            let mut params =
+                PaperParams::default().with_nodes(n).with_samples(k).with_epsilon(1.0);
+            if idealized {
+                params = params.with_idealized_noise();
+            }
+            let scenario = Scenario::new(params);
+            let agg = trial_stats(&scenario, MethodKind::FtttBasic, trials, seed);
+            cells.push(format!("{:.2}", agg.mean_error));
+        }
+        t.row(&cells);
+        eprintln!("[fig12b{}] n = {n} done", if idealized { "/ideal" } else { "" });
+    }
+    t
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(10);
+    let ks = [3usize, 5, 7, 9];
+    let nodes = if cli.fast { vec![10usize, 25, 40] } else { vec![10, 15, 20, 25, 30, 35, 40] };
+
+    let ideal = run_table(
+        &format!(
+            "Fig. 12(b) — FTTT mean error, idealized sensing (paper's model; ε = 1, {trials} trials)"
+        ),
+        true,
+        &nodes,
+        &ks,
+        trials,
+        cli.seed,
+    );
+    ideal.print();
+    ideal.write_csv(&cli.out.join("fig12b_sampling_idealized.csv"));
+
+    println!();
+    let gauss = run_table(
+        &format!(
+            "Fig. 12(b) addendum — FTTT mean error, Gaussian eq.-1 shadowing (ε = 1, {trials} trials)"
+        ),
+        false,
+        &nodes,
+        &ks,
+        trials,
+        cli.seed,
+    );
+    gauss.print();
+    gauss.write_csv(&cli.out.join("fig12b_sampling_gaussian.csv"));
+
+    println!();
+    println!("Expected shape (paper, top table): more samples k ⟹ lower error at");
+    println!("every n, with the k = 3 column rising as n grows. The paper's Section-5");
+    println!("analysis assumes flips occur only inside each pair's uncertain band;");
+    println!("the top table reproduces its Fig. 12(b) under exactly that model. The");
+    println!("bottom table shows the same sweep under unbounded Gaussian shadowing,");
+    println!("where the strict all-k-agree rule floods the vector with zeros and the");
+    println!("k-benefit inverts — see EXPERIMENTS.md for the full discussion.");
+}

@@ -1,0 +1,37 @@
+//! Fig. 2: the uncertain boundary of a node pair.
+//!
+//! For two nodes at (±d, 0) and the Table-1 radio model, prints the two
+//! Apollonius circles (centre, radius) and the axis width of the uncertain
+//! band as the sensing resolution ε sweeps over its Table-1 range —
+//! the geometry the whole strategy is built on.
+
+use fttt_bench::Table;
+use wsn_geometry::{Point, UncertainBoundary};
+use wsn_signal::uncertainty_constant;
+
+fn main() {
+    let d = 10.0; // half-separation of the pair, metres
+    let a = Point::new(d, 0.0);
+    let b = Point::new(-d, 0.0);
+    let mut t = Table::new(
+        "Fig. 2 — Uncertain boundaries of a node pair at (±10, 0) m (β = 4, σ = 6)",
+        &["ε (dBm)", "C", "circle A centre x", "circle A radius", "circle B centre x", "circle B radius", "band on axis (m)"],
+    );
+    for eps in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+        let c = uncertainty_constant(eps, 4.0, 6.0);
+        let ub = UncertainBoundary::new(a, b, c).expect("C > 1 for positive ε");
+        t.row(&[
+            format!("{eps:.1}"),
+            format!("{c:.4}"),
+            format!("{:.2}", ub.near_first.center.x),
+            format!("{:.2}", ub.near_first.radius),
+            format!("{:.2}", ub.near_second.center.x),
+            format!("{:.2}", ub.near_second.radius),
+            format!("{:.2}", ub.band_width_on_axis()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("The band between the two circles is the pair's uncertain area:");
+    println!("inside it the RSS order of the two nodes flips between samples.");
+}

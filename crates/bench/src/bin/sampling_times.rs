@@ -1,0 +1,76 @@
+//! Section 5.1: determination of grouping sampling times.
+//!
+//! Prints the closed-form bound `k(λ, N)` over a grid of confidence levels
+//! and pair counts, validates the paper's "20 nodes, λ = 0.99 ⟹ k = 16"
+//! example, and Monte-Carlo-checks the all-flips-captured probability.
+
+use fttt::theory::{all_flips_probability, required_sampling_times};
+use fttt_bench::{Cli, Table};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsn_parallel::{par_map, seed_for};
+
+fn monte_carlo(k: usize, n_pairs: usize, trials: usize, seed: u64) -> f64 {
+    let idx: Vec<u64> = (0..trials as u64).collect();
+    let hits: Vec<u32> = par_map(&idx, |_, &i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
+        let ok = (0..n_pairs).all(|_| {
+            let mut seq = false;
+            let mut rev = false;
+            for _ in 0..k {
+                if rng.gen::<bool>() {
+                    seq = true;
+                } else {
+                    rev = true;
+                }
+            }
+            seq && rev
+        });
+        u32::from(ok)
+    });
+    hits.iter().copied().sum::<u32>() as f64 / trials as f64
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = cli.trials_or(100_000);
+
+    let mut t = Table::new(
+        "Section 5.1 — required sampling times k(λ, N)",
+        &["pairs N", "λ=0.90", "λ=0.95", "λ=0.99", "λ=0.999"],
+    );
+    for n_pairs in [1usize, 6, 45, 105, 190, 435, 780] {
+        let ks: Vec<String> = [0.90, 0.95, 0.99, 0.999]
+            .iter()
+            .map(|&l| required_sampling_times(l, n_pairs).to_string())
+            .collect();
+        t.row(&[n_pairs.to_string(), ks[0].clone(), ks[1].clone(), ks[2].clone(), ks[3].clone()]);
+    }
+    t.print();
+
+    let n_pairs_20_nodes = 20 * 19 / 2;
+    let k = required_sampling_times(0.99, n_pairs_20_nodes);
+    println!();
+    println!(
+        "Paper example: 20 in-range nodes (N = {n_pairs_20_nodes} pairs), λ = 0.99 ⟹ k = {k} \
+         (paper reports k = 16)"
+    );
+
+    println!();
+    let mut mc = Table::new(
+        "Monte-Carlo check of the all-flips-captured probability",
+        &["k", "pairs N", "closed form", "empirical", "|Δ|"],
+    );
+    for (k, n_pairs) in [(3usize, 6usize), (5, 6), (5, 45), (7, 45), (9, 190), (16, 190)] {
+        let theory = all_flips_probability(k, n_pairs);
+        let emp = monte_carlo(k, n_pairs, trials, cli.seed);
+        mc.row(&[
+            k.to_string(),
+            n_pairs.to_string(),
+            format!("{theory:.4}"),
+            format!("{emp:.4}"),
+            format!("{:.4}", (theory - emp).abs()),
+        ]);
+    }
+    mc.print();
+}

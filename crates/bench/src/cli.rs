@@ -1,0 +1,114 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Common experiment options, parsed from `std::env::args`:
+/// `--seed <u64>` (default 42), `--trials <usize>` (default
+/// binary-specific), `--out <dir>` (default `results/`), `--fast`
+/// (binary-specific reduced workload for smoke runs).
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Master RNG seed; every trial derives from it deterministically.
+    pub seed: u64,
+    /// Number of Monte-Carlo trials per sweep point (`None`: binary picks).
+    pub trials: Option<usize>,
+    /// Output directory for CSV dumps.
+    pub out: std::path::PathBuf,
+    /// Reduced workload for smoke testing.
+    pub fast: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self { seed: 42, trials: None, out: "results".into(), fast: false }
+    }
+}
+
+impl Cli {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    cli.seed = v.parse().expect("--seed must be a u64");
+                }
+                "--trials" => {
+                    let v = it.next().expect("--trials needs a value");
+                    cli.trials = Some(v.parse().expect("--trials must be a usize"));
+                }
+                "--out" => {
+                    cli.out = it.next().expect("--out needs a value").into();
+                }
+                "--fast" => cli.fast = true,
+                other => panic!(
+                    "unknown argument {other}; usage: [--seed N] [--trials N] [--out DIR] [--fast]"
+                ),
+            }
+        }
+        cli
+    }
+
+    /// The trial count to use given a binary default.
+    pub fn trials_or(&self, default: usize) -> usize {
+        let t = self.trials.unwrap_or(default);
+        if self.fast {
+            t.div_ceil(4).max(1)
+        } else {
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.trials, None);
+        assert!(!c.fast);
+        assert_eq!(c.trials_or(10), 10);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let c = parse(&["--seed", "7", "--trials", "3", "--out", "/tmp/x", "--fast"]);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.trials, Some(3));
+        assert_eq!(c.out, std::path::PathBuf::from("/tmp/x"));
+        assert!(c.fast);
+        assert_eq!(c.trials_or(10), 1);
+    }
+
+    #[test]
+    fn fast_divides_defaults() {
+        let c = parse(&["--fast"]);
+        assert_eq!(c.trials_or(20), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_rejected() {
+        let _ = parse(&["--nope"]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness for regenerating every table and figure of the
+//! paper's evaluation (Section 7), plus the ablations listed in DESIGN.md.
+//!
+//! The binaries in `src/bin/` are thin: scenario definitions and row
+//! printing live here so that every figure runs through the same
+//! simulation code path ([`run_once`]) and the same seeded parallel trial
+//! runner ([`trial_stats`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod scenario;
+pub mod table;
+
+pub use cli::Cli;
+pub use scenario::{run_once, trial_stats, MethodKind, Scenario, TrialAggregate};
+pub use table::Table;

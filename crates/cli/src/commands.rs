@@ -1,0 +1,175 @@
+//! Subcommand implementations.
+
+use crate::args::Options;
+use crate::render::Canvas;
+use fttt::config::PaperParams;
+use fttt::postprocess;
+use fttt::theory;
+use fttt_bench::{run_once, trial_stats, Scenario, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params_from(opts: &Options) -> PaperParams {
+    let mut p = PaperParams::default()
+        .with_nodes(opts.nodes)
+        .with_epsilon(opts.epsilon)
+        .with_samples(opts.samples)
+        .with_cell_size(opts.cell);
+    if opts.idealized {
+        p = p.with_idealized_noise();
+    }
+    p
+}
+
+fn scenario_from(opts: &Options) -> Scenario {
+    let mut s = Scenario::new(params_from(opts)).with_duration(opts.duration);
+    if opts.grid {
+        s = s.with_grid();
+    }
+    s
+}
+
+/// `fttt-sim track`: one simulation, error report, optional render.
+pub fn track(opts: &Options) {
+    let scenario = scenario_from(opts);
+    let run = run_once(&scenario, opts.method, opts.seed);
+    let stats = run.error_stats();
+    println!(
+        "{} | n = {}, k = {}, ε = {}, {} deployment, {:.0} s, seed {}",
+        opts.method.label(),
+        opts.nodes,
+        opts.samples,
+        opts.epsilon,
+        if opts.grid { "grid" } else { "random" },
+        opts.duration,
+        opts.seed,
+    );
+    println!(
+        "{} localizations | mean {:.2} m | std {:.2} m | max {:.2} m | rmse {:.2} m",
+        stats.count, stats.mean, stats.std, stats.max, stats.rmse
+    );
+    println!(
+        "trajectory roughness {:.2} m | mean estimated speed {:.2} m/s",
+        postprocess::roughness(&run),
+        postprocess::mean_speed(&run)
+    );
+    if opts.render {
+        let field = scenario.params.rect();
+        let mut canvas = Canvas::new(field, 64, 32);
+        canvas.plot_path(
+            &run.localizations.iter().map(|l| l.truth).collect::<Vec<_>>(),
+            '#',
+        );
+        for l in &run.localizations {
+            canvas.plot(l.estimate, 'o');
+        }
+        print!("{}", canvas.render());
+        println!("  # true trajectory   o estimates");
+    }
+}
+
+/// `fttt-sim facemap`: build (or load) the division and report structure.
+pub fn facemap(opts: &Options) {
+    let params = params_from(opts);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let field = if opts.grid { params.grid_field() } else { params.random_field(&mut rng) };
+    let t0 = std::time::Instant::now();
+    let map = match &opts.load {
+        Some(path) => {
+            let mut file = std::io::BufReader::new(
+                std::fs::File::open(path).expect("open face-map file"),
+            );
+            fttt::facemap::FaceMap::read_from(&mut file).expect("parse face-map file")
+        }
+        None => params.face_map(&field),
+    };
+    let build = t0.elapsed();
+    if let Some(path) = &opts.save {
+        let mut file =
+            std::io::BufWriter::new(std::fs::File::create(path).expect("create face-map file"));
+        map.write_to(&mut file).expect("serialize face map");
+        eprintln!("[saved] {}", path.display());
+    }
+    println!(
+        "n = {}, C = {:.4}, cell = {} m: {} faces ({} certain), {} neighbor links, built in {:.0} ms",
+        opts.nodes,
+        params.uncertainty_constant(),
+        params.cell_size,
+        map.face_count(),
+        map.certain_face_count(),
+        map.neighbor_link_count() / 2,
+        build.as_secs_f64() * 1e3,
+    );
+    let sizes: Vec<usize> = map.faces().iter().map(|f| f.cell_count).collect();
+    let max = sizes.iter().max().copied().unwrap_or(0);
+    let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    println!("face sizes: mean {mean:.1} cells, largest {max} cells");
+    if opts.render {
+        // Shade cells by (face id mod alphabet) to show the arrangement.
+        let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789".chars().collect();
+        let mut canvas = Canvas::new(params.rect(), 64, 32);
+        let grid = map.grid();
+        for (_, center) in grid.iter_centers() {
+            if let Some(id) = map.face_at(center) {
+                canvas.plot(center, alphabet[id.index() % alphabet.len()]);
+            }
+        }
+        for node in field.nodes() {
+            canvas.plot(node.pos, '@');
+        }
+        print!("{}", canvas.render());
+        println!("  letters: faces (mod 36)   @ sensors");
+    }
+}
+
+/// `fttt-sim sweep`: node-count sweep for one method.
+pub fn sweep(opts: &Options) {
+    let mut t = Table::new(
+        format!(
+            "{} mean error vs nodes ({} trials, seed {})",
+            opts.method.label(),
+            opts.trials,
+            opts.seed
+        ),
+        &["n", "mean (m)", "std (m)", "worst world (m)"],
+    );
+    for n in [5usize, 10, 15, 20, 25, 30, 35, 40] {
+        let mut o = opts.clone();
+        o.nodes = n;
+        let agg = trial_stats(&scenario_from(&o), opts.method, opts.trials, opts.seed);
+        t.row(&[
+            n.to_string(),
+            format!("{:.2}", agg.mean_error),
+            format!("{:.2}", agg.mean_std),
+            format!("{:.2}", agg.worst_mean),
+        ]);
+        eprintln!("[sweep] n = {n} done");
+    }
+    t.print();
+}
+
+/// `fttt-sim theory`: the Section-5 sampling-times table.
+pub fn theory(opts: &Options) {
+    let lambda = opts.lambda;
+    let mut t = Table::new(
+        format!("required sampling times k for confidence λ = {lambda}"),
+        &["in-range nodes", "pairs N", "k", "P(all flips seen)"],
+    );
+    for nodes in [4usize, 6, 8, 10, 15, 20, 30, 40] {
+        let pairs = nodes * (nodes - 1) / 2;
+        let k = theory::required_sampling_times(lambda, pairs);
+        t.row(&[
+            nodes.to_string(),
+            pairs.to_string(),
+            k.to_string(),
+            format!("{:.4}", theory::all_flips_probability(k, pairs)),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "expected vector error at k = {}: E_N = {:.4} (N = 45 pairs)",
+        opts.samples,
+        theory::expected_vector_error(opts.samples, 45)
+    );
+}

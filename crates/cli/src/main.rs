@@ -1,0 +1,42 @@
+//! `fttt-sim` — command-line driver for the FTTT tracking suite.
+//!
+//! ```text
+//! fttt-sim track   [--nodes N] [--method M] [--seed S] [--duration SEC]
+//!                  [--grid] [--epsilon E] [--samples K] [--render]
+//! fttt-sim facemap [--nodes N] [--seed S] [--cell M] [--render]
+//! fttt-sim sweep   [--method M] [--trials T] [--seed S]
+//! fttt-sim theory  [--lambda L]
+//! ```
+//!
+//! Methods: `fttt` (default), `fttt-ext`, `fttt-heur`, `pm`, `mle`, `wcl`, `pf`, `ekf`.
+
+mod args;
+mod commands;
+mod render;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", args::USAGE);
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let opts = match args::Options::parse(&argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match cmd.as_str() {
+        "track" => commands::track(&opts),
+        "facemap" => commands::facemap(&opts),
+        "sweep" => commands::sweep(&opts),
+        "theory" => commands::theory(&opts),
+        "help" | "--help" | "-h" => println!("{}", args::USAGE),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{}", args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! ASCII rendering of fields, deployments and trajectories.
+
+use wsn_geometry::{Point, Rect};
+
+/// A character raster over a rectangular field, y-up.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    field: Rect,
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    /// Creates an empty canvas of `cols × rows` characters over `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(field: Rect, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "canvas dimensions must be positive");
+        Self { field, cols, rows, cells: vec!['.'; cols * rows] }
+    }
+
+    /// Plots `glyph` at the cell containing `p` (silently ignores
+    /// out-of-field points).
+    pub fn plot(&mut self, p: Point, glyph: char) {
+        if !self.field.contains(p) {
+            return;
+        }
+        let fx = (p.x - self.field.min.x) / self.field.width();
+        let fy = (p.y - self.field.min.y) / self.field.height();
+        let cx = ((fx * self.cols as f64) as usize).min(self.cols - 1);
+        let cy = ((fy * self.rows as f64) as usize).min(self.rows - 1);
+        self.cells[(self.rows - 1 - cy) * self.cols + cx] = glyph;
+    }
+
+    /// Plots a polyline by sampling each segment at sub-cell resolution.
+    pub fn plot_path(&mut self, points: &[Point], glyph: char) {
+        for w in points.windows(2) {
+            let steps = (w[0].distance(w[1]) / (self.field.width() / self.cols as f64))
+                .ceil()
+                .max(1.0) as usize;
+            for s in 0..=steps {
+                self.plot(w[0].lerp(w[1], s as f64 / steps as f64), glyph);
+            }
+        }
+    }
+
+    /// Renders to a string, one row per line.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 3) * self.rows);
+        for row in self.cells.chunks(self.cols) {
+            out.push_str("  ");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_in_the_right_corner() {
+        let mut c = Canvas::new(Rect::square(10.0), 10, 10);
+        c.plot(Point::new(0.1, 0.1), 'a'); // bottom-left ⟹ last row, first col
+        c.plot(Point::new(9.9, 9.9), 'b'); // top-right ⟹ first row, last col
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[9].trim_start().starts_with('a'));
+        assert!(lines[0].ends_with('b'));
+    }
+
+    #[test]
+    fn out_of_field_is_ignored() {
+        let mut c = Canvas::new(Rect::square(10.0), 4, 4);
+        c.plot(Point::new(-5.0, 5.0), 'x');
+        c.plot(Point::new(5.0, 50.0), 'x');
+        assert!(!c.render().contains('x'));
+    }
+
+    #[test]
+    fn path_is_contiguous() {
+        let mut c = Canvas::new(Rect::square(10.0), 20, 20);
+        c.plot_path(&[Point::new(0.5, 5.0), Point::new(9.5, 5.0)], '#');
+        // One of the two middle rows must contain an unbroken run of '#'
+        // (y = 5.0 falls on the boundary between display rows 9 and 10).
+        let s = c.render();
+        let hashes = |i: usize| {
+            s.lines().nth(i).unwrap().chars().filter(|&ch| ch == '#').count()
+        };
+        let best = hashes(9).max(hashes(10));
+        assert!(best >= 18, "rows 9/10 held only {best} '#'");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = Canvas::new(Rect::square(1.0), 0, 5);
+    }
+}

@@ -1,0 +1,898 @@
+//! Face-map construction by approximate grid division.
+
+use crate::vector::SignatureVector;
+use std::collections::HashMap;
+use std::fmt;
+use wsn_geometry::{Grid, PairRegion, Point, Rect};
+use wsn_network::{pair_count, PairIter};
+use wsn_parallel::par_map_threads;
+
+/// Dense face identifier (index into [`FaceMap::faces`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaceId(pub u32);
+
+impl FaceId {
+    /// Zero-based index into the face list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// One face of the division: a maximal set of grid cells sharing a
+/// signature vector.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Face {
+    /// Identifier (equals the face's index).
+    pub id: FaceId,
+    /// The face's signature (Definition 6); unique within the map.
+    pub signature: SignatureVector,
+    /// Centroid of the face's cell centres (eq. 5) — the location estimate
+    /// reported when the target is matched to this face.
+    pub centroid: Point,
+    /// Number of grid cells in the face (its area is
+    /// `cell_count × cell_size²`).
+    pub cell_count: usize,
+    /// Axis-aligned bounding box of the face's cell centres (used for
+    /// conservative geometric reachability tests, e.g. the PM baseline's
+    /// max-velocity constraint).
+    pub bbox: Rect,
+}
+
+impl Face {
+    /// `true` if no component of the signature is `0`, i.e. the face lies
+    /// outside every pair's uncertain area — a "certain" face in the sense
+    /// of the sequence-based baselines (these vanish as `C` grows, paper
+    /// Fig. 3(c)).
+    pub fn is_certain(&self) -> bool {
+        self.signature.components().iter().all(|&v| v != 0)
+    }
+}
+
+/// Computes the signature vector of point `p` for sensors at `positions`
+/// with uncertainty constant `c` (exact, not rasterized).
+///
+/// # Panics
+///
+/// Panics if fewer than two positions are given.
+pub fn signature_of(p: Point, positions: &[Point], c: f64) -> SignatureVector {
+    assert!(positions.len() >= 2, "need at least two sensors");
+    let mut comps = Vec::with_capacity(pair_count(positions.len()));
+    for (i, j) in PairIter::new(positions.len()) {
+        comps.push(PairRegion::classify(p, positions[i], positions[j], c).signature_component());
+    }
+    SignatureVector::new(comps)
+}
+
+/// The offline face division of a monitored field.
+#[derive(Debug, Clone)]
+pub struct FaceMap {
+    grid: Grid,
+    positions: Vec<Point>,
+    c: f64,
+    faces: Vec<Face>,
+    cell_to_face: Vec<u32>,
+    neighbors: Vec<Vec<FaceId>>,
+    by_signature: HashMap<SignatureVector, FaceId>,
+}
+
+impl FaceMap {
+    /// Builds the face map serially. See [`FaceMap::build_with_threads`].
+    pub fn build(positions: &[Point], field: Rect, c: f64, cell_size: f64) -> Self {
+        Self::build_with_threads(positions, field, c, cell_size, 1)
+    }
+
+    /// Builds the face map, rasterizing rows of cells across `threads`
+    /// workers.
+    ///
+    /// `positions` are the sensor locations (ID order), `field` the
+    /// monitored rectangle, `c ≥ 1` the uncertainty constant (`c = 1`
+    /// degenerates to the perpendicular-bisector division used by the
+    /// certain-sequence baselines) and `cell_size` the raster resolution in
+    /// metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sensors are given, `c < 1`, or `cell_size`
+    /// is not strictly positive.
+    pub fn build_with_threads(
+        positions: &[Point],
+        field: Rect,
+        c: f64,
+        cell_size: f64,
+        threads: usize,
+    ) -> Self {
+        assert!(positions.len() >= 2, "need at least two sensors");
+        assert!(c.is_finite() && c >= 1.0, "uncertainty constant must be ≥ 1, got {c}");
+        let grid = Grid::cover(field, cell_size);
+
+        // Rasterize: one signature per cell, row-parallel.
+        let rows: Vec<u32> = (0..grid.ny()).collect();
+        let row_sigs: Vec<Vec<SignatureVector>> = par_map_threads(threads, &rows, |_, &iy| {
+            (0..grid.nx())
+                .map(|ix| {
+                    let center = grid.center(wsn_geometry::CellIndex::new(ix, iy));
+                    signature_of(center, positions, c)
+                })
+                .collect()
+        });
+        Self::from_row_signatures(grid, positions, c, row_sigs)
+    }
+
+    /// Builds the map with the **adaptive double-level grid division** of
+    /// the authors' companion work ([29], referenced in Section 4.3):
+    /// classify a coarse lattice first, then refine only the coarse cells
+    /// that sit on a face boundary (a 4-neighbor with a different
+    /// signature), letting interior fine cells inherit the coarse label
+    /// without touching the `O(pairs)` classifier.
+    ///
+    /// With `B` boundary cells out of `N` coarse cells, classification
+    /// work drops from `N·r²` to `N + B·r²` (`r` = `refine` factor) —
+    /// typically 3–10× on the paper's field (see the `facemap_build`
+    /// Criterion bench). The price is approximation: a face thinner than a
+    /// coarse cell can be missed entirely if it never crosses a coarse
+    /// centre; the `adaptive` tests bound how often that happens at the
+    /// paper's parameters.
+    ///
+    /// The resulting map's resolution equals `coarse_cell / refine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`FaceMap::build_with_threads`], or if
+    /// `refine < 2`.
+    pub fn build_adaptive(
+        positions: &[Point],
+        field: Rect,
+        c: f64,
+        coarse_cell: f64,
+        refine: u32,
+        threads: usize,
+    ) -> Self {
+        assert!(positions.len() >= 2, "need at least two sensors");
+        assert!(c.is_finite() && c >= 1.0, "uncertainty constant must be ≥ 1, got {c}");
+        assert!(refine >= 2, "refinement factor must be at least 2, got {refine}");
+        let coarse = Grid::cover(field, coarse_cell);
+        let fine = Grid::cover(field, coarse_cell / refine as f64);
+
+        // Pass 1: classify the coarse lattice.
+        let rows: Vec<u32> = (0..coarse.ny()).collect();
+        let coarse_rows: Vec<Vec<SignatureVector>> = par_map_threads(threads, &rows, |_, &iy| {
+            (0..coarse.nx())
+                .map(|ix| {
+                    let center = coarse.center(wsn_geometry::CellIndex::new(ix, iy));
+                    signature_of(center, positions, c)
+                })
+                .collect()
+        });
+        let coarse_sig = |ix: u32, iy: u32| &coarse_rows[iy as usize][ix as usize];
+
+        // Pass 2: mark coarse cells on a signature boundary.
+        let boundary: Vec<bool> = (0..coarse.cell_count())
+            .map(|lin| {
+                let idx = coarse.from_linear(lin);
+                coarse
+                    .neighbors4(idx)
+                    .any(|nb| coarse_sig(nb.ix, nb.iy) != coarse_sig(idx.ix, idx.iy))
+            })
+            .collect();
+
+        // Pass 3: emit fine-cell signatures — classified inside boundary
+        // cells, inherited elsewhere.
+        let fine_rows_idx: Vec<u32> = (0..fine.ny()).collect();
+        let fine_rows: Vec<Vec<SignatureVector>> =
+            par_map_threads(threads, &fine_rows_idx, |_, &iy| {
+                (0..fine.nx())
+                    .map(|ix| {
+                        let center = fine.center(wsn_geometry::CellIndex::new(ix, iy));
+                        // The owning coarse cell (fine lattices can extend
+                        // one partial column/row past the coarse one).
+                        let cx = (ix / refine).min(coarse.nx() - 1);
+                        let cy = (iy / refine).min(coarse.ny() - 1);
+                        if boundary[coarse.linear(wsn_geometry::CellIndex::new(cx, cy))] {
+                            signature_of(center, positions, c)
+                        } else {
+                            coarse_sig(cx, cy).clone()
+                        }
+                    })
+                    .collect()
+            });
+        Self::from_row_signatures(fine, positions, c, fine_rows)
+    }
+
+    /// Groups per-cell signatures (row-major) into faces, centroids,
+    /// neighbor links and the signature index.
+    fn from_row_signatures(
+        grid: Grid,
+        positions: &[Point],
+        c: f64,
+        row_sigs: Vec<Vec<SignatureVector>>,
+    ) -> Self {
+        // Group cells by signature into faces, accumulating centroids.
+        let mut by_signature: HashMap<SignatureVector, FaceId> = HashMap::new();
+        let mut cell_to_face = vec![0u32; grid.cell_count()];
+        let mut sums: Vec<(f64, f64, usize)> = Vec::new();
+        let mut boxes: Vec<Rect> = Vec::new();
+        let mut signatures: Vec<SignatureVector> = Vec::new();
+        for (iy, row) in row_sigs.into_iter().enumerate() {
+            for (ix, sig) in row.into_iter().enumerate() {
+                let idx = wsn_geometry::CellIndex::new(ix as u32, iy as u32);
+                let center = grid.center(idx);
+                let next_id = FaceId(sums.len() as u32);
+                let id = *by_signature.entry(sig.clone()).or_insert_with(|| {
+                    sums.push((0.0, 0.0, 0));
+                    boxes.push(Rect::point(center));
+                    signatures.push(sig);
+                    next_id
+                });
+                let s = &mut sums[id.index()];
+                s.0 += center.x;
+                s.1 += center.y;
+                s.2 += 1;
+                boxes[id.index()] = boxes[id.index()].union_point(center);
+                cell_to_face[grid.linear(idx)] = id.0;
+            }
+        }
+        let faces: Vec<Face> = signatures
+            .into_iter()
+            .enumerate()
+            .map(|(i, signature)| {
+                let (sx, sy, count) = sums[i];
+                Face {
+                    id: FaceId(i as u32),
+                    signature,
+                    centroid: Point::new(sx / count as f64, sy / count as f64),
+                    cell_count: count,
+                    bbox: boxes[i],
+                }
+            })
+            .collect();
+
+        // Neighbor-face links from 4-adjacency across face boundaries.
+        let mut neighbor_sets: Vec<Vec<FaceId>> = vec![Vec::new(); faces.len()];
+        for lin in 0..grid.cell_count() {
+            let idx = grid.from_linear(lin);
+            let here = cell_to_face[lin];
+            // Right and up suffice: every boundary is seen from one side.
+            for nb in grid.neighbors4(idx) {
+                if nb.ix <= idx.ix && nb.iy <= idx.iy {
+                    continue;
+                }
+                let there = cell_to_face[grid.linear(nb)];
+                if there != here {
+                    neighbor_sets[here as usize].push(FaceId(there));
+                    neighbor_sets[there as usize].push(FaceId(here));
+                }
+            }
+        }
+        for set in &mut neighbor_sets {
+            set.sort_unstable();
+            set.dedup();
+        }
+
+        Self { grid, positions: positions.to_vec(), c, faces, cell_to_face, neighbors: neighbor_sets, by_signature }
+    }
+
+    /// The raster grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Sensor positions the map was built from (ID order).
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The uncertainty constant used.
+    #[inline]
+    pub fn uncertainty_constant(&self) -> f64 {
+        self.c
+    }
+
+    /// All faces, indexed by [`FaceId`].
+    #[inline]
+    pub fn faces(&self) -> &[Face] {
+        &self.faces
+    }
+
+    /// Number of faces.
+    #[inline]
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Dimension of every signature vector in the map (`C(n,2)`).
+    #[inline]
+    pub fn pair_dimension(&self) -> usize {
+        pair_count(self.positions.len())
+    }
+
+    /// Looks up a face.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this map.
+    #[inline]
+    pub fn face(&self, id: FaceId) -> &Face {
+        &self.faces[id.index()]
+    }
+
+    /// The face whose raster cell contains `p`, or `None` outside the
+    /// field.
+    pub fn face_at(&self, p: Point) -> Option<FaceId> {
+        let idx = self.grid.index_of(p)?;
+        Some(FaceId(self.cell_to_face[self.grid.linear(idx)]))
+    }
+
+    /// The face with exactly this signature, if any cell produced it.
+    pub fn find_by_signature(&self, sig: &SignatureVector) -> Option<FaceId> {
+        self.by_signature.get(sig).copied()
+    }
+
+    /// Neighbor faces of `id` (Definition 8), sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this map.
+    #[inline]
+    pub fn neighbors(&self, id: FaceId) -> &[FaceId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Total number of directed neighbor links (twice the undirected count).
+    pub fn neighbor_link_count(&self) -> usize {
+        self.neighbors.iter().map(|n| n.len()).sum()
+    }
+
+    /// The face at the centre of the field — the cold-start face for the
+    /// heuristic matcher when no previous localization exists.
+    pub fn center_face(&self) -> FaceId {
+        self.face_at(self.grid.rect().center()).expect("field centre is always in the grid")
+    }
+
+    /// Number of *certain* faces (no `0` signature component) — the faces
+    /// the certain-sequence baselines rely on; the paper's Fig. 3 shows
+    /// them disappearing as `C` or node spacing grows.
+    pub fn certain_face_count(&self) -> usize {
+        self.faces.iter().filter(|f| f.is_certain()).count()
+    }
+
+    /// Exact signature of an arbitrary point under this map's sensors and
+    /// constant (not rasterized).
+    pub fn signature_at(&self, p: Point) -> SignatureVector {
+        signature_of(p, &self.positions, self.c)
+    }
+
+    /// Approximate resident size of the map in bytes: signature storage
+    /// (`faces × pairs`), the cell→face index, and the neighbor links —
+    /// the quantities behind the paper's `O(n⁴)` storage claim
+    /// (Section 4.4.2). Excludes allocator overhead and small fixed
+    /// fields.
+    pub fn memory_bytes(&self) -> usize {
+        let signatures = self.faces.len() * self.pair_dimension() * std::mem::size_of::<i8>();
+        let faces = self.faces.len() * std::mem::size_of::<Face>();
+        let cells = self.cell_to_face.len() * std::mem::size_of::<u32>();
+        let links = self.neighbor_link_count() * std::mem::size_of::<FaceId>();
+        // The signature index holds a second copy of every signature key.
+        signatures * 2 + faces + cells + links
+    }
+}
+
+/// Errors from the face-map binary codec.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The bytes are not a face-map file (bad magic or version).
+    BadMagic,
+    /// Structurally invalid contents (truncated, inconsistent counts,
+    /// out-of-range values).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "face-map codec I/O error: {e}"),
+            CodecError::BadMagic => write!(f, "not a face-map file (bad magic)"),
+            CodecError::Corrupt(what) => write!(f, "corrupt face-map file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+const CODEC_MAGIC: &[u8; 8] = b"FTTTMAP1";
+
+fn write_u32<W: std::io::Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64<W: std::io::Write>(w: &mut W, v: f64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: std::io::Read>(r: &mut R) -> Result<u32, CodecError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f64<R: std::io::Read>(r: &mut R) -> Result<f64, CodecError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+impl FaceMap {
+    /// Serializes the map into a compact little-endian binary stream.
+    ///
+    /// This is the paper's deployment split made concrete: the face
+    /// division is computed once offline (Section 4.3) and shipped to the
+    /// base station / cluster heads, which only run the cheap online
+    /// matching. The format is self-contained (magic + version header) and
+    /// round-trips exactly — see [`FaceMap::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `w`.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        w.write_all(CODEC_MAGIC)?;
+        // Grid as its defining parameters.
+        let rect = self.grid.rect();
+        for v in [rect.min.x, rect.min.y, rect.max.x, rect.max.y, self.grid.cell_size(), self.c] {
+            write_f64(w, v)?;
+        }
+        write_u32(w, self.positions.len() as u32)?;
+        for p in &self.positions {
+            write_f64(w, p.x)?;
+            write_f64(w, p.y)?;
+        }
+        write_u32(w, self.faces.len() as u32)?;
+        let dim = self.pair_dimension();
+        for f in &self.faces {
+            debug_assert_eq!(f.signature.len(), dim);
+            // Signatures as raw bytes (two's complement i8).
+            let bytes: Vec<u8> =
+                f.signature.components().iter().map(|&v| v as u8).collect();
+            w.write_all(&bytes)?;
+            for v in [f.centroid.x, f.centroid.y, f.bbox.min.x, f.bbox.min.y, f.bbox.max.x, f.bbox.max.y] {
+                write_f64(w, v)?;
+            }
+            write_u32(w, f.cell_count as u32)?;
+        }
+        write_u32(w, self.cell_to_face.len() as u32)?;
+        for &c in &self.cell_to_face {
+            write_u32(w, c)?;
+        }
+        for nbs in &self.neighbors {
+            write_u32(w, nbs.len() as u32)?;
+            for nb in nbs {
+                write_u32(w, nb.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a map written by [`FaceMap::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on I/O failure, a foreign byte stream, or a
+    /// structurally inconsistent file.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != CODEC_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let min_x = read_f64(r)?;
+        let min_y = read_f64(r)?;
+        let max_x = read_f64(r)?;
+        let max_y = read_f64(r)?;
+        let cell = read_f64(r)?;
+        let c = read_f64(r)?;
+        if !(cell > 0.0 && cell.is_finite()) || !(c >= 1.0 && c.is_finite()) {
+            return Err(CodecError::Corrupt("invalid grid cell or constant"));
+        }
+        if !(min_x < max_x && min_y < max_y)
+            || ![min_x, min_y, max_x, max_y].iter().all(|v| v.is_finite())
+        {
+            return Err(CodecError::Corrupt("invalid field rectangle"));
+        }
+        let grid = Grid::cover(Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y)), cell);
+
+        let n_pos = read_u32(r)? as usize;
+        if n_pos < 2 || n_pos > 100_000 {
+            return Err(CodecError::Corrupt("implausible sensor count"));
+        }
+        let mut positions = Vec::with_capacity(n_pos);
+        for _ in 0..n_pos {
+            let x = read_f64(r)?;
+            let y = read_f64(r)?;
+            positions.push(Point::new(x, y));
+        }
+        let dim = pair_count(n_pos);
+
+        let n_faces = read_u32(r)? as usize;
+        if n_faces == 0 || n_faces > grid.cell_count() {
+            return Err(CodecError::Corrupt("face count out of range"));
+        }
+        let mut faces = Vec::with_capacity(n_faces);
+        let mut by_signature = HashMap::with_capacity(n_faces);
+        for i in 0..n_faces {
+            let mut sig_bytes = vec![0u8; dim];
+            r.read_exact(&mut sig_bytes)?;
+            let comps: Vec<i8> = sig_bytes.into_iter().map(|b| b as i8).collect();
+            if comps.iter().any(|&v| !(-1..=1).contains(&v)) {
+                return Err(CodecError::Corrupt("signature component out of range"));
+            }
+            let signature = SignatureVector::new(comps);
+            let cx = read_f64(r)?;
+            let cy = read_f64(r)?;
+            let bx0 = read_f64(r)?;
+            let by0 = read_f64(r)?;
+            let bx1 = read_f64(r)?;
+            let by1 = read_f64(r)?;
+            if !(bx0 <= bx1 && by0 <= by1) {
+                return Err(CodecError::Corrupt("invalid face bbox"));
+            }
+            let cell_count = read_u32(r)? as usize;
+            if cell_count == 0 {
+                return Err(CodecError::Corrupt("empty face"));
+            }
+            let id = FaceId(i as u32);
+            if by_signature.insert(signature.clone(), id).is_some() {
+                return Err(CodecError::Corrupt("duplicate signature"));
+            }
+            faces.push(Face {
+                id,
+                signature,
+                centroid: Point::new(cx, cy),
+                cell_count,
+                bbox: Rect::new(Point::new(bx0, by0), Point::new(bx1, by1)),
+            });
+        }
+
+        let n_cells = read_u32(r)? as usize;
+        if n_cells != grid.cell_count() {
+            return Err(CodecError::Corrupt("cell count does not match grid"));
+        }
+        let mut cell_to_face = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let v = read_u32(r)?;
+            if v as usize >= n_faces {
+                return Err(CodecError::Corrupt("cell maps to missing face"));
+            }
+            cell_to_face.push(v);
+        }
+
+        let mut neighbors = Vec::with_capacity(n_faces);
+        for _ in 0..n_faces {
+            let cnt = read_u32(r)? as usize;
+            if cnt > n_faces {
+                return Err(CodecError::Corrupt("neighbor count out of range"));
+            }
+            let mut nbs = Vec::with_capacity(cnt);
+            for _ in 0..cnt {
+                let v = read_u32(r)?;
+                if v as usize >= n_faces {
+                    return Err(CodecError::Corrupt("neighbor id out of range"));
+                }
+                nbs.push(FaceId(v));
+            }
+            neighbors.push(nbs);
+        }
+
+        Ok(Self { grid, positions, c, faces, cell_to_face, neighbors, by_signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four sensors in a unit-spaced square grid, like the paper's Fig. 3.
+    fn square4() -> Vec<Point> {
+        vec![
+            Point::new(30.0, 30.0),
+            Point::new(70.0, 30.0),
+            Point::new(30.0, 70.0),
+            Point::new(70.0, 70.0),
+        ]
+    }
+
+    fn field() -> Rect {
+        Rect::square(100.0)
+    }
+
+    #[test]
+    fn every_cell_is_assigned_and_faces_partition_cells() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        let total: usize = map.faces().iter().map(|f| f.cell_count).sum();
+        assert_eq!(total, map.grid().cell_count());
+        assert!(map.face_count() > 1);
+    }
+
+    #[test]
+    fn signatures_are_unique_per_face() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        let mut seen = std::collections::HashSet::new();
+        for f in map.faces() {
+            assert!(seen.insert(f.signature.clone()), "duplicate signature {}", f.signature);
+            assert_eq!(map.find_by_signature(&f.signature), Some(f.id));
+        }
+    }
+
+    #[test]
+    fn face_at_matches_cell_signature() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        for (idx, center) in map.grid().iter_centers() {
+            let _ = idx;
+            let id = map.face_at(center).unwrap();
+            assert_eq!(map.face(id).signature, map.signature_at(center));
+        }
+    }
+
+    #[test]
+    fn centroids_lie_in_field() {
+        let map = FaceMap::build(&square4(), field(), 1.2, 1.0);
+        for f in map.faces() {
+            assert!(field().contains(f.centroid), "centroid {} escapes", f.centroid);
+            assert!(f.cell_count > 0);
+        }
+    }
+
+    #[test]
+    fn bisector_division_with_c1_gives_classic_faces() {
+        // With C = 1 and 4 square-grid sensors, the four distinct bisector
+        // lines through the centre divide the field into the paper's
+        // Fig. 3(a) arrangement: 8 *certain* sectors. Cell centres that
+        // fall exactly on the two diagonal bisectors produce a handful of
+        // extra hairline "boundary" faces with a 0 component — an artifact
+        // of the exact symmetric layout, not of the division.
+        let map = FaceMap::build(&square4(), field(), 1.0, 0.5);
+        assert_eq!(map.certain_face_count(), 8, "classic 4-node grid division");
+        let boundary_cells: usize = map
+            .faces()
+            .iter()
+            .filter(|f| !f.is_certain())
+            .map(|f| f.cell_count)
+            .sum();
+        // Hairline faces cover a vanishing fraction of the field.
+        assert!(
+            (boundary_cells as f64) < 0.02 * map.grid().cell_count() as f64,
+            "boundary faces too fat: {boundary_cells} cells"
+        );
+    }
+
+    #[test]
+    fn growing_c_kills_certain_faces() {
+        let small = FaceMap::build(&square4(), field(), 1.05, 1.0);
+        let large = FaceMap::build(&square4(), field(), 2.5, 1.0);
+        assert!(small.certain_face_count() > 0);
+        assert_eq!(large.certain_face_count(), 0, "huge C swallows all certain faces (Fig. 3c)");
+        assert!(small.certain_face_count() >= large.certain_face_count());
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric_irreflexive() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        for f in map.faces() {
+            for &nb in map.neighbors(f.id) {
+                assert_ne!(nb, f.id, "face neighbors itself");
+                assert!(map.neighbors(nb).contains(&f.id), "asymmetric link {} → {nb}", f.id);
+            }
+        }
+    }
+
+    /// Theorem 1: with a raster fine enough, most neighbor faces differ by
+    /// exactly one signature component by one step. Raster adjacency can
+    /// jump two boundaries inside one cell, so we assert the typical case
+    /// dominates rather than universality.
+    #[test]
+    fn neighbor_faces_differ_by_about_one_component() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 0.5);
+        let mut one_step = 0usize;
+        let mut links = 0usize;
+        for f in map.faces() {
+            for &nb in map.neighbors(f.id) {
+                let d2 = f.signature.distance_squared(&map.face(nb).signature);
+                links += 1;
+                if d2 <= 1.0 + 1e-12 {
+                    one_step += 1;
+                }
+            }
+        }
+        assert!(links > 0);
+        let frac = one_step as f64 / links as f64;
+        assert!(frac > 0.7, "only {frac:.2} of links are single-step");
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let serial = FaceMap::build(&square4(), field(), 1.15, 1.0);
+        let parallel = FaceMap::build_with_threads(&square4(), field(), 1.15, 1.0, 4);
+        assert_eq!(serial.face_count(), parallel.face_count());
+        for (a, b) in serial.faces().iter().zip(parallel.faces()) {
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.cell_count, b.cell_count);
+            assert!((a.centroid.x - b.centroid.x).abs() < 1e-12);
+            assert!((a.centroid.y - b.centroid.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn center_face_is_valid() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        let cf = map.center_face();
+        assert!(cf.index() < map.face_count());
+    }
+
+    #[test]
+    fn finer_raster_refines_centroids_not_structure() {
+        let coarse = FaceMap::build(&square4(), field(), 1.15, 4.0);
+        let fine = FaceMap::build(&square4(), field(), 1.15, 1.0);
+        // Every coarse signature still exists in the fine map.
+        let mut found = 0;
+        for f in coarse.faces() {
+            if fine.find_by_signature(&f.signature).is_some() {
+                found += 1;
+            }
+        }
+        assert!(found as f64 >= 0.9 * coarse.face_count() as f64);
+        // Fine map sees at least as many faces.
+        assert!(fine.face_count() >= coarse.face_count());
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        let mut bytes = Vec::new();
+        map.write_to(&mut bytes).unwrap();
+        let back = FaceMap::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.face_count(), map.face_count());
+        assert_eq!(back.uncertainty_constant(), map.uncertainty_constant());
+        assert_eq!(back.positions(), map.positions());
+        for (a, b) in map.faces().iter().zip(back.faces()) {
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.cell_count, b.cell_count);
+            assert_eq!(a.centroid, b.centroid);
+            assert_eq!(a.bbox, b.bbox);
+        }
+        for f in map.faces() {
+            assert_eq!(back.neighbors(f.id), map.neighbors(f.id));
+            assert_eq!(back.find_by_signature(&f.signature), Some(f.id));
+        }
+        // And it matches identically.
+        for (_, center) in map.grid().iter_centers().step_by(13) {
+            assert_eq!(back.face_at(center), map.face_at(center));
+        }
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(matches!(
+            FaceMap::read_from(&mut &b"NOTAMAP0rest"[..]),
+            Err(CodecError::BadMagic)
+        ));
+        // Truncated file.
+        let map = FaceMap::build(&square4(), field(), 1.15, 4.0);
+        let mut bytes = Vec::new();
+        map.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(FaceMap::read_from(&mut bytes.as_slice()).is_err());
+        // Corrupt a signature byte into an out-of-range value.
+        let mut bytes = Vec::new();
+        map.write_to(&mut bytes).unwrap();
+        // The first signature byte sits right after the fixed header.
+        let header = 8 + 6 * 8 + 4 + 4 * 16 + 4;
+        bytes[header] = 7;
+        assert!(matches!(
+            FaceMap::read_from(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_structure() {
+        let small = FaceMap::build(&square4(), field(), 1.15, 4.0);
+        let large = FaceMap::build(&square4(), field(), 1.15, 1.0);
+        assert!(small.memory_bytes() > 0);
+        assert!(
+            large.memory_bytes() > small.memory_bytes(),
+            "finer raster ⟹ more faces ⟹ more memory"
+        );
+        // Sanity scale: a 4-node map at 1 m cells stays well under 10 MB.
+        assert!(large.memory_bytes() < 10 << 20);
+    }
+
+    #[test]
+    fn adaptive_matches_full_build_structure() {
+        let pos = square4();
+        let full = FaceMap::build(&pos, field(), 1.15, 1.0);
+        let adaptive = FaceMap::build_adaptive(&pos, field(), 1.15, 4.0, 4, 1);
+        assert_eq!(adaptive.grid().cell_size(), 1.0);
+        // Every full-build face of meaningful size must exist in the
+        // adaptive map (hairline faces inside unrefined cells may be
+        // missed — that is the documented approximation).
+        let mut found = 0usize;
+        let mut meaningful = 0usize;
+        for f in full.faces() {
+            if f.cell_count >= 4 {
+                meaningful += 1;
+                if adaptive.find_by_signature(&f.signature).is_some() {
+                    found += 1;
+                }
+            }
+        }
+        assert!(
+            found as f64 >= 0.95 * meaningful as f64,
+            "adaptive found {found}/{meaningful} meaningful faces"
+        );
+    }
+
+    #[test]
+    fn adaptive_cells_agree_with_full_build() {
+        let pos = square4();
+        let full = FaceMap::build(&pos, field(), 1.15, 1.0);
+        let adaptive = FaceMap::build_adaptive(&pos, field(), 1.15, 4.0, 4, 2);
+        let mut agree = 0usize;
+        for (_, center) in full.grid().iter_centers() {
+            let a = full.face(full.face_at(center).unwrap()).signature.clone();
+            let b = adaptive.face(adaptive.face_at(center).unwrap()).signature.clone();
+            if a == b {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / full.grid().cell_count() as f64;
+        assert!(frac > 0.97, "only {frac:.3} of cells agree");
+    }
+
+    #[test]
+    fn adaptive_partitions_all_cells() {
+        let pos = square4();
+        let adaptive = FaceMap::build_adaptive(&pos, field(), 1.15, 8.0, 4, 2);
+        let total: usize = adaptive.faces().iter().map(|f| f.cell_count).sum();
+        assert_eq!(total, adaptive.grid().cell_count());
+        // Neighbor symmetry holds for the adaptive map too.
+        for f in adaptive.faces() {
+            for &nb in adaptive.neighbors(f.id) {
+                assert!(adaptive.neighbors(nb).contains(&f.id));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn adaptive_needs_refinement() {
+        let _ = FaceMap::build_adaptive(&square4(), field(), 1.15, 4.0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sensors")]
+    fn single_sensor_rejected() {
+        let _ = FaceMap::build(&[Point::ORIGIN], field(), 1.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn sub_unity_constant_rejected() {
+        let _ = FaceMap::build(&square4(), field(), 0.5, 1.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Face maps: the offline division of the monitored field (Section 4.3).
+//!
+//! Every node pair's uncertain boundary (two Apollonius circles with the
+//! radio-derived constant `C`) slices the field; the cells of the resulting
+//! arrangement are **faces**, each with a unique ternary signature vector
+//! (Lemma 1). Following the paper's *approximate grid division* (Fig. 6),
+//! the field is rasterized into square cells; cells are labelled with the
+//! signature of their centre and grouped by label. A face's location
+//! estimate is the centroid of its cells (eq. 5).
+//!
+//! Neighbor-face links (Definition 8) are derived from 4-adjacency of
+//! cells with different labels; they drive the heuristic matcher
+//! (Algorithm 2).
+
+mod build;
+
+pub use build::{signature_of, CodecError, Face, FaceId, FaceMap};

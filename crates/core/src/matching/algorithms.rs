@@ -1,0 +1,272 @@
+//! Exhaustive and heuristic vector matching.
+
+use crate::facemap::{FaceId, FaceMap};
+use crate::vector::{similarity, SamplingVector};
+
+/// Result of matching one sampling vector against a face map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome {
+    /// The matched face (the first face attaining the best similarity).
+    pub face: FaceId,
+    /// Similarity of the matched face (`f64::INFINITY` for exact matches).
+    pub similarity: f64,
+    /// All faces attaining the best similarity, including `face` (the
+    /// strategy extension averages their centroids on ties, Section 6).
+    pub ties: Vec<FaceId>,
+    /// Number of similarity evaluations performed.
+    pub evaluated: usize,
+    /// Hill-climbing rounds (0 for exhaustive matching).
+    pub rounds: usize,
+}
+
+impl MatchOutcome {
+    /// `true` if more than one face attained the maximum similarity.
+    pub fn is_tied(&self) -> bool {
+        self.ties.len() > 1
+    }
+}
+
+/// Maximum-likelihood matching: scans every face, returns the argmax of
+/// the similarity with all ties collected.
+///
+/// # Panics
+///
+/// Panics if the vector's dimension does not match the map's pair count
+/// (they must come from the same deployment).
+pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
+    assert_eq!(v.len(), map.pair_dimension(), "vector/map pair-dimension mismatch");
+    let mut best = f64::NEG_INFINITY;
+    let mut ties: Vec<FaceId> = Vec::new();
+    for f in map.faces() {
+        let s = similarity(v, &f.signature);
+        if s > best {
+            best = s;
+            ties.clear();
+            ties.push(f.id);
+        } else if s == best {
+            ties.push(f.id);
+        }
+    }
+    MatchOutcome {
+        face: ties[0],
+        similarity: best,
+        ties,
+        evaluated: map.face_count(),
+        rounds: 0,
+    }
+}
+
+/// Algorithm 2: hill-climbing over neighbor-face links, with bounded
+/// plateau traversal.
+///
+/// Starting from `start` (the previous localization during tracking, or
+/// [`FaceMap::center_face`] cold), the search repeatedly moves to strictly
+/// better neighbors. The paper's convergence argument (Theorem 1: vector
+/// and geographic distance grow together) makes the landscape slope toward
+/// the target's face — but with ternary signatures the slope is terraced:
+/// wide *plateaus* of equal similarity are common, and a climb that only
+/// accepts strict improvement strands on them. The search therefore also
+/// walks across equal-similarity faces (breadth-first, bounded by
+/// `PLATEAU_BUDGET` expansions since the last strict improvement) to find
+/// the next ascent. This keeps the per-localization cost far below the
+/// exhaustive scan while recovering its accuracy in practice — the
+/// `matching` Criterion bench quantifies both.
+///
+/// The returned `ties` holds every *visited* face attaining the final
+/// similarity (a global tie scan would defeat the point of the heuristic).
+///
+/// # Panics
+///
+/// Panics on a vector/map dimension mismatch or a foreign `start` id.
+pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> MatchOutcome {
+    assert_eq!(v.len(), map.pair_dimension(), "vector/map pair-dimension mismatch");
+    assert!(start.index() < map.face_count(), "start face not in map");
+
+    /// Plateau faces expanded without a strict improvement before giving
+    /// up. Plateaus wider than this are indistinguishable from the global
+    /// tie case, which the tie list already covers.
+    const PLATEAU_BUDGET: usize = 64;
+
+    let mut visited = vec![false; map.face_count()];
+    visited[start.index()] = true;
+    let mut best_sim = similarity(v, &map.face(start).signature);
+    let mut best_face = start;
+    let mut best_ties = vec![start];
+    let mut evaluated = 1;
+    let mut rounds = 0;
+
+    // Frontier of faces at the current best similarity, pending expansion.
+    let mut frontier = std::collections::VecDeque::from([start]);
+    let mut since_improvement = 0usize;
+
+    while let Some(face) = frontier.pop_front() {
+        if since_improvement >= PLATEAU_BUDGET {
+            break;
+        }
+        since_improvement += 1;
+        for &nb in map.neighbors(face) {
+            if visited[nb.index()] {
+                continue;
+            }
+            visited[nb.index()] = true;
+            let s = similarity(v, &map.face(nb).signature);
+            evaluated += 1;
+            if s > best_sim {
+                // Strict ascent: restart the plateau walk from here.
+                best_sim = s;
+                best_face = nb;
+                best_ties.clear();
+                best_ties.push(nb);
+                frontier.clear();
+                frontier.push_back(nb);
+                since_improvement = 0;
+                rounds += 1;
+            } else if s == best_sim {
+                best_ties.push(nb);
+                frontier.push_back(nb);
+            }
+        }
+    }
+
+    MatchOutcome { face: best_face, similarity: best_sim, ties: best_ties, evaluated, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facemap::FaceMap;
+    use crate::vector::SamplingVector;
+    use wsn_geometry::{Point, Rect};
+
+    fn square4() -> Vec<Point> {
+        vec![
+            Point::new(30.0, 30.0),
+            Point::new(70.0, 30.0),
+            Point::new(30.0, 70.0),
+            Point::new(70.0, 70.0),
+        ]
+    }
+
+    fn map() -> FaceMap {
+        FaceMap::build(&square4(), Rect::square(100.0), 1.15, 1.0)
+    }
+
+    /// The exact signature of a face must match back to that face with
+    /// infinite similarity.
+    #[test]
+    fn exhaustive_finds_exact_faces() {
+        let m = map();
+        for f in m.faces().iter().take(50) {
+            let v = SamplingVector::new(
+                f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+            );
+            let out = match_exhaustive(&m, &v);
+            assert_eq!(out.face, f.id);
+            assert_eq!(out.similarity, f64::INFINITY);
+            assert_eq!(out.ties, vec![f.id], "signatures are unique, no ties possible");
+        }
+    }
+
+    #[test]
+    fn exhaustive_visits_every_face() {
+        let m = map();
+        let f0 = &m.faces()[0];
+        let v = SamplingVector::new(
+            f0.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+        );
+        let out = match_exhaustive(&m, &v);
+        assert_eq!(out.evaluated, m.face_count());
+        assert_eq!(out.rounds, 0);
+    }
+
+    /// A perturbed signature (one component toggled) must still land on a
+    /// face at distance 1 — maximum-likelihood matching at work.
+    #[test]
+    fn exhaustive_ml_on_perturbed_vector() {
+        let m = map();
+        let f = m.face(m.center_face()).clone();
+        let mut comps: Vec<Option<f64>> =
+            f.signature.components().iter().map(|&c| Some(c as f64)).collect();
+        // Toggle the first 0 component to 1 (or flip a 1 to 0).
+        let idx = comps.iter().position(|c| *c == Some(0.0)).unwrap_or(0);
+        comps[idx] = Some(if comps[idx] == Some(0.0) { 1.0 } else { 0.0 });
+        let v = SamplingVector::new(comps);
+        let out = match_exhaustive(&m, &v);
+        // The original face is within distance 1, so the winner's
+        // similarity is at least 1.
+        assert!(out.similarity >= 1.0);
+    }
+
+    #[test]
+    fn heuristic_converges_to_exhaustive_result_from_anywhere() {
+        let m = map();
+        // Use an exact face signature: global optimum is unique, and the
+        // landscape of Theorem 1 should funnel the walk there from any
+        // start.
+        let target = m.face_at(Point::new(52.0, 48.0)).unwrap();
+        let f = m.face(target);
+        let v = SamplingVector::new(
+            f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+        );
+        let exhaustive = match_exhaustive(&m, &v);
+        let mut converged = 0;
+        let starts = [0usize, 1, m.face_count() / 2, m.face_count() - 1];
+        for &s in &starts {
+            let out = match_heuristic(&m, &v, FaceId(s as u32));
+            if out.face == exhaustive.face {
+                converged += 1;
+            }
+        }
+        // Hill climbing may stall on rare plateaus; from most starts it
+        // must reach the optimum.
+        assert!(converged >= 3, "only {converged}/4 starts converged");
+    }
+
+    #[test]
+    fn heuristic_warm_start_is_cheap() {
+        let m = map();
+        let target = m.center_face();
+        let f = m.face(target);
+        let v = SamplingVector::new(
+            f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+        );
+        // Warm start at the answer: zero rounds, evaluates only the
+        // neighborhood.
+        let out = match_heuristic(&m, &v, target);
+        assert_eq!(out.face, target);
+        assert_eq!(out.rounds, 0);
+        assert!(out.evaluated <= 1 + m.neighbors(target).len());
+        assert!(out.evaluated < m.face_count());
+    }
+
+    #[test]
+    fn heuristic_from_neighbor_takes_one_round() {
+        let m = map();
+        let target = m.center_face();
+        let f = m.face(target);
+        let v = SamplingVector::new(
+            f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+        );
+        let nb = m.neighbors(target)[0];
+        let out = match_heuristic(&m, &v, nb);
+        assert_eq!(out.face, target);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn all_star_vector_ties_everything_exhaustively() {
+        let m = map();
+        let v = SamplingVector::new(vec![None; m.pair_dimension()]);
+        let out = match_exhaustive(&m, &v);
+        assert_eq!(out.ties.len(), m.face_count());
+        assert!(out.is_tied());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_rejected() {
+        let m = map();
+        let v = SamplingVector::from_ternary(vec![Some(1)]);
+        let _ = match_exhaustive(&m, &v);
+    }
+}

@@ -1,0 +1,11 @@
+//! Matching a sampling vector to a face (Section 4.4).
+//!
+//! * [`match_exhaustive`] — maximum-likelihood matching over every face
+//!   (the `O(n⁴)` ergodic scan).
+//! * [`match_heuristic`] — Algorithm 2: hill-climb over neighbor-face
+//!   links from a start face (the previous localization when tracking),
+//!   dropping the per-localization cost to `O(n²)` in practice.
+
+mod algorithms;
+
+pub use algorithms::{match_exhaustive, match_heuristic, MatchOutcome};

@@ -1,0 +1,180 @@
+//! Post-processing of tracking runs: trajectory smoothing and velocity
+//! estimation.
+//!
+//! The paper motivates the extension (Section 6) with trajectory
+//! smoothness — "the returning results change back and forth instead of
+//! being smooth". These helpers quantify and improve that property
+//! independently of the matcher: a centred moving-average smoother over
+//! the estimate sequence, a roughness metric, and finite-difference
+//! velocity estimates.
+
+use crate::tracker::{Localization, TrackingRun};
+use wsn_geometry::{Point, Vector};
+
+/// Centred moving average over the estimates of a run (window of
+/// `2·radius + 1` localizations, truncated at the ends). Ground truth,
+/// faces and similarities are preserved; estimates and errors are
+/// recomputed.
+///
+/// # Panics
+///
+/// Panics if the run is empty.
+pub fn smooth_estimates(run: &TrackingRun, radius: usize) -> TrackingRun {
+    assert!(!run.localizations.is_empty(), "cannot smooth an empty run");
+    let n = run.localizations.len();
+    let localizations = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(radius);
+            let hi = (i + radius + 1).min(n);
+            let mut x = 0.0;
+            let mut y = 0.0;
+            for l in &run.localizations[lo..hi] {
+                x += l.estimate.x;
+                y += l.estimate.y;
+            }
+            let m = (hi - lo) as f64;
+            let estimate = Point::new(x / m, y / m);
+            let src = &run.localizations[i];
+            Localization {
+                estimate,
+                error: estimate.distance(src.truth),
+                ..src.clone()
+            }
+        })
+        .collect();
+    TrackingRun { localizations }
+}
+
+/// Trajectory roughness: mean turn magnitude per localization, i.e. the
+/// average norm of the second difference of the estimate sequence. Zero
+/// for a uniformly-sampled straight line; large for a flapping estimate.
+///
+/// Returns 0 for runs shorter than 3 localizations.
+pub fn roughness(run: &TrackingRun) -> f64 {
+    let pts: Vec<Point> = run.localizations.iter().map(|l| l.estimate).collect();
+    if pts.len() < 3 {
+        return 0.0;
+    }
+    let total: f64 = pts
+        .windows(3)
+        .map(|w| {
+            let a = w[1] - w[0];
+            let b = w[2] - w[1];
+            (b - a).norm()
+        })
+        .sum();
+    total / (pts.len() - 2) as f64
+}
+
+/// Finite-difference velocity estimates between consecutive
+/// localizations: `(t_mid, velocity)` pairs, length `run.len() − 1`.
+///
+/// Degenerate (non-increasing) timestamps yield no entry rather than an
+/// infinite velocity.
+pub fn velocities(run: &TrackingRun) -> Vec<(f64, Vector)> {
+    run.localizations
+        .windows(2)
+        .filter(|w| w[1].t > w[0].t)
+        .map(|w| {
+            let dt = w[1].t - w[0].t;
+            ((w[0].t + w[1].t) / 2.0, (w[1].estimate - w[0].estimate) / dt)
+        })
+        .collect()
+}
+
+/// Mean speed of the estimated trajectory, m/s (0 for single-point runs).
+pub fn mean_speed(run: &TrackingRun) -> f64 {
+    let v = velocities(run);
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().map(|(_, vel)| vel.norm()).sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facemap::FaceId;
+
+    fn run_from(points: &[(f64, f64, f64)]) -> TrackingRun {
+        // (t, x, y); truth equals a straight line y = 0 moving 1 m/s.
+        TrackingRun {
+            localizations: points
+                .iter()
+                .map(|&(t, x, y)| {
+                    let estimate = Point::new(x, y);
+                    let truth = Point::new(t, 0.0);
+                    Localization {
+                        t,
+                        truth,
+                        estimate,
+                        face: FaceId(0),
+                        similarity: 1.0,
+                        error: estimate.distance(truth),
+                        evaluated: 1,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_flapping() {
+        // Alternating ±2 m cross-track flapping around the true line.
+        let pts: Vec<(f64, f64, f64)> =
+            (0..20).map(|i| (i as f64, i as f64, if i % 2 == 0 { 2.0 } else { -2.0 })).collect();
+        let run = run_from(&pts);
+        let smoothed = smooth_estimates(&run, 2);
+        assert!(roughness(&smoothed) < roughness(&run) / 2.0);
+        assert!(smoothed.error_stats().mean < run.error_stats().mean);
+        assert_eq!(smoothed.localizations.len(), run.localizations.len());
+    }
+
+    #[test]
+    fn smoothing_preserves_straight_lines() {
+        let pts: Vec<(f64, f64, f64)> = (0..10).map(|i| (i as f64, i as f64, 0.0)).collect();
+        let run = run_from(&pts);
+        let smoothed = smooth_estimates(&run, 3);
+        // Interior points of a uniform straight line are fixed points of
+        // the centred average.
+        for (a, b) in run.localizations[3..7].iter().zip(&smoothed.localizations[3..7]) {
+            assert!((a.estimate.x - b.estimate.x).abs() < 1e-12);
+            assert!((a.estimate.y - b.estimate.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let pts: Vec<(f64, f64, f64)> = (0..5).map(|i| (i as f64, i as f64, 1.0)).collect();
+        let run = run_from(&pts);
+        assert_eq!(smooth_estimates(&run, 0), run);
+    }
+
+    #[test]
+    fn roughness_of_line_is_zero() {
+        let pts: Vec<(f64, f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64, 0.0)).collect();
+        assert_eq!(roughness(&run_from(&pts)), 0.0);
+        // Too-short runs do not panic.
+        assert_eq!(roughness(&run_from(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)])), 0.0);
+    }
+
+    #[test]
+    fn velocities_and_speed() {
+        let pts: Vec<(f64, f64, f64)> = (0..6).map(|i| (i as f64 * 0.5, i as f64, 0.0)).collect();
+        let run = run_from(&pts);
+        let v = velocities(&run);
+        assert_eq!(v.len(), 5);
+        for (_, vel) in &v {
+            assert!((vel.x - 2.0).abs() < 1e-12);
+            assert_eq!(vel.y, 0.0);
+        }
+        assert!((mean_speed(&run) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn empty_run_rejected() {
+        let _ = smooth_estimates(&TrackingRun { localizations: vec![] }, 1);
+    }
+}

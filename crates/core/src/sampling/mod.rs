@@ -1,0 +1,10 @@
+//! Constructing sampling vectors from grouping samplings.
+//!
+//! [`basic_sampling_vector`] is the paper's Algorithm 1 plus the
+//! fault-tolerance rule of eq. (6); [`extended_sampling_vector`] is the
+//! Section-6 extension (Definition 10) that keeps the *degree* of flipping
+//! instead of collapsing it to `0`.
+
+mod algorithm1;
+
+pub use algorithm1::{basic_sampling_vector, extended_sampling_vector, PairEvidence};

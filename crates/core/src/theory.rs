@@ -1,0 +1,229 @@
+//! The Section-5 analysis: grouping sampling times and tracking error.
+//!
+//! Two closed forms are implemented and Monte-Carlo-validated in tests:
+//!
+//! * the probability a grouping sampling captures **all** expected flipped
+//!   pairs, and the sampling-times bound `k(λ, N)` derived from it
+//!   (Section 5.1 + Appendix I);
+//! * the expected vector-distance error `E_N = N·f` when the target sits
+//!   in the intersection of `N` pairs' uncertain areas (Section 5.2 +
+//!   Appendix II), plus the worst-case geographic bound of eq. (10).
+//!
+//! Note on exponents: the paper's main text states `f_N = (1−f)^{N−1}`
+//! while its own recurrence (Appendix I: `f_N = (1−f)·f_{N−1}`, `f₁ = 1−f`)
+//! gives `f_N = (1−f)^N`. We implement the recurrence-consistent `(1−f)^N`;
+//! the two differ by one factor of `(1−f) ≈ 1` and agree with the paper's
+//! numeric example (`k = 16` for 20 nodes at λ = 0.99) either way.
+
+/// Probability that `k` samples of a pair in its uncertain area all land
+/// on the same order, i.e. the flip goes **unobserved**:
+/// `f = (1/2)^(k−1)` (Section 5.1, assuming either order is equally likely
+/// per sample).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn flip_miss_probability(k: usize) -> f64 {
+    assert!(k > 0, "need at least one sample");
+    0.5_f64.powi(k as i32 - 1)
+}
+
+/// Probability that a grouping sampling of `k` samples observes the flip
+/// of **every one** of `n_pairs` uncertain pairs: `(1 − f)^N` with
+/// `f = (1/2)^(k−1)` (Appendix I).
+pub fn all_flips_probability(k: usize, n_pairs: usize) -> f64 {
+    (1.0 - flip_miss_probability(k)).powi(n_pairs as i32)
+}
+
+/// Minimum sampling times `k` such that
+/// [`all_flips_probability`]`(k, n_pairs) > lambda` — the paper's
+/// `k > 1 − log₂(1 − λ^{1/N})`.
+///
+/// The logarithmic dependence is the paper's headline observation: even
+/// `n_pairs = 190` (20 nodes in range) at `λ = 0.99` needs only `k = 16`.
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < 1` and `n_pairs ≥ 1`.
+pub fn required_sampling_times(lambda: f64, n_pairs: usize) -> usize {
+    assert!(lambda > 0.0 && lambda < 1.0, "λ must be in (0, 1), got {lambda}");
+    assert!(n_pairs >= 1, "need at least one pair");
+    let per_pair = lambda.powf(1.0 / n_pairs as f64);
+    let k = 1.0 - (1.0 - per_pair).log2();
+    // Strict inequality: the smallest integer k with k > bound.
+    (k.floor() as usize) + 1
+}
+
+/// Expected vector-distance error when the target lies in the intersection
+/// of `n_pairs` uncertain areas and each missed flip shifts the matched
+/// face by one signature component: `E_N = N·f` (Appendix II).
+pub fn expected_vector_error(k: usize, n_pairs: usize) -> f64 {
+    n_pairs as f64 * flip_miss_probability(k)
+}
+
+/// The worst-case geographic tracking-error bound of eq. (10):
+///
+/// ```text
+/// E < sqrt( C(n,2)·f·πR² / (ξ·n⁴) ),   n = πR²·ρ
+/// ```
+///
+/// with `ρ` the deployment density (nodes/m²), `R` the sensing range (m),
+/// `k` the sampling times and `xi` the paper's face-count constant (the
+/// number of faces per `n⁴`). Falls with `2^{(k−1)/2}`, `ρ` and `R` — the
+/// scaling the paper reads off as `O(1/(2^{(k−1)/2}·ρ·R))`.
+///
+/// # Panics
+///
+/// Panics unless `density`, `range` and `xi` are strictly positive, and the
+/// implied in-range node count is at least 2.
+pub fn worst_case_error_bound(k: usize, density: f64, range: f64, xi: f64) -> f64 {
+    assert!(density > 0.0 && range > 0.0 && xi > 0.0, "parameters must be positive");
+    let area = std::f64::consts::PI * range * range;
+    let n = area * density;
+    assert!(n >= 2.0, "fewer than two nodes in sensing range (n = {n:.2})");
+    let pairs = n * (n - 1.0) / 2.0;
+    let f = flip_miss_probability(k);
+    (pairs * f * area / (xi * n.powi(4))).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn flip_miss_probability_halves_per_sample() {
+        assert_eq!(flip_miss_probability(1), 1.0);
+        assert_eq!(flip_miss_probability(2), 0.5);
+        assert_eq!(flip_miss_probability(5), 0.0625);
+    }
+
+    #[test]
+    fn paper_numeric_example_20_nodes() {
+        // 20 nodes ⟹ N = 190 pairs; λ = 0.99 ⟹ k = 16 (Section 5.1).
+        let n_pairs = 20 * 19 / 2;
+        assert_eq!(required_sampling_times(0.99, n_pairs), 16);
+        assert!(all_flips_probability(16, n_pairs) > 0.99);
+        assert!(all_flips_probability(15, n_pairs) <= 0.99);
+    }
+
+    #[test]
+    fn required_k_grows_logarithmically() {
+        let k_small = required_sampling_times(0.99, 10);
+        let k_big = required_sampling_times(0.99, 10_000);
+        assert!(k_big > k_small);
+        // Three orders of magnitude more pairs cost only ~10 more samples.
+        assert!(k_big - k_small <= 12, "k: {k_small} → {k_big}");
+    }
+
+    #[test]
+    fn required_k_satisfies_its_own_bound_tightly() {
+        for &lambda in &[0.9, 0.99, 0.999] {
+            for &n_pairs in &[1usize, 3, 45, 190, 780] {
+                let k = required_sampling_times(lambda, n_pairs);
+                assert!(
+                    all_flips_probability(k, n_pairs) > lambda,
+                    "k={k} fails λ={lambda}, N={n_pairs}"
+                );
+                if k > 1 {
+                    assert!(
+                        all_flips_probability(k - 1, n_pairs) <= lambda,
+                        "k−1={} already satisfies λ={lambda}, N={n_pairs}",
+                        k - 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Monte-Carlo check of `f_N = (1−f)^N`: simulate N independent pairs,
+    /// each flipping per-sample with probability 1/2, and count groupings
+    /// that saw both orders for every pair.
+    #[test]
+    fn all_flips_probability_monte_carlo() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let (k, n_pairs, trials) = (5usize, 6usize, 200_000usize);
+        let mut all_seen = 0usize;
+        for _ in 0..trials {
+            let ok = (0..n_pairs).all(|_| {
+                let mut seen_seq = false;
+                let mut seen_rev = false;
+                for _ in 0..k {
+                    if rng.gen::<bool>() {
+                        seen_seq = true;
+                    } else {
+                        seen_rev = true;
+                    }
+                }
+                seen_seq && seen_rev
+            });
+            if ok {
+                all_seen += 1;
+            }
+        }
+        let empirical = all_seen as f64 / trials as f64;
+        let theory = all_flips_probability(k, n_pairs);
+        assert!(
+            (empirical - theory).abs() < 0.005,
+            "empirical {empirical} vs theory {theory}"
+        );
+    }
+
+    /// Monte-Carlo check of `E_N = N·f`: each missed flip contributes one
+    /// unit of vector error.
+    #[test]
+    fn expected_vector_error_monte_carlo() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(22);
+        let (k, n_pairs, trials) = (4usize, 8usize, 200_000usize);
+        let mut total_err = 0usize;
+        for _ in 0..trials {
+            for _ in 0..n_pairs {
+                let mut seen_seq = false;
+                let mut seen_rev = false;
+                for _ in 0..k {
+                    if rng.gen::<bool>() {
+                        seen_seq = true;
+                    } else {
+                        seen_rev = true;
+                    }
+                }
+                if !(seen_seq && seen_rev) {
+                    total_err += 1;
+                }
+            }
+        }
+        let empirical = total_err as f64 / trials as f64;
+        let theory = expected_vector_error(k, n_pairs);
+        assert!(
+            (empirical - theory).abs() < 0.01,
+            "empirical {empirical} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn worst_case_bound_scaling() {
+        let xi = 1.0;
+        // More samples ⟹ smaller bound, with ratio √2 per extra sample.
+        let e5 = worst_case_error_bound(5, 0.002, 40.0, xi);
+        let e7 = worst_case_error_bound(7, 0.002, 40.0, xi);
+        assert!((e5 / e7 - 2.0).abs() < 1e-9, "each sample halves f ⟹ √·=2 over two samples");
+        // Denser deployments shrink the bound roughly like 1/ρ.
+        let sparse = worst_case_error_bound(5, 0.002, 40.0, xi);
+        let dense = worst_case_error_bound(5, 0.004, 40.0, xi);
+        assert!(dense < sparse);
+        let ratio = sparse / dense;
+        assert!(ratio > 1.8 && ratio < 2.2, "density scaling ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than two nodes")]
+    fn bound_needs_two_nodes_in_range() {
+        let _ = worst_case_error_bound(5, 1e-6, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ must be in")]
+    fn bad_lambda_rejected() {
+        let _ = required_sampling_times(1.0, 10);
+    }
+}

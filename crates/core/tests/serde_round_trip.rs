@@ -1,0 +1,33 @@
+//! Serde round-trips for FTTT core types (only with `--features serde`).
+#![cfg(feature = "serde")]
+
+use fttt::config::PaperParams;
+use fttt::error::ErrorStats;
+use fttt::vector::{SamplingVector, SignatureVector};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
+        .expect("deserialize")
+}
+
+#[test]
+fn vectors() {
+    let sig = SignatureVector::new(vec![-1, 0, 1, 1]);
+    assert_eq!(round_trip(&sig), sig);
+    let v = SamplingVector::new(vec![Some(0.5), None, Some(-1.0), Some(0.0)]);
+    assert_eq!(round_trip(&v), v);
+}
+
+#[test]
+fn params_and_stats() {
+    let p = PaperParams::default().with_nodes(25).with_calibrated_constant();
+    let back = round_trip(&p);
+    assert_eq!(back, p);
+    assert_eq!(back.uncertainty_constant(), p.uncertainty_constant());
+
+    let stats = ErrorStats::from_errors(&[1.0, 2.0, 3.0]);
+    assert_eq!(round_trip(&stats), stats);
+}

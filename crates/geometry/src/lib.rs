@@ -1,0 +1,35 @@
+//! Planar geometry substrate for the FTTT target-tracking suite.
+//!
+//! This crate provides the geometric primitives the paper's construction
+//! rests on:
+//!
+//! * [`Point`] / [`Vector`] — double-precision planar points and vectors.
+//! * [`Circle`] — circles with containment predicates.
+//! * [`apollonius`] — **circles of Apollonius**: for a node pair `(a, b)` and
+//!   a distance-ratio constant `C > 1` (derived from the radio model, see the
+//!   `wsn-signal` crate), the locus `d(p,a)/d(p,b) = C` is a circle, and the
+//!   region `1/C ≤ d(p,a)/d(p,b) ≤ C` between the two symmetric circles is
+//!   the pair's *uncertain area* (paper Definition 1/2, eq. 4).
+//! * [`Grid`] — the approximate square-grid division of the monitored field
+//!   used to rasterize faces (paper Section 4.3, Fig. 6).
+//! * [`Rect`] / [`Segment`] — axis-aligned boxes and line segments used by
+//!   deployments and mobility traces.
+//!
+//! Everything here is pure: no randomness, no I/O, no global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod apollonius;
+pub mod circle;
+pub mod grid;
+pub mod point;
+pub mod segment;
+
+pub use aabb::Rect;
+pub use apollonius::{apollonius_circle, PairRegion, UncertainBoundary};
+pub use circle::Circle;
+pub use grid::{CellIndex, Grid};
+pub use point::{Point, Vector};
+pub use segment::Segment;

@@ -1,0 +1,94 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use wsn_geometry::{apollonius_circle, Grid, PairRegion, Point, Rect, Segment};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1e3..1e3f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Triangle inequality for the distance metric.
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    /// Points sampled on an Apollonius circle have the claimed distance ratio.
+    #[test]
+    fn apollonius_ratio_holds(
+        a in point(),
+        b in point(),
+        k in prop_oneof![0.05..0.95f64, 1.05..20.0f64],
+        theta in 0.0..std::f64::consts::TAU,
+    ) {
+        prop_assume!(a.distance(b) > 1e-3);
+        let circ = apollonius_circle(a, b, k).unwrap();
+        prop_assume!(circ.radius < 1e6); // k ≈ 1 blows the circle up; skip ill-conditioned cases
+        let p = circ.point_at(theta);
+        let ratio = p.distance(a) / p.distance(b);
+        prop_assert!((ratio - k).abs() < 1e-5 * k.max(1.0), "ratio {ratio} vs k {k}");
+    }
+
+    /// Classification is antisymmetric under swapping the pair.
+    #[test]
+    fn classify_antisymmetric(p in point(), a in point(), b in point(), c in 1.0..4.0f64) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let fwd = PairRegion::classify(p, a, b, c);
+        let rev = PairRegion::classify(p, b, a, c);
+        prop_assert_eq!(fwd.flipped(), rev);
+    }
+
+    /// Widening C never turns an uncertain point certain: regions are nested.
+    #[test]
+    fn uncertain_region_monotone_in_c(
+        p in point(), a in point(), b in point(),
+        c_lo in 1.0..3.0f64, dc in 0.0..2.0f64,
+    ) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let lo = PairRegion::classify(p, a, b, c_lo);
+        let hi = PairRegion::classify(p, a, b, c_lo + dc);
+        if lo == PairRegion::Uncertain {
+            prop_assert_eq!(hi, PairRegion::Uncertain);
+        }
+        if hi != PairRegion::Uncertain {
+            prop_assert_eq!(lo, hi);
+        }
+    }
+
+    /// Grid index/centre round-trips for arbitrary in-field points:
+    /// the centre of the cell containing p is within half a cell diagonal.
+    #[test]
+    fn grid_cell_contains_its_points(
+        x in 0.0..100.0f64, y in 0.0..100.0f64, cell in 0.1..10.0f64,
+    ) {
+        let g = Grid::cover(Rect::square(100.0), cell);
+        let p = Point::new(x, y);
+        let idx = g.index_of(p).expect("in-field point must land in a cell");
+        let center = g.center(idx);
+        prop_assert!((p.x - center.x).abs() <= cell / 2.0 + 1e-9);
+        prop_assert!((p.y - center.y).abs() <= cell / 2.0 + 1e-9);
+    }
+
+    /// Segment arc-length walking is metric-consistent.
+    #[test]
+    fn segment_arclength(a in point(), b in point(), s in 0.0..1e3f64) {
+        let seg = Segment::new(a, b);
+        let p = seg.point_at_distance(s);
+        let expect = s.min(seg.length());
+        prop_assert!((a.distance(p) - expect).abs() < 1e-6);
+    }
+
+    /// Rect clamp is idempotent and lands inside.
+    #[test]
+    fn rect_clamp_idempotent(p in point()) {
+        let r = Rect::square(50.0);
+        let q = r.clamp(p);
+        prop_assert!(r.contains(q));
+        prop_assert_eq!(r.clamp(q), q);
+    }
+}

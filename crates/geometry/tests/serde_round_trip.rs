@@ -1,0 +1,53 @@
+//! Serde round-trips for the geometry types (only with `--features serde`).
+#![cfg(feature = "serde")]
+
+use wsn_geometry::{CellIndex, Circle, Grid, Point, Rect, Segment, UncertainBoundary, Vector};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn point_and_vector() {
+    let p = Point::new(1.5, -2.25);
+    assert_eq!(round_trip(&p), p);
+    let v = Vector::new(0.0, 9.75);
+    assert_eq!(round_trip(&v), v);
+}
+
+#[test]
+fn circle_rect_segment() {
+    let c = Circle::new(Point::new(3.0, 4.0), 2.5);
+    assert_eq!(round_trip(&c), c);
+    let r = Rect::square(100.0);
+    assert_eq!(round_trip(&r), r);
+    let s = Segment::new(Point::ORIGIN, Point::new(5.0, 5.0));
+    assert_eq!(round_trip(&s), s);
+}
+
+#[test]
+fn grid_preserves_lattice() {
+    let g = Grid::cover(Rect::square(50.0), 2.0);
+    let back = round_trip(&g);
+    assert_eq!(back, g);
+    assert_eq!(back.cell_count(), g.cell_count());
+    assert_eq!(back.center(CellIndex::new(3, 4)), g.center(CellIndex::new(3, 4)));
+}
+
+#[test]
+fn uncertain_boundary() {
+    let ub = UncertainBoundary::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.3).unwrap();
+    let back = round_trip(&ub);
+    // JSON float formatting may drop the last ULP; semantic equality is
+    // what matters for this composite type.
+    assert_eq!(back.a, ub.a);
+    assert_eq!(back.b, ub.b);
+    assert_eq!(back.c, ub.c);
+    assert!((back.near_first.radius - ub.near_first.radius).abs() < 1e-12);
+    assert!((back.near_second.center.x - ub.near_second.center.x).abs() < 1e-12);
+    assert_eq!(back.classify(Point::new(5.0, 0.0)), ub.classify(Point::new(5.0, 0.0)));
+}

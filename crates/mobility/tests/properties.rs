@@ -1,0 +1,89 @@
+//! Property-based tests for the mobility substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_geometry::{Point, Rect};
+use wsn_mobility::{RandomWaypoint, Trace, WaypointPath};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random-waypoint traces stay in-field, respect the speed ceiling
+    /// between samples, and reproduce under the same seed.
+    #[test]
+    fn rwp_invariants(
+        seed in 0u64..5_000,
+        vmin in 0.5..3.0f64,
+        dv in 0.0..5.0f64,
+        dt in 0.05..1.0f64,
+    ) {
+        let field = Rect::square(100.0);
+        let m = RandomWaypoint::new(field, vmin, vmin + dv, 0.0);
+        let tr = m.trace(20.0, dt, &mut ChaCha8Rng::seed_from_u64(seed));
+        let again = m.trace(20.0, dt, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(&tr, &again);
+        for w in tr.points().windows(2) {
+            prop_assert!(field.contains(w[1].pos));
+            let v = w[0].pos.distance(w[1].pos) / (w[1].t - w[0].t);
+            prop_assert!(v <= (vmin + dv) * (1.0 + 1e-9));
+        }
+    }
+
+    /// Trace interpolation stays on the polyline: interpolated points are
+    /// convex combinations of the bracketing samples.
+    #[test]
+    fn interpolation_brackets(
+        t_query in 0.0..20.0f64,
+        seed in 0u64..1000,
+    ) {
+        let field = Rect::square(100.0);
+        let m = RandomWaypoint::paper_default(field);
+        let tr = m.trace(20.0, 0.5, &mut ChaCha8Rng::seed_from_u64(seed));
+        let p = tr.position_at(t_query);
+        prop_assert!(field.contains(p));
+        // Between the bracketing samples, distance to each endpoint is at
+        // most the inter-sample distance.
+        let pts = tr.points();
+        let idx = pts.partition_point(|s| s.t <= t_query).min(pts.len() - 1).max(1);
+        let (a, b) = (&pts[idx - 1], &pts[idx]);
+        let seg = a.pos.distance(b.pos);
+        prop_assert!(p.distance(a.pos) <= seg + 1e-9);
+        prop_assert!(p.distance(b.pos) <= seg + 1e-9);
+    }
+
+    /// Resampling preserves endpoints and total duration, and emits
+    /// strictly increasing timestamps at the requested period.
+    #[test]
+    fn resample_preserves_structure(dt in 0.05..3.0f64, seed in 0u64..1000) {
+        let field = Rect::square(50.0);
+        let m = RandomWaypoint::paper_default(field);
+        let tr = m.trace(10.0, 0.7, &mut ChaCha8Rng::seed_from_u64(seed));
+        let rs = tr.resample(dt);
+        prop_assert_eq!(rs.start_time(), tr.start_time());
+        prop_assert!((rs.end_time() - tr.end_time()).abs() < 1e-9);
+        prop_assert_eq!(rs.points().first().unwrap().pos, tr.points().first().unwrap().pos);
+        prop_assert_eq!(rs.points().last().unwrap().pos, tr.points().last().unwrap().pos);
+        for w in rs.points().windows(2) {
+            prop_assert!(w[1].t > w[0].t);
+            prop_assert!(w[1].t - w[0].t <= dt + 1e-9);
+        }
+    }
+
+    /// Constant-speed walks cover the path length in length/speed seconds
+    /// and pass within one sample of every waypoint.
+    #[test]
+    fn walk_timing(leg in 5.0..40.0f64, speed in 0.5..8.0f64, dt in 0.05..0.5f64) {
+        let path = WaypointPath::corner(Point::new(10.0, 80.0), leg);
+        let tr: Trace = path.walk_constant(speed, dt);
+        prop_assert!((tr.duration() - path.length() / speed).abs() < 1e-9);
+        for wp in path.waypoints() {
+            let nearest = tr
+                .points()
+                .iter()
+                .map(|s| s.pos.distance(*wp))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(nearest <= speed * dt + 1e-9, "waypoint {} missed by {}", wp, nearest);
+        }
+    }
+}

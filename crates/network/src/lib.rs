@@ -1,0 +1,40 @@
+//! Sensor-network substrate: nodes, deployments, the canonical node-pair
+//! enumeration, the grouping-sampling data path, and fault injection.
+//!
+//! A tracking round in the paper works on a **grouping sampling**
+//! (Definition 3): every sensor samples the target's signal `k` times within
+//! a short window `Δt`, producing a `k × n` matrix of RSS readings. This
+//! crate owns that data path:
+//!
+//! * [`SensorNode`] / [`NodeId`] — deployed sensors.
+//! * [`deployment`] — grid, uniform-random, cross ("+", the paper's outdoor
+//!   testbed shape) and explicit deployments.
+//! * [`SensorField`] — a deployment plus a sensing range `R`; nodes farther
+//!   than `R` from the target produce no readings, which downstream code
+//!   treats exactly like failed nodes (paper Section 4.4.3).
+//! * [`pairs`] — the paper's canonical ascending pair enumeration
+//!   `(n₁,n₂), (n₁,n₃), …, (n_{n−1},n_n)` that both sampling and signature
+//!   vectors index by.
+//! * [`GroupSampler`] / [`GroupSampling`] — the sampling matrix, with
+//!   [`FaultModel`]-driven node failures and per-reading drops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comms;
+pub mod deployment;
+pub mod energy;
+pub mod fault;
+pub mod field;
+pub mod node;
+pub mod pairs;
+pub mod sampling;
+
+pub use comms::Uplink;
+pub use deployment::Deployment;
+pub use energy::{EnergyLedger, EnergyModel};
+pub use fault::FaultModel;
+pub use field::SensorField;
+pub use node::{NodeId, SensorNode};
+pub use pairs::{pair_count, pair_index, PairIter};
+pub use sampling::{GroupSampler, GroupSampling, SamplerNoise};

@@ -1,0 +1,126 @@
+//! The canonical node-pair enumeration (paper Definitions 5 and 6).
+//!
+//! For `n` nodes there are `N = C(n,2)` pairs, enumerated in ascending
+//! order: `(0,1), (0,2), …, (0,n−1), (1,2), …, (n−2,n−1)`. Both the sampling
+//! vector and every face's signature vector index their components by this
+//! order, so it lives in one place and is exercised hard by tests.
+
+/// Number of unordered pairs of `n` nodes: `C(n, 2)`.
+#[inline]
+pub fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Component index of pair `(i, j)` (`i < j`, zero-based) in the canonical
+/// enumeration over `n` nodes.
+///
+/// Pairs led by node `i` start after all pairs led by smaller nodes:
+/// `Σ_{t<i} (n−1−t) = i·(2n−i−1)/2`.
+///
+/// # Panics
+///
+/// Panics if `i >= j` or `j >= n`.
+#[inline]
+pub fn pair_index(i: usize, j: usize, n: usize) -> usize {
+    assert!(i < j && j < n, "pair ({i}, {j}) invalid for {n} nodes");
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// Iterator over all pairs `(i, j)` with `i < j < n` in canonical order.
+#[derive(Debug, Clone)]
+pub struct PairIter {
+    n: usize,
+    i: usize,
+    j: usize,
+}
+
+impl PairIter {
+    /// Enumerates pairs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, i: 0, j: 1 }
+    }
+}
+
+impl Iterator for PairIter {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.n < 2 || self.i >= self.n - 1 {
+            return None;
+        }
+        let out = (self.i, self.j);
+        self.j += 1;
+        if self.j == self.n {
+            self.i += 1;
+            self.j = self.i + 1;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.n < 2 || self.i >= self.n - 1 {
+            return (0, Some(0));
+        }
+        let emitted = pair_index(self.i, self.j, self.n);
+        let left = pair_count(self.n) - emitted;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PairIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_count_small_cases() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+        assert_eq!(pair_count(4), 6);
+        assert_eq!(pair_count(40), 780);
+    }
+
+    #[test]
+    fn enumeration_matches_paper_order_for_four_nodes() {
+        // Paper Section 4.2 example: (1,2),(1,3),(1,4),(2,3),(2,4),(3,4)
+        // — zero-based here.
+        let pairs: Vec<_> = PairIter::new(4).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn pair_index_agrees_with_enumeration() {
+        for n in 2..30 {
+            for (expected, (i, j)) in PairIter::new(n).enumerate() {
+                assert_eq!(pair_index(i, j, n), expected, "n={n} pair=({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        for n in 0..20 {
+            let it = PairIter::new(n);
+            assert_eq!(it.len(), pair_count(n));
+            assert_eq!(it.count(), pair_count(n));
+        }
+        let mut it = PairIter::new(5);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), pair_count(5) - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn pair_index_rejects_unordered() {
+        let _ = pair_index(3, 3, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn pair_index_rejects_out_of_range() {
+        let _ = pair_index(1, 5, 5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_geometry::{Point, Rect};
+use wsn_network::{
+    pair_count, pair_index, Deployment, FaultModel, GroupSampler, PairIter, SensorField, Uplink,
+};
+use wsn_signal::{Gaussian, PathLossModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The canonical pair enumeration is a bijection onto 0..C(n,2).
+    #[test]
+    fn pair_enumeration_bijection(n in 2usize..60) {
+        let mut seen = vec![false; pair_count(n)];
+        for (i, j) in PairIter::new(n) {
+            prop_assert!(i < j && j < n);
+            let idx = pair_index(i, j, n);
+            prop_assert!(!seen[idx], "index {} hit twice", idx);
+            seen[idx] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Grid deployments always place the requested count inside the field,
+    /// pairwise distinct.
+    #[test]
+    fn grid_deployment_well_formed(n in 2usize..50, side in 10.0..500.0f64) {
+        let field = Rect::square(side);
+        let d = Deployment::grid(n, field);
+        prop_assert_eq!(d.len(), n);
+        for (i, a) in d.nodes().iter().enumerate() {
+            prop_assert!(field.contains(a.pos));
+            for b in &d.nodes()[i + 1..] {
+                prop_assert!(a.pos.distance(b.pos) > 1e-9);
+            }
+        }
+    }
+
+    /// Random deployments are reproducible and in-field.
+    #[test]
+    fn random_deployment_seeded(n in 2usize..40, seed in 0u64..10_000) {
+        let field = Rect::square(100.0);
+        let a = Deployment::random_uniform(
+            n, field, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = Deployment::random_uniform(
+            n, field, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.nodes().iter().all(|node| field.contains(node.pos)));
+    }
+
+    /// A sampling matrix never contains readings for out-of-range nodes,
+    /// and in-range columns are full absent faults.
+    #[test]
+    fn sampling_respects_range(
+        n in 2usize..12,
+        seed in 0u64..1000,
+        range in 10.0..120.0f64,
+        k in 1usize..8,
+    ) {
+        let field = Rect::square(100.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let d = Deployment::random_uniform(n, field, &mut rng);
+        let sf = SensorField::new(d, range);
+        let target = Point::new(50.0, 50.0);
+        let sampler = GroupSampler::new(PathLossModel::paper_default(), k);
+        let g = sampler.sample(&sf, target, &mut rng);
+        for (j, node) in sf.nodes().iter().enumerate() {
+            let in_range = sf.in_range(node, target);
+            prop_assert_eq!(g.node_responded(j), in_range);
+            if in_range {
+                prop_assert!(g.column(j).all(|r| r.is_some()));
+            }
+        }
+    }
+
+    /// Dead nodes never respond regardless of anything else.
+    #[test]
+    fn dead_nodes_stay_dead(seed in 0u64..1000, dead_idx in 0usize..5) {
+        let field = Rect::square(100.0);
+        let d = Deployment::grid(5, field);
+        let sf = SensorField::new(d, 500.0);
+        let dead = wsn_network::NodeId(dead_idx as u32);
+        let sampler = GroupSampler::new(PathLossModel::paper_default(), 3)
+            .with_fault(FaultModel::with_dead_nodes([dead]));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = sampler.sample(&sf, Point::new(50.0, 50.0), &mut rng);
+        prop_assert!(!g.node_responded(dead_idx));
+    }
+
+    /// The uplink only ever *removes* information, column-atomically.
+    #[test]
+    fn uplink_is_column_monotone(
+        seed in 0u64..1000,
+        loss in 0.0..1.0f64,
+        deadline in 0.0..0.3f64,
+    ) {
+        let field = Rect::square(100.0);
+        let d = Deployment::grid(6, field);
+        let sf = SensorField::new(d, 500.0);
+        let sampler = GroupSampler::new(PathLossModel::paper_default(), 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = sampler.sample(&sf, Point::new(40.0, 60.0), &mut rng);
+        let link = Uplink::new(loss, Gaussian::new(0.05, 0.05), deadline);
+        let (out, lat) = link.deliver(&g, &mut rng);
+        for (j, l) in lat.iter().enumerate() {
+            match l {
+                Some(l) => {
+                    prop_assert!(*l <= deadline + 1e-12);
+                    // Delivered columns are bit-identical.
+                    prop_assert!(out.column(j).eq(g.column(j)));
+                }
+                None => prop_assert!(out.column(j).all(|r| r.is_none())),
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Serde round-trips for network types (only with `--features serde`).
+#![cfg(feature = "serde")]
+
+use wsn_geometry::{Point, Rect};
+use wsn_network::{Deployment, FaultModel, GroupSampling, NodeId, SensorField};
+use wsn_signal::Rss;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
+        .expect("deserialize")
+}
+
+#[test]
+fn deployment_and_field() {
+    let d = Deployment::grid(6, Rect::square(100.0));
+    assert_eq!(round_trip(&d), d);
+    let f = SensorField::new(d, 40.0);
+    let back = round_trip(&f);
+    assert_eq!(back, f);
+    assert_eq!(back.nodes_in_range(Point::new(50.0, 50.0)), f.nodes_in_range(Point::new(50.0, 50.0)));
+}
+
+#[test]
+fn group_sampling_with_holes() {
+    let mut g = GroupSampling::empty(3, 2);
+    g.set(0, 0, Some(Rss::new(-55.5)));
+    g.set(1, 2, Some(Rss::new(-62.0)));
+    let back = round_trip(&g);
+    assert_eq!(back, g);
+    assert_eq!(back.missing_count(), g.missing_count());
+}
+
+#[test]
+fn fault_model() {
+    let f = FaultModel {
+        node_failure_prob: 0.1,
+        reading_drop_prob: 0.05,
+        dead_nodes: [NodeId(2), NodeId(4)].into_iter().collect(),
+    };
+    assert_eq!(round_trip(&f), f);
+}

@@ -1,0 +1,178 @@
+//! Indexed parallel map with dynamic chunk dispatch.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 16 (the workloads here stop scaling long before
+/// the cap matters, and oversubscribing CI runners only adds noise).
+pub fn recommended_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Parallel, order-preserving map over `items` using
+/// [`recommended_threads`] workers.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()`
+/// — same values, same order — but executed on a scoped thread pool with
+/// dynamic load balancing (workers claim fixed-size chunks from an atomic
+/// counter, so a few slow items cannot serialize the sweep).
+///
+/// ```
+/// use wsn_parallel::par_map;
+///
+/// let squares = par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_threads(recommended_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`threads == 1` runs inline,
+/// useful for debugging and for measuring scaling).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or re-panics if `f` panicked on any worker.
+pub fn par_map_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || items.len() == 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Aim for ~8 chunks per worker so stragglers re-balance, while keeping
+    // dispatch overhead negligible.
+    let chunk = (items.len() / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    let (tx, rx) = channel::unbounded::<(usize, Vec<U>)>();
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                let values: Vec<U> =
+                    items[start..end].iter().enumerate().map(|(k, x)| f(start + k, x)).collect();
+                // The receiver outlives the scope; a send failure can only
+                // mean the parent is unwinding already.
+                let _ = tx.send((start, values));
+            });
+        }
+        drop(tx);
+    })
+    .expect("parallel map worker panicked");
+
+    // Reassemble in index order.
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (start, values) in rx.try_iter() {
+        for (k, v) in values.into_iter().enumerate() {
+            out[start + k] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index must be produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = par_map_threads(threads, &items, |i, x| x * 3 + i as u64);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = vec![];
+        assert_eq!(par_map(&empty, |_, x| *x), Vec::<i32>::new());
+        assert_eq!(par_map(&[5], |i, x| x + i as i32), vec![5]);
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let n = 5_000;
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..n).collect();
+        let out = par_map_threads(4, &items, |i, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn unbalanced_work_still_completes() {
+        // A few very slow items early in the list: dynamic dispatch must
+        // not starve the remaining work.
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_map_threads(4, &items, |_, &x| {
+            if x < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        let _ = par_map_threads(4, &items, |_, &x| {
+            if x == 57 {
+                panic!("injected failure");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = par_map_threads(0, &[1, 2, 3], |_, x| *x);
+    }
+
+    #[test]
+    fn seeded_parallel_monte_carlo_is_thread_count_invariant() {
+        use crate::seed::seed_for;
+        use rand::{Rng, SeedableRng};
+        let trials: Vec<u64> = (0..200).collect();
+        let run = |threads: usize| -> Vec<f64> {
+            par_map_threads(threads, &trials, |i, _| {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed_for(99, i as u64));
+                (0..100).map(|_| rng.gen::<f64>()).sum::<f64>()
+            })
+        };
+        assert_eq!(run(1), run(7));
+    }
+}

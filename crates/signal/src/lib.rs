@@ -1,0 +1,31 @@
+//! Radio-signal substrate: the log-distance path-loss model with log-normal
+//! shadowing the paper bases its derivation on (Section 3.2), plus the
+//! closed-form **uncertainty constant** `C` of eq. (3).
+//!
+//! The received signal strength of node *i* at time *k* is (paper eq. 1):
+//!
+//! ```text
+//! PL(d_k^i) = PL(d0) + A − 10·β·log10(d_k^i / d0) + X_k^i,   X ~ N(0, σ²)
+//! ```
+//!
+//! with reference distance `d0 = 1 m`. Two nodes whose RSS differ by less
+//! than the sensing resolution `ε` cannot be ordered; taking expectations
+//! over the noise yields the distance-ratio bound (eq. 3):
+//!
+//! ```text
+//! C = exp( ln10/(10β)·ε + ½·(ln10/(10β)·√2·σ)² )  >  1
+//! ```
+//!
+//! which parameterizes every Apollonius uncertain boundary in the geometry
+//! crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod pathloss;
+pub mod rss;
+
+pub use noise::{inverse_normal_cdf, normal_cdf, Gaussian};
+pub use pathloss::{calibrated_uncertainty_constant, uncertainty_constant, PathLossModel};
+pub use rss::Rss;

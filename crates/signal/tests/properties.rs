@@ -1,0 +1,96 @@
+//! Property-based tests for the radio-signal substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_signal::{
+    calibrated_uncertainty_constant, inverse_normal_cdf, normal_cdf, uncertainty_constant,
+    Gaussian, PathLossModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Mean RSS is strictly decreasing in distance (above the clamp).
+    #[test]
+    fn mean_rss_monotone(
+        beta in 1.5..5.0f64,
+        d1 in 0.05..500.0f64,
+        factor in 1.01..10.0f64,
+    ) {
+        let m = PathLossModel::new(-40.0, 0.0, beta, 0.0);
+        prop_assert!(m.mean_rss(d1) > m.mean_rss(d1 * factor));
+    }
+
+    /// The uncertainty constant is ≥ 1, increasing in ε and σ, decreasing
+    /// in β.
+    #[test]
+    fn constant_monotonicities(
+        eps in 0.0..5.0f64,
+        beta in 1.5..5.0f64,
+        sigma in 0.0..10.0f64,
+        d_eps in 0.01..2.0f64,
+        d_sigma in 0.01..3.0f64,
+        d_beta in 0.01..2.0f64,
+    ) {
+        let c = uncertainty_constant(eps, beta, sigma);
+        prop_assert!(c >= 1.0);
+        prop_assert!(uncertainty_constant(eps + d_eps, beta, sigma) >= c);
+        prop_assert!(uncertainty_constant(eps, beta, sigma + d_sigma) >= c);
+        prop_assert!(uncertainty_constant(eps, beta + d_beta, sigma) <= c);
+    }
+
+    /// The calibrated constant is ≥ the eq.-3 constant and grows with k.
+    #[test]
+    fn calibrated_constant_ordering(
+        eps in 0.0..3.0f64,
+        beta in 2.0..5.0f64,
+        sigma in 0.5..8.0f64,
+        k in 2usize..12,
+    ) {
+        let c_k = calibrated_uncertainty_constant(eps, beta, sigma, k);
+        let c_k1 = calibrated_uncertainty_constant(eps, beta, sigma, k + 1);
+        prop_assert!(c_k >= 1.0);
+        prop_assert!(c_k1 >= c_k - 1e-12);
+    }
+
+    /// Φ and Φ⁻¹ are mutual inverses over the useful range.
+    #[test]
+    fn normal_cdf_inverse_round_trip(p in 0.0005..0.9995f64) {
+        let x = inverse_normal_cdf(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-6);
+    }
+
+    /// Φ is monotone and symmetric: Φ(−x) = 1 − Φ(x).
+    #[test]
+    fn normal_cdf_shape(x in -6.0..6.0f64, dx in 0.001..2.0f64) {
+        prop_assert!(normal_cdf(x + dx) > normal_cdf(x));
+        prop_assert!((normal_cdf(-x) - (1.0 - normal_cdf(x))).abs() < 1e-7);
+    }
+
+    /// Gaussian samples from the same seed agree; shifting the mean shifts
+    /// samples exactly.
+    #[test]
+    fn gaussian_determinism_and_shift(seed in 0u64..10_000, mean in -10.0..10.0f64) {
+        let a = Gaussian::new(0.0, 2.0)
+            .sample(&mut ChaCha8Rng::seed_from_u64(seed));
+        let b = Gaussian::new(mean, 2.0)
+            .sample(&mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert!((b - a - mean).abs() < 1e-12);
+    }
+
+    /// Bounded sampling never leaves the band.
+    #[test]
+    fn bounded_noise_respects_width(
+        seed in 0u64..1000,
+        width in 0.0..10.0f64,
+        d in 0.5..100.0f64,
+    ) {
+        let m = PathLossModel::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = m.sample_rss_bounded(d, width, &mut rng);
+            prop_assert!((s.dbm() - m.mean_rss(d).dbm()).abs() <= width + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Fault tolerance in action: the same tracking problem under increasing
+//! sensor failure, with permanently dead nodes and per-reading losses.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use fttt_suite::fttt::config::PaperParams;
+use fttt_suite::fttt::tracker::{Tracker, TrackerOptions};
+use fttt_suite::network::{FaultModel, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let params = PaperParams::default().with_nodes(15);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let field = params.random_field(&mut rng);
+    let map = params.face_map(&field);
+    let trace = params.random_trace(60.0, &mut rng);
+
+    println!("15 sensors, 60 s target; FTTT with the eq.-6 fault rule\n");
+    println!("{:<42} {:>9} {:>9}", "fault model", "mean (m)", "max (m)");
+
+    let cases: Vec<(String, FaultModel)> = vec![
+        ("no faults".into(), FaultModel::none()),
+        ("10% node failure / localization".into(), FaultModel::with_node_failure(0.10)),
+        ("30% node failure / localization".into(), FaultModel::with_node_failure(0.30)),
+        ("50% node failure / localization".into(), FaultModel::with_node_failure(0.50)),
+        ("20% of one-shot readings lost".into(), FaultModel::with_reading_drop(0.20)),
+        (
+            "nodes 0–2 permanently dead".into(),
+            FaultModel::with_dead_nodes([NodeId(0), NodeId(1), NodeId(2)]),
+        ),
+    ];
+
+    for (name, fault) in cases {
+        let sampler = params.sampler().with_fault(fault);
+        let mut world = ChaCha8Rng::seed_from_u64(21);
+        let mut tracker = Tracker::new(map.clone(), TrackerOptions::default());
+        let run = tracker.track(&field, &sampler, &trace, &mut world);
+        let s = run.error_stats();
+        println!("{name:<42} {:>9.2} {:>9.2}", s.mean, s.max);
+    }
+
+    println!();
+    println!("Silent sensors land their pairs on the eq.-6 values (or '*'), so the");
+    println!("sampling vector keeps the signature dimension and matching proceeds —");
+    println!("accuracy degrades gracefully instead of failing.");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: track one target with FTTT in ~20 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fttt_suite::fttt::config::PaperParams;
+use fttt_suite::fttt::tracker::{Tracker, TrackerOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // The paper's Table-1 setting: 100×100 m² field, β = 4, σ = 6, R = 40 m,
+    // ε = 1 dBm, k = 5 samples per localization, 10 random sensors.
+    let params = PaperParams::default().with_nodes(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+
+    // Deploy sensors, precompute the face map (offline phase).
+    let field = params.random_field(&mut rng);
+    let map = params.face_map(&field);
+    println!(
+        "deployed {} sensors; field divided into {} faces (C = {:.4})",
+        field.len(),
+        map.face_count(),
+        params.uncertainty_constant()
+    );
+
+    // A 30 s random-waypoint target, localized every k/λ = 0.5 s.
+    let trace = params.random_trace(30.0, &mut rng);
+
+    // Online phase: grouping sampling → sampling vector → face matching.
+    let mut tracker = Tracker::new(map, TrackerOptions::default());
+    let run = tracker.track(&field, &params.sampler(), &trace, &mut rng);
+
+    let stats = run.error_stats();
+    println!(
+        "{} localizations: mean error {:.2} m, std {:.2} m, max {:.2} m",
+        stats.count, stats.mean, stats.std, stats.max
+    );
+    for l in run.localizations.iter().take(5) {
+        println!(
+            "  t = {:>4.1}s  truth {}  estimate {}  error {:.2} m",
+            l.t, l.truth, l.estimate, l.error
+        );
+    }
+    println!("  …");
+}

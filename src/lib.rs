@@ -1,0 +1,25 @@
+//! Facade crate for the FTTT reproduction suite.
+//!
+//! Re-exports every workspace crate under one roof so the examples and the
+//! integration tests in `tests/` can exercise the whole stack through a
+//! single dependency:
+//!
+//! * [`geometry`] — planar geometry (Apollonius circles, grids).
+//! * [`signal`] — the log-normal shadowing radio model and the uncertainty
+//!   constant `C`.
+//! * [`network`] — sensor nodes, deployments, grouping sampling, faults.
+//! * [`mobility`] — target traces (random waypoint, waypoint paths).
+//! * [`parallel`] — the scoped-thread data-parallel runtime.
+//! * [`fttt`] — the paper's contribution: vectors, face maps, matchers,
+//!   trackers and the Section-5 theory.
+//! * [`baselines`] — the Direct MLE and PM comparator trackers.
+
+#![forbid(unsafe_code)]
+
+pub use fttt;
+pub use wsn_baselines as baselines;
+pub use wsn_geometry as geometry;
+pub use wsn_mobility as mobility;
+pub use wsn_network as network;
+pub use wsn_parallel as parallel;
+pub use wsn_signal as signal;
