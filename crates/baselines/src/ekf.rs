@@ -204,7 +204,7 @@ impl ExtendedKalman {
         // S = H P Hᵀ + r (scalar).
         let ph = mat_vec(&self.cov, &h);
         let s_inn: f64 = h.iter().zip(&ph).map(|(a, b)| a * b).sum::<f64>() + r_var;
-        if !(s_inn > 0.0) {
+        if s_inn <= 0.0 || s_inn.is_nan() {
             return;
         }
         let innovation = observed_dbm - predicted;

@@ -3,7 +3,7 @@
 use crate::one_shot::one_shot_vector;
 use fttt::facemap::{FaceId, FaceMap};
 use fttt::tracker::{Localization, TrackingRun};
-use fttt::vector::{difference_norm_squared, similarity, SamplingVector};
+use fttt::vector::{similarity, PackedQuery, SamplingVector};
 use rand::Rng;
 use wsn_geometry::{Point, Rect};
 use wsn_mobility::Trace;
@@ -132,9 +132,12 @@ impl PathMatching {
     pub fn localize(&mut self, group: &GroupSampling) -> (Point, FaceId, f64, usize) {
         let v: SamplingVector = one_shot_vector(group);
         let faces = self.map.faces();
-        // Per-face observation cost: sequence distance (lower = better).
+        // Per-face observation cost: sequence distance (lower = better),
+        // computed with the packed bit-plane kernel.
+        let q = PackedQuery::new(&v);
+        let planes = self.map.planes();
         let dists: Vec<f64> =
-            faces.iter().map(|f| difference_norm_squared(&v, &f.signature).sqrt()).collect();
+            faces.iter().map(|f| planes.distance_squared(f.id.index(), &q).sqrt()).collect();
 
         let reach = self.max_speed * self.dt;
         let mut scored: Vec<(FaceId, f64)> = if self.beam.is_empty() {

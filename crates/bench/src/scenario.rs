@@ -156,6 +156,17 @@ pub fn run_once(scenario: &Scenario, method: MethodKind, seed: u64) -> TrackingR
     }
 }
 
+/// Mean similarity evaluations per localization of one run, `0.0` for an
+/// empty run (a `0/0` division here would otherwise poison
+/// [`TrialAggregate::mean_evaluated`] with NaN).
+pub fn mean_evaluated_per_localization(run: &TrackingRun) -> f64 {
+    if run.localizations.is_empty() {
+        0.0
+    } else {
+        run.total_evaluated() as f64 / run.localizations.len() as f64
+    }
+}
+
 /// Aggregate over Monte-Carlo trials of one sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialAggregate {
@@ -190,8 +201,7 @@ pub fn trial_stats(
     let per_trial: Vec<(f64, f64, f64)> = par_map(&idx, |_, &i| {
         let run = run_once(scenario, method, seed_for(master_seed, i));
         let stats = run.error_stats();
-        let evaluated = run.total_evaluated() as f64 / run.localizations.len() as f64;
-        (stats.mean, stats.std, evaluated)
+        (stats.mean, stats.std, mean_evaluated_per_localization(&run))
     });
     let n = trials as f64;
     TrialAggregate {
@@ -250,6 +260,13 @@ mod tests {
         assert!(agg.mean_error > 0.0 && agg.mean_error.is_finite());
         assert!(agg.worst_mean >= agg.mean_error);
         assert!(agg.mean_evaluated > 0.0);
+    }
+
+    #[test]
+    fn empty_run_does_not_poison_evaluated_mean() {
+        let empty = TrackingRun { localizations: Vec::new() };
+        let m = mean_evaluated_per_localization(&empty);
+        assert_eq!(m, 0.0, "0/0 must not produce NaN, got {m}");
     }
 
     #[test]

@@ -1,9 +1,21 @@
 //! Face-map construction by approximate grid division.
+//!
+//! Rasterization writes packed signature planes directly: each grid row
+//! becomes a [`PackedRow`] arena (two `u64` bit-plane words per 64 pairs
+//! per cell, in-place bit writes — no per-cell `Vec<i8>`), and grouping
+//! into faces compares and hashes those words instead of rehashing a full
+//! signature vector per cell. The per-pair Apollonius classifier state
+//! (`c²`, flat node coordinates, the canonical pair list) is precomputed
+//! once per build by [`RowRasterizer`]; the classifying comparisons
+//! themselves are kept verbatim from [`PairRegion::classify`]
+//! (`da²·c² < db²`, `da² > c²·db²`) so rasterized signatures stay
+//! bit-identical to [`signature_of`] — an algebraically expanded quadratic
+//! form would round differently on boundary cells.
 
-use crate::vector::SignatureVector;
+use crate::vector::{words_for, SignaturePlanes, SignatureVector};
 use std::collections::HashMap;
 use std::fmt;
-use wsn_geometry::{Grid, PairRegion, Point, Rect};
+use wsn_geometry::{CellIndex, Grid, PairRegion, Point, Rect};
 use wsn_network::{pair_count, PairIter};
 use wsn_parallel::par_map_threads;
 
@@ -72,6 +84,205 @@ pub fn signature_of(p: Point, positions: &[Point], c: f64) -> SignatureVector {
     SignatureVector::new(comps)
 }
 
+/// One rasterized grid row: per-cell signature planes stored contiguously
+/// (cell `ix`'s planes occupy words `ix·W .. (ix+1)·W` of each arena).
+struct PackedRow {
+    words: usize,
+    plus: Vec<u64>,
+    minus: Vec<u64>,
+}
+
+impl PackedRow {
+    fn zeroed(nx: usize, words: usize) -> Self {
+        Self { words, plus: vec![0; nx * words], minus: vec![0; nx * words] }
+    }
+
+    #[inline]
+    fn cell(&self, ix: usize) -> (&[u64], &[u64]) {
+        let r = ix * self.words..(ix + 1) * self.words;
+        (&self.plus[r.clone()], &self.minus[r])
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, ix: usize) -> (&mut [u64], &mut [u64]) {
+        let r = ix * self.words..(ix + 1) * self.words;
+        (&mut self.plus[r.clone()], &mut self.minus[r])
+    }
+}
+
+/// Per-build classifier state hoisted out of the cells × pairs loop:
+/// `c²` and flat node coordinates — everything [`PairRegion::classify`]
+/// re-derives per call. Per row the `dy²` per node is fixed once; per cell
+/// the `n` node distances (and their `c²` multiples) are computed once and
+/// every pair classification is two branch-free comparisons. The compare
+/// results go to one-byte lanes first (a pure vectorizable compare sweep
+/// per node — a direct bit accumulator would serialize the whole pair loop
+/// on one shift/or chain) and are packed to plane words afterwards.
+struct RowRasterizer {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    c2: f64,
+    words: usize,
+}
+
+/// Reusable per-cell scratch: `dy²` per node (fixed along a grid row),
+/// node squared distances, their `c²` multiples, and the one-byte compare
+/// lanes (`words × 64` long so packing sees whole words; the tail past the
+/// pair dimension is written once at allocation and never touched again).
+struct ClassifyScratch {
+    dy2: Vec<f64>,
+    nd2: Vec<f64>,
+    nc2: Vec<f64>,
+    pb: Vec<u8>,
+    mb: Vec<u8>,
+}
+
+/// Packs 64 compare bytes (each `0` or `1`) into a word, least-significant
+/// bit first. The multiply gathers each byte's low bit into the top byte:
+/// the coefficient puts term `bᵢ·2^(56+i)` at a distinct bit position for
+/// every byte (no carries), so the high byte of the product reads out the
+/// eight flags at once.
+#[inline]
+fn pack_compare_bytes(chunk: &[u8]) -> u64 {
+    const GATHER: u64 = 0x0102_0408_1020_4080;
+    let mut word = 0u64;
+    for (g, group) in chunk.chunks_exact(8).enumerate() {
+        let lanes = u64::from_le_bytes(group.try_into().expect("chunks_exact(8)"));
+        word |= (lanes.wrapping_mul(GATHER) >> 56) << (8 * g);
+    }
+    word
+}
+
+impl RowRasterizer {
+    fn new(positions: &[Point], c: f64) -> Self {
+        Self {
+            xs: positions.iter().map(|p| p.x).collect(),
+            ys: positions.iter().map(|p| p.y).collect(),
+            c2: c * c,
+            words: words_for(pair_count(positions.len())),
+        }
+    }
+
+    fn scratch(&self) -> ClassifyScratch {
+        let n = self.xs.len();
+        ClassifyScratch {
+            dy2: vec![0.0; n],
+            nd2: vec![0.0; n],
+            nc2: vec![0.0; n],
+            pb: vec![0; self.words * 64],
+            mb: vec![0; self.words * 64],
+        }
+    }
+
+    /// Fixes the row ordinate: every cell centre of a grid row shares `y`,
+    /// so `dy²` per node is computed once per row.
+    fn begin_row(&self, cy: f64, s: &mut ClassifyScratch) {
+        for (k, d) in s.dy2.iter_mut().enumerate() {
+            let dy = cy - self.ys[k];
+            *d = dy * dy;
+        }
+    }
+
+    /// Classifies the cell centre at abscissa `cx` of the current row
+    /// (see [`RowRasterizer::begin_row`]) into packed plane words.
+    ///
+    /// Bit-identical to [`signature_of`]: `dy²` is the same product scalar
+    /// classification computes, `dx² + dy²` matches
+    /// `Point::distance_squared`'s operand order, and the comparisons are
+    /// those of [`PairRegion::classify`] with the products `da²·c²` hoisted
+    /// per node (multiplying the same two values rounds the same way
+    /// wherever the expression sits).
+    #[inline]
+    fn classify_into(&self, cx: f64, s: &mut ClassifyScratch, plus: &mut [u64], minus: &mut [u64]) {
+        let n = self.xs.len();
+        for k in 0..n {
+            let dx = cx - self.xs[k];
+            let d2 = dx * dx + s.dy2[k];
+            s.nd2[k] = d2;
+            s.nc2[k] = self.c2 * d2;
+        }
+        let mut off = 0usize;
+        for i in 0..n - 1 {
+            let da2 = s.nd2[i];
+            let pa = da2 * self.c2;
+            let m = n - 1 - i;
+            let db = &s.nd2[i + 1..n];
+            let cb = &s.nc2[i + 1..n];
+            let pb = &mut s.pb[off..off + m];
+            for k in 0..m {
+                pb[k] = u8::from(pa < db[k]);
+            }
+            let mb = &mut s.mb[off..off + m];
+            for k in 0..m {
+                mb[k] = u8::from(da2 > cb[k]);
+            }
+            off += m;
+        }
+        for (w, chunk) in s.pb.chunks_exact(64).enumerate() {
+            plus[w] = pack_compare_bytes(chunk);
+        }
+        for (w, chunk) in s.mb.chunks_exact(64).enumerate() {
+            minus[w] = pack_compare_bytes(chunk);
+        }
+    }
+
+    /// Rasterizes grid row `iy` into a fresh packed arena.
+    fn rasterize_row(&self, grid: &Grid, iy: u32) -> PackedRow {
+        let nx = grid.nx() as usize;
+        let mut row = PackedRow::zeroed(nx, self.words);
+        let mut s = self.scratch();
+        self.begin_row(grid.center(CellIndex::new(0, iy)).y, &mut s);
+        for ix in 0..nx {
+            let cx = grid.center(CellIndex::new(ix as u32, iy)).x;
+            let (pw, mw) = row.cell_mut(ix);
+            self.classify_into(cx, &mut s, pw, mw);
+        }
+        row
+    }
+}
+
+/// Word mixer keying the grouping table; full planes are compared on the
+/// rare collisions, so this only needs to spread well.
+fn hash_planes(plus: &[u64], minus: &[u64]) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = 0u64;
+    for &w in plus.iter().chain(minus.iter()) {
+        h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+    h
+}
+
+/// Pass-through hasher for keys already mixed by [`hash_planes`]: running
+/// them through SipHash again would only cost time on the hottest grouping
+/// path.
+#[derive(Default)]
+struct PlaneKeyHasher(u64);
+
+impl std::hash::Hasher for PlaneKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("plane keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type PlaneKeyState = std::hash::BuildHasherDefault<PlaneKeyHasher>;
+
+/// Signature → face index over the packed planes: a word-hash bucket map
+/// (first face per hash) plus an overflow list for the astronomically rare
+/// 64-bit collisions; lookups always confirm by full component comparison.
+#[derive(Debug, Clone, Default)]
+struct SignatureIndex {
+    first: HashMap<u64, u32, PlaneKeyState>,
+    overflow: Vec<u32>,
+}
+
 /// The offline face division of a monitored field.
 #[derive(Debug, Clone)]
 pub struct FaceMap {
@@ -81,7 +292,8 @@ pub struct FaceMap {
     faces: Vec<Face>,
     cell_to_face: Vec<u32>,
     neighbors: Vec<Vec<FaceId>>,
-    by_signature: HashMap<SignatureVector, FaceId>,
+    sig_index: SignatureIndex,
+    planes: SignaturePlanes,
 }
 
 impl FaceMap {
@@ -114,17 +326,12 @@ impl FaceMap {
         assert!(c.is_finite() && c >= 1.0, "uncertainty constant must be ≥ 1, got {c}");
         let grid = Grid::cover(field, cell_size);
 
-        // Rasterize: one signature per cell, row-parallel.
+        // Rasterize: one packed signature per cell, row-parallel.
+        let raster = RowRasterizer::new(positions, c);
         let rows: Vec<u32> = (0..grid.ny()).collect();
-        let row_sigs: Vec<Vec<SignatureVector>> = par_map_threads(threads, &rows, |_, &iy| {
-            (0..grid.nx())
-                .map(|ix| {
-                    let center = grid.center(wsn_geometry::CellIndex::new(ix, iy));
-                    signature_of(center, positions, c)
-                })
-                .collect()
-        });
-        Self::from_row_signatures(grid, positions, c, row_sigs)
+        let packed: Vec<PackedRow> =
+            par_map_threads(threads, &rows, |_, &iy| raster.rasterize_row(&grid, iy));
+        Self::from_packed_rows(grid, positions, c, packed)
     }
 
     /// Builds the map with the **adaptive double-level grid division** of
@@ -161,93 +368,153 @@ impl FaceMap {
         assert!(refine >= 2, "refinement factor must be at least 2, got {refine}");
         let coarse = Grid::cover(field, coarse_cell);
         let fine = Grid::cover(field, coarse_cell / refine as f64);
+        let raster = RowRasterizer::new(positions, c);
 
         // Pass 1: classify the coarse lattice.
         let rows: Vec<u32> = (0..coarse.ny()).collect();
-        let coarse_rows: Vec<Vec<SignatureVector>> = par_map_threads(threads, &rows, |_, &iy| {
-            (0..coarse.nx())
-                .map(|ix| {
-                    let center = coarse.center(wsn_geometry::CellIndex::new(ix, iy));
-                    signature_of(center, positions, c)
-                })
-                .collect()
-        });
-        let coarse_sig = |ix: u32, iy: u32| &coarse_rows[iy as usize][ix as usize];
+        let coarse_rows: Vec<PackedRow> =
+            par_map_threads(threads, &rows, |_, &iy| raster.rasterize_row(&coarse, iy));
 
-        // Pass 2: mark coarse cells on a signature boundary.
+        // Pass 2: mark coarse cells on a signature boundary (packed word
+        // comparison — plane equality is signature equality).
         let boundary: Vec<bool> = (0..coarse.cell_count())
             .map(|lin| {
                 let idx = coarse.from_linear(lin);
+                let here = coarse_rows[idx.iy as usize].cell(idx.ix as usize);
                 coarse
                     .neighbors4(idx)
-                    .any(|nb| coarse_sig(nb.ix, nb.iy) != coarse_sig(idx.ix, idx.iy))
+                    .any(|nb| coarse_rows[nb.iy as usize].cell(nb.ix as usize) != here)
             })
             .collect();
 
         // Pass 3: emit fine-cell signatures — classified inside boundary
-        // cells, inherited elsewhere.
+        // cells, inherited (a word copy) elsewhere.
         let fine_rows_idx: Vec<u32> = (0..fine.ny()).collect();
-        let fine_rows: Vec<Vec<SignatureVector>> =
-            par_map_threads(threads, &fine_rows_idx, |_, &iy| {
-                (0..fine.nx())
-                    .map(|ix| {
-                        let center = fine.center(wsn_geometry::CellIndex::new(ix, iy));
-                        // The owning coarse cell (fine lattices can extend
-                        // one partial column/row past the coarse one).
-                        let cx = (ix / refine).min(coarse.nx() - 1);
-                        let cy = (iy / refine).min(coarse.ny() - 1);
-                        if boundary[coarse.linear(wsn_geometry::CellIndex::new(cx, cy))] {
-                            signature_of(center, positions, c)
-                        } else {
-                            coarse_sig(cx, cy).clone()
-                        }
-                    })
-                    .collect()
-            });
-        Self::from_row_signatures(fine, positions, c, fine_rows)
+        let fine_rows: Vec<PackedRow> = par_map_threads(threads, &fine_rows_idx, |_, &iy| {
+            let nx = fine.nx() as usize;
+            let mut row = PackedRow::zeroed(nx, raster.words);
+            let mut s = raster.scratch();
+            raster.begin_row(fine.center(CellIndex::new(0, iy)).y, &mut s);
+            // The owning coarse cell (fine lattices can extend one partial
+            // column/row past the coarse one).
+            let cy = (iy / refine).min(coarse.ny() - 1);
+            for ix in 0..nx {
+                let cx = (ix as u32 / refine).min(coarse.nx() - 1);
+                let (pw, mw) = row.cell_mut(ix);
+                if boundary[coarse.linear(CellIndex::new(cx, cy))] {
+                    let center_x = fine.center(CellIndex::new(ix as u32, iy)).x;
+                    raster.classify_into(center_x, &mut s, pw, mw);
+                } else {
+                    let (cp, cm) = coarse_rows[cy as usize].cell(cx as usize);
+                    pw.copy_from_slice(cp);
+                    mw.copy_from_slice(cm);
+                }
+            }
+            row
+        });
+        Self::from_packed_rows(fine, positions, c, fine_rows)
     }
 
-    /// Groups per-cell signatures (row-major) into faces, centroids,
-    /// neighbor links and the signature index.
-    fn from_row_signatures(
-        grid: Grid,
-        positions: &[Point],
-        c: f64,
-        row_sigs: Vec<Vec<SignatureVector>>,
-    ) -> Self {
-        // Group cells by signature into faces, accumulating centroids.
-        let mut by_signature: HashMap<SignatureVector, FaceId> = HashMap::new();
+    /// Groups per-cell packed signatures (row-major) into faces,
+    /// centroids, neighbor links, the signature index and the plane arena.
+    ///
+    /// Cells are resolved to face ids without allocating or rehashing a
+    /// signature per cell: a run-length fast path against the previous
+    /// cell and the cell above handles contiguous regions, and the rest go
+    /// through the word-hash [`SignatureIndex`] with full plane comparison
+    /// on collision. Face boundaries for the neighbor links are recorded
+    /// in the same pass from the left/above ids already at hand. Faces
+    /// keep their first-encounter, row-major numbering.
+    fn from_packed_rows(grid: Grid, positions: &[Point], c: f64, rows: Vec<PackedRow>) -> Self {
+        let dim = pair_count(positions.len());
+        let nx = grid.nx() as usize;
+        let mut planes = SignaturePlanes::new(dim);
         let mut cell_to_face = vec![0u32; grid.cell_count()];
-        let mut sums: Vec<(f64, f64, usize)> = Vec::new();
-        let mut boxes: Vec<Rect> = Vec::new();
-        let mut signatures: Vec<SignatureVector> = Vec::new();
-        for (iy, row) in row_sigs.into_iter().enumerate() {
-            for (ix, sig) in row.into_iter().enumerate() {
-                let idx = wsn_geometry::CellIndex::new(ix as u32, iy as u32);
+        // At the paper's densities most cells found a new face, so size
+        // for the worst case once instead of paying growth reallocations.
+        let hint = grid.cell_count();
+        planes.reserve(hint);
+        let mut sums: Vec<(f64, f64, usize)> = Vec::with_capacity(hint);
+        let mut boxes: Vec<Rect> = Vec::with_capacity(hint);
+        let mut sig_index = SignatureIndex::default();
+        sig_index.first.reserve(hint);
+        // Face-boundary crossings, recorded inline (each raster edge once,
+        // seen from the right/lower side).
+        let mut crossings: Vec<(u32, u32)> = Vec::new();
+        for (iy, row) in rows.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for ix in 0..nx {
+                let (cp, cm) = row.cell(ix);
+                let idx = CellIndex::new(ix as u32, iy as u32);
                 let center = grid.center(idx);
-                let next_id = FaceId(sums.len() as u32);
-                let id = *by_signature.entry(sig.clone()).or_insert_with(|| {
-                    sums.push((0.0, 0.0, 0));
-                    boxes.push(Rect::point(center));
-                    signatures.push(sig);
-                    next_id
-                });
-                let s = &mut sums[id.index()];
+                let above = if iy > 0 { Some(cell_to_face[(iy - 1) * nx + ix]) } else { None };
+                let matches = |planes: &SignaturePlanes, f: u32| {
+                    planes.plus(f as usize) == cp && planes.minus(f as usize) == cm
+                };
+                let mut id = prev.filter(|&f| matches(&planes, f));
+                if id.is_none() {
+                    id = above.filter(|&f| matches(&planes, f));
+                }
+                let id = match id {
+                    Some(f) => f,
+                    None => match sig_index.first.entry(hash_planes(cp, cm)) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let f = planes.push_packed(cp, cm) as u32;
+                            sums.push((0.0, 0.0, 0));
+                            boxes.push(Rect::point(center));
+                            e.insert(f);
+                            f
+                        }
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            let first = *e.get();
+                            if matches(&planes, first) {
+                                first
+                            } else if let Some(&f) =
+                                sig_index.overflow.iter().find(|&&f| matches(&planes, f))
+                            {
+                                f
+                            } else {
+                                let f = planes.push_packed(cp, cm) as u32;
+                                sums.push((0.0, 0.0, 0));
+                                boxes.push(Rect::point(center));
+                                sig_index.overflow.push(f);
+                                f
+                            }
+                        }
+                    },
+                };
+                let s = &mut sums[id as usize];
                 s.0 += center.x;
                 s.1 += center.y;
                 s.2 += 1;
-                boxes[id.index()] = boxes[id.index()].union_point(center);
-                cell_to_face[grid.linear(idx)] = id.0;
+                boxes[id as usize] = boxes[id as usize].union_point(center);
+                cell_to_face[grid.linear(idx)] = id;
+                // Skip a crossing identical to the last one recorded: a
+                // straight boundary repeats the same pair every cell, and
+                // the post-pass dedups the rest.
+                if let Some(p) = prev {
+                    if p != id && crossings.last() != Some(&(p, id)) {
+                        crossings.push((p, id));
+                    }
+                }
+                if let Some(a) = above {
+                    if a != id && crossings.last() != Some(&(a, id)) {
+                        crossings.push((a, id));
+                    }
+                }
+                prev = Some(id);
             }
         }
-        let faces: Vec<Face> = signatures
-            .into_iter()
-            .enumerate()
-            .map(|(i, signature)| {
+        // Return the worst-case reservation headroom: coarse maps (faces ≪
+        // cells) would otherwise retain it for their whole lifetime.
+        planes.shrink_to_fit();
+        sig_index.first.shrink_to_fit();
+        let faces: Vec<Face> = (0..planes.face_count())
+            .map(|i| {
                 let (sx, sy, count) = sums[i];
                 Face {
                     id: FaceId(i as u32),
-                    signature,
+                    signature: planes.signature(i),
                     centroid: Point::new(sx / count as f64, sy / count as f64),
                     cell_count: count,
                     bbox: boxes[i],
@@ -255,29 +522,27 @@ impl FaceMap {
             })
             .collect();
 
-        // Neighbor-face links from 4-adjacency across face boundaries.
+        // Neighbor-face links from the recorded boundary crossings.
         let mut neighbor_sets: Vec<Vec<FaceId>> = vec![Vec::new(); faces.len()];
-        for lin in 0..grid.cell_count() {
-            let idx = grid.from_linear(lin);
-            let here = cell_to_face[lin];
-            // Right and up suffice: every boundary is seen from one side.
-            for nb in grid.neighbors4(idx) {
-                if nb.ix <= idx.ix && nb.iy <= idx.iy {
-                    continue;
-                }
-                let there = cell_to_face[grid.linear(nb)];
-                if there != here {
-                    neighbor_sets[here as usize].push(FaceId(there));
-                    neighbor_sets[there as usize].push(FaceId(here));
-                }
-            }
+        for (a, b) in crossings {
+            neighbor_sets[a as usize].push(FaceId(b));
+            neighbor_sets[b as usize].push(FaceId(a));
         }
         for set in &mut neighbor_sets {
             set.sort_unstable();
             set.dedup();
         }
 
-        Self { grid, positions: positions.to_vec(), c, faces, cell_to_face, neighbors: neighbor_sets, by_signature }
+        Self {
+            grid,
+            positions: positions.to_vec(),
+            c,
+            faces,
+            cell_to_face,
+            neighbors: neighbor_sets,
+            sig_index,
+            planes,
+        }
     }
 
     /// The raster grid.
@@ -335,7 +600,25 @@ impl FaceMap {
 
     /// The face with exactly this signature, if any cell produced it.
     pub fn find_by_signature(&self, sig: &SignatureVector) -> Option<FaceId> {
-        self.by_signature.get(sig).copied()
+        if sig.len() != self.pair_dimension() {
+            return None;
+        }
+        let words = words_for(sig.len());
+        let mut plus = vec![0u64; words];
+        let mut minus = vec![0u64; words];
+        for (i, &c) in sig.components().iter().enumerate() {
+            let (w, b) = (i / 64, i % 64);
+            plus[w] |= u64::from(c > 0) << b;
+            minus[w] |= u64::from(c < 0) << b;
+        }
+        // Full-component comparison, not just plane words: out-of-range
+        // components in a foreign signature pack to the same planes as 0.
+        let matches = |f: u32| self.planes.components(f as usize) == sig.components();
+        let first = *self.sig_index.first.get(&hash_planes(&plus, &minus))?;
+        if matches(first) {
+            return Some(FaceId(first));
+        }
+        self.sig_index.overflow.iter().copied().find(|&f| matches(f)).map(FaceId)
     }
 
     /// Neighbor faces of `id` (Definition 8), sorted by id.
@@ -372,18 +655,27 @@ impl FaceMap {
         signature_of(p, &self.positions, self.c)
     }
 
+    /// Packed signature planes of every face, indexed by [`FaceId`] — the
+    /// data structure behind the branch-free matching kernels.
+    #[inline]
+    pub fn planes(&self) -> &SignaturePlanes {
+        &self.planes
+    }
+
     /// Approximate resident size of the map in bytes: signature storage
-    /// (`faces × pairs`), the cell→face index, and the neighbor links —
-    /// the quantities behind the paper's `O(n⁴)` storage claim
-    /// (Section 4.4.2). Excludes allocator overhead and small fixed
-    /// fields.
+    /// (`faces × pairs`), the packed plane arena, the cell→face index,
+    /// and the neighbor links — the quantities behind the paper's `O(n⁴)`
+    /// storage claim (Section 4.4.2). Excludes allocator overhead and
+    /// small fixed fields.
     pub fn memory_bytes(&self) -> usize {
         let signatures = self.faces.len() * self.pair_dimension() * std::mem::size_of::<i8>();
         let faces = self.faces.len() * std::mem::size_of::<Face>();
         let cells = self.cell_to_face.len() * std::mem::size_of::<u32>();
         let links = self.neighbor_link_count() * std::mem::size_of::<FaceId>();
-        // The signature index holds a second copy of every signature key.
-        signatures * 2 + faces + cells + links
+        // The signature index stores one hash + id per face, not a second
+        // copy of the signatures.
+        let index = self.faces.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
+        signatures + index + faces + cells + links + self.planes.memory_bytes()
     }
 }
 
@@ -507,18 +799,19 @@ impl FaceMap {
         let max_y = read_f64(r)?;
         let cell = read_f64(r)?;
         let c = read_f64(r)?;
-        if !(cell > 0.0 && cell.is_finite()) || !(c >= 1.0 && c.is_finite()) {
+        if !(cell > 0.0 && cell.is_finite() && c >= 1.0 && c.is_finite()) {
             return Err(CodecError::Corrupt("invalid grid cell or constant"));
         }
-        if !(min_x < max_x && min_y < max_y)
-            || ![min_x, min_y, max_x, max_y].iter().all(|v| v.is_finite())
+        if !(min_x < max_x
+            && min_y < max_y
+            && [min_x, min_y, max_x, max_y].iter().all(|v| v.is_finite()))
         {
             return Err(CodecError::Corrupt("invalid field rectangle"));
         }
         let grid = Grid::cover(Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y)), cell);
 
         let n_pos = read_u32(r)? as usize;
-        if n_pos < 2 || n_pos > 100_000 {
+        if !(2..=100_000).contains(&n_pos) {
             return Err(CodecError::Corrupt("implausible sensor count"));
         }
         let mut positions = Vec::with_capacity(n_pos);
@@ -534,7 +827,6 @@ impl FaceMap {
             return Err(CodecError::Corrupt("face count out of range"));
         }
         let mut faces = Vec::with_capacity(n_faces);
-        let mut by_signature = HashMap::with_capacity(n_faces);
         for i in 0..n_faces {
             let mut sig_bytes = vec![0u8; dim];
             r.read_exact(&mut sig_bytes)?;
@@ -556,12 +848,8 @@ impl FaceMap {
             if cell_count == 0 {
                 return Err(CodecError::Corrupt("empty face"));
             }
-            let id = FaceId(i as u32);
-            if by_signature.insert(signature.clone(), id).is_some() {
-                return Err(CodecError::Corrupt("duplicate signature"));
-            }
             faces.push(Face {
-                id,
+                id: FaceId(i as u32),
                 signature,
                 centroid: Point::new(cx, cy),
                 cell_count,
@@ -599,7 +887,23 @@ impl FaceMap {
             neighbors.push(nbs);
         }
 
-        Ok(Self { grid, positions, c, faces, cell_to_face, neighbors, by_signature })
+        let planes = SignaturePlanes::from_signatures(dim, faces.iter().map(|f| &f.signature));
+        let mut sig_index = SignatureIndex::default();
+        for f in 0..n_faces as u32 {
+            let same = |g: u32| planes.components(g as usize) == planes.components(f as usize);
+            match sig_index.first.entry(hash_planes(planes.plus(f as usize), planes.minus(f as usize))) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(f);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if same(*e.get()) || sig_index.overflow.iter().any(|&g| same(g)) {
+                        return Err(CodecError::Corrupt("duplicate signature"));
+                    }
+                    sig_index.overflow.push(f);
+                }
+            }
+        }
+        Ok(Self { grid, positions, c, faces, cell_to_face, neighbors, sig_index, planes })
     }
 }
 
@@ -875,6 +1179,26 @@ mod tests {
             for &nb in adaptive.neighbors(f.id) {
                 assert!(adaptive.neighbors(nb).contains(&f.id));
             }
+        }
+    }
+
+    #[test]
+    fn planes_mirror_face_signatures() {
+        let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
+        assert_eq!(map.planes().face_count(), map.face_count());
+        assert_eq!(map.planes().dim(), map.pair_dimension());
+        for f in map.faces() {
+            assert_eq!(map.planes().signature(f.id.index()), f.signature);
+        }
+        // The codec rebuilds an identical plane arena.
+        let mut bytes = Vec::new();
+        map.write_to(&mut bytes).unwrap();
+        let back = FaceMap::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.planes(), map.planes());
+        // And the adaptive builder fills it the same way.
+        let adaptive = FaceMap::build_adaptive(&square4(), field(), 1.15, 4.0, 4, 2);
+        for f in adaptive.faces() {
+            assert_eq!(adaptive.planes().signature(f.id.index()), f.signature);
         }
     }
 

@@ -1,7 +1,19 @@
 //! Exhaustive and heuristic vector matching.
+//!
+//! Both matchers rank faces by the `*`-aware squared distance
+//! `‖V_d − V_s(f)‖²` evaluated with the packed
+//! [`SignaturePlanes`](crate::vector::SignaturePlanes) kernel — the
+//! sampling vector is packed once per call and compared against every
+//! candidate face with branch-free popcount arithmetic. Similarity
+//! `S = 1/‖·‖` (Definition 7) is monotone decreasing in the distance, so
+//! ranking by squared distance is equivalent and needs the reciprocal
+//! square root only once, for the winner. Ties are detected on the exact
+//! squared distance, not on the rounded similarity: `1/√d²` maps distinct
+//! nearby `d²` values to the same f64, so comparing similarities would
+//! fabricate ties that the metric does not have.
 
 use crate::facemap::{FaceId, FaceMap};
-use crate::vector::{similarity, SamplingVector};
+use crate::vector::{PackedQuery, SamplingVector};
 
 /// Result of matching one sampling vector against a face map.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +38,17 @@ impl MatchOutcome {
     }
 }
 
+/// Similarity of the winning squared distance (Definition 7): the one
+/// place a reciprocal square root is taken.
+#[inline]
+fn similarity_of_d2(d2: f64) -> f64 {
+    if d2 == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / d2.sqrt()
+    }
+}
+
 /// Maximum-likelihood matching: scans every face, returns the argmax of
 /// the similarity with all ties collected.
 ///
@@ -35,21 +58,23 @@ impl MatchOutcome {
 /// (they must come from the same deployment).
 pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
     assert_eq!(v.len(), map.pair_dimension(), "vector/map pair-dimension mismatch");
-    let mut best = f64::NEG_INFINITY;
+    let planes = map.planes();
+    let q = PackedQuery::new(v);
+    let mut best_d2 = f64::INFINITY;
     let mut ties: Vec<FaceId> = Vec::new();
-    for f in map.faces() {
-        let s = similarity(v, &f.signature);
-        if s > best {
-            best = s;
+    for f in 0..map.face_count() {
+        let d2 = planes.distance_squared(f, &q);
+        if d2 < best_d2 {
+            best_d2 = d2;
             ties.clear();
-            ties.push(f.id);
-        } else if s == best {
-            ties.push(f.id);
+            ties.push(FaceId(f as u32));
+        } else if d2 == best_d2 {
+            ties.push(FaceId(f as u32));
         }
     }
     MatchOutcome {
         face: ties[0],
-        similarity: best,
+        similarity: similarity_of_d2(best_d2),
         ties,
         evaluated: map.face_count(),
         rounds: 0,
@@ -87,15 +112,18 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
     /// tie case, which the tie list already covers.
     const PLATEAU_BUDGET: usize = 64;
 
+    let planes = map.planes();
+    let q = PackedQuery::new(v);
+
     let mut visited = vec![false; map.face_count()];
     visited[start.index()] = true;
-    let mut best_sim = similarity(v, &map.face(start).signature);
+    let mut best_d2 = planes.distance_squared(start.index(), &q);
     let mut best_face = start;
     let mut best_ties = vec![start];
     let mut evaluated = 1;
     let mut rounds = 0;
 
-    // Frontier of faces at the current best similarity, pending expansion.
+    // Frontier of faces at the current best distance, pending expansion.
     let mut frontier = std::collections::VecDeque::from([start]);
     let mut since_improvement = 0usize;
 
@@ -109,11 +137,11 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
                 continue;
             }
             visited[nb.index()] = true;
-            let s = similarity(v, &map.face(nb).signature);
+            let d2 = planes.distance_squared(nb.index(), &q);
             evaluated += 1;
-            if s > best_sim {
+            if d2 < best_d2 {
                 // Strict ascent: restart the plateau walk from here.
-                best_sim = s;
+                best_d2 = d2;
                 best_face = nb;
                 best_ties.clear();
                 best_ties.push(nb);
@@ -121,21 +149,27 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
                 frontier.push_back(nb);
                 since_improvement = 0;
                 rounds += 1;
-            } else if s == best_sim {
+            } else if d2 == best_d2 {
                 best_ties.push(nb);
                 frontier.push_back(nb);
             }
         }
     }
 
-    MatchOutcome { face: best_face, similarity: best_sim, ties: best_ties, evaluated, rounds }
+    MatchOutcome {
+        face: best_face,
+        similarity: similarity_of_d2(best_d2),
+        ties: best_ties,
+        evaluated,
+        rounds,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::facemap::FaceMap;
-    use crate::vector::SamplingVector;
+    use crate::vector::{difference_norm_squared, SamplingVector};
     use wsn_geometry::{Point, Rect};
 
     fn square4() -> Vec<Point> {
@@ -195,6 +229,90 @@ mod tests {
         // The original face is within distance 1, so the winner's
         // similarity is at least 1.
         assert!(out.similarity >= 1.0);
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_scalar_reference() {
+        let m = map();
+        // An extended vector with no exact match: the winner must be the
+        // scalar argmin of ‖V_d − V_s(f)‖², with the similarity computed
+        // from exactly that squared distance.
+        let f = m.face(m.center_face()).clone();
+        let comps: Vec<Option<f64>> = f
+            .signature
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i % 7 == 3 { None } else { Some((c as f64) * 0.75) })
+            .collect();
+        let v = SamplingVector::new(comps);
+        let out = match_exhaustive(&m, &v);
+        let (mut arg, mut best) = (0usize, f64::INFINITY);
+        for (i, face) in m.faces().iter().enumerate() {
+            let d2 = difference_norm_squared(&v, &face.signature);
+            if d2 < best {
+                best = d2;
+                arg = i;
+            }
+        }
+        assert_eq!(out.face.index(), arg);
+        assert_eq!(out.similarity, 1.0 / best.sqrt());
+    }
+
+    /// Regression: ties must be detected on the squared distance, not the
+    /// rounded similarity. Once d² is large enough that the `r³/2` slope
+    /// of `1/√d²` drops below half an ulp, distinct nearby d² values map
+    /// to the *same* f64 similarity, and the old `s == best` comparison
+    /// reported faces at strictly different distances as ties.
+    ///
+    /// The witness vector puts every component near 0.5 with sub-ulp
+    /// per-index jitter: every face then sits at d² ≈ 0.25·dim + 2·m
+    /// (m = count of −1 components), separated only by the jitter's
+    /// cross terms — a cluster of d² values a few ulps apart whose
+    /// reciprocal square roots collapse onto one f64.
+    #[test]
+    fn near_equal_distances_are_not_ties() {
+        let m = map();
+        let dim = m.pair_dimension();
+        let mut witness = None;
+        'search: for base in [0.5f64, 0.45, 0.55] {
+            for scale in [-55i32, -54, -56, -53] {
+                for stride in [1usize, 3, 5] {
+                    let e = 2.0f64.powi(scale);
+                    let comps: Vec<Option<f64>> =
+                        (0..dim).map(|i| Some(base + ((i * stride) % 8) as f64 * e)).collect();
+                    let v = SamplingVector::new(comps);
+                    let scored: Vec<f64> = m
+                        .faces()
+                        .iter()
+                        .map(|f| difference_norm_squared(&v, &f.signature))
+                        .collect();
+                    let d2min = scored.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let rmin = (1.0 / d2min.sqrt()).to_bits();
+                    let dset: Vec<FaceId> = (0..scored.len())
+                        .filter(|&i| scored[i] == d2min)
+                        .map(|i| FaceId(i as u32))
+                        .collect();
+                    let rset: Vec<FaceId> = (0..scored.len())
+                        .filter(|&i| (1.0 / scored[i].sqrt()).to_bits() == rmin)
+                        .map(|i| FaceId(i as u32))
+                        .collect();
+                    if rset.len() > dset.len() {
+                        witness = Some((v, d2min, dset, rset));
+                        break 'search;
+                    }
+                }
+            }
+        }
+        let (v, d2min, dset, rset) = witness.expect("no 1/sqrt collision witness found");
+        let out = match_exhaustive(&m, &v);
+        assert_eq!(
+            out.ties, dset,
+            "ties must be exactly the d² argmin set, not the {} faces with equal similarity",
+            rset.len()
+        );
+        assert_eq!(out.face, dset[0]);
+        assert_eq!(out.similarity, 1.0 / d2min.sqrt());
     }
 
     #[test]

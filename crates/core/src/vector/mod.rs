@@ -14,11 +14,18 @@
 //! [`similarity`] implements Definition 7 with the `*`-aware difference of
 //! Definition 8/9: missing components contribute zero to the distance, and
 //! an exact match has similarity `+∞`.
+//!
+//! [`SignaturePlanes`]/[`PackedQuery`] are the packed fast path: face
+//! signatures stored as bit-planes (two `u64` words per 64 pairs) with a
+//! branch-free popcount distance kernel, bit-identical to the scalar
+//! [`difference_norm_squared`] reference.
 
+mod planes;
 mod sampling_vec;
 mod signature;
 mod similarity;
 
+pub use planes::{words_for, PackedQuery, SignaturePlanes};
 pub use sampling_vec::SamplingVector;
 pub use signature::SignatureVector;
 pub use similarity::{difference_norm_squared, similarity};

@@ -1,0 +1,457 @@
+//! Packed signature planes: branch-free `*`-aware distance kernels.
+//!
+//! A face signature is ternary (Definition 6), so a set of `F` signatures
+//! over `P` pairs packs into two bit-planes of `⌈P/64⌉` words per face:
+//! bit `i` of `plus` is set where component `i` is `+1`, bit `i` of
+//! `minus` where it is `−1`, and both clear where it is `0`. A basic
+//! sampling vector (Definition 4 with the `*` of eq. 6) packs the same
+//! way plus a `present` mask that clears `*` pairs.
+//!
+//! With that layout the `*`-aware squared distance of Definitions 8/9
+//! reduces to a handful of bitwise ops per 64 pairs. For a present pair
+//! the component difference is one of three magnitudes:
+//!
+//! * opposite signs (`+1` vs `−1`) — contributes 4,
+//! * exactly one of the two components nonzero — contributes 1,
+//! * otherwise — contributes 0.
+//!
+//! so `d² = 4·popcount((vp & gm) | (vm & gp))
+//!        + popcount(((vp | vm) ^ (gp | gm)) & present)`
+//! summed over words. The result is an exact small integer, hence
+//! bit-identical to the scalar [`difference_norm_squared`] sum (which
+//! adds the same integers in f64, exactly).
+//!
+//! Extended vectors (Definition 10) carry arbitrary values in `[−1, 1]`
+//! and fall back to a flat structure-of-arrays kernel: a contiguous
+//! per-face component row and a `{0.0, 1.0}` presence mask replace the
+//! `Option<f64>` branching, and terms are accumulated in pair order so
+//! the result stays bit-identical to the scalar reference.
+//!
+//! [`difference_norm_squared`]: crate::vector::difference_norm_squared
+
+use crate::vector::{SamplingVector, SignatureVector};
+
+/// Bit-plane arena holding the signatures of every face of a map.
+///
+/// Face `f`'s planes live at word range `f·W .. (f+1)·W` of [`plus`] and
+/// [`minus`] (`W` = [`words_per_face`]); its raw components additionally
+/// live at `f·P .. (f+1)·P` of a flat `i8` row used by the extended-vector
+/// fallback kernel (and to reconstruct [`SignatureVector`]s).
+///
+/// [`plus`]: SignaturePlanes::plus
+/// [`minus`]: SignaturePlanes::minus
+/// [`words_per_face`]: SignaturePlanes::words_per_face
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignaturePlanes {
+    dim: usize,
+    words: usize,
+    faces: usize,
+    plus: Vec<u64>,
+    minus: Vec<u64>,
+    comps: Vec<i8>,
+}
+
+/// Number of 64-bit words needed for `dim` pair components.
+#[inline]
+pub fn words_for(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+/// Byte-spread tables for the packed→component decode: entry `b` carries
+/// `lane` in byte `j` exactly where bit `j` of `b` is set (`0x01` for the
+/// plus plane, `0xFF` — `−1` as `i8` — for the minus plane).
+const SPREAD_PLUS: [u64; 256] = spread_table(0x01);
+const SPREAD_MINUS: [u64; 256] = spread_table(0xFF);
+
+const fn spread_table(lane: u8) -> [u64; 256] {
+    let mut t = [0u64; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut w = 0u64;
+        let mut j = 0;
+        while j < 8 {
+            if (b >> j) & 1 == 1 {
+                w |= (lane as u64) << (8 * j);
+            }
+            j += 1;
+        }
+        t[b] = w;
+        b += 1;
+    }
+    t
+}
+
+impl SignaturePlanes {
+    /// Creates an empty arena for signatures of `dim` pair components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "signature planes need at least one pair component");
+        Self { dim, words: words_for(dim), faces: 0, plus: Vec::new(), minus: Vec::new(), comps: Vec::new() }
+    }
+
+    /// Reserves storage for `additional` more faces, so a build loop with
+    /// a known face-count bound pays no growth reallocations.
+    pub fn reserve(&mut self, additional: usize) {
+        self.plus.reserve(additional * self.words);
+        self.minus.reserve(additional * self.words);
+        self.comps.reserve(additional * self.dim);
+    }
+
+    /// Drops excess arena capacity (the counterpart of [`reserve`] once
+    /// the final face count is known).
+    ///
+    /// [`reserve`]: SignaturePlanes::reserve
+    pub fn shrink_to_fit(&mut self) {
+        self.plus.shrink_to_fit();
+        self.minus.shrink_to_fit();
+        self.comps.shrink_to_fit();
+    }
+
+    /// Packs an iterator of signatures (all of dimension `dim`).
+    pub fn from_signatures<'a, I>(dim: usize, signatures: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SignatureVector>,
+    {
+        let mut planes = Self::new(dim);
+        for sig in signatures {
+            planes.push_signature(sig);
+        }
+        planes
+    }
+
+    /// Appends one face's signature, returning its face index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig.len() != self.dim()`.
+    pub fn push_signature(&mut self, sig: &SignatureVector) -> usize {
+        assert_eq!(sig.len(), self.dim, "signature/plane dimension mismatch");
+        let base = self.plus.len();
+        self.plus.resize(base + self.words, 0);
+        self.minus.resize(base + self.words, 0);
+        for (i, &c) in sig.components().iter().enumerate() {
+            let (w, b) = (base + i / 64, i % 64);
+            self.plus[w] |= u64::from(c == 1) << b;
+            self.minus[w] |= u64::from(c == -1) << b;
+        }
+        self.comps.extend_from_slice(sig.components());
+        self.faces += 1;
+        self.faces - 1
+    }
+
+    /// Appends one face directly from packed words (the rasterizer path;
+    /// avoids materializing a `SignatureVector`). Returns the face index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word slices are not [`words_per_face`] long, if the
+    /// two planes overlap (a component cannot be both `+1` and `−1`), or
+    /// if padding bits past `dim` are set.
+    ///
+    /// [`words_per_face`]: SignaturePlanes::words_per_face
+    pub fn push_packed(&mut self, plus: &[u64], minus: &[u64]) -> usize {
+        assert_eq!(plus.len(), self.words, "plus plane has wrong word count");
+        assert_eq!(minus.len(), self.words, "minus plane has wrong word count");
+        let pad = self.padding_mask();
+        for w in 0..self.words {
+            assert_eq!(plus[w] & minus[w], 0, "overlapping signature planes");
+            if w == self.words - 1 {
+                assert_eq!((plus[w] | minus[w]) & pad, 0, "padding bits set");
+            }
+        }
+        self.plus.extend_from_slice(plus);
+        self.minus.extend_from_slice(minus);
+        // Decode the component row eight components a step (this is on the
+        // rasterizer's per-new-face path; per-element bit extraction would
+        // be the build's hottest loop): spread each plane byte to eight
+        // `+1` / `−1` bytes by table, then OR — the planes are disjoint
+        // (asserted above), so the two spreads never collide.
+        let base = self.comps.len();
+        self.comps.resize(base + self.dim, 0);
+        for (w, chunk) in self.comps[base..].chunks_mut(64).enumerate() {
+            let (p, m) = (plus[w], minus[w]);
+            for (g, group) in chunk.chunks_mut(8).enumerate() {
+                let spread = SPREAD_PLUS[(p >> (8 * g)) as u8 as usize]
+                    | SPREAD_MINUS[(m >> (8 * g)) as u8 as usize];
+                let bytes = spread.to_le_bytes();
+                // The last group of the last word may be shorter than 8.
+                let take = group.len();
+                for (c, &b) in group.iter_mut().zip(&bytes[..take]) {
+                    *c = b as i8;
+                }
+            }
+        }
+        self.faces += 1;
+        self.faces - 1
+    }
+
+    /// Mask of the unused high bits of the last word per face (zero when
+    /// `dim` is a multiple of 64).
+    #[inline]
+    fn padding_mask(&self) -> u64 {
+        match self.dim % 64 {
+            0 => 0,
+            r => !0u64 << r,
+        }
+    }
+
+    /// Number of packed faces.
+    #[inline]
+    pub fn face_count(&self) -> usize {
+        self.faces
+    }
+
+    /// Pair-component dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per face in each bit-plane (`⌈dim/64⌉`).
+    #[inline]
+    pub fn words_per_face(&self) -> usize {
+        self.words
+    }
+
+    /// `+1` bit-plane of face `f`.
+    #[inline]
+    pub fn plus(&self, f: usize) -> &[u64] {
+        &self.plus[f * self.words..(f + 1) * self.words]
+    }
+
+    /// `−1` bit-plane of face `f`.
+    #[inline]
+    pub fn minus(&self, f: usize) -> &[u64] {
+        &self.minus[f * self.words..(f + 1) * self.words]
+    }
+
+    /// Raw ternary components of face `f` (the extended-kernel row).
+    #[inline]
+    pub fn components(&self, f: usize) -> &[i8] {
+        &self.comps[f * self.dim..(f + 1) * self.dim]
+    }
+
+    /// Reconstructs the signature of face `f` as an owned vector.
+    pub fn signature(&self, f: usize) -> SignatureVector {
+        // Arena components are validated on entry (`push_signature` /
+        // `push_packed` assertions), so skip per-component re-validation.
+        SignatureVector::from_trusted(self.components(f).to_vec())
+    }
+
+    /// Heap bytes held by the arena.
+    pub fn memory_bytes(&self) -> usize {
+        (self.plus.capacity() + self.minus.capacity()) * std::mem::size_of::<u64>()
+            + self.comps.capacity()
+    }
+
+    /// `*`-aware squared distance `‖V_d − V_s(f)‖²` between a packed
+    /// sampling vector and face `f` (Definitions 8/9).
+    ///
+    /// Bit-identical to
+    /// [`difference_norm_squared`](crate::vector::difference_norm_squared)
+    /// on the unpacked vectors, for both ternary and extended queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range or the query dimension differs.
+    #[inline]
+    pub fn distance_squared(&self, f: usize, query: &PackedQuery) -> f64 {
+        assert_eq!(query.dim, self.dim, "query/plane dimension mismatch");
+        assert!(f < self.faces, "face index {f} out of range ({} faces)", self.faces);
+        match &query.kind {
+            QueryKind::Ternary { plus, minus, present } => {
+                let base = f * self.words;
+                let mut acc = 0u64;
+                for w in 0..self.words {
+                    let gp = self.plus[base + w];
+                    let gm = self.minus[base + w];
+                    let (vp, vm, pr) = (plus[w], minus[w], present[w]);
+                    // Opposite signs: |v − g| = 2 ⟹ contributes 4. Query
+                    // bits are only set on present pairs, so no masking
+                    // with `pr` is needed here.
+                    let opp = (vp & gm) | (vm & gp);
+                    // Exactly one side nonzero: contributes 1. The face
+                    // planes carry bits on `*` pairs too, so mask those.
+                    let one = ((vp | vm) ^ (gp | gm)) & pr;
+                    acc += 4 * u64::from(opp.count_ones()) + u64::from(one.count_ones());
+                }
+                acc as f64
+            }
+            QueryKind::Extended { vals, mask } => {
+                let row = &self.comps[f * self.dim..(f + 1) * self.dim];
+                let mut acc = 0.0f64;
+                // Accumulated strictly in pair order: a masked term is
+                // exactly 0.0, so the partial sums match the scalar
+                // reference bit-for-bit.
+                for i in 0..self.dim {
+                    let d = (vals[i] - row[i] as f64) * mask[i];
+                    acc += d * d;
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// A sampling vector pre-packed for the plane kernels.
+///
+/// Basic (ternary) vectors become three bit-masks (`plus`/`minus`/
+/// `present`); extended vectors become a flat value row plus a
+/// `{0.0, 1.0}` presence mask. Build once per localization, reuse across
+/// every face.
+#[derive(Debug, Clone)]
+pub struct PackedQuery {
+    dim: usize,
+    kind: QueryKind,
+}
+
+#[derive(Debug, Clone)]
+enum QueryKind {
+    Ternary { plus: Vec<u64>, minus: Vec<u64>, present: Vec<u64> },
+    Extended { vals: Vec<f64>, mask: Vec<f64> },
+}
+
+impl PackedQuery {
+    /// Packs a sampling vector, choosing the ternary bit-mask form when
+    /// every known component is in `{−1, 0, +1}` and the flat extended
+    /// form otherwise.
+    pub fn new(v: &SamplingVector) -> Self {
+        let dim = v.len();
+        if v.is_ternary() {
+            let words = words_for(dim);
+            let (mut plus, mut minus, mut present) =
+                (vec![0u64; words], vec![0u64; words], vec![0u64; words]);
+            for (i, c) in v.components().iter().enumerate() {
+                if let Some(c) = c {
+                    let (w, b) = (i / 64, i % 64);
+                    present[w] |= 1 << b;
+                    plus[w] |= u64::from(*c == 1.0) << b;
+                    minus[w] |= u64::from(*c == -1.0) << b;
+                }
+            }
+            Self { dim, kind: QueryKind::Ternary { plus, minus, present } }
+        } else {
+            let mut vals = Vec::with_capacity(dim);
+            let mut mask = Vec::with_capacity(dim);
+            for c in v.components() {
+                vals.push(c.unwrap_or(0.0));
+                mask.push(if c.is_some() { 1.0 } else { 0.0 });
+            }
+            Self { dim, kind: QueryKind::Extended { vals, mask } }
+        }
+    }
+
+    /// Pair-component dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` when the query took the ternary bit-mask fast path.
+    pub fn is_packed_ternary(&self) -> bool {
+        matches!(self.kind, QueryKind::Ternary { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::difference_norm_squared;
+
+    fn planes_of(sigs: &[SignatureVector]) -> SignaturePlanes {
+        SignaturePlanes::from_signatures(sigs[0].len(), sigs.iter())
+    }
+
+    #[test]
+    fn ternary_distance_matches_scalar() {
+        let sigs =
+            vec![SignatureVector::new(vec![1, -1, 0, 1]), SignatureVector::new(vec![0, 0, 1, -1])];
+        let planes = planes_of(&sigs);
+        let v = SamplingVector::from_ternary(vec![Some(1), None, Some(-1), Some(0)]);
+        let q = PackedQuery::new(&v);
+        assert!(q.is_packed_ternary());
+        for (f, sig) in sigs.iter().enumerate() {
+            assert_eq!(planes.distance_squared(f, &q), difference_norm_squared(&v, sig));
+        }
+    }
+
+    #[test]
+    fn extended_distance_matches_scalar_bit_for_bit() {
+        let sigs = vec![SignatureVector::new(vec![1, 0, -1]), SignatureVector::new(vec![0, 1, 1])];
+        let planes = planes_of(&sigs);
+        let v = SamplingVector::new(vec![Some(1.0 / 3.0), None, Some(-0.7)]);
+        let q = PackedQuery::new(&v);
+        assert!(!q.is_packed_ternary());
+        for (f, sig) in sigs.iter().enumerate() {
+            let got = planes.distance_squared(f, &q);
+            let want = difference_norm_squared(&v, sig);
+            assert_eq!(got.to_bits(), want.to_bits(), "face {f}");
+        }
+    }
+
+    #[test]
+    fn crosses_word_boundary() {
+        // 130 components spans three words; exercise bits 63, 64, 128.
+        let dim = 130;
+        let mut comps = vec![0i8; dim];
+        comps[63] = 1;
+        comps[64] = -1;
+        comps[128] = 1;
+        let sigs = vec![SignatureVector::new(comps)];
+        let planes = planes_of(&sigs);
+        let mut sample: Vec<Option<i8>> = vec![Some(0); dim];
+        sample[63] = Some(-1); // opposite: 4
+        sample[64] = None; // star: 0
+        sample[129] = Some(1); // one-sided: 1  (plus comps[128] one-sided: 1)
+        let v = SamplingVector::from_ternary(sample);
+        let q = PackedQuery::new(&v);
+        assert_eq!(planes.distance_squared(0, &q), 6.0);
+        assert_eq!(planes.distance_squared(0, &q), difference_norm_squared(&v, &sigs[0]));
+    }
+
+    #[test]
+    fn push_packed_round_trips() {
+        let sig = SignatureVector::new(vec![1, 0, -1, 1, -1]);
+        let mut a = SignaturePlanes::new(5);
+        a.push_signature(&sig);
+        let mut b = SignaturePlanes::new(5);
+        b.push_packed(a.plus(0), a.minus(0));
+        assert_eq!(a, b);
+        assert_eq!(b.signature(0), sig);
+        assert_eq!(b.components(0), sig.components());
+    }
+
+    #[test]
+    fn all_star_query_is_zero_distance_everywhere() {
+        let sigs = vec![SignatureVector::new(vec![1, -1, 0])];
+        let planes = planes_of(&sigs);
+        let v = SamplingVector::from_ternary(vec![None, None, None]);
+        let q = PackedQuery::new(&v);
+        assert_eq!(planes.distance_squared(0, &q), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_rejected() {
+        let planes = planes_of(&[SignatureVector::new(vec![1, 0])]);
+        let q = PackedQuery::new(&SamplingVector::from_ternary(vec![Some(1)]));
+        let _ = planes.distance_squared(0, &q);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_planes_rejected() {
+        let mut planes = SignaturePlanes::new(3);
+        planes.push_packed(&[0b011], &[0b001]);
+    }
+
+    #[test]
+    #[should_panic(expected = "padding bits")]
+    fn padding_bits_rejected() {
+        let mut planes = SignaturePlanes::new(3);
+        planes.push_packed(&[0b1000], &[0]);
+    }
+}

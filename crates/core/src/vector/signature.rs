@@ -27,6 +27,16 @@ impl SignatureVector {
         Self { components: components.into_boxed_slice() }
     }
 
+    /// Wraps components already known to be valid (non-empty, every value
+    /// in `{-1, 0, 1}`) — the per-face materialization path out of the
+    /// packed plane arena, where the invariant holds by construction and
+    /// re-validating every component would be the loop's main cost.
+    pub(crate) fn from_trusted(components: Vec<i8>) -> Self {
+        debug_assert!(!components.is_empty());
+        debug_assert!(components.iter().all(|v| (-1..=1).contains(v)));
+        Self { components: components.into_boxed_slice() }
+    }
+
     /// Builds a signature from per-pair region classifications.
     pub fn from_regions<I: IntoIterator<Item = PairRegion>>(regions: I) -> Self {
         let comps: Vec<i8> = regions.into_iter().map(|r| r.signature_component()).collect();

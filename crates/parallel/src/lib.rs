@@ -4,7 +4,7 @@
 //! Monte-Carlo experiment sweeps are embarrassingly parallel. Rather than
 //! pulling in rayon, this crate implements the one primitive the suite
 //! needs — an indexed parallel map with dynamic load balancing — on
-//! `crossbeam::scope` plus an atomic chunk dispenser, following the
+//! `std::thread::scope` plus an atomic chunk dispenser, following the
 //! scoped-threads + atomics idioms of the session's HPC guides.
 //!
 //! Guarantees:

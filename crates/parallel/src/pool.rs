@@ -1,7 +1,7 @@
 //! Indexed parallel map with dynamic chunk dispatch.
 
-use crossbeam::channel;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped at 16 (the workloads here stop scaling long before
@@ -36,6 +36,12 @@ where
 /// [`par_map`] with an explicit worker count (`threads == 1` runs inline,
 /// useful for debugging and for measuring scaling).
 ///
+/// Results land in a slot vector preallocated to the exact chunk count:
+/// each worker claims a chunk index from the shared cursor, maps that
+/// contiguous item range, and stores the values in the chunk's own slot
+/// (one uncontended lock per chunk). Reassembly is a flat in-order drain —
+/// no channel and no per-item `Option` bookkeeping.
+///
 /// # Panics
 ///
 /// Panics if `threads == 0`, or re-panics if `f` panicked on any worker.
@@ -56,42 +62,49 @@ where
     // Aim for ~8 chunks per worker so stragglers re-balance, while keeping
     // dispatch overhead negligible.
     let chunk = (items.len() / (threads * 8)).max(1);
+    let n_chunks = items.len().div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
     let workers = threads.min(items.len());
-    let (tx, rx) = channel::unbounded::<(usize, Vec<U>)>();
 
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move |_| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
-                }
-                let end = (start + chunk).min(items.len());
-                let values: Vec<U> =
-                    items[start..end].iter().enumerate().map(|(k, x)| f(start + k, x)).collect();
-                // The receiver outlives the scope; a send failure can only
-                // mean the parent is unwinding already.
-                let _ = tx.send((start, values));
-            });
-        }
-        drop(tx);
-    })
-    .expect("parallel map worker panicked");
+    let slots: Vec<Mutex<Vec<U>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
 
-    // Reassemble in index order.
-    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    for (start, values) in rx.try_iter() {
-        for (k, v) in values.into_iter().enumerate() {
-            out[start + k] = Some(v);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let slots = &slots;
+                let f = &f;
+                s.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    let start = idx * chunk;
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    let values: Vec<U> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, x)| f(start + k, x))
+                        .collect();
+                    // Each chunk index is claimed exactly once, so this lock
+                    // is always uncontended.
+                    *slots[idx].lock().unwrap_or_else(|e| e.into_inner()) = values;
+                })
+            })
+            .collect();
+        for handle in handles {
+            if handle.join().is_err() {
+                panic!("parallel map worker panicked");
+            }
         }
+    });
+
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.append(&mut slot.into_inner().unwrap_or_else(|e| e.into_inner()));
     }
-    out.into_iter()
-        .map(|slot| slot.expect("every index must be produced exactly once"))
-        .collect()
+    debug_assert_eq!(out.len(), items.len());
+    out
 }
 
 #[cfg(test)]
@@ -103,7 +116,7 @@ mod tests {
     fn matches_sequential_map() {
         let items: Vec<u64> = (0..10_000).collect();
         let expected: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
-        for threads in [1, 2, 3, 8] {
+        for threads in [1, 2, 3, 8, 16] {
             let got = par_map_threads(threads, &items, |i, x| x * 3 + i as u64);
             assert_eq!(got, expected, "threads={threads}");
         }
@@ -145,6 +158,14 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_items() {
+        // Worker count must clamp to the item count without deadlocking.
+        let items: Vec<u32> = (0..5).collect();
+        let out = par_map_threads(32, &items, |_, &x| x + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
     #[should_panic(expected = "worker panicked")]
     fn worker_panic_propagates() {
         let items: Vec<u32> = (0..100).collect();
@@ -173,6 +194,9 @@ mod tests {
                 (0..100).map(|_| rng.gen::<f64>()).sum::<f64>()
             })
         };
-        assert_eq!(run(1), run(7));
+        let reference = run(1);
+        for threads in [2, 3, 5, 7, 13, 16] {
+            assert_eq!(reference, run(threads), "threads={threads}");
+        }
     }
 }

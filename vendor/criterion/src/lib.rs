@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! plain wall-clock harness: calibrating warmup, then `sample_size` timed
+//! samples, reporting min/median/mean ns per iteration to stdout. There is
+//! no statistical regression analysis, HTML report, or CLI filtering.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle passed to every `criterion_group!` target.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(1200) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: 30 }
+    }
+
+    /// Registers a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let warm_up = self.warm_up;
+        let measurement = self.measurement;
+        run_benchmark(&id.to_string(), warm_up, measurement, 30, f);
+        self
+    }
+}
+
+/// A named benchmark within a group (`name/parameter`).
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { repr: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { repr: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark named `{group}/{id}`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.warm_up, self.criterion.measurement, self.sample_size, f);
+        self
+    }
+
+    /// Runs `f(bencher, input)` as a benchmark named `{group}/{id}`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: calibrates an iteration count during warmup, then
+    /// collects `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup doubles the batch size until it covers the warmup budget,
+        // which also brings code and data into cache.
+        let mut batch: u64 = 1;
+        let mut per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.warm_up || batch >= 1 << 40 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+        if per_iter_ns <= 0.0 {
+            per_iter_ns = 1.0;
+        }
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (budget_ns / per_iter_ns).ceil().max(1.0) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, warm_up: Duration, measurement: Duration, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher =
+        Bencher { warm_up, measurement, sample_size, samples_ns: Vec::with_capacity(sample_size) };
+    f(&mut bencher);
+    let mut samples = bencher.samples_ns;
+    if samples.is_empty() {
+        println!("  {label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "  {label:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (CLI arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_micros(200),
+            measurement: Duration::from_micros(500),
+        }
+    }
+
+    #[test]
+    fn group_runs_benchmarks_and_reports() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("sum", |b| {
+            ran += 1;
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("exhaustive", 20).to_string(), "exhaustive/20");
+        assert_eq!(BenchmarkId::from_parameter(4).to_string(), "4");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            warm_up: Duration::from_micros(100),
+            measurement: Duration::from_micros(400),
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(5));
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s >= 0.0));
+    }
+
+    criterion_group!(demo_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        // Replace the default budgets so the test stays fast.
+        *c = fast_criterion();
+        let mut g = c.benchmark_group("noop");
+        g.sample_size(2);
+        g.bench_function("id", |b| b.iter(|| 1u64));
+        g.finish();
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        demo_group();
+    }
+}

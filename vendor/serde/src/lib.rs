@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde`.
+//!
+//! [`Serialize`] and [`Deserialize`] are empty marker traits: enough for the
+//! workspace's `#[cfg_attr(feature = "serde", derive(...))]` attributes and
+//! generic bounds to compile, with no actual serialization machinery. The
+//! `serde_json` stub pairs with this by returning errors at runtime, so the
+//! feature-gated round-trip tests are not supported offline (the default
+//! build never enables them).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<[T]> {}
+impl Serialize for f64 {}
+impl Serialize for f32 {}
+impl Serialize for u8 {}
+impl Serialize for i8 {}
+impl Serialize for u32 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for bool {}
+impl Serialize for String {}
+impl Serialize for str {}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {}
+impl<'de> Deserialize<'de> for f64 {}
+impl<'de> Deserialize<'de> for f32 {}
+impl<'de> Deserialize<'de> for u8 {}
+impl<'de> Deserialize<'de> for i8 {}
+impl<'de> Deserialize<'de> for u32 {}
+impl<'de> Deserialize<'de> for u64 {}
+impl<'de> Deserialize<'de> for usize {}
+impl<'de> Deserialize<'de> for bool {}
+impl<'de> Deserialize<'de> for String {}

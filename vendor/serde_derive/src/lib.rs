@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` defines [`Serialize`]/[`Deserialize`] as empty
+//! marker traits; these derives emit the corresponding marker impls so that
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]` attributes
+//! across the workspace still compile when the feature is enabled. No
+//! serialization code is generated — `serde_json`'s stub functions return
+//! errors at runtime.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name a `derive` is attached to: the identifier right
+/// after the first `struct` or `enum` keyword. Generic types are rejected
+/// (nothing in this workspace derives serde on a generic type).
+fn derived_type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde_derive stub: expected type name, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde_derive stub: generic type `{name}` is not supported; \
+                             write the marker impl by hand"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct or enum found in derive input");
+}
+
+/// No-op `Serialize` derive: emits only the marker-trait impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = derived_type_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().expect("valid impl tokens")
+}
+
+/// No-op `Deserialize` derive: emits only the marker-trait impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = derived_type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}

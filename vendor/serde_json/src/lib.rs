@@ -1,0 +1,53 @@
+//! Offline compile-only stand-in for `serde_json`.
+//!
+//! This crate exists so that dev-dependencies on `serde_json` resolve
+//! without a registry. The functions compile against the vendored `serde`
+//! marker traits but return [`Error`] at runtime: JSON round-trip tests are
+//! gated behind the non-default `serde` feature and are not supported in
+//! this offline environment. Code that needs to *emit* JSON (e.g. the bench
+//! snapshot writer) formats it by hand instead.
+
+use std::fmt;
+
+/// The error every stub operation returns.
+#[derive(Debug)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json offline stub: {} is not implemented", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stub result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails: serialization is not available offline.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error { what: "to_string" })
+}
+
+/// Always fails: serialization is not available offline.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error { what: "to_string_pretty" })
+}
+
+/// Always fails: deserialization is not available offline.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error { what: "from_str" })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stub_reports_errors() {
+        let err = super::to_string(&1.0f64).unwrap_err();
+        assert!(err.to_string().contains("offline stub"));
+        let err = super::from_str::<f64>("1.0").unwrap_err();
+        assert!(err.to_string().contains("offline stub"));
+    }
+}
