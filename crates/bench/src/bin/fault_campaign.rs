@@ -1,0 +1,60 @@
+//! The fault campaign: sweeps fault regimes × session-wrapped trackers,
+//! prints the degradation table, writes `BENCH_robustness.json` and exits
+//! non-zero on any graceful-degradation envelope violation.
+//!
+//! Usage: `fault_campaign [--seed N] [--trials N] [--fast]`
+//! (`--fast` runs the reduced tier-1 smoke workload).
+
+use fttt_bench::robustness::{
+    campaign_field_side, check_envelopes, render_json, run_campaign, CampaignConfig,
+};
+use fttt_bench::{Cli, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut cfg = if cli.fast { CampaignConfig::fast(cli.seed) } else { CampaignConfig::full(cli.seed) };
+    if let Some(trials) = cli.trials {
+        cfg.trials = trials.max(1);
+    }
+    let rows = run_campaign(&cfg);
+    let mut table = Table::new(
+        format!(
+            "Fault campaign ({} trials x {} s, {} nodes, seed {})",
+            cfg.trials, cfg.duration, cfg.nodes, cfg.seed
+        ),
+        &[
+            "regime", "rate", "method", "mean err (m)", "worst (m)", "lost", "degraded",
+            "recovered", "mean k",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.regime.clone(),
+            r.fault_rate.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            r.method.to_string(),
+            format!("{:.2}", r.mean_error),
+            format!("{:.2}", r.worst_error),
+            format!("{:.1}%", 100.0 * r.lost_fraction),
+            format!("{:.1}%", 100.0 * r.degraded_fraction),
+            format!("{}/{}", (r.recovery_rate * r.trials_lost as f64).round(), r.trials_lost),
+            format!("{:.2}", r.mean_samples),
+        ]);
+    }
+    table.print();
+
+    let violations = check_envelopes(&rows, campaign_field_side(&cfg));
+    let json = render_json(&rows, &cfg, &violations);
+    let path = "BENCH_robustness.json";
+    std::fs::write(path, json).expect("write BENCH_robustness.json");
+    println!("\nwrote {path}");
+
+    if violations.is_empty() {
+        println!("all graceful-degradation envelopes hold");
+    } else {
+        eprintln!("\n{} envelope violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,423 @@
+//! The fault campaign: graceful-degradation envelopes for self-healing
+//! tracking sessions under composable fault regimes.
+//!
+//! Each campaign cell runs seeded Monte-Carlo trials of a
+//! [`TrackingSession`] (basic or extended FTTT under the heuristic matcher
+//! with the session's recovery ladder) against a fault regime described in
+//! the `wsn_network::spec` schedule language — the same parser users feed
+//! config files through, so the campaign doubles as an end-to-end test of
+//! that path. Two families of cells:
+//!
+//! * a **node-failure sweep** over rates {0, 0.1, 0.3, 0.5}, the paper's
+//!   Section-7 fault axis, which must show *graceful* degradation: error
+//!   grows with the rate but stays inside an envelope anchored at the
+//!   fault-free mean and capped below a blind field-centre guess;
+//! * **showcase regimes** exercising each [`wsn_network::RegimeKind`]:
+//!   bursty loss, a total blackout window (which must drive the session
+//!   Lost *and back*), energy-coupled death, stuck-at and drifting
+//!   sensors.
+//!
+//! [`check_envelopes`] turns those expectations into machine-checked
+//! assertions; the `fault_campaign` binary and the CLI `campaign`
+//! subcommand print the table, write `BENCH_robustness.json` and fail on
+//! any violation.
+
+use fttt::config::PaperParams;
+use fttt::session::{SessionOptions, SessionRun, TrackStatus, TrackingSession};
+use fttt::tracker::{Tracker, TrackerOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_network::{GroupSampler, Schedule};
+use wsn_parallel::{par_map, seed_for};
+
+/// Campaign workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed; every trial derives deterministically from it.
+    pub seed: u64,
+    /// Monte-Carlo trials per campaign cell.
+    pub trials: usize,
+    /// Trace duration per trial, seconds.
+    pub duration: f64,
+    /// Deployed node count.
+    pub nodes: usize,
+}
+
+impl CampaignConfig {
+    /// The full campaign workload.
+    pub fn full(seed: u64) -> Self {
+        Self { seed, trials: 6, duration: 40.0, nodes: 10 }
+    }
+
+    /// A reduced smoke workload (seeded, a few seconds of wall clock) for
+    /// tier-1 CI.
+    pub fn fast(seed: u64) -> Self {
+        Self { seed, trials: 3, duration: 20.0, nodes: 8 }
+    }
+}
+
+/// The node-failure rates of the sweep family (the paper's fault axis).
+pub const SWEEP_RATES: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
+
+/// Regime label of the sweep family rows.
+pub const SWEEP_REGIME: &str = "node-failure";
+
+/// Regime label of the blackout showcase (the Lost→Tracking regression
+/// anchor).
+pub const BLACKOUT_REGIME: &str = "blackout";
+
+/// The showcase regimes: `(label, schedule text)`. Windows are placed
+/// inside even the fast config's 20 s trace.
+pub fn showcase_regimes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("burst", "burst enter=0.15 exit=0.35 loss_bad=0.95"),
+        (BLACKOUT_REGIME, "outage from=8 until=14"),
+        ("energy", "energy battery=0.003"),
+        ("stuck", "stuck nodes=0,1 from=5"),
+        ("drift", "drift nodes=2 from=5 rate=0.5"),
+    ]
+}
+
+/// One campaign cell: a (regime, method) pair aggregated over trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Regime label (`node-failure` for the sweep family).
+    pub regime: String,
+    /// Method label.
+    pub method: &'static str,
+    /// Node-failure rate for sweep rows, `None` for showcase rows.
+    pub fault_rate: Option<f64>,
+    /// Mean over trials of the per-trial mean error, metres.
+    pub mean_error: f64,
+    /// Largest per-trial mean error (worst world).
+    pub worst_error: f64,
+    /// Mean fraction of rounds spent [`TrackStatus::Lost`].
+    pub lost_fraction: f64,
+    /// Mean fraction of rounds spent [`TrackStatus::Degraded`].
+    pub degraded_fraction: f64,
+    /// Trials that entered [`TrackStatus::Lost`] at least once.
+    pub trials_lost: usize,
+    /// Among `trials_lost`, the fraction that returned to
+    /// [`TrackStatus::Tracking`] afterwards (1.0 when none were lost).
+    pub recovery_rate: f64,
+    /// Mean sampling times `k` per round (adaptive escalation cost).
+    pub mean_samples: f64,
+}
+
+/// The two session-wrapped trackers under test.
+const METHODS: [(&str, bool); 2] = [("FTTT-basic", false), ("FTTT-ext", true)];
+
+fn campaign_params(cfg: &CampaignConfig) -> PaperParams {
+    PaperParams::default().with_nodes(cfg.nodes).with_cell_size(2.0)
+}
+
+/// Runs one seeded session trial against a parsed schedule.
+fn run_session_trial(
+    params: &PaperParams,
+    extended: bool,
+    schedule: &Schedule,
+    duration: f64,
+    seed: u64,
+) -> SessionRun {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Grid deployment: the campaign compares fault regimes, so the
+    // geometry is held fixed and only noise/faults vary per trial.
+    let field = params.grid_field();
+    let trace = params.random_trace(duration, &mut rng);
+    let map = params.face_map(&field);
+    let options =
+        if extended { TrackerOptions { extended: true, ..TrackerOptions::heuristic() } } else { TrackerOptions::heuristic() };
+    let session_options =
+        SessionOptions::new(params.samples_k).with_max_speed(params.max_speed);
+    let mut session = TrackingSession::new(Tracker::new(map, options), session_options);
+    let mut engine = schedule.engine(field.len());
+    let base = params.sampler();
+    session.run(&trace, &mut rng, |k, pos, t, r| {
+        let sampler = GroupSampler { samples: k, ..base.clone() };
+        let mut g = sampler.sample(&field, pos, r);
+        engine.apply(t, &mut g, r);
+        g
+    })
+}
+
+fn aggregate(
+    regime: &str,
+    method: &'static str,
+    fault_rate: Option<f64>,
+    runs: &[SessionRun],
+) -> CampaignRow {
+    let n = runs.len() as f64;
+    let means: Vec<f64> = runs.iter().map(|r| r.error_stats().mean).collect();
+    let frac = |status: TrackStatus| {
+        runs.iter()
+            .map(|r| r.rounds_in(status) as f64 / r.rounds.len() as f64)
+            .sum::<f64>()
+            / n
+    };
+    let lost: Vec<&SessionRun> =
+        runs.iter().filter(|r| r.rounds_in(TrackStatus::Lost) > 0).collect();
+    let recovery_rate = if lost.is_empty() {
+        1.0
+    } else {
+        lost.iter().filter(|r| r.recovered_from_lost()).count() as f64 / lost.len() as f64
+    };
+    CampaignRow {
+        regime: regime.to_string(),
+        method,
+        fault_rate,
+        mean_error: means.iter().sum::<f64>() / n,
+        worst_error: means.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+        lost_fraction: frac(TrackStatus::Lost),
+        degraded_fraction: frac(TrackStatus::Degraded),
+        trials_lost: lost.len(),
+        recovery_rate,
+        mean_samples: runs
+            .iter()
+            .map(|r| r.total_samples() as f64 / r.rounds.len() as f64)
+            .sum::<f64>()
+            / n,
+    }
+}
+
+/// Runs one campaign cell: `trials` seeded trials of `(schedule, method)`.
+fn run_cell(
+    cfg: &CampaignConfig,
+    params: &PaperParams,
+    regime: &str,
+    method: (&'static str, bool),
+    fault_rate: Option<f64>,
+    schedule: &Schedule,
+) -> CampaignRow {
+    let idx: Vec<u64> = (0..cfg.trials as u64).collect();
+    let runs: Vec<SessionRun> = par_map(&idx, |_, &i| {
+        run_session_trial(params, method.1, schedule, cfg.duration, seed_for(cfg.seed, i))
+    });
+    aggregate(regime, method.0, fault_rate, &runs)
+}
+
+/// Runs the whole campaign: the node-failure sweep then the showcase
+/// regimes, for both methods, in deterministic row order.
+///
+/// # Panics
+///
+/// Panics if `cfg.trials == 0` or a built-in schedule fails to parse
+/// (which would be a bug in this module).
+pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CampaignRow> {
+    assert!(cfg.trials > 0, "need at least one trial");
+    let params = campaign_params(cfg);
+    let mut rows = Vec::new();
+    for method in METHODS {
+        for rate in SWEEP_RATES {
+            let schedule = Schedule::parse(&format!("static node_failure={rate}"))
+                .expect("sweep schedule is valid");
+            rows.push(run_cell(cfg, &params, SWEEP_REGIME, method, Some(rate), &schedule));
+        }
+    }
+    for (label, text) in showcase_regimes() {
+        let schedule = Schedule::parse(text).expect("showcase schedule is valid");
+        for method in METHODS {
+            rows.push(run_cell(cfg, &params, label, method, None, &schedule));
+        }
+    }
+    rows
+}
+
+/// Runs both session-wrapped methods against one user-provided schedule
+/// (the CLI `campaign --schedule` path). Row order follows [`METHODS`].
+///
+/// # Panics
+///
+/// Panics if `cfg.trials == 0`.
+pub fn run_custom_schedule(
+    cfg: &CampaignConfig,
+    label: &str,
+    schedule: &Schedule,
+) -> Vec<CampaignRow> {
+    assert!(cfg.trials > 0, "need at least one trial");
+    let params = campaign_params(cfg);
+    METHODS
+        .iter()
+        .map(|&method| run_cell(cfg, &params, label, method, None, schedule))
+        .collect()
+}
+
+/// Checks the graceful-degradation envelopes; returns one message per
+/// violation (empty = campaign passes).
+///
+/// * every cell's error is finite and positive;
+/// * no cell degrades past a blind field-centre guess
+///   (`0.55 × field_side`);
+/// * per method, sweep means stay inside the envelope anchored at the
+///   fault-free mean: `mean(rate) ≤ 3 × mean(0) + 12 m`;
+/// * the blackout showcase actually drives sessions Lost, and a majority
+///   of those sessions recover to Tracking.
+pub fn check_envelopes(rows: &[CampaignRow], field_side: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let blind_guess = 0.55 * field_side;
+    for r in rows {
+        if !r.mean_error.is_finite() || r.mean_error <= 0.0 {
+            violations.push(format!(
+                "{}/{}: mean error {} is not finite-positive",
+                r.regime, r.method, r.mean_error
+            ));
+        } else if r.mean_error > blind_guess {
+            violations.push(format!(
+                "{}/{}: mean error {:.1} m exceeds the blind-guess scale {:.1} m",
+                r.regime, r.method, r.mean_error, blind_guess
+            ));
+        }
+    }
+    for (label, _) in METHODS {
+        let sweep: Vec<&CampaignRow> = rows
+            .iter()
+            .filter(|r| r.regime == SWEEP_REGIME && r.method == label)
+            .collect();
+        let Some(baseline) = sweep.iter().find(|r| r.fault_rate == Some(0.0)) else {
+            violations.push(format!("{label}: sweep has no fault-free baseline row"));
+            continue;
+        };
+        for r in &sweep {
+            let bound = 3.0 * baseline.mean_error + 12.0;
+            if r.mean_error > bound {
+                violations.push(format!(
+                    "{label}: rate {:?} mean {:.1} m breaks the envelope {:.1} m \
+                     (3 × fault-free {:.1} m + 12 m)",
+                    r.fault_rate, r.mean_error, bound, baseline.mean_error
+                ));
+            }
+        }
+    }
+    for r in rows.iter().filter(|r| r.regime == BLACKOUT_REGIME) {
+        if r.trials_lost == 0 {
+            violations.push(format!(
+                "{}/{}: no trial entered Lost during a total blackout",
+                r.regime, r.method
+            ));
+        } else if r.recovery_rate < 0.5 {
+            violations.push(format!(
+                "{}/{}: only {:.0}% of lost sessions recovered after the blackout",
+                r.regime,
+                r.method,
+                100.0 * r.recovery_rate
+            ));
+        }
+    }
+    violations
+}
+
+/// The field side the campaign runs on (for envelope scaling).
+pub fn campaign_field_side(cfg: &CampaignConfig) -> f64 {
+    campaign_params(cfg).field_side
+}
+
+/// Hand-formatted JSON artifact (the vendored `serde_json` is a
+/// compile-only stub).
+pub fn render_json(rows: &[CampaignRow], cfg: &CampaignConfig, violations: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fault_campaign\",\n");
+    out.push_str("  \"config\": {\n");
+    out.push_str(&format!("    \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("    \"trials\": {},\n", cfg.trials));
+    out.push_str(&format!("    \"duration_s\": {},\n", cfg.duration));
+    out.push_str(&format!("    \"nodes\": {},\n", cfg.nodes));
+    out.push_str(&format!("    \"field_side_m\": {},\n", campaign_field_side(cfg)));
+    out.push_str(&format!("    \"sweep_rates\": {:?},\n", SWEEP_RATES));
+    out.push_str(
+        "    \"envelope\": \"mean(rate) <= 3*mean(0) + 12 m; all cells <= 0.55*field_side; \
+         blackout must reach Lost and majority-recover\"\n",
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"regime\": \"{}\",\n", r.regime));
+        out.push_str(&format!("      \"method\": \"{}\",\n", r.method));
+        match r.fault_rate {
+            Some(rate) => out.push_str(&format!("      \"fault_rate\": {rate},\n")),
+            None => out.push_str("      \"fault_rate\": null,\n"),
+        }
+        out.push_str(&format!("      \"mean_error_m\": {:.3},\n", r.mean_error));
+        out.push_str(&format!("      \"worst_error_m\": {:.3},\n", r.worst_error));
+        out.push_str(&format!("      \"lost_fraction\": {:.4},\n", r.lost_fraction));
+        out.push_str(&format!("      \"degraded_fraction\": {:.4},\n", r.degraded_fraction));
+        out.push_str(&format!("      \"trials_lost\": {},\n", r.trials_lost));
+        out.push_str(&format!("      \"recovery_rate\": {:.3},\n", r.recovery_rate));
+        out.push_str(&format!("      \"mean_samples\": {:.2}\n", r.mean_samples));
+        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"violations\": {},\n", violations.len()));
+    out.push_str(&format!("  \"pass\": {}\n", violations.is_empty()));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn showcase_schedules_all_parse() {
+        for (label, text) in showcase_regimes() {
+            assert!(Schedule::parse(text).is_ok(), "{label} schedule must parse");
+        }
+    }
+
+    #[test]
+    fn single_trial_cell_is_deterministic() {
+        let cfg = CampaignConfig { seed: 9, trials: 1, duration: 5.0, nodes: 8 };
+        let params = campaign_params(&cfg);
+        let schedule = Schedule::parse("static node_failure=0.3").unwrap();
+        let a = run_session_trial(&params, false, &schedule, cfg.duration, 123);
+        let b = run_session_trial(&params, false, &schedule, cfg.duration, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn envelope_flags_blowup_and_missing_baseline() {
+        let row = |regime: &str, rate: Option<f64>, mean: f64| CampaignRow {
+            regime: regime.to_string(),
+            method: "FTTT-basic",
+            fault_rate: rate,
+            mean_error: mean,
+            worst_error: mean,
+            lost_fraction: 0.0,
+            degraded_fraction: 0.0,
+            trials_lost: 0,
+            recovery_rate: 1.0,
+            mean_samples: 5.0,
+        };
+        // A 0-rate baseline of 5 m and a 0.5-rate mean of 40 m breaks
+        // 3·5 + 12 = 27 m.
+        let rows =
+            vec![row(SWEEP_REGIME, Some(0.0), 5.0), row(SWEEP_REGIME, Some(0.5), 40.0)];
+        let v = check_envelopes(&rows, 100.0);
+        assert_eq!(v.len(), 2, "envelope + missing FTTT-ext baseline: {v:?}");
+        // A blackout row that never reached Lost is a violation too.
+        let rows = vec![row(BLACKOUT_REGIME, None, 10.0)];
+        let v = check_envelopes(&rows, 100.0);
+        assert!(v.iter().any(|m| m.contains("entered Lost")), "{v:?}");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cfg = CampaignConfig::fast(1);
+        let rows = vec![CampaignRow {
+            regime: "burst".into(),
+            method: "FTTT-basic",
+            fault_rate: None,
+            mean_error: 9.5,
+            worst_error: 12.0,
+            lost_fraction: 0.1,
+            degraded_fraction: 0.2,
+            trials_lost: 1,
+            recovery_rate: 1.0,
+            mean_samples: 6.0,
+        }];
+        let json = render_json(&rows, &cfg, &[]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"fault_rate\": null"));
+        assert!(json.contains("\"pass\": true"));
+    }
+}

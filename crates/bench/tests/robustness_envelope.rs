@@ -1,0 +1,45 @@
+//! Tier-1 smoke sweep of the fault campaign: the seeded fast workload must
+//! hold every graceful-degradation envelope. This is the regression gate —
+//! a change that makes the trackers or sessions degrade non-gracefully
+//! under faults fails here, in seconds, without running the full campaign.
+
+use fttt_bench::robustness::{
+    campaign_field_side, check_envelopes, run_campaign, CampaignConfig, BLACKOUT_REGIME,
+    SWEEP_RATES, SWEEP_REGIME,
+};
+
+#[test]
+fn fast_campaign_holds_all_envelopes() {
+    let cfg = CampaignConfig::fast(42);
+    let rows = run_campaign(&cfg);
+    // Both methods × (4 sweep rates + 5 showcase regimes).
+    assert_eq!(rows.len(), 2 * (SWEEP_RATES.len() + 5));
+    let violations = check_envelopes(&rows, campaign_field_side(&cfg));
+    assert!(violations.is_empty(), "envelope violations:\n{}", violations.join("\n"));
+
+    // The sweep anchors: fault-free cells must be meaningfully better than
+    // the blind-guess scale, not merely under it.
+    for r in rows.iter().filter(|r| r.fault_rate == Some(0.0)) {
+        assert!(
+            r.mean_error < 0.25 * campaign_field_side(&cfg),
+            "{}: fault-free mean {:.1} m is no better than guessing",
+            r.method,
+            r.mean_error
+        );
+    }
+    // The blackout showcase is the Lost→Tracking regression anchor; the
+    // envelope check enforces recovery, this asserts it actually triggered.
+    for r in rows.iter().filter(|r| r.regime == BLACKOUT_REGIME) {
+        assert!(r.trials_lost > 0, "{}: blackout never reached Lost", r.method);
+        assert!(r.lost_fraction > 0.0);
+    }
+    let _ = SWEEP_REGIME;
+}
+
+#[test]
+fn campaign_rows_are_deterministic() {
+    let cfg = CampaignConfig { seed: 7, trials: 2, duration: 8.0, nodes: 8 };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a, b, "same seed must reproduce the campaign exactly");
+}

@@ -13,6 +13,7 @@ COMMANDS:
     track     run one tracking simulation and report per-point errors
     facemap   build a face map and print its statistics
     sweep     Monte-Carlo sweep of the node count for one method
+    campaign  fault campaign: self-healing sessions across fault regimes
     theory    print the Section-5 sampling-times table
     help      show this message
 
@@ -31,6 +32,9 @@ OPTIONS:
     --render          ASCII-render the field/trajectory
     --save <PATH>     (facemap) write the built map to a binary file
     --load <PATH>     (facemap) load a map instead of building one
+    --fast            (campaign) reduced smoke workload
+    --schedule <PATH> (campaign) run one regime-schedule file instead of
+                      the built-in sweep (see DESIGN.md for the format)
 ";
 
 /// Parsed options (flat across subcommands; each uses what it needs).
@@ -50,6 +54,8 @@ pub struct Options {
     pub render: bool,
     pub save: Option<std::path::PathBuf>,
     pub load: Option<std::path::PathBuf>,
+    pub fast: bool,
+    pub schedule: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -69,6 +75,8 @@ impl Default for Options {
             render: false,
             save: None,
             load: None,
+            fast: false,
+            schedule: None,
         }
     }
 }
@@ -97,6 +105,8 @@ impl Options {
                 "--render" => o.render = true,
                 "--save" => o.save = Some(value("--save")?.into()),
                 "--load" => o.load = Some(value("--load")?.into()),
+                "--fast" => o.fast = true,
+                "--schedule" => o.schedule = Some(value("--schedule")?.into()),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }

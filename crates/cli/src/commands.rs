@@ -148,6 +148,66 @@ pub fn sweep(opts: &Options) {
     t.print();
 }
 
+/// `fttt-sim campaign`: fault regimes × self-healing sessions, with
+/// graceful-degradation envelope checks. `--schedule PATH` runs one
+/// user-written regime schedule instead of the built-in sweep; a malformed
+/// file is rejected at parse time with the offending line.
+pub fn campaign(opts: &Options) {
+    use fttt_bench::robustness::{
+        campaign_field_side, check_envelopes, run_campaign, run_custom_schedule, CampaignConfig,
+    };
+    let mut cfg =
+        if opts.fast { CampaignConfig::fast(opts.seed) } else { CampaignConfig::full(opts.seed) };
+    cfg.trials = opts.trials.max(1);
+    let (rows, check) = match &opts.schedule {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let schedule = wsn_network::Schedule::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let label = path.file_stem().and_then(|s| s.to_str()).unwrap_or("schedule");
+            (run_custom_schedule(&cfg, label, &schedule), false)
+        }
+        None => (run_campaign(&cfg), true),
+    };
+    let mut t = Table::new(
+        format!(
+            "fault campaign ({} trials x {:.0} s, {} nodes, seed {})",
+            cfg.trials, cfg.duration, cfg.nodes, cfg.seed
+        ),
+        &["regime", "rate", "method", "mean (m)", "worst (m)", "lost", "degraded", "mean k"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.regime.clone(),
+            r.fault_rate.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            r.method.to_string(),
+            format!("{:.2}", r.mean_error),
+            format!("{:.2}", r.worst_error),
+            format!("{:.1}%", 100.0 * r.lost_fraction),
+            format!("{:.1}%", 100.0 * r.degraded_fraction),
+            format!("{:.2}", r.mean_samples),
+        ]);
+    }
+    t.print();
+    if check {
+        let violations = check_envelopes(&rows, campaign_field_side(&cfg));
+        if violations.is_empty() {
+            println!("\nall graceful-degradation envelopes hold");
+        } else {
+            eprintln!("\n{} envelope violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `fttt-sim theory`: the Section-5 sampling-times table.
 pub fn theory(opts: &Options) {
     let lambda = opts.lambda;

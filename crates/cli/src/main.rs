@@ -5,6 +5,7 @@
 //!                  [--grid] [--epsilon E] [--samples K] [--render]
 //! fttt-sim facemap [--nodes N] [--seed S] [--cell M] [--render]
 //! fttt-sim sweep   [--method M] [--trials T] [--seed S]
+//! fttt-sim campaign [--seed S] [--trials T] [--fast] [--schedule PATH]
 //! fttt-sim theory  [--lambda L]
 //! ```
 //!
@@ -32,6 +33,7 @@ fn main() {
         "track" => commands::track(&opts),
         "facemap" => commands::facemap(&opts),
         "sweep" => commands::sweep(&opts),
+        "campaign" => commands::campaign(&opts),
         "theory" => commands::theory(&opts),
         "help" | "--help" | "-h" => println!("{}", args::USAGE),
         other => {

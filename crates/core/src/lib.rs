@@ -58,6 +58,7 @@ pub mod facemap;
 pub mod matching;
 pub mod postprocess;
 pub mod sampling;
+pub mod session;
 pub mod theory;
 pub mod tracker;
 pub mod vector;
@@ -66,5 +67,6 @@ pub use config::{ConstantRule, NoiseModel, PaperParams};
 pub use facemap::{Face, FaceId, FaceMap};
 pub use matching::{match_exhaustive, match_heuristic, MatchOutcome};
 pub use sampling::{basic_sampling_vector, extended_sampling_vector};
+pub use session::{SessionOptions, SessionRound, SessionRun, TrackStatus, TrackingSession};
 pub use tracker::{Tracker, TrackerOptions, TrackingRun};
 pub use vector::{SamplingVector, SignatureVector};

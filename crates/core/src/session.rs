@@ -1,0 +1,568 @@
+//! Self-healing tracking sessions: health monitoring, a recovery ladder
+//! and adaptive sampling on top of [`Tracker`].
+//!
+//! The paper's fault rule (eq. 6) absorbs *erasure* faults — missing
+//! readings become `*` components and drop out of the distance sum. A
+//! session defends against what that rule cannot see: climbs stranded far
+//! from the target, groupings so sparse the match is meaningless, total
+//! blackouts, and lying sensors whose readings are present but wrong.
+//! Three behavioral health checks run per round:
+//!
+//! 1. **Relative similarity** — the match similarity against the rolling
+//!    median of recent finite similarities (absolute thresholds are
+//!    useless: the attainable similarity depends on noise and geometry).
+//! 2. **Missing fraction** — the share of `*` components in the sampling
+//!    vector; past a threshold the `*`-rule has eaten so much of the
+//!    vector that whatever face wins is weakly supported.
+//! 3. **Estimate plausibility** — the jump from the last trusted estimate
+//!    against the target's maximum speed; RSS matchers fail by
+//!    teleporting, real targets don't.
+//!
+//! Failing checks walk a recovery ladder: trust the (heuristic) climb →
+//! force an exhaustive re-acquisition → hold the last trusted estimate and
+//! report [`TrackStatus::Lost`]. In parallel the session escalates the
+//! sampling times `k` toward the Section-5.1 bound
+//! `k > 1 − log₂(1 − λ^{1/N})` ([`crate::theory::required_sampling_times`])
+//! evaluated at the *live* pair count — fewer responding nodes mean fewer
+//! pairs, so the bound, and the session's sampling effort, adapt to the
+//! fault regime — and decays `k` back once rounds run healthy again.
+
+use crate::error::ErrorStats;
+use crate::theory::required_sampling_times;
+use crate::tracker::Tracker;
+use rand::Rng;
+use wsn_geometry::Point;
+use wsn_mobility::Trace;
+use wsn_network::{pair_count, GroupSampling};
+
+/// The session's judgement of how much to trust the current estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackStatus {
+    /// Healthy: the estimate passed every check.
+    Tracking,
+    /// One or more health checks failed recently; the estimate is reported
+    /// but should be treated with suspicion.
+    Degraded,
+    /// The target is considered lost (persistent check failures or
+    /// blackout); the session holds the last trusted estimate and keeps
+    /// attempting re-acquisition.
+    Lost,
+}
+
+/// Session configuration. All thresholds have workable defaults via
+/// [`SessionOptions::new`]; fields are public for tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionOptions {
+    /// A round is unhealthy when its similarity falls below this fraction
+    /// of the rolling median of recent finite similarities.
+    pub reacquire_ratio: f64,
+    /// A round is unhealthy when more than this fraction of the sampling
+    /// vector is `*` (unknown).
+    pub max_missing_fraction: f64,
+    /// Maximum plausible target speed in m/s; estimates jumping farther
+    /// than `max_speed·Δt + jump_slack` from the last trusted estimate are
+    /// unhealthy. `f64::INFINITY` disables the check.
+    pub max_speed: f64,
+    /// Slack added to the plausible-jump radius, metres (covers face
+    /// granularity: even a perfect match moves in centroid-sized steps).
+    pub jump_slack: f64,
+    /// Baseline sampling times `k` per grouping.
+    pub base_samples: usize,
+    /// Ceiling on escalated sampling times.
+    pub max_samples: usize,
+    /// Target probability λ for the Section-5.1 sampling-times bound used
+    /// when escalating `k` under fault pressure.
+    pub lambda: f64,
+    /// Consecutive unhealthy rounds before the session declares
+    /// [`TrackStatus::Lost`].
+    pub lost_after: usize,
+    /// Consecutive healthy rounds before a degraded/lost session returns
+    /// to [`TrackStatus::Tracking`].
+    pub recover_after: usize,
+}
+
+impl SessionOptions {
+    /// Defaults around a baseline of `base_samples` sampling times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_samples == 0`.
+    pub fn new(base_samples: usize) -> Self {
+        assert!(base_samples > 0, "need at least one sample per grouping");
+        Self {
+            reacquire_ratio: 0.5,
+            max_missing_fraction: 0.5,
+            max_speed: f64::INFINITY,
+            jump_slack: 15.0,
+            base_samples,
+            max_samples: base_samples.max(12),
+            lambda: 0.95,
+            lost_after: 3,
+            recover_after: 2,
+        }
+    }
+
+    /// Sets the plausible-speed check.
+    pub fn with_max_speed(mut self, speed: f64) -> Self {
+        self.max_speed = speed;
+        self
+    }
+}
+
+/// One session round: the estimate plus everything the monitor saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRound {
+    /// Round timestamp, seconds.
+    pub t: f64,
+    /// The reported estimate (held from the last trusted round when the
+    /// session could not localize).
+    pub estimate: Point,
+    /// Session status *after* this round's checks.
+    pub status: TrackStatus,
+    /// Sampling times `k` the session requested for this round.
+    pub samples: usize,
+    /// Similarity of the match, `None` when the round was a blackout hold.
+    pub similarity: Option<f64>,
+    /// Fraction of `*` components in the sampling vector (1.0 on
+    /// blackout).
+    pub missing_fraction: f64,
+    /// `true` if the session forced an exhaustive re-acquisition.
+    pub reacquired: bool,
+    /// `true` if the estimate is a hold of the last trusted one rather
+    /// than a fresh localization.
+    pub held: bool,
+}
+
+/// A completed session run over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRun {
+    /// Per-round records, in trace order.
+    pub rounds: Vec<SessionRound>,
+    /// Geographic errors against the trace ground truth, parallel to
+    /// `rounds`.
+    pub errors: Vec<f64>,
+}
+
+impl SessionRun {
+    /// Summary statistics of the per-round errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is empty.
+    pub fn error_stats(&self) -> ErrorStats {
+        ErrorStats::from_errors(&self.errors)
+    }
+
+    /// Number of rounds that ended in `status`.
+    pub fn rounds_in(&self, status: TrackStatus) -> usize {
+        self.rounds.iter().filter(|r| r.status == status).count()
+    }
+
+    /// `true` if the session declared [`TrackStatus::Lost`] at some round
+    /// and returned to [`TrackStatus::Tracking`] at a later one.
+    pub fn recovered_from_lost(&self) -> bool {
+        match self.rounds.iter().position(|r| r.status == TrackStatus::Lost) {
+            None => false,
+            Some(i) => self.rounds[i..].iter().any(|r| r.status == TrackStatus::Tracking),
+        }
+    }
+
+    /// Total sampling times spent across the run (the energy-side cost of
+    /// adaptive escalation).
+    pub fn total_samples(&self) -> usize {
+        self.rounds.iter().map(|r| r.samples).sum()
+    }
+}
+
+/// Rolling window of recent finite similarities for the health monitor
+/// (matches the tracker's internal window length).
+const HEALTH_WINDOW: usize = 8;
+
+/// A self-healing tracking session wrapping a [`Tracker`].
+#[derive(Debug, Clone)]
+pub struct TrackingSession {
+    tracker: Tracker,
+    options: SessionOptions,
+    status: TrackStatus,
+    samples: usize,
+    unhealthy_streak: usize,
+    healthy_streak: usize,
+    /// Last trusted (healthy) estimate and its timestamp.
+    last_trusted: Option<(f64, Point)>,
+    /// Last reported estimate (trusted or not) — the hold value.
+    last_reported: Option<Point>,
+    recent_sims: std::collections::VecDeque<f64>,
+    /// Escalation ladder: force exhaustive re-acquisition next round.
+    force_reacquire: bool,
+}
+
+impl TrackingSession {
+    /// Wraps `tracker` in a session with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lambda < 1`, `base_samples ≤ max_samples` and
+    /// `base_samples > 0`.
+    pub fn new(tracker: Tracker, options: SessionOptions) -> Self {
+        assert!(
+            options.lambda > 0.0 && options.lambda < 1.0,
+            "λ must be in (0, 1), got {}",
+            options.lambda
+        );
+        assert!(options.base_samples > 0, "need at least one sample per grouping");
+        assert!(
+            options.base_samples <= options.max_samples,
+            "base_samples {} exceeds max_samples {}",
+            options.base_samples,
+            options.max_samples
+        );
+        Self {
+            tracker,
+            options,
+            status: TrackStatus::Tracking,
+            samples: options.base_samples,
+            unhealthy_streak: 0,
+            healthy_streak: 0,
+            last_trusted: None,
+            last_reported: None,
+            recent_sims: std::collections::VecDeque::new(),
+            force_reacquire: false,
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TrackStatus {
+        self.status
+    }
+
+    /// Sampling times `k` the session wants for the next grouping.
+    pub fn requested_samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> SessionOptions {
+        self.options
+    }
+
+    /// Processes one grouping sampling taken at time `t`.
+    ///
+    /// `group` should have been sampled with [`requested_samples`]
+    /// columns of `k` readings, but any grouping is accepted — the monitor
+    /// judges what arrived, not what was asked for.
+    ///
+    /// [`requested_samples`]: TrackingSession::requested_samples
+    pub fn step(&mut self, t: f64, group: &GroupSampling) -> SessionRound {
+        let samples_requested = self.samples;
+        let v = self.tracker.sampling_vector(group);
+        let missing_fraction =
+            if v.is_empty() { 1.0 } else { v.unknown_count() as f64 / v.len() as f64 };
+        let blackout = v.is_empty() || v.unknown_count() == v.len();
+
+        if blackout {
+            // Nothing to match against: matching an all-`*` vector ties
+            // every face and would report the field centre. Hold instead.
+            let estimate = self.hold_estimate(group);
+            self.record_unhealthy();
+            let round = SessionRound {
+                t,
+                estimate,
+                status: self.status,
+                samples: samples_requested,
+                similarity: None,
+                missing_fraction,
+                reacquired: false,
+                held: true,
+            };
+            self.escalate_samples(group);
+            return round;
+        }
+
+        let reacquired = self.force_reacquire;
+        let (estimate, outcome) = if reacquired {
+            self.force_reacquire = false;
+            self.tracker.reacquire(group)
+        } else {
+            self.tracker.localize(group)
+        };
+
+        // Health checks.
+        let stranded = self.rolling_median().is_some_and(|median| {
+            outcome.similarity < self.options.reacquire_ratio * median
+        });
+        let starved = missing_fraction > self.options.max_missing_fraction;
+        let teleported = self.options.max_speed.is_finite()
+            && self.last_trusted.is_some_and(|(t0, p0)| {
+                let dt = (t - t0).max(0.0);
+                estimate.distance(p0) > self.options.max_speed * dt + self.options.jump_slack
+            });
+        self.record_sim(outcome.similarity);
+
+        let healthy = !(stranded || starved || teleported);
+        if healthy {
+            self.record_healthy();
+            self.last_trusted = Some((t, estimate));
+        } else {
+            self.record_unhealthy();
+            // Ladder rung 2: a stranded or teleporting climb gets one
+            // forced exhaustive re-acquisition before the session gives
+            // up on the warm start entirely.
+            if (stranded || teleported) && !reacquired {
+                self.force_reacquire = true;
+            }
+        }
+
+        // While Lost, keep reporting the hold until re-acquisition proves
+        // itself: a Lost session's fresh estimates are exactly the ones
+        // the checks just rejected.
+        let (reported, held) = if self.status == TrackStatus::Lost && !healthy {
+            (self.hold_estimate(group), true)
+        } else {
+            self.last_reported = Some(estimate);
+            (estimate, false)
+        };
+
+        let round = SessionRound {
+            t,
+            estimate: reported,
+            status: self.status,
+            samples: samples_requested,
+            similarity: Some(outcome.similarity),
+            missing_fraction,
+            reacquired,
+            held,
+        };
+        if healthy {
+            self.decay_samples();
+        } else {
+            self.escalate_samples(group);
+        }
+        round
+    }
+
+    /// Runs a whole trace, asking `sample` for each grouping. The closure
+    /// receives the requested sampling times `k`, the ground-truth target
+    /// position, the round time and the RNG, and returns the grouping as
+    /// delivered to the base station — the seam where a
+    /// `wsn_network::RegimeEngine` and/or `Uplink` slot in.
+    pub fn run<R, F>(&mut self, trace: &Trace, rng: &mut R, mut sample: F) -> SessionRun
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize, Point, f64, &mut R) -> GroupSampling,
+    {
+        let mut rounds = Vec::with_capacity(trace.len());
+        let mut errors = Vec::with_capacity(trace.len());
+        for p in trace.points() {
+            let group = sample(self.samples, p.pos, p.t, rng);
+            let round = self.step(p.t, &group);
+            errors.push(round.estimate.distance(p.pos));
+            rounds.push(round);
+        }
+        SessionRun { rounds, errors }
+    }
+
+    fn hold_estimate(&self, group: &GroupSampling) -> Point {
+        self.last_reported
+            .or(self.last_trusted.map(|(_, p)| p))
+            // A session born into blackout has nothing to hold; the map
+            // centre is the only defensible prior.
+            .unwrap_or_else(|| {
+                let _ = group;
+                self.tracker.map().face(self.tracker.map().center_face()).centroid
+            })
+    }
+
+    fn rolling_median(&self) -> Option<f64> {
+        if self.recent_sims.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.recent_sims.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite similarities"));
+        Some(sorted[sorted.len() / 2])
+    }
+
+    fn record_sim(&mut self, s: f64) {
+        if s.is_finite() {
+            if self.recent_sims.len() == HEALTH_WINDOW {
+                self.recent_sims.pop_front();
+            }
+            self.recent_sims.push_back(s);
+        }
+    }
+
+    fn record_healthy(&mut self) {
+        self.unhealthy_streak = 0;
+        self.healthy_streak += 1;
+        match self.status {
+            TrackStatus::Tracking => {}
+            TrackStatus::Degraded | TrackStatus::Lost => {
+                if self.healthy_streak >= self.options.recover_after {
+                    self.status = TrackStatus::Tracking;
+                }
+            }
+        }
+    }
+
+    fn record_unhealthy(&mut self) {
+        self.healthy_streak = 0;
+        self.unhealthy_streak += 1;
+        if self.unhealthy_streak >= self.options.lost_after {
+            if self.status != TrackStatus::Lost {
+                // Ladder rung 3: give up the warm start and the similarity
+                // history — both are poisoned by whatever went wrong.
+                self.tracker.reset();
+                self.recent_sims.clear();
+            }
+            self.status = TrackStatus::Lost;
+        } else if self.status == TrackStatus::Tracking {
+            self.status = TrackStatus::Degraded;
+        }
+    }
+
+    /// Escalates `k` toward the Section-5.1 bound at the live pair count.
+    fn escalate_samples(&mut self, group: &GroupSampling) {
+        let live = (0..group.node_count()).filter(|&j| group.node_responded(j)).count();
+        let pairs = pair_count(live).max(1);
+        let needed = required_sampling_times(self.options.lambda, pairs);
+        self.samples =
+            needed.clamp(self.options.base_samples, self.options.max_samples).max(self.samples);
+    }
+
+    /// Decays `k` one step back toward the baseline after a healthy round.
+    fn decay_samples(&mut self) {
+        if self.samples > self.options.base_samples {
+            self.samples -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facemap::FaceMap;
+    use crate::tracker::TrackerOptions;
+    use rand::SeedableRng;
+    use wsn_geometry::Rect;
+    use wsn_mobility::WaypointPath;
+    use wsn_network::{Deployment, GroupSampler, SensorField};
+    use wsn_signal::PathLossModel;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn setup(sigma: f64) -> (SensorField, FaceMap, GroupSampler) {
+        let field = Rect::square(100.0);
+        let deployment = Deployment::grid(9, field);
+        let sensor_field = SensorField::new(deployment, 150.0);
+        let model = PathLossModel::new(-40.0, 0.0, 4.0, sigma);
+        let c = model.uncertainty_constant(1.0);
+        let map = FaceMap::build(&sensor_field.deployment().positions(), field, c, 2.0);
+        let sampler = GroupSampler::new(model, 5);
+        (sensor_field, map, sampler)
+    }
+
+    fn trace() -> Trace {
+        WaypointPath::new(vec![Point::new(20.0, 50.0), Point::new(80.0, 50.0)])
+            .walk_constant(3.0, 1.0)
+    }
+
+    fn session(map: FaceMap) -> TrackingSession {
+        TrackingSession::new(
+            Tracker::new(map, TrackerOptions::heuristic()),
+            SessionOptions::new(5).with_max_speed(6.0),
+        )
+    }
+
+    #[test]
+    fn clean_run_stays_tracking() {
+        let (field, map, sampler) = setup(4.0);
+        let mut s = session(map);
+        let run = s.run(&trace(), &mut rng(1), |k, pos, _, r| {
+            let sampler = GroupSampler { samples: k, ..sampler.clone() };
+            sampler.sample(&field, pos, r)
+        });
+        assert_eq!(run.rounds_in(TrackStatus::Lost), 0);
+        assert!(run.error_stats().mean < 20.0, "mean {}", run.error_stats().mean);
+        // Healthy rounds decay k back to baseline.
+        assert_eq!(s.requested_samples(), 5);
+    }
+
+    #[test]
+    fn blackout_enters_lost_and_holds() {
+        let (field, map, sampler) = setup(4.0);
+        let mut s = session(map);
+        let nodes = field.len();
+        // Blackout between t = 6 and t = 12.
+        let run = s.run(&trace(), &mut rng(2), |k, pos, t, r| {
+            if (6.0..12.0).contains(&t) {
+                GroupSampling::empty(nodes, k)
+            } else {
+                let sampler = GroupSampler { samples: k, ..sampler.clone() };
+                sampler.sample(&field, pos, r)
+            }
+        });
+        assert!(run.rounds_in(TrackStatus::Lost) > 0, "blackout must reach Lost");
+        assert!(run.recovered_from_lost(), "session must recover after the blackout");
+        // Held rounds report the pre-blackout estimate, not the map centre.
+        let held: Vec<_> = run.rounds.iter().filter(|r| r.held).collect();
+        assert!(!held.is_empty());
+        for r in &held {
+            assert!(r.similarity.is_none() || r.status == TrackStatus::Lost);
+            assert!(r.estimate.x.is_finite() && r.estimate.y.is_finite());
+        }
+    }
+
+    #[test]
+    fn blackout_escalates_sampling_times() {
+        let (field, map, sampler) = setup(4.0);
+        let mut s = session(map);
+        let nodes = field.len();
+        let mut max_k = 0;
+        let _ = s.run(&trace(), &mut rng(3), |k, pos, t, r| {
+            max_k = max_k.max(k);
+            if t >= 6.0 {
+                GroupSampling::empty(nodes, k)
+            } else {
+                let sampler = GroupSampler { samples: k, ..sampler.clone() };
+                sampler.sample(&field, pos, r)
+            }
+        });
+        assert!(max_k > 5, "fault pressure must escalate k, saw {max_k}");
+        assert!(max_k <= s.options().max_samples);
+    }
+
+    #[test]
+    fn session_born_into_blackout_reports_finite_hold() {
+        let (_, map, _) = setup(4.0);
+        let mut s = session(map);
+        let g = GroupSampling::empty(9, 5);
+        for i in 0..5 {
+            let round = s.step(i as f64, &g);
+            assert!(round.held);
+            assert!(round.estimate.x.is_finite() && round.estimate.y.is_finite());
+        }
+        assert_eq!(s.status(), TrackStatus::Lost);
+    }
+
+    #[test]
+    fn status_degrades_before_lost() {
+        let (_, map, _) = setup(4.0);
+        let mut s = session(map);
+        let g = GroupSampling::empty(9, 5);
+        assert_eq!(s.step(0.0, &g).status, TrackStatus::Degraded);
+        assert_eq!(s.step(1.0, &g).status, TrackStatus::Degraded);
+        assert_eq!(s.step(2.0, &g).status, TrackStatus::Lost);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let (_, map, _) = setup(4.0);
+        let mut bad = SessionOptions::new(5);
+        bad.lambda = 1.5;
+        let result = std::panic::catch_unwind(|| {
+            TrackingSession::new(Tracker::new(map, TrackerOptions::default()), bad)
+        });
+        assert!(result.is_err());
+    }
+}

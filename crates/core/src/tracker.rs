@@ -23,6 +23,15 @@ pub enum Matching {
         /// similarity (guards against local maxima after target jumps);
         /// `None` trusts the climb unconditionally.
         fallback_below: Option<f64>,
+        /// Re-run exhaustively when the climb's similarity falls below
+        /// this fraction of the rolling median of recent (finite)
+        /// similarities. Unlike an absolute threshold, this tracks the
+        /// run's own attainable similarity level — under heavy noise the
+        /// median drops with it, so re-acquisition stays rare — while
+        /// still catching a climb stranded on a low plateau far from the
+        /// target (the warm-start divergence mode of sequential RSS
+        /// trackers). `None` disables the check.
+        reacquire_ratio: Option<f64>,
     },
 }
 
@@ -52,15 +61,35 @@ impl TrackerOptions {
         Self { extended: true, ..Self::default() }
     }
 
-    /// Basic FTTT with the heuristic matcher (Algorithm 2), trusting the
-    /// warm-started climb unconditionally (under realistic noise the best
-    /// attainable similarity is routinely below any fixed threshold, so a
-    /// fallback threshold would re-run the exhaustive scan on nearly every
-    /// localization and erase the heuristic's complexity win).
+    /// Basic FTTT with the heuristic matcher (Algorithm 2).
+    ///
+    /// An *absolute* fallback threshold is useless under realistic noise
+    /// (the best attainable similarity is routinely below any fixed
+    /// threshold, so it would re-run the exhaustive scan on nearly every
+    /// localization and erase the heuristic's complexity win). Instead the
+    /// climb re-acquires exhaustively only when its similarity drops below
+    /// half the rolling median of recent matches — the signature of a climb
+    /// stranded on a plateau far from the target, which would otherwise
+    /// poison the warm start for many localizations in a row.
     pub fn heuristic() -> Self {
-        Self { matching: Matching::Heuristic { fallback_below: None }, ..Self::default() }
+        Self {
+            matching: Matching::Heuristic {
+                fallback_below: None,
+                reacquire_ratio: Some(DEFAULT_REACQUIRE_RATIO),
+            },
+            ..Self::default()
+        }
     }
 }
+
+/// Default `reacquire_ratio` of [`TrackerOptions::heuristic`]: re-acquire
+/// when the climb lands below half the recent rolling-median similarity.
+pub const DEFAULT_REACQUIRE_RATIO: f64 = 0.5;
+
+/// Rolling window of recent finite similarities kept for the relative
+/// re-acquisition check (long enough to ride out single bad groupings,
+/// short enough to track regime changes within a few seconds).
+const SIMILARITY_WINDOW: usize = 8;
 
 /// One localization along a tracking run.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,12 +146,13 @@ pub struct Tracker {
     map: FaceMap,
     options: TrackerOptions,
     previous: Option<FaceId>,
+    recent_sims: std::collections::VecDeque<f64>,
 }
 
 impl Tracker {
     /// Creates a tracker over a prebuilt face map.
     pub fn new(map: FaceMap, options: TrackerOptions) -> Self {
-        Self { map, options, previous: None }
+        Self { map, options, previous: None, recent_sims: std::collections::VecDeque::new() }
     }
 
     /// The face map.
@@ -138,6 +168,29 @@ impl Tracker {
     /// Forgets the previous localization (e.g. when the target was lost).
     pub fn reset(&mut self) {
         self.previous = None;
+        self.recent_sims.clear();
+    }
+
+    /// Rolling median of the recent finite similarities, `None` before the
+    /// first finite match.
+    fn rolling_median_similarity(&self) -> Option<f64> {
+        if self.recent_sims.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.recent_sims.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite similarities"));
+        Some(sorted[sorted.len() / 2])
+    }
+
+    fn record_similarity(&mut self, s: f64) {
+        // Exact matches (infinite similarity) would poison any relative
+        // threshold; the window tracks only the finite noise floor.
+        if s.is_finite() {
+            if self.recent_sims.len() == SIMILARITY_WINDOW {
+                self.recent_sims.pop_front();
+            }
+            self.recent_sims.push_back(s);
+        }
     }
 
     /// Builds the sampling vector this tracker's options call for.
@@ -155,19 +208,38 @@ impl Tracker {
         let v = self.sampling_vector(group);
         let outcome = match self.options.matching {
             Matching::Exhaustive => match_exhaustive(&self.map, &v),
-            Matching::Heuristic { fallback_below } => {
+            Matching::Heuristic { fallback_below, reacquire_ratio } => {
                 let start = self.previous.unwrap_or_else(|| self.map.center_face());
                 let out = match_heuristic(&self.map, &v, start);
-                match fallback_below {
-                    Some(th) if out.similarity < th => {
-                        let mut ex = match_exhaustive(&self.map, &v);
-                        ex.evaluated += out.evaluated;
-                        ex
-                    }
-                    _ => out,
+                let below_absolute =
+                    fallback_below.is_some_and(|th| out.similarity < th);
+                let stranded = reacquire_ratio.is_some_and(|r| {
+                    self.rolling_median_similarity()
+                        .is_some_and(|median| out.similarity < r * median)
+                });
+                if below_absolute || stranded {
+                    let mut ex = match_exhaustive(&self.map, &v);
+                    ex.evaluated += out.evaluated;
+                    ex
+                } else {
+                    out
                 }
             }
         };
+        self.record_similarity(outcome.similarity);
+        self.previous = Some(outcome.face);
+        let estimate = self.resolve_estimate(&outcome);
+        (estimate, outcome)
+    }
+
+    /// Localizes one grouping sampling with a forced exhaustive scan,
+    /// regardless of the configured matching strategy, and rebases the
+    /// warm start on the result. The session layer's recovery ladder uses
+    /// this when the heuristic climb is suspected of being stranded.
+    pub fn reacquire(&mut self, group: &GroupSampling) -> (Point, MatchOutcome) {
+        let v = self.sampling_vector(group);
+        let outcome = match_exhaustive(&self.map, &v);
+        self.record_similarity(outcome.similarity);
         self.previous = Some(outcome.face);
         let estimate = self.resolve_estimate(&outcome);
         (estimate, outcome)

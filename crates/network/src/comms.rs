@@ -9,6 +9,7 @@
 //! per grouping (the sensor aggregates its `k` one-shot readings into one
 //! packet), Bernoulli loss, Gaussian latency, hard deadline.
 
+use crate::fault::{check_probability, ConfigError};
 use crate::sampling::GroupSampling;
 use rand::Rng;
 use wsn_signal::Gaussian;
@@ -43,6 +44,35 @@ impl Uplink {
         assert!((0.0..=1.0).contains(&loss_prob), "loss probability out of range: {loss_prob}");
         assert!(deadline >= 0.0 && !deadline.is_nan(), "deadline must be non-negative");
         Self { loss_prob, latency, deadline }
+    }
+
+    /// Checks every field, rejecting out-of-range values.
+    ///
+    /// [`Uplink::new`] already refuses bad values, but an `Uplink` can also
+    /// arrive with its public fields filled in directly (deserialized from
+    /// a config file, built by the [`crate::spec`] parser): this is the
+    /// gate such a value must pass before it touches the data path.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_probability("loss_prob", self.loss_prob)?;
+        if !self.latency.mean.is_finite() || !self.latency.std.is_finite() {
+            return Err(ConfigError::new(format!(
+                "latency distribution must be finite, got N({}, {}²)",
+                self.latency.mean, self.latency.std
+            )));
+        }
+        if self.latency.std < 0.0 {
+            return Err(ConfigError::new(format!(
+                "latency standard deviation must be non-negative, got {}",
+                self.latency.std
+            )));
+        }
+        if self.deadline.is_nan() || self.deadline < 0.0 {
+            return Err(ConfigError::new(format!(
+                "deadline must be non-negative seconds, got {}",
+                self.deadline
+            )));
+        }
+        Ok(())
     }
 
     /// Delivers one grouping sampling over the uplink: each responding

@@ -9,6 +9,44 @@
 use crate::node::NodeId;
 use rand::Rng;
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// A rejected fault/uplink/regime configuration, with a human-readable
+/// reason. Returned by the `validate` methods and the schedule parser of
+/// [`crate::spec`] so that bad values (a probability of 1.5, a negative
+/// deadline) are refused at parse/construction time instead of silently
+/// misbehaving mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Creates an error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+
+    /// The reason the configuration was rejected.
+    pub fn reason(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks that `v` is a probability (`0 ≤ v ≤ 1`; NaN rejected).
+pub(crate) fn check_probability(name: &str, v: f64) -> Result<(), ConfigError> {
+    if (0.0..=1.0).contains(&v) {
+        Ok(())
+    } else {
+        Err(ConfigError::new(format!("{name} must be a probability in [0, 1], got {v}")))
+    }
+}
 
 /// Probabilistic and deterministic sensor faults.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -52,6 +90,18 @@ impl FaultModel {
     /// Marks `nodes` permanently dead.
     pub fn with_dead_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
         Self { dead_nodes: nodes.into_iter().collect(), ..Self::default() }
+    }
+
+    /// Checks every field, rejecting out-of-range probabilities.
+    ///
+    /// Constructors already refuse bad values, but a `FaultModel` can also
+    /// arrive with its public fields filled in directly (deserialized from
+    /// a config file, built by a spec parser): this is the single place
+    /// such a value must pass before it enters the sampling path.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_probability("node_failure_prob", self.node_failure_prob)?;
+        check_probability("reading_drop_prob", self.reading_drop_prob)?;
+        Ok(())
     }
 
     /// `true` if this model can never remove a reading.

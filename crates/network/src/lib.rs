@@ -28,13 +28,17 @@ pub mod fault;
 pub mod field;
 pub mod node;
 pub mod pairs;
+pub mod regime;
 pub mod sampling;
+pub mod spec;
 
 pub use comms::Uplink;
 pub use deployment::Deployment;
 pub use energy::{EnergyLedger, EnergyModel};
-pub use fault::FaultModel;
+pub use fault::{ConfigError, FaultModel};
 pub use field::SensorField;
 pub use node::{NodeId, SensorNode};
 pub use pairs::{pair_count, pair_index, PairIter};
+pub use regime::{RegimeEngine, RegimeKind};
 pub use sampling::{GroupSampler, GroupSampling, SamplerNoise};
+pub use spec::Schedule;

@@ -1,0 +1,598 @@
+//! Composable, time-evolving fault regimes.
+//!
+//! [`crate::fault::FaultModel`] is static and memoryless: i.i.d. drops and
+//! a fixed dead set, the same on every localization. Real deployments fail
+//! differently — losses come in bursts, nodes die mid-run (and sometimes
+//! come back after a reboot), batteries deplete under the sampling load,
+//! and a sensor can keep answering while its readings are garbage. This
+//! module generalizes the fault layer into a [`RegimeEngine`]: an ordered
+//! stack of [`RegimeKind`]s applied to every grouping sampling with the
+//! current trace time, carrying whatever per-node state each regime needs
+//! (Gilbert–Elliott channel states, energy ledgers, frozen readings).
+//!
+//! Two fault classes matter downstream (see DESIGN.md):
+//!
+//! * **erasure faults** (burst loss, outages, depletion, [`FaultModel`]
+//!   drops) remove readings — the paper's `*`-rule (eq. 6) absorbs them by
+//!   widening pair values, and accuracy degrades gracefully;
+//! * **lying faults** ([`RegimeKind::StuckAt`], [`RegimeKind::Drift`])
+//!   keep producing readings with wrong values — invisible to the `*`-rule
+//!   by construction, detectable only behaviorally (the track-health
+//!   monitor of `fttt::session`).
+
+use crate::energy::{EnergyLedger, EnergyModel};
+use crate::fault::{check_probability, ConfigError, FaultModel};
+use crate::node::NodeId;
+use crate::sampling::GroupSampling;
+use rand::Rng;
+use std::collections::BTreeSet;
+use wsn_signal::Rss;
+
+/// One ingredient of a fault regime. Stack several in a [`RegimeEngine`];
+/// they are applied in insertion order, each seeing the output of the
+/// previous one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegimeKind {
+    /// The original memoryless faults: i.i.d. per-round node failures,
+    /// i.i.d. per-reading drops, and a permanently dead set.
+    Static(FaultModel),
+    /// Bursty, time-correlated loss: an independent two-state
+    /// Gilbert–Elliott channel per node. Each round the node's channel
+    /// enters the bad state with probability `p_enter` (from good) and
+    /// leaves it with probability `p_exit` (from bad); the node's whole
+    /// round message is then lost with probability `loss_bad` in the bad
+    /// state and `loss_good` in the good state. Expected burst length is
+    /// `1/p_exit` rounds.
+    Burst {
+        /// P(good → bad) per round.
+        p_enter: f64,
+        /// P(bad → good) per round.
+        p_exit: f64,
+        /// Per-round message loss probability while the channel is good.
+        loss_good: f64,
+        /// Per-round message loss probability while the channel is bad.
+        loss_bad: f64,
+    },
+    /// Scheduled death and revival: the nodes are silent while
+    /// `from ≤ t < until` and resume afterwards (`until = ∞` makes the
+    /// death permanent). An empty node set means *all* nodes — a full
+    /// blackout window.
+    Outage {
+        /// Affected nodes (empty = every node).
+        nodes: BTreeSet<NodeId>,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds (exclusive; `f64::INFINITY` = forever).
+        until: f64,
+    },
+    /// Energy-coupled death: every round each node is charged for its
+    /// delivered readings per `model` (plus idle power between rounds);
+    /// once a node's cumulative consumption exceeds `battery_j` joules it
+    /// is dead for the rest of the run.
+    EnergyDepletion {
+        /// Energy prices.
+        model: EnergyModel,
+        /// Per-node battery budget, joules.
+        battery_j: f64,
+    },
+    /// Stuck-at sensor: from `from` on, the node keeps responding but
+    /// every reading repeats the last value it produced before the onset —
+    /// a *lying* fault the `*`-rule cannot see, because no reading is
+    /// missing. A node that never produced a pre-onset reading stays
+    /// silent.
+    StuckAt {
+        /// Affected nodes (empty = every node).
+        nodes: BTreeSet<NodeId>,
+        /// Onset time, seconds.
+        from: f64,
+    },
+    /// Calibration drift: from `from` on, every reading of the nodes gains
+    /// a bias of `rate_db_per_s · (t − from)` dB — the second lying fault,
+    /// a slow walk away from the truth rather than a freeze.
+    Drift {
+        /// Affected nodes (empty = every node).
+        nodes: BTreeSet<NodeId>,
+        /// Onset time, seconds.
+        from: f64,
+        /// Bias growth rate, dB per second (either sign).
+        rate_db_per_s: f64,
+    },
+}
+
+impl RegimeKind {
+    /// Checks every parameter, rejecting out-of-range probabilities,
+    /// inverted windows and non-finite rates.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            RegimeKind::Static(fault) => fault.validate(),
+            RegimeKind::Burst { p_enter, p_exit, loss_good, loss_bad } => {
+                check_probability("burst p_enter", *p_enter)?;
+                check_probability("burst p_exit", *p_exit)?;
+                check_probability("burst loss_good", *loss_good)?;
+                check_probability("burst loss_bad", *loss_bad)
+            }
+            RegimeKind::Outage { from, until, .. } => {
+                if from.is_nan() || until.is_nan() || *from > *until {
+                    return Err(ConfigError::new(format!(
+                        "outage window must satisfy from ≤ until, got [{from}, {until})"
+                    )));
+                }
+                Ok(())
+            }
+            RegimeKind::EnergyDepletion { battery_j, .. } => {
+                if !battery_j.is_finite() || *battery_j < 0.0 {
+                    return Err(ConfigError::new(format!(
+                        "battery budget must be non-negative joules, got {battery_j}"
+                    )));
+                }
+                Ok(())
+            }
+            RegimeKind::StuckAt { from, .. } => {
+                if from.is_nan() {
+                    return Err(ConfigError::new("stuck-at onset time must not be NaN"));
+                }
+                Ok(())
+            }
+            RegimeKind::Drift { from, rate_db_per_s, .. } => {
+                if from.is_nan() {
+                    return Err(ConfigError::new("drift onset time must not be NaN"));
+                }
+                if !rate_db_per_s.is_finite() {
+                    return Err(ConfigError::new(format!(
+                        "drift rate must be finite dB/s, got {rate_db_per_s}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Per-regime mutable state, kept alongside its [`RegimeKind`].
+#[derive(Debug, Clone, PartialEq)]
+enum RegimeState {
+    /// No state needed.
+    Stateless,
+    /// Gilbert–Elliott channel state per node (`true` = bad).
+    Burst { bad: Vec<bool> },
+    /// Energy ledger plus the depleted flags and the previous round's time
+    /// (for idle charging between rounds).
+    Energy { ledger: EnergyLedger, dead: Vec<bool>, last_t: Option<f64> },
+    /// Last pre-onset reading per node.
+    Stuck { frozen: Vec<Option<Rss>> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    kind: RegimeKind,
+    state: RegimeState,
+}
+
+/// An ordered, stateful stack of fault regimes over `nodes` sensors.
+///
+/// Feed every grouping sampling through [`RegimeEngine::apply`] with its
+/// trace time (`fttt`'s session/tracker `*_with` hooks do exactly that);
+/// the engine mutates the matrix in place and advances its internal state.
+/// Calls must come in non-decreasing time order for the stateful regimes
+/// to make sense; the engine itself does not enforce monotonicity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeEngine {
+    nodes: usize,
+    entries: Vec<Entry>,
+}
+
+impl RegimeEngine {
+    /// An engine over `nodes` sensors with no regimes (a no-op transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self { nodes, entries: Vec::new() }
+    }
+
+    /// Adds a regime to the stack (applied after all earlier ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regime fails [`RegimeKind::validate`].
+    pub fn with(self, kind: RegimeKind) -> Self {
+        match self.try_with(kind) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds a regime, rejecting invalid parameters instead of panicking.
+    pub fn try_with(mut self, kind: RegimeKind) -> Result<Self, ConfigError> {
+        kind.validate()?;
+        let state = match &kind {
+            RegimeKind::Burst { .. } => RegimeState::Burst { bad: vec![false; self.nodes] },
+            RegimeKind::EnergyDepletion { model, .. } => RegimeState::Energy {
+                ledger: EnergyLedger::new(*model, self.nodes),
+                dead: vec![false; self.nodes],
+                last_t: None,
+            },
+            RegimeKind::StuckAt { .. } => {
+                RegimeState::Stuck { frozen: vec![None; self.nodes] }
+            }
+            _ => RegimeState::Stateless,
+        };
+        self.entries.push(Entry { kind, state });
+        Ok(self)
+    }
+
+    /// Number of sensors this engine was built for.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of stacked regimes.
+    pub fn regime_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Applies every regime, in order, to one grouping sampling taken at
+    /// trace time `t`, advancing the engine's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampling's node count differs from the engine's.
+    pub fn apply<R: Rng + ?Sized>(&mut self, t: f64, group: &mut GroupSampling, rng: &mut R) {
+        assert_eq!(group.node_count(), self.nodes, "node count mismatch");
+        for entry in &mut self.entries {
+            match (&entry.kind, &mut entry.state) {
+                (RegimeKind::Static(fault), RegimeState::Stateless) => {
+                    apply_static(fault, group, rng);
+                }
+                (
+                    RegimeKind::Burst { p_enter, p_exit, loss_good, loss_bad },
+                    RegimeState::Burst { bad },
+                ) => {
+                    for (j, is_bad) in bad.iter_mut().enumerate() {
+                        // Advance the channel, then draw this round's loss.
+                        let flip = rng.gen::<f64>();
+                        *is_bad = if *is_bad { flip >= *p_exit } else { flip < *p_enter };
+                        let loss = if *is_bad { *loss_bad } else { *loss_good };
+                        if loss > 0.0 && rng.gen::<f64>() < loss {
+                            clear_column(group, j);
+                        }
+                    }
+                }
+                (RegimeKind::Outage { nodes, from, until }, RegimeState::Stateless) => {
+                    if t >= *from && t < *until {
+                        for j in affected(nodes, self.nodes) {
+                            clear_column(group, j);
+                        }
+                    }
+                }
+                (
+                    RegimeKind::EnergyDepletion { battery_j, .. },
+                    RegimeState::Energy { ledger, dead, last_t },
+                ) => {
+                    // Dead nodes produce nothing and consume nothing.
+                    for (j, is_dead) in dead.iter().enumerate() {
+                        if *is_dead {
+                            clear_column(group, j);
+                        }
+                    }
+                    if let Some(prev) = *last_t {
+                        ledger.charge_idle((t - prev).max(0.0));
+                    }
+                    *last_t = Some(t);
+                    ledger.charge_grouping(group);
+                    for (j, consumed) in ledger.per_node().iter().enumerate() {
+                        if *consumed > *battery_j {
+                            dead[j] = true;
+                        }
+                    }
+                }
+                (RegimeKind::StuckAt { nodes, from }, RegimeState::Stuck { frozen }) => {
+                    for j in affected(nodes, self.nodes) {
+                        if t < *from {
+                            // Still healthy: remember the latest reading.
+                            if let Some(last) = group.column(j).flatten().last() {
+                                frozen[j] = Some(last);
+                            }
+                        } else if let Some(v) = frozen[j] {
+                            // Lying: the node answers every instant with
+                            // the frozen value, even where the raw matrix
+                            // had holes.
+                            for inst in 0..group.instants() {
+                                group.set(inst, j, Some(v));
+                            }
+                        }
+                    }
+                }
+                (RegimeKind::Drift { nodes, from, rate_db_per_s }, RegimeState::Stateless) => {
+                    if t >= *from {
+                        let bias = rate_db_per_s * (t - from);
+                        for j in affected(nodes, self.nodes) {
+                            for inst in 0..group.instants() {
+                                if let Some(r) = group.get(inst, j) {
+                                    group.set(inst, j, Some(Rss::new(r.dbm() + bias)));
+                                }
+                            }
+                        }
+                    }
+                }
+                (kind, state) => {
+                    unreachable!("regime state mismatch: {kind:?} with {state:?}")
+                }
+            }
+        }
+    }
+}
+
+/// The column indices a node set addresses (empty set = every node).
+fn affected(nodes: &BTreeSet<NodeId>, n: usize) -> Vec<usize> {
+    if nodes.is_empty() {
+        (0..n).collect()
+    } else {
+        nodes.iter().map(|id| id.index()).filter(|&j| j < n).collect()
+    }
+}
+
+fn clear_column(group: &mut GroupSampling, j: usize) {
+    for inst in 0..group.instants() {
+        group.set(inst, j, None);
+    }
+}
+
+/// The [`FaultModel`] semantics of the sampler, replayed at the engine
+/// layer: one failure draw per node per round, one drop draw per reading.
+fn apply_static<R: Rng + ?Sized>(fault: &FaultModel, group: &mut GroupSampling, rng: &mut R) {
+    for j in 0..group.node_count() {
+        if fault.node_fails(NodeId(j as u32), rng) {
+            clear_column(group, j);
+            continue;
+        }
+        for inst in 0..group.instants() {
+            if group.get(inst, j).is_some() && fault.reading_drops(rng) {
+                group.set(inst, j, None);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn full_group(nodes: usize, k: usize) -> GroupSampling {
+        let mut g = GroupSampling::empty(nodes, k);
+        for t in 0..k {
+            for j in 0..nodes {
+                g.set(t, j, Some(Rss::new(-50.0 - j as f64)));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_engine_is_identity() {
+        let mut e = RegimeEngine::new(4);
+        let mut g = full_group(4, 3);
+        let before = g.clone();
+        e.apply(0.0, &mut g, &mut rng(1));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn static_regime_matches_fault_model_semantics() {
+        let mut e = RegimeEngine::new(5)
+            .with(RegimeKind::Static(FaultModel::with_dead_nodes([NodeId(2)])));
+        let mut g = full_group(5, 3);
+        e.apply(0.0, &mut g, &mut rng(2));
+        assert!(!g.node_responded(2));
+        assert!(g.node_responded(0));
+    }
+
+    #[test]
+    fn burst_loss_is_correlated() {
+        // High persistence (p_exit small) ⟹ losses cluster in time. Count
+        // round-over-round agreement of per-node delivery against an
+        // i.i.d. Bernoulli with the same marginal loss rate.
+        let rounds = 4_000;
+        let run = |p_enter: f64, p_exit: f64, loss_bad: f64, seed: u64| -> (f64, f64) {
+            let mut e = RegimeEngine::new(1).with(RegimeKind::Burst {
+                p_enter,
+                p_exit,
+                loss_good: 0.0,
+                loss_bad,
+            });
+            let mut r = rng(seed);
+            let mut lost_prev = false;
+            let mut losses = 0usize;
+            let mut repeats = 0usize;
+            for i in 0..rounds {
+                let mut g = full_group(1, 2);
+                e.apply(i as f64, &mut g, &mut r);
+                let lost = !g.node_responded(0);
+                if lost {
+                    losses += 1;
+                }
+                if i > 0 && lost && lost_prev {
+                    repeats += 1;
+                }
+                lost_prev = lost;
+            }
+            (losses as f64 / rounds as f64, repeats as f64 / losses.max(1) as f64)
+        };
+        // Bursty: stationary P(bad) = 0.1/(0.1+0.1) = 0.5, always lost in
+        // bad ⟹ loss rate ≈ 0.5 but P(lost | lost before) ≈ 0.9.
+        let (rate, persistence) = run(0.1, 0.1, 1.0, 3);
+        assert!((rate - 0.5).abs() < 0.05, "burst loss rate {rate}");
+        assert!(persistence > 0.8, "burst persistence {persistence}");
+        // Memoryless control at the same rate: persistence ≈ rate.
+        let (rate_iid, persistence_iid) = run(0.5, 0.5, 1.0, 4);
+        assert!((rate_iid - 0.5).abs() < 0.05, "iid loss rate {rate_iid}");
+        assert!(persistence_iid < 0.6, "iid persistence {persistence_iid}");
+    }
+
+    #[test]
+    fn outage_window_kills_and_revives() {
+        let mut e = RegimeEngine::new(3).with(RegimeKind::Outage {
+            nodes: [NodeId(1)].into_iter().collect(),
+            from: 10.0,
+            until: 20.0,
+        });
+        let mut r = rng(5);
+        for (t, expect_alive) in [(5.0, true), (10.0, false), (19.9, false), (20.0, true)] {
+            let mut g = full_group(3, 2);
+            e.apply(t, &mut g, &mut r);
+            assert_eq!(g.node_responded(1), expect_alive, "t = {t}");
+            assert!(g.node_responded(0), "other nodes unaffected at t = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_outage_set_means_total_blackout() {
+        let mut e = RegimeEngine::new(4).with(RegimeKind::Outage {
+            nodes: BTreeSet::new(),
+            from: 0.0,
+            until: f64::INFINITY,
+        });
+        let mut g = full_group(4, 3);
+        e.apply(1.0, &mut g, &mut rng(6));
+        assert_eq!(g.missing_count(), 12);
+    }
+
+    #[test]
+    fn energy_depletion_kills_permanently() {
+        // Battery covers exactly two rounds of 2 samples + 1 message at
+        // unit prices: dead from round 3 on.
+        let model = EnergyModel::new(1.0, 1.0, 0.0);
+        let mut e = RegimeEngine::new(2)
+            .with(RegimeKind::EnergyDepletion { model, battery_j: 5.0 });
+        let mut r = rng(7);
+        let mut alive_rounds = 0;
+        for i in 0..5 {
+            let mut g = full_group(2, 2);
+            e.apply(i as f64, &mut g, &mut r);
+            if g.node_responded(0) {
+                alive_rounds += 1;
+            } else {
+                // Once dead, stays dead.
+                assert!(i >= 1, "died too early at round {i}");
+            }
+        }
+        // Round 0 charges 3 J, round 1 reaches 6 J > 5 J ⟹ rounds 0 and 1
+        // respond, 2..5 are dead.
+        assert_eq!(alive_rounds, 2);
+    }
+
+    #[test]
+    fn stuck_at_keeps_responding_with_frozen_value() {
+        let mut e = RegimeEngine::new(2).with(RegimeKind::StuckAt {
+            nodes: [NodeId(0)].into_iter().collect(),
+            from: 5.0,
+        });
+        let mut r = rng(8);
+        // Pre-onset round records the value.
+        let mut g = full_group(2, 2);
+        g.set(1, 0, Some(Rss::new(-42.0)));
+        e.apply(0.0, &mut g, &mut r);
+        assert_eq!(g.get(1, 0), Some(Rss::new(-42.0)), "pre-onset pass-through");
+        // Post-onset: every instant reports the frozen value, even where
+        // the raw matrix was silent.
+        let mut g = GroupSampling::empty(2, 3);
+        g.set(0, 1, Some(Rss::new(-60.0)));
+        e.apply(6.0, &mut g, &mut r);
+        for inst in 0..3 {
+            assert_eq!(g.get(inst, 0), Some(Rss::new(-42.0)), "instant {inst}");
+        }
+        assert_eq!(g.get(0, 1), Some(Rss::new(-60.0)), "other node untouched");
+    }
+
+    #[test]
+    fn stuck_node_without_history_stays_silent() {
+        let mut e = RegimeEngine::new(1).with(RegimeKind::StuckAt {
+            nodes: [NodeId(0)].into_iter().collect(),
+            from: 0.0,
+        });
+        let mut g = GroupSampling::empty(1, 2);
+        e.apply(1.0, &mut g, &mut rng(9));
+        assert_eq!(g.missing_count(), 2);
+    }
+
+    #[test]
+    fn drift_bias_grows_linearly() {
+        let mut e = RegimeEngine::new(1).with(RegimeKind::Drift {
+            nodes: BTreeSet::new(),
+            from: 10.0,
+            rate_db_per_s: 0.5,
+        });
+        let mut r = rng(10);
+        let mut g = full_group(1, 1);
+        e.apply(9.0, &mut g, &mut r);
+        assert_eq!(g.get(0, 0), Some(Rss::new(-50.0)), "no bias before onset");
+        let mut g = full_group(1, 1);
+        e.apply(30.0, &mut g, &mut r);
+        assert!((g.get(0, 0).unwrap().dbm() - (-50.0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regimes_compose_in_order() {
+        // Outage first silences the node; stuck-at then has no history to
+        // lie with ⟹ silent. Reversed order would freeze a value.
+        let mut e = RegimeEngine::new(1)
+            .with(RegimeKind::Outage {
+                nodes: BTreeSet::new(),
+                from: 0.0,
+                until: f64::INFINITY,
+            })
+            .with(RegimeKind::StuckAt { nodes: BTreeSet::new(), from: 0.0 });
+        let mut g = full_group(1, 2);
+        e.apply(0.0, &mut g, &mut rng(11));
+        assert_eq!(g.missing_count(), 2);
+    }
+
+    #[test]
+    fn invalid_regimes_rejected() {
+        assert!(RegimeEngine::new(2)
+            .try_with(RegimeKind::Burst {
+                p_enter: 1.5,
+                p_exit: 0.5,
+                loss_good: 0.0,
+                loss_bad: 1.0
+            })
+            .is_err());
+        assert!(RegimeEngine::new(2)
+            .try_with(RegimeKind::Outage { nodes: BTreeSet::new(), from: 5.0, until: 1.0 })
+            .is_err());
+        assert!(RegimeEngine::new(2)
+            .try_with(RegimeKind::EnergyDepletion {
+                model: EnergyModel::default(),
+                battery_j: -1.0
+            })
+            .is_err());
+        assert!(RegimeEngine::new(2)
+            .try_with(RegimeKind::Drift {
+                nodes: BTreeSet::new(),
+                from: 0.0,
+                rate_db_per_s: f64::NAN
+            })
+            .is_err());
+        assert!(RegimeEngine::new(2)
+            .try_with(RegimeKind::Static(FaultModel {
+                node_failure_prob: 1.5,
+                ..FaultModel::none()
+            }))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn mismatched_group_rejected() {
+        let mut e = RegimeEngine::new(3);
+        let mut g = full_group(2, 1);
+        e.apply(0.0, &mut g, &mut rng(12));
+    }
+}

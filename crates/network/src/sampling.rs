@@ -176,7 +176,16 @@ impl GroupSampler {
     }
 
     /// Replaces the fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault` fails [`FaultModel::validate`] — a model built by
+    /// filling the public fields directly (e.g. from a config file) must
+    /// not reach the sampling path with out-of-range probabilities.
     pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        if let Err(e) = fault.validate() {
+            panic!("{e}");
+        }
         self.fault = fault;
         self
     }
