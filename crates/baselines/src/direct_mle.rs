@@ -23,7 +23,15 @@ impl DirectMle {
     /// `positions` over `field`, rasterized at `cell_size` metres.
     pub fn new(positions: &[Point], field: Rect, cell_size: f64) -> Self {
         // C = 1: the uncertain band degenerates to the bisector itself.
-        Self { map: FaceMap::build_with_threads(positions, field, 1.0, cell_size, wsn_parallel::recommended_threads()) }
+        Self {
+            map: FaceMap::build_with_threads(
+                positions,
+                field,
+                1.0,
+                cell_size,
+                wsn_parallel::recommended_threads(),
+            ),
+        }
     }
 
     /// The underlying face map.
@@ -112,7 +120,11 @@ mod tests {
         let trace = WaypointPath::new(vec![Point::new(20.0, 50.0), Point::new(80.0, 50.0)])
             .walk_constant(3.0, 1.0);
         let run = mle.track(&field, &sampler, &trace, &mut rng(1));
-        assert!(run.error_stats().mean < 8.0, "mean {}", run.error_stats().mean);
+        assert!(
+            run.error_stats().mean < 8.0,
+            "mean {}",
+            run.error_stats().mean
+        );
     }
 
     #[test]

@@ -249,8 +249,7 @@ impl ExtendedKalman {
         } else {
             self.predict();
         }
-        let r_var =
-            (self.model.sigma * self.model.sigma / group.instants() as f64).max(1e-6);
+        let r_var = (self.model.sigma * self.model.sigma / group.instants() as f64).max(1e-6);
         for &(j, dbm) in &observations {
             self.scalar_update(j, dbm, r_var);
         }
@@ -342,7 +341,10 @@ mod tests {
             let g = sampler.sample(&field, target, &mut r);
             last = ekf.localize(&g);
         }
-        assert!(last.distance(target) < 8.0, "estimate {last} vs target {target}");
+        assert!(
+            last.distance(target) < 8.0,
+            "estimate {last} vs target {target}"
+        );
     }
 
     #[test]
@@ -352,7 +354,10 @@ mod tests {
             .walk_constant(3.0, 1.0);
         let run = ekf.track(&field, &sampler, &trace, &mut rng(2));
         let half = run.localizations.len() / 2;
-        let late: f64 = run.localizations[half..].iter().map(|l| l.error).sum::<f64>()
+        let late: f64 = run.localizations[half..]
+            .iter()
+            .map(|l| l.error)
+            .sum::<f64>()
             / (run.localizations.len() - half) as f64;
         assert!(late < 15.0, "late mean {late}");
     }
@@ -362,8 +367,7 @@ mod tests {
         let (field, mut ekf, sampler) = setup(6.0);
         let mut r = rng(3);
         for i in 0..40 {
-            let target =
-                Point::new(2.0 + (i as f64 * 5.1) % 96.0, 2.0 + (i as f64 * 3.3) % 96.0);
+            let target = Point::new(2.0 + (i as f64 * 5.1) % 96.0, 2.0 + (i as f64 * 3.3) % 96.0);
             let g = sampler.sample(&field, target, &mut r);
             let est = ekf.localize(&g);
             assert!(est.is_finite());

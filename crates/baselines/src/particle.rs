@@ -67,7 +67,10 @@ impl ParticleFilter {
     ) -> Self {
         assert!(count >= 2, "need at least two particles, got {count}");
         assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
-        assert!(max_speed > 0.0 && max_speed.is_finite(), "max speed must be positive");
+        assert!(
+            max_speed > 0.0 && max_speed.is_finite(),
+            "max speed must be positive"
+        );
         Self {
             field,
             positions: positions.to_vec(),
@@ -163,7 +166,11 @@ impl ParticleFilter {
     }
 
     fn effective_sample_size(&self) -> f64 {
-        1.0 / self.particles.iter().map(|p| p.weight * p.weight).sum::<f64>()
+        1.0 / self
+            .particles
+            .iter()
+            .map(|p| p.weight * p.weight)
+            .sum::<f64>()
     }
 
     fn resample_systematic<R: Rng + ?Sized>(&mut self, rng: &mut R) {
@@ -178,7 +185,10 @@ impl ParticleFilter {
                 i += 1;
                 cum += self.particles[i].weight;
             }
-            out.push(Particle { weight: 1.0 / n as f64, ..self.particles[i] });
+            out.push(Particle {
+                weight: 1.0 / n as f64,
+                ..self.particles[i]
+            });
         }
         self.particles = out;
     }
@@ -251,8 +261,7 @@ mod tests {
         let deployment = Deployment::grid(9, field);
         let sf = SensorField::new(deployment, 150.0);
         let model = PathLossModel::new(-40.0, 0.0, 4.0, sigma);
-        let pf =
-            ParticleFilter::new(&sf.deployment().positions(), field, model, 500, 5.0, 1.0);
+        let pf = ParticleFilter::new(&sf.deployment().positions(), field, model, 500, 5.0, 1.0);
         let sampler = GroupSampler::new(model, 5);
         (sf, pf, sampler)
     }
@@ -267,7 +276,10 @@ mod tests {
             let g = sampler.sample(&field, target, &mut r);
             last = pf.localize(&g, &mut r);
         }
-        assert!(last.distance(target) < 8.0, "estimate {last} vs target {target}");
+        assert!(
+            last.distance(target) < 8.0,
+            "estimate {last} vs target {target}"
+        );
     }
 
     #[test]

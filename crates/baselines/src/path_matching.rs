@@ -58,14 +58,11 @@ impl PathMatching {
     /// # Panics
     ///
     /// Panics unless `max_speed` and `dt` are strictly positive.
-    pub fn new(
-        positions: &[Point],
-        field: Rect,
-        cell_size: f64,
-        max_speed: f64,
-        dt: f64,
-    ) -> Self {
-        assert!(max_speed > 0.0 && max_speed.is_finite(), "max speed must be positive");
+    pub fn new(positions: &[Point], field: Rect, cell_size: f64, max_speed: f64, dt: f64) -> Self {
+        assert!(
+            max_speed > 0.0 && max_speed.is_finite(),
+            "max speed must be positive"
+        );
         assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
         let map = FaceMap::build_with_threads(
             positions,
@@ -136,8 +133,10 @@ impl PathMatching {
         // computed with the packed bit-plane kernel.
         let q = PackedQuery::new(&v);
         let planes = self.map.planes();
-        let dists: Vec<f64> =
-            faces.iter().map(|f| planes.distance_squared(f.id.index(), &q).sqrt()).collect();
+        let dists: Vec<f64> = faces
+            .iter()
+            .map(|f| planes.distance_squared(f.id.index(), &q).sqrt())
+            .collect();
 
         let reach = self.max_speed * self.dt;
         let mut scored: Vec<(FaceId, f64)> = if self.beam.is_empty() {
@@ -157,13 +156,11 @@ impl PathMatching {
                             if self.map.face(pid).bbox.distance_to(&f.bbox) <= reach {
                                 Some(self.forgetting * score)
                             } else {
-                                self.jump_penalty
-                                    .map(|pen| self.forgetting * score - pen)
+                                self.jump_penalty.map(|pen| self.forgetting * score - pen)
                             }
                         })
                         .fold(f64::NEG_INFINITY, f64::max);
-                    (best_prev > f64::NEG_INFINITY)
-                        .then(|| (f.id, best_prev - dists[f.id.index()]))
+                    (best_prev > f64::NEG_INFINITY).then(|| (f.id, best_prev - dists[f.id.index()]))
                 })
                 .collect()
         };
@@ -247,8 +244,7 @@ mod tests {
         let field = Rect::square(100.0);
         let deployment = Deployment::grid(9, field);
         let sensor_field = SensorField::new(deployment, 150.0);
-        let pm =
-            PathMatching::new(&sensor_field.deployment().positions(), field, 2.0, 5.0, 1.0);
+        let pm = PathMatching::new(&sensor_field.deployment().positions(), field, 2.0, 5.0, 1.0);
         let sampler = GroupSampler::new(PathLossModel::new(-40.0, 0.0, 4.0, sigma), 5);
         (sensor_field, pm, sampler)
     }
@@ -262,7 +258,11 @@ mod tests {
     fn noiseless_path_tracking_is_accurate() {
         let (field, mut pm, sampler) = setup(0.0);
         let run = pm.track(&field, &sampler, &straight(), &mut rng(1));
-        assert!(run.error_stats().mean < 8.0, "mean {}", run.error_stats().mean);
+        assert!(
+            run.error_stats().mean < 8.0,
+            "mean {}",
+            run.error_stats().mean
+        );
     }
 
     #[test]
@@ -275,9 +275,16 @@ mod tests {
         let mut mle_means = Vec::new();
         for seed in 0..6 {
             pm.reset();
-            pm_means.push(pm.track(&field, &sampler, &trace, &mut rng(10 + seed)).error_stats().mean);
-            mle_means
-                .push(mle.track(&field, &sampler, &trace, &mut rng(10 + seed)).error_stats().mean);
+            pm_means.push(
+                pm.track(&field, &sampler, &trace, &mut rng(10 + seed))
+                    .error_stats()
+                    .mean,
+            );
+            mle_means.push(
+                mle.track(&field, &sampler, &trace, &mut rng(10 + seed))
+                    .error_stats()
+                    .mean,
+            );
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(

@@ -33,8 +33,15 @@ impl WeightedCentroid {
     /// strictly positive.
     pub fn new(positions: &[Point], field: Rect, degree: f64) -> Self {
         assert!(positions.len() >= 2, "need at least two sensors");
-        assert!(degree > 0.0 && degree.is_finite(), "degree must be positive");
-        Self { positions: positions.to_vec(), field, degree }
+        assert!(
+            degree > 0.0 && degree.is_finite(),
+            "degree must be positive"
+        );
+        Self {
+            positions: positions.to_vec(),
+            field,
+            degree,
+        }
     }
 
     /// The conventional setting `g = β` (weights ∝ an estimate of `1/d`).
@@ -114,8 +121,11 @@ mod tests {
         let field = Rect::square(100.0);
         let deployment = Deployment::grid(9, field);
         let sensor_field = SensorField::new(deployment, 150.0);
-        let wcl =
-            WeightedCentroid::with_path_loss_degree(&sensor_field.deployment().positions(), field, 4.0);
+        let wcl = WeightedCentroid::with_path_loss_degree(
+            &sensor_field.deployment().positions(),
+            field,
+            4.0,
+        );
         let sampler = GroupSampler::new(PathLossModel::new(-40.0, 0.0, 4.0, sigma), 5);
         (sensor_field, wcl, sampler)
     }
@@ -171,6 +181,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "degree must be positive")]
     fn zero_degree_rejected() {
-        let _ = WeightedCentroid::new(&[Point::ORIGIN, Point::new(1.0, 1.0)], Rect::square(10.0), 0.0);
+        let _ = WeightedCentroid::new(
+            &[Point::ORIGIN, Point::new(1.0, 1.0)],
+            Rect::square(10.0),
+            0.0,
+        );
     }
 }

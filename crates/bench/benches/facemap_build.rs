@@ -38,9 +38,13 @@ fn bench_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("facemap/threads");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| FaceMap::build_with_threads(&pos, field, constant, 1.0, threads));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| FaceMap::build_with_threads(&pos, field, constant, 1.0, threads));
+            },
+        );
     }
     g.finish();
 }

@@ -31,7 +31,11 @@ fn setup(n: usize, seed: u64) -> Setup {
     let sampler = GroupSampler::new(PathLossModel::paper_default(), 5);
     let truth = Point::new(47.0, 53.0);
     let group = sampler.sample(&sensor_field, truth, &mut rng);
-    Setup { map, vector: basic_sampling_vector(&group), truth }
+    Setup {
+        map,
+        vector: basic_sampling_vector(&group),
+        truth,
+    }
 }
 
 fn bench_matching(c: &mut Criterion) {

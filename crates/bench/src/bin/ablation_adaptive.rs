@@ -37,7 +37,12 @@ fn mean_error_with_map(
                 1,
             )
         } else {
-            FaceMap::build(&positions, params.rect(), params.uncertainty_constant(), params.cell_size)
+            FaceMap::build(
+                &positions,
+                params.rect(),
+                params.uncertainty_constant(),
+                params.cell_size,
+            )
         };
         let build_s = t0.elapsed().as_secs_f64();
         let mut tracker = Tracker::new(map, TrackerOptions::default());
@@ -45,17 +50,30 @@ fn mean_error_with_map(
         (run.error_stats().mean, build_s)
     });
     let n = out.len() as f64;
-    (out.iter().map(|o| o.0).sum::<f64>() / n, out.iter().map(|o| o.1).sum::<f64>() / n * 1e3)
+    (
+        out.iter().map(|o| o.0).sum::<f64>() / n,
+        out.iter().map(|o| o.1).sum::<f64>() / n * 1e3,
+    )
 }
 
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(8);
-    let nodes = if cli.fast { vec![10usize, 25] } else { vec![10, 15, 20, 25, 30, 40] };
+    let nodes = if cli.fast {
+        vec![10usize, 25]
+    } else {
+        vec![10, 15, 20, 25, 30, 40]
+    };
 
     let mut t = Table::new(
         format!("Ablation — full vs adaptive grid division (k = 5, ε = 1, {trials} trials)"),
-        &["n", "full err (m)", "adaptive err (m)", "full build (ms)", "adaptive build (ms)"],
+        &[
+            "n",
+            "full err (m)",
+            "adaptive err (m)",
+            "full build (ms)",
+            "adaptive build (ms)",
+        ],
     );
     for &n in &nodes {
         let params = PaperParams::default().with_nodes(n);

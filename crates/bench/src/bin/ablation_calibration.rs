@@ -33,7 +33,10 @@ fn errors_at(sigma_cal: f64, trials: usize, seed: u64) -> (f64, f64, f64, f64) {
         let map = params.face_map(&field);
         let mut fttt = Tracker::new(map, TrackerOptions::default());
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
-        let e_fttt = fttt.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_fttt = fttt
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
 
         let mut pf = ParticleFilter::new(
             &positions,
@@ -44,11 +47,17 @@ fn errors_at(sigma_cal: f64, trials: usize, seed: u64) -> (f64, f64, f64, f64) {
             params.localization_period(),
         );
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
-        let e_pf = pf.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_pf = pf
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
 
         let wcl = WeightedCentroid::with_path_loss_degree(&positions, params.rect(), params.beta);
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
-        let e_wcl = wcl.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_wcl = wcl
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
 
         let mut ekf = ExtendedKalman::new(
             &positions,
@@ -57,7 +66,10 @@ fn errors_at(sigma_cal: f64, trials: usize, seed: u64) -> (f64, f64, f64, f64) {
             params.localization_period(),
         );
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xCA1, i));
-        let e_ekf = ekf.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_ekf = ekf
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
         (e_fttt, e_pf, e_wcl, e_ekf)
     });
     let n = out.len() as f64;
@@ -72,7 +84,11 @@ fn errors_at(sigma_cal: f64, trials: usize, seed: u64) -> (f64, f64, f64, f64) {
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(8);
-    let sigmas = if cli.fast { vec![0.0, 6.0] } else { vec![0.0, 1.5, 3.0, 6.0, 9.0, 12.0] };
+    let sigmas = if cli.fast {
+        vec![0.0, 6.0]
+    } else {
+        vec![0.0, 1.5, 3.0, 6.0, 9.0, 12.0]
+    };
 
     let mut t = Table::new(
         format!("Ablation — per-node calibration error σ_cal (n = 15, k = 5, {trials} trials)"),

@@ -33,8 +33,7 @@ fn frontier_point(params: &PaperParams, trials: usize, seed: u64) -> (f64, f64, 
             localizations.push((estimate.distance(p.pos), outcome));
         }
         ledger.charge_idle(trace.duration());
-        let mean_err =
-            localizations.iter().map(|l| l.0).sum::<f64>() / localizations.len() as f64;
+        let mean_err = localizations.iter().map(|l| l.0).sum::<f64>() / localizations.len() as f64;
         (mean_err, ledger.total() * 1e3, ledger.max_node() * 1e3)
     });
     let n = out.len() as f64;
@@ -48,7 +47,11 @@ fn frontier_point(params: &PaperParams, trials: usize, seed: u64) -> (f64, f64, 
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(8);
-    let ks = if cli.fast { vec![3usize, 9] } else { vec![2, 3, 5, 7, 9, 12, 16] };
+    let ks = if cli.fast {
+        vec![3usize, 9]
+    } else {
+        vec![2, 3, 5, 7, 9, 12, 16]
+    };
 
     let mut t = Table::new(
         format!(
@@ -57,8 +60,10 @@ fn main() {
         &["k", "mean err (m)", "network energy (mJ)", "hottest node (mJ)"],
     );
     for &k in &ks {
-        let params =
-            PaperParams::default().with_nodes(15).with_samples(k).with_idealized_noise();
+        let params = PaperParams::default()
+            .with_nodes(15)
+            .with_samples(k)
+            .with_idealized_noise();
         let (err, total_mj, max_mj) = frontier_point(&params, trials, cli.seed);
         t.row(&[
             k.to_string(),

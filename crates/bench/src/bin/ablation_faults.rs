@@ -11,11 +11,22 @@ use wsn_network::FaultModel;
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
-    let probs = if cli.fast { vec![0.0, 0.3] } else { vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5] };
+    let probs = if cli.fast {
+        vec![0.0, 0.3]
+    } else {
+        vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    };
 
     let mut t = Table::new(
         format!("Ablation — node-failure probability (n = 15, k = 5, ε = 1, {trials} trials)"),
-        &["P(fail)", "FTTT (m)", "FTTT-ext (m)", "PM (m)", "DirectMLE (m)", "WCL (m)"],
+        &[
+            "P(fail)",
+            "FTTT (m)",
+            "FTTT-ext (m)",
+            "PM (m)",
+            "DirectMLE (m)",
+            "WCL (m)",
+        ],
     );
     for &p in &probs {
         let scenario = Scenario::new(PaperParams::default().with_nodes(15))
@@ -28,7 +39,12 @@ fn main() {
             MethodKind::Wcl,
         ]
         .iter()
-        .map(|&m| format!("{:.2}", trial_stats(&scenario, m, trials, cli.seed).mean_error))
+        .map(|&m| {
+            format!(
+                "{:.2}",
+                trial_stats(&scenario, m, trials, cli.seed).mean_error
+            )
+        })
         .collect();
         t.row(&[
             format!("{p:.1}"),

@@ -12,7 +12,11 @@ use std::time::Instant;
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(8);
-    let cells = if cli.fast { vec![4.0, 1.0] } else { vec![8.0, 4.0, 2.0, 1.0, 0.5] };
+    let cells = if cli.fast {
+        vec![4.0, 1.0]
+    } else {
+        vec![8.0, 4.0, 2.0, 1.0, 0.5]
+    };
 
     let mut t = Table::new(
         format!("Ablation — grid cell size (n = 15, k = 5, ε = 1, {trials} trials)"),
@@ -21,8 +25,7 @@ fn main() {
     for &cell in &cells {
         let params = PaperParams::default().with_nodes(15).with_cell_size(cell);
         // Face count / build time measured on one representative world.
-        let mut rng =
-            <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(cli.seed);
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(cli.seed);
         let field = params.random_field(&mut rng);
         let t0 = Instant::now();
         let map = params.face_map(&field);

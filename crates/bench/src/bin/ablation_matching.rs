@@ -11,15 +11,29 @@ use fttt_bench::{trial_stats, Cli, MethodKind, Scenario, Table};
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
-    let nodes = if cli.fast { vec![10usize, 25] } else { vec![10, 15, 20, 25, 30, 40] };
+    let nodes = if cli.fast {
+        vec![10usize, 25]
+    } else {
+        vec![10, 15, 20, 25, 30, 40]
+    };
 
     let mut t = Table::new(
         format!("Ablation — exhaustive vs heuristic matching (k = 5, ε = 1, {trials} trials)"),
-        &["n", "exh err (m)", "heur err (m)", "exh evals/loc", "heur evals/loc", "speedup ×"],
+        &[
+            "n",
+            "exh err (m)",
+            "heur err (m)",
+            "exh evals/loc",
+            "heur evals/loc",
+            "speedup ×",
+        ],
     );
     for &n in &nodes {
         let scenario = Scenario::new(
-            PaperParams::default().with_nodes(n).with_samples(5).with_epsilon(1.0),
+            PaperParams::default()
+                .with_nodes(n)
+                .with_samples(5)
+                .with_epsilon(1.0),
         );
         let exh = trial_stats(&scenario, MethodKind::FtttBasic, trials, cli.seed);
         let heur = trial_stats(&scenario, MethodKind::FtttHeuristic, trials, cli.seed);

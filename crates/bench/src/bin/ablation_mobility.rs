@@ -66,7 +66,10 @@ fn mean_errors(mobility: Mobility, trials: usize, seed: u64) -> (f64, f64, f64) 
         let map = params.face_map(&field);
         let mut fttt = Tracker::new(map, TrackerOptions::default());
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xF17, i));
-        let e_fttt = fttt.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_fttt = fttt
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
 
         let mut pm = PathMatching::new(
             &positions,
@@ -76,7 +79,10 @@ fn mean_errors(mobility: Mobility, trials: usize, seed: u64) -> (f64, f64, f64) 
             params.localization_period(),
         );
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xF17, i));
-        let e_pm = pm.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_pm = pm
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
 
         let mut pf = ParticleFilter::new(
             &positions,
@@ -87,7 +93,10 @@ fn mean_errors(mobility: Mobility, trials: usize, seed: u64) -> (f64, f64, f64) 
             params.localization_period(),
         );
         let mut world = ChaCha8Rng::seed_from_u64(seed_for(seed ^ 0xF17, i));
-        let e_pf = pf.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+        let e_pf = pf
+            .track(&field, &sampler, &trace, &mut world)
+            .error_stats()
+            .mean;
         (e_fttt, e_pm, e_pf)
     });
     let n = out.len() as f64;

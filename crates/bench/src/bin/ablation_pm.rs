@@ -33,7 +33,9 @@ fn mean_error(strict: bool, n: usize, trials: usize, seed: u64) -> f64 {
         } else {
             pm = pm.robust();
         }
-        pm.track(&field, &params.sampler(), &trace, &mut rng).error_stats().mean
+        pm.track(&field, &params.sampler(), &trace, &mut rng)
+            .error_stats()
+            .mean
     });
     means.iter().sum::<f64>() / means.len() as f64
 }
@@ -45,9 +47,14 @@ fn mle_error(n: usize, trials: usize, seed: u64) -> f64 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed_for(seed, i));
         let field = params.random_field(&mut rng);
         let trace = params.random_trace(60.0, &mut rng);
-        let mle =
-            DirectMle::new(&field.deployment().positions(), params.rect(), params.cell_size);
-        mle.track(&field, &params.sampler(), &trace, &mut rng).error_stats().mean
+        let mle = DirectMle::new(
+            &field.deployment().positions(),
+            params.rect(),
+            params.cell_size,
+        );
+        mle.track(&field, &params.sampler(), &trace, &mut rng)
+            .error_stats()
+            .mean
     });
     means.iter().sum::<f64>() / means.len() as f64
 }
@@ -55,7 +62,11 @@ fn mle_error(n: usize, trials: usize, seed: u64) -> f64 {
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
-    let nodes = if cli.fast { vec![10usize, 25] } else { vec![10, 15, 20, 25, 30, 40] };
+    let nodes = if cli.fast {
+        vec![10usize, 25]
+    } else {
+        vec![10, 15, 20, 25, 30, 40]
+    };
 
     let mut t = Table::new(
         format!("Ablation — strict vs robust PM (k = 5, ε = 1, {trials} trials)"),

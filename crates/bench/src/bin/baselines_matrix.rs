@@ -22,7 +22,11 @@ const METHODS: [MethodKind; 8] = [
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(8);
-    let nodes = if cli.fast { vec![10usize, 25] } else { vec![10, 20, 30, 40] };
+    let nodes = if cli.fast {
+        vec![10usize, 25]
+    } else {
+        vec![10, 20, 30, 40]
+    };
 
     let mut mean_t = Table::new(
         format!("All methods — mean error (m) vs nodes (k = 5, ε = 1, {trials} trials)"),

@@ -15,7 +15,11 @@ use std::time::Instant;
 
 fn main() {
     let cli = Cli::parse();
-    let nodes = if cli.fast { vec![5usize, 10, 20] } else { vec![5, 10, 15, 20, 25, 30, 35, 40] };
+    let nodes = if cli.fast {
+        vec![5usize, 10, 20]
+    } else {
+        vec![5, 10, 15, 20, 25, 30, 35, 40]
+    };
 
     let mut t = Table::new(
         "Complexity scaling (cell = 1 m, 100×100 m², k = 5)",

@@ -38,11 +38,21 @@ fn composition(params: &PaperParams, trials: usize, seed: u64) -> VectorComposit
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(8);
-    let ks = if cli.fast { vec![3usize, 9] } else { vec![2, 3, 5, 7, 9, 12, 16] };
+    let ks = if cli.fast {
+        vec![3usize, 9]
+    } else {
+        vec![2, 3, 5, 7, 9, 12, 16]
+    };
 
     let mut t = Table::new(
         format!("Diagnostic — sampling-vector composition vs k (n = 15, {trials} trials)"),
-        &["k", "gauss: 0-frac", "gauss: *-frac", "ideal: 0-frac", "ideal: *-frac"],
+        &[
+            "k",
+            "gauss: 0-frac",
+            "gauss: *-frac",
+            "ideal: 0-frac",
+            "ideal: *-frac",
+        ],
     );
     for &k in &ks {
         let gauss = composition(
@@ -51,7 +61,10 @@ fn main() {
             cli.seed,
         );
         let ideal = composition(
-            &PaperParams::default().with_nodes(15).with_samples(k).with_idealized_noise(),
+            &PaperParams::default()
+                .with_nodes(15)
+                .with_samples(k)
+                .with_idealized_noise(),
             trials,
             cli.seed,
         );

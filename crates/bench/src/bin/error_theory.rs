@@ -42,7 +42,14 @@ fn main() {
         "Section 5.2 — expected vector error E_N = N·f vs Monte Carlo",
         &["k", "pairs N", "E_N theory", "E_N empirical", "|Δ|"],
     );
-    for (k, n) in [(3usize, 4usize), (3, 10), (5, 10), (5, 45), (7, 45), (9, 190)] {
+    for (k, n) in [
+        (3usize, 4usize),
+        (3, 10),
+        (5, 10),
+        (5, 45),
+        (7, 45),
+        (9, 190),
+    ] {
         let theory = expected_vector_error(k, n);
         let emp = empirical_vector_error(k, n, trials, cli.seed);
         t.row(&[
@@ -58,7 +65,13 @@ fn main() {
     println!();
     let mut b = Table::new(
         "Eq. (10) — worst-case error bound E < sqrt(C(n,2)·f·πR²/(ξ·n⁴)), ξ = 1",
-        &["k", "density ρ (nodes/m²)", "range R (m)", "in-range n", "bound (m)"],
+        &[
+            "k",
+            "density ρ (nodes/m²)",
+            "range R (m)",
+            "in-range n",
+            "bound (m)",
+        ],
     );
     for k in [3usize, 5, 7, 9] {
         for (rho, range) in [(0.001, 40.0), (0.002, 40.0), (0.004, 40.0), (0.002, 20.0)] {

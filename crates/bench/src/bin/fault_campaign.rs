@@ -12,38 +12,58 @@ use fttt_bench::{Cli, Table};
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = if cli.fast { CampaignConfig::fast(cli.seed) } else { CampaignConfig::full(cli.seed) };
+    let mut cfg = if cli.fast {
+        CampaignConfig::fast(cli.seed)
+    } else {
+        CampaignConfig::full(cli.seed)
+    };
     if let Some(trials) = cli.trials {
         cfg.trials = trials.max(1);
     }
+    let registry = std::sync::Arc::new(wsn_telemetry::Registry::new());
+    wsn_telemetry::install(std::sync::Arc::clone(&registry));
     let rows = run_campaign(&cfg);
+    wsn_telemetry::uninstall();
+    let metrics = registry.snapshot();
     let mut table = Table::new(
         format!(
             "Fault campaign ({} trials x {} s, {} nodes, seed {})",
             cfg.trials, cfg.duration, cfg.nodes, cfg.seed
         ),
         &[
-            "regime", "rate", "method", "mean err (m)", "worst (m)", "lost", "degraded",
-            "recovered", "mean k",
+            "regime",
+            "rate",
+            "method",
+            "mean err (m)",
+            "worst (m)",
+            "lost",
+            "degraded",
+            "recovered",
+            "mean k",
         ],
     );
     for r in &rows {
         table.row(&[
             r.regime.clone(),
-            r.fault_rate.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            r.fault_rate
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
             r.method.to_string(),
             format!("{:.2}", r.mean_error),
             format!("{:.2}", r.worst_error),
             format!("{:.1}%", 100.0 * r.lost_fraction),
             format!("{:.1}%", 100.0 * r.degraded_fraction),
-            format!("{}/{}", (r.recovery_rate * r.trials_lost as f64).round(), r.trials_lost),
+            format!(
+                "{}/{}",
+                (r.recovery_rate * r.trials_lost as f64).round(),
+                r.trials_lost
+            ),
             format!("{:.2}", r.mean_samples),
         ]);
     }
     table.print();
 
     let violations = check_envelopes(&rows, campaign_field_side(&cfg));
-    let json = render_json(&rows, &cfg, &violations);
+    let json = render_json(&rows, &cfg, &violations, Some(&metrics));
     let path = "BENCH_robustness.json";
     std::fs::write(path, json).expect("write BENCH_robustness.json");
     println!("\nwrote {path}");

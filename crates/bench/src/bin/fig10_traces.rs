@@ -6,16 +6,25 @@
 //! as CSV next to a summary table. The paper's visual claim is that FTTT's
 //! point cloud hugs the true trace while PM's scatters.
 
-use fttt_bench::{run_once, Cli, MethodKind, Scenario, Table};
 use fttt::PaperParams;
+use fttt_bench::{run_once, Cli, MethodKind, Scenario, Table};
 
 fn main() {
     let cli = Cli::parse();
-    let params = PaperParams::default().with_nodes(16).with_samples(5).with_epsilon(1.0);
+    let params = PaperParams::default()
+        .with_nodes(16)
+        .with_samples(5)
+        .with_epsilon(1.0);
 
     let mut summary = Table::new(
         "Fig. 10 — one 60 s tracking example (k = 5, ε = 1, n = 16)",
-        &["deployment", "method", "mean err (m)", "std (m)", "max err (m)"],
+        &[
+            "deployment",
+            "method",
+            "mean err (m)",
+            "std (m)",
+            "max err (m)",
+        ],
     );
 
     for (deploy_name, grid) in [("grid", true), ("random", false)] {
@@ -35,7 +44,10 @@ fn main() {
                 format!("{:.2}", stats.max),
             ]);
 
-            let mut csv = Table::new("trace", &["t", "truth_x", "truth_y", "est_x", "est_y", "error"]);
+            let mut csv = Table::new(
+                "trace",
+                &["t", "truth_x", "truth_y", "est_x", "est_y", "error"],
+            );
             for l in &run.localizations {
                 csv.row(&[
                     format!("{:.2}", l.t),
@@ -46,9 +58,10 @@ fn main() {
                     format!("{:.2}", l.error),
                 ]);
             }
-            csv.write_csv(
-                &cli.out.join(format!("fig10_{deploy_name}_{}.csv", method.label().to_lowercase())),
-            );
+            csv.write_csv(&cli.out.join(format!(
+                "fig10_{deploy_name}_{}.csv",
+                method.label().to_lowercase()
+            )));
         }
     }
     summary.print();

@@ -9,7 +9,10 @@ use fttt_bench::{run_once, Cli, MethodKind, Scenario, Table};
 
 fn main() {
     let cli = Cli::parse();
-    let params = PaperParams::default().with_nodes(10).with_samples(5).with_epsilon(1.0);
+    let params = PaperParams::default()
+        .with_nodes(10)
+        .with_samples(5)
+        .with_epsilon(1.0);
     let scenario = Scenario::new(params);
 
     let fttt = run_once(&scenario, MethodKind::FtttBasic, cli.seed);
@@ -20,7 +23,12 @@ fn main() {
         "Fig. 11(a) — dynamic tracking error over time (k = 5, ε = 1, n = 10)",
         &["t (s)", "FTTT (m)", "PM (m)", "DirectMLE (m)"],
     );
-    for ((a, b), c) in fttt.localizations.iter().zip(&pm.localizations).zip(&mle.localizations) {
+    for ((a, b), c) in fttt
+        .localizations
+        .iter()
+        .zip(&pm.localizations)
+        .zip(&mle.localizations)
+    {
         t.row(&[
             format!("{:.1}", a.t),
             format!("{:.2}", a.error),
@@ -35,8 +43,12 @@ fn main() {
         "Fig. 11(a) — every 5th localization",
         &["t (s)", "FTTT (m)", "PM (m)", "DirectMLE (m)"],
     );
-    for (i, ((a, b), c)) in
-        fttt.localizations.iter().zip(&pm.localizations).zip(&mle.localizations).enumerate()
+    for (i, ((a, b), c)) in fttt
+        .localizations
+        .iter()
+        .zip(&pm.localizations)
+        .zip(&mle.localizations)
+        .enumerate()
     {
         if i % 5 == 0 {
             view.row(&[
@@ -50,7 +62,10 @@ fn main() {
     view.print();
 
     println!();
-    let mut s = Table::new("series summary", &["method", "mean (m)", "std (m)", "max (m)"]);
+    let mut s = Table::new(
+        "series summary",
+        &["method", "mean (m)", "std (m)", "max (m)"],
+    );
     for (name, run) in [("FTTT", &fttt), ("PM", &pm), ("DirectMLE", &mle)] {
         let st = run.error_stats();
         s.row(&[

@@ -8,9 +8,17 @@ use fttt_bench::{trial_stats, Cli, MethodKind, Scenario, Table};
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
-    let methods =
-        [MethodKind::FtttBasic, MethodKind::Pm, MethodKind::DirectMle, MethodKind::Wcl];
-    let nodes = if cli.fast { vec![5usize, 10, 20] } else { vec![5, 10, 15, 20, 25, 30, 35, 40] };
+    let methods = [
+        MethodKind::FtttBasic,
+        MethodKind::Pm,
+        MethodKind::DirectMle,
+        MethodKind::Wcl,
+    ];
+    let nodes = if cli.fast {
+        vec![5usize, 10, 20]
+    } else {
+        vec![5, 10, 15, 20, 25, 30, 35, 40]
+    };
 
     let mut mean_t = Table::new(
         format!("Fig. 11(b) — mean error vs nodes (k = 5, ε = 1, {trials} trials)"),
@@ -23,10 +31,15 @@ fn main() {
 
     for &n in &nodes {
         let scenario = Scenario::new(
-            PaperParams::default().with_nodes(n).with_samples(5).with_epsilon(1.0),
+            PaperParams::default()
+                .with_nodes(n)
+                .with_samples(5)
+                .with_epsilon(1.0),
         );
-        let aggs: Vec<_> =
-            methods.iter().map(|&m| trial_stats(&scenario, m, trials, cli.seed)).collect();
+        let aggs: Vec<_> = methods
+            .iter()
+            .map(|&m| trial_stats(&scenario, m, trials, cli.seed))
+            .collect();
         mean_t.row(&[
             n.to_string(),
             format!("{:.2}", aggs[0].mean_error),

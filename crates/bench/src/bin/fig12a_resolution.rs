@@ -8,15 +8,21 @@ fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
     let node_counts = [10usize, 15, 20, 25];
-    let epsilons = if cli.fast { vec![0.5, 1.5, 3.0] } else { vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0] };
+    let epsilons = if cli.fast {
+        vec![0.5, 1.5, 3.0]
+    } else {
+        vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+    };
 
     let run = |idealized: bool, title: String| -> Table {
         let mut t = Table::new(title, &["ε (dBm)", "n=10", "n=15", "n=20", "n=25"]);
         for &eps in &epsilons {
             let mut cells = vec![format!("{eps:.1}")];
             for &n in &node_counts {
-                let mut params =
-                    PaperParams::default().with_nodes(n).with_samples(5).with_epsilon(eps);
+                let mut params = PaperParams::default()
+                    .with_nodes(n)
+                    .with_samples(5)
+                    .with_epsilon(eps);
                 if idealized {
                     params = params.with_idealized_noise();
                 }
@@ -25,7 +31,10 @@ fn main() {
                 cells.push(format!("{:.2}", agg.mean_error));
             }
             t.row(&cells);
-            eprintln!("[fig12a{}] ε = {eps} done", if idealized { "/ideal" } else { "" });
+            eprintln!(
+                "[fig12a{}] ε = {eps} done",
+                if idealized { "/ideal" } else { "" }
+            );
         }
         t
     };

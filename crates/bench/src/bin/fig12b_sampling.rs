@@ -16,8 +16,10 @@ fn run_table(
     for &n in nodes {
         let mut cells = vec![n.to_string()];
         for &k in ks {
-            let mut params =
-                PaperParams::default().with_nodes(n).with_samples(k).with_epsilon(1.0);
+            let mut params = PaperParams::default()
+                .with_nodes(n)
+                .with_samples(k)
+                .with_epsilon(1.0);
             if idealized {
                 params = params.with_idealized_noise();
             }
@@ -26,7 +28,10 @@ fn run_table(
             cells.push(format!("{:.2}", agg.mean_error));
         }
         t.row(&cells);
-        eprintln!("[fig12b{}] n = {n} done", if idealized { "/ideal" } else { "" });
+        eprintln!(
+            "[fig12b{}] n = {n} done",
+            if idealized { "/ideal" } else { "" }
+        );
     }
     t
 }
@@ -35,7 +40,11 @@ fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
     let ks = [3usize, 5, 7, 9];
-    let nodes = if cli.fast { vec![10usize, 25, 40] } else { vec![10, 15, 20, 25, 30, 35, 40] };
+    let nodes = if cli.fast {
+        vec![10usize, 25, 40]
+    } else {
+        vec![10, 15, 20, 25, 30, 35, 40]
+    };
 
     let ideal = run_table(
         &format!(

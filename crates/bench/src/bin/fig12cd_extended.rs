@@ -7,7 +7,11 @@ use fttt_bench::{trial_stats, Cli, MethodKind, Scenario, Table};
 fn main() {
     let cli = Cli::parse();
     let trials = cli.trials_or(10);
-    let nodes = if cli.fast { vec![10usize, 25, 40] } else { vec![5, 10, 15, 20, 25, 30, 35, 40] };
+    let nodes = if cli.fast {
+        vec![10usize, 25, 40]
+    } else {
+        vec![5, 10, 15, 20, 25, 30, 35, 40]
+    };
 
     let mut mean_t = Table::new(
         format!("Fig. 12(c) — mean error: basic vs extended FTTT (k = 5, ε = 1, {trials} trials)"),
@@ -19,7 +23,10 @@ fn main() {
     );
     for &n in &nodes {
         let scenario = Scenario::new(
-            PaperParams::default().with_nodes(n).with_samples(5).with_epsilon(1.0),
+            PaperParams::default()
+                .with_nodes(n)
+                .with_samples(5)
+                .with_epsilon(1.0),
         );
         let basic = trial_stats(&scenario, MethodKind::FtttBasic, trials, cli.seed);
         let ext = trial_stats(&scenario, MethodKind::FtttExtended, trials, cli.seed);

@@ -34,8 +34,12 @@ fn main() {
     // The "⌐" walk: 40 m out, 40 m down, through the cross's upper arm.
     let path = WaypointPath::corner(Point::new(30.0, 70.0), 40.0);
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
-    let trace = path
-        .walk_random_speed(params.min_speed, params.max_speed, params.localization_period(), &mut rng);
+    let trace = path.walk_random_speed(
+        params.min_speed,
+        params.max_speed,
+        params.localization_period(),
+        &mut rng,
+    );
 
     let map = params.face_map(&field);
     println!(
@@ -65,8 +69,10 @@ fn main() {
             format!("{:.2}", stats.max),
         ]);
 
-        let mut csv =
-            Table::new("trace", &["t", "truth_x", "truth_y", "est_x", "est_y", "error"]);
+        let mut csv = Table::new(
+            "trace",
+            &["t", "truth_x", "truth_y", "est_x", "est_y", "error"],
+        );
         for l in &run.localizations {
             csv.row(&[
                 format!("{:.2}", l.t),
@@ -77,7 +83,11 @@ fn main() {
                 format!("{:.2}", l.error),
             ]);
         }
-        let slug = if name.contains("extended") { "extended" } else { "basic" };
+        let slug = if name.contains("extended") {
+            "extended"
+        } else {
+            "basic"
+        };
         csv.write_csv(&cli.out.join(format!("fig13_outdoor_{slug}.csv")));
     }
     summary.print();

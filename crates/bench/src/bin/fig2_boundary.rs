@@ -15,7 +15,15 @@ fn main() {
     let b = Point::new(-d, 0.0);
     let mut t = Table::new(
         "Fig. 2 — Uncertain boundaries of a node pair at (±10, 0) m (β = 4, σ = 6)",
-        &["ε (dBm)", "C", "circle A centre x", "circle A radius", "circle B centre x", "circle B radius", "band on axis (m)"],
+        &[
+            "ε (dBm)",
+            "C",
+            "circle A centre x",
+            "circle A radius",
+            "circle B centre x",
+            "circle B radius",
+            "band on axis (m)",
+        ],
     );
     for eps in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
         let c = uncertainty_constant(eps, 4.0, 6.0);

@@ -49,7 +49,14 @@ fn setup(n: usize, seed: u64) -> Setup {
     let sampler = GroupSampler::new(PathLossModel::paper_default(), 5);
     let truth = Point::new(47.0, 53.0);
     let group = sampler.sample(&sensor_field, truth, &mut rng);
-    Setup { positions, field, c, map, vector: basic_sampling_vector(&group), truth }
+    Setup {
+        positions,
+        field,
+        c,
+        map,
+        vector: basic_sampling_vector(&group),
+        truth,
+    }
 }
 
 /// Faithful port of the seed's serial `FaceMap::build` (commit db07e20):
@@ -70,9 +77,7 @@ fn scalar_reference_build(positions: &[Point], field: Rect, c: f64, cell_size: f
     let row_sigs: Vec<Vec<SignatureVector>> = (0..grid.ny())
         .map(|iy| {
             (0..grid.nx())
-                .map(|ix| {
-                    signature_of(grid.center(CellIndex::new(ix, iy)), positions, c)
-                })
+                .map(|ix| signature_of(grid.center(CellIndex::new(ix, iy)), positions, c))
                 .collect()
         })
         .collect();
@@ -84,21 +89,21 @@ fn scalar_reference_build(positions: &[Point], field: Rect, c: f64, cell_size: f
     let mut signatures: Vec<SignatureVector> = Vec::new();
     for (iy, row) in row_sigs.into_iter().enumerate() {
         for (ix, sig) in row.into_iter().enumerate() {
-        let idx = CellIndex::new(ix as u32, iy as u32);
-        let center = grid.center(idx);
-        let next_id = sums.len() as u32;
-        let id = *by_signature.entry(sig.clone()).or_insert_with(|| {
-            sums.push((0.0, 0.0, 0));
-            boxes.push(Rect::point(center));
-            signatures.push(sig);
-            next_id
-        });
-        let s = &mut sums[id as usize];
-        s.0 += center.x;
-        s.1 += center.y;
-        s.2 += 1;
-        boxes[id as usize] = boxes[id as usize].union_point(center);
-        cell_to_face[grid.linear(idx)] = id;
+            let idx = CellIndex::new(ix as u32, iy as u32);
+            let center = grid.center(idx);
+            let next_id = sums.len() as u32;
+            let id = *by_signature.entry(sig.clone()).or_insert_with(|| {
+                sums.push((0.0, 0.0, 0));
+                boxes.push(Rect::point(center));
+                signatures.push(sig);
+                next_id
+            });
+            let s = &mut sums[id as usize];
+            s.0 += center.x;
+            s.1 += center.y;
+            s.2 += 1;
+            boxes[id as usize] = boxes[id as usize].union_point(center);
+            cell_to_face[grid.linear(idx)] = id;
         }
     }
     let faces: Vec<RefFace> = signatures
@@ -133,7 +138,10 @@ fn scalar_reference_build(positions: &[Point], field: Rect, c: f64, cell_size: f
         set.sort_unstable();
         set.dedup();
     }
-    std::hint::black_box((&faces.last().map(|f| (f.centroid, f.cell_count, f.bbox)), &neighbor_sets));
+    std::hint::black_box((
+        &faces.last().map(|f| (f.centroid, f.cell_count, f.bbox)),
+        &neighbor_sets,
+    ));
     faces.iter().map(|f| f.signature.len().min(1)).sum()
 }
 
@@ -142,7 +150,11 @@ fn scalar_reference_match(map: &FaceMap, v: &SamplingVector) -> f64 {
     let mut best = f64::NEG_INFINITY;
     for f in map.faces() {
         let d2 = difference_norm_squared(v, &f.signature);
-        let s = if d2 == 0.0 { f64::INFINITY } else { 1.0 / d2.sqrt() };
+        let s = if d2 == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / d2.sqrt()
+        };
         if s > best {
             best = s;
         }
@@ -296,14 +308,37 @@ fn main() {
         );
     }
 
-    let json = render_json(&rows, threads, cli.seed);
+    // The timing loops above ran with NO telemetry sink installed — the
+    // enabled-check must stay effectively free on the hot paths. A single
+    // instrumented pass afterwards populates the snapshot embedded in the
+    // artifact without contaminating the timings.
+    let registry = std::sync::Arc::new(wsn_telemetry::Registry::new());
+    wsn_telemetry::install(std::sync::Arc::clone(&registry));
+    for n in [10usize, 20, 40] {
+        let s = setup(n, 7);
+        FaceMap::build_with_threads(&s.positions, s.field, s.c, 1.0, threads);
+        let warm = s.map.face_at(s.truth).unwrap();
+        std::hint::black_box(match_exhaustive(&s.map, &s.vector));
+        std::hint::black_box(match_heuristic(&s.map, &s.vector, warm));
+    }
+    wsn_telemetry::uninstall();
+    let metrics = registry.snapshot();
+
+    let json = render_json(&rows, threads, cli.seed, &metrics);
     let path = "BENCH_core.json";
     std::fs::write(path, json).expect("write BENCH_core.json");
     println!("\nwrote {path}");
 }
 
 /// Hand-formatted JSON: the vendored `serde_json` is a compile-only stub.
-fn render_json(rows: &[Row], threads: usize, seed: u64) -> String {
+/// The telemetry snapshot comes from a separate instrumented pass (the
+/// timed loops run sink-free) and is embedded under `"metrics"`.
+fn render_json(
+    rows: &[Row],
+    threads: usize,
+    seed: u64,
+    metrics: &wsn_telemetry::Snapshot,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"perf_snapshot\",\n");
@@ -326,15 +361,36 @@ fn render_json(rows: &[Row], threads: usize, seed: u64) -> String {
         out.push_str(&format!("      \"n\": {},\n", r.n));
         out.push_str(&format!("      \"faces\": {},\n", r.faces));
         out.push_str("      \"build_ms\": {\n");
-        out.push_str(&format!("        \"scalar_reference\": {:.3},\n", r.build_ref_ms));
-        out.push_str(&format!("        \"packed_serial\": {:.3},\n", r.build_serial_ms));
-        out.push_str(&format!("        \"packed_parallel\": {:.3},\n", r.build_parallel_ms));
-        out.push_str(&format!("        \"packed_adaptive\": {:.3}\n", r.build_adaptive_ms));
+        out.push_str(&format!(
+            "        \"scalar_reference\": {:.3},\n",
+            r.build_ref_ms
+        ));
+        out.push_str(&format!(
+            "        \"packed_serial\": {:.3},\n",
+            r.build_serial_ms
+        ));
+        out.push_str(&format!(
+            "        \"packed_parallel\": {:.3},\n",
+            r.build_parallel_ms
+        ));
+        out.push_str(&format!(
+            "        \"packed_adaptive\": {:.3}\n",
+            r.build_adaptive_ms
+        ));
         out.push_str("      },\n");
         out.push_str("      \"match_us\": {\n");
-        out.push_str(&format!("        \"scalar_reference\": {:.3},\n", r.match_ref_us));
-        out.push_str(&format!("        \"packed_exhaustive\": {:.3},\n", r.match_packed_us));
-        out.push_str(&format!("        \"heuristic_warm\": {:.3}\n", r.match_heur_us));
+        out.push_str(&format!(
+            "        \"scalar_reference\": {:.3},\n",
+            r.match_ref_us
+        ));
+        out.push_str(&format!(
+            "        \"packed_exhaustive\": {:.3},\n",
+            r.match_packed_us
+        ));
+        out.push_str(&format!(
+            "        \"heuristic_warm\": {:.3}\n",
+            r.match_heur_us
+        ));
         out.push_str("      },\n");
         out.push_str("      \"speedup\": {\n");
         out.push_str(&format!(
@@ -346,9 +402,17 @@ fn render_json(rows: &[Row], threads: usize, seed: u64) -> String {
             r.match_ref_us / r.match_packed_us
         ));
         out.push_str("      }\n");
-        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        metrics.to_json_indented("  ")
+    ));
     out.push_str("}\n");
     out
 }

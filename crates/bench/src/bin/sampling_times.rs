@@ -44,7 +44,13 @@ fn main() {
             .iter()
             .map(|&l| required_sampling_times(l, n_pairs).to_string())
             .collect();
-        t.row(&[n_pairs.to_string(), ks[0].clone(), ks[1].clone(), ks[2].clone(), ks[3].clone()]);
+        t.row(&[
+            n_pairs.to_string(),
+            ks[0].clone(),
+            ks[1].clone(),
+            ks[2].clone(),
+            ks[3].clone(),
+        ]);
     }
     t.print();
 
@@ -61,7 +67,14 @@ fn main() {
         "Monte-Carlo check of the all-flips-captured probability",
         &["k", "pairs N", "closed form", "empirical", "|Δ|"],
     );
-    for (k, n_pairs) in [(3usize, 6usize), (5, 6), (5, 45), (7, 45), (9, 190), (16, 190)] {
+    for (k, n_pairs) in [
+        (3usize, 6usize),
+        (5, 6),
+        (5, 45),
+        (7, 45),
+        (9, 190),
+        (16, 190),
+    ] {
         let theory = all_flips_probability(k, n_pairs);
         let emp = monte_carlo(k, n_pairs, trials, cli.seed);
         mc.row(&[

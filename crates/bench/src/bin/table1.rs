@@ -9,28 +9,55 @@ use fttt_bench::Table;
 
 fn main() {
     let p = PaperParams::default();
-    let mut t = Table::new("Table 1 — System Parameters and Settings", &["parameter", "paper", "suite default"]);
-    t.row(&["Field size".into(), "100 × 100 m²".into(), format!("{0} × {0} m²", p.field_side)]);
+    let mut t = Table::new(
+        "Table 1 — System Parameters and Settings",
+        &["parameter", "paper", "suite default"],
+    );
+    t.row(&[
+        "Field size".into(),
+        "100 × 100 m²".into(),
+        format!("{0} × {0} m²", p.field_side),
+    ]);
     t.row(&[
         "Noise model (β, σ_X)".into(),
         "β = 4, σ_X = 6".into(),
         format!("β = {}, σ_X = {}", p.beta, p.sigma),
     ]);
-    t.row(&["Number of sensor nodes n".into(), "5 – 40".into(), format!("{}", p.nodes)]);
-    t.row(&["Sensing range R".into(), "40 m".into(), format!("{} m", p.sensing_range)]);
+    t.row(&[
+        "Number of sensor nodes n".into(),
+        "5 – 40".into(),
+        format!("{}", p.nodes),
+    ]);
+    t.row(&[
+        "Sensing range R".into(),
+        "40 m".into(),
+        format!("{} m", p.sensing_range),
+    ]);
     t.row(&[
         "Sensing resolution ε".into(),
         "0.5 – 3 dBm".into(),
         format!("{} dBm", p.epsilon),
     ]);
-    t.row(&["Sampling rate λ".into(), "10 Hz".into(), format!("{} Hz", p.sampling_rate_hz)]);
+    t.row(&[
+        "Sampling rate λ".into(),
+        "10 Hz".into(),
+        format!("{} Hz", p.sampling_rate_hz),
+    ]);
     t.row(&[
         "Target velocity".into(),
         "1 – 5 m/s".into(),
         format!("{} – {} m/s", p.min_speed, p.max_speed),
     ]);
-    t.row(&["Sampling times k".into(), "3 – 9".into(), format!("{}", p.samples_k)]);
-    t.row(&["Grid cell (impl.)".into(), "—".into(), format!("{} m", p.cell_size)]);
+    t.row(&[
+        "Sampling times k".into(),
+        "3 – 9".into(),
+        format!("{}", p.samples_k),
+    ]);
+    t.row(&[
+        "Grid cell (impl.)".into(),
+        "—".into(),
+        format!("{} m", p.cell_size),
+    ]);
     t.row(&[
         "Uncertainty constant C (eq. 3)".into(),
         "derived".into(),

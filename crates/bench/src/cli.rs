@@ -18,7 +18,12 @@ pub struct Cli {
 
 impl Default for Cli {
     fn default() -> Self {
-        Self { seed: 42, trials: None, out: "results".into(), fast: false }
+        Self {
+            seed: 42,
+            trials: None,
+            out: "results".into(),
+            fast: false,
+        }
     }
 }
 

@@ -46,13 +46,23 @@ pub struct CampaignConfig {
 impl CampaignConfig {
     /// The full campaign workload.
     pub fn full(seed: u64) -> Self {
-        Self { seed, trials: 6, duration: 40.0, nodes: 10 }
+        Self {
+            seed,
+            trials: 6,
+            duration: 40.0,
+            nodes: 10,
+        }
     }
 
     /// A reduced smoke workload (seeded, a few seconds of wall clock) for
     /// tier-1 CI.
     pub fn fast(seed: u64) -> Self {
-        Self { seed, trials: 3, duration: 20.0, nodes: 8 }
+        Self {
+            seed,
+            trials: 3,
+            duration: 20.0,
+            nodes: 8,
+        }
     }
 }
 
@@ -108,7 +118,9 @@ pub struct CampaignRow {
 const METHODS: [(&str, bool); 2] = [("FTTT-basic", false), ("FTTT-ext", true)];
 
 fn campaign_params(cfg: &CampaignConfig) -> PaperParams {
-    PaperParams::default().with_nodes(cfg.nodes).with_cell_size(2.0)
+    PaperParams::default()
+        .with_nodes(cfg.nodes)
+        .with_cell_size(2.0)
 }
 
 /// Runs one seeded session trial against a parsed schedule.
@@ -125,15 +137,23 @@ fn run_session_trial(
     let field = params.grid_field();
     let trace = params.random_trace(duration, &mut rng);
     let map = params.face_map(&field);
-    let options =
-        if extended { TrackerOptions { extended: true, ..TrackerOptions::heuristic() } } else { TrackerOptions::heuristic() };
-    let session_options =
-        SessionOptions::new(params.samples_k).with_max_speed(params.max_speed);
+    let options = if extended {
+        TrackerOptions {
+            extended: true,
+            ..TrackerOptions::heuristic()
+        }
+    } else {
+        TrackerOptions::heuristic()
+    };
+    let session_options = SessionOptions::new(params.samples_k).with_max_speed(params.max_speed);
     let mut session = TrackingSession::new(Tracker::new(map, options), session_options);
     let mut engine = schedule.engine(field.len());
     let base = params.sampler();
     session.run(&trace, &mut rng, |k, pos, t, r| {
-        let sampler = GroupSampler { samples: k, ..base.clone() };
+        let sampler = GroupSampler {
+            samples: k,
+            ..base.clone()
+        };
         let mut g = sampler.sample(&field, pos, r);
         engine.apply(t, &mut g, r);
         g
@@ -154,8 +174,10 @@ fn aggregate(
             .sum::<f64>()
             / n
     };
-    let lost: Vec<&SessionRun> =
-        runs.iter().filter(|r| r.rounds_in(TrackStatus::Lost) > 0).collect();
+    let lost: Vec<&SessionRun> = runs
+        .iter()
+        .filter(|r| r.rounds_in(TrackStatus::Lost) > 0)
+        .collect();
     let recovery_rate = if lost.is_empty() {
         1.0
     } else {
@@ -190,7 +212,13 @@ fn run_cell(
 ) -> CampaignRow {
     let idx: Vec<u64> = (0..cfg.trials as u64).collect();
     let runs: Vec<SessionRun> = par_map(&idx, |_, &i| {
-        run_session_trial(params, method.1, schedule, cfg.duration, seed_for(cfg.seed, i))
+        run_session_trial(
+            params,
+            method.1,
+            schedule,
+            cfg.duration,
+            seed_for(cfg.seed, i),
+        )
     });
     aggregate(regime, method.0, fault_rate, &runs)
 }
@@ -210,7 +238,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CampaignRow> {
         for rate in SWEEP_RATES {
             let schedule = Schedule::parse(&format!("static node_failure={rate}"))
                 .expect("sweep schedule is valid");
-            rows.push(run_cell(cfg, &params, SWEEP_REGIME, method, Some(rate), &schedule));
+            rows.push(run_cell(
+                cfg,
+                &params,
+                SWEEP_REGIME,
+                method,
+                Some(rate),
+                &schedule,
+            ));
         }
     }
     for (label, text) in showcase_regimes() {
@@ -311,8 +346,15 @@ pub fn campaign_field_side(cfg: &CampaignConfig) -> f64 {
 }
 
 /// Hand-formatted JSON artifact (the vendored `serde_json` is a
-/// compile-only stub).
-pub fn render_json(rows: &[CampaignRow], cfg: &CampaignConfig, violations: &[String]) -> String {
+/// compile-only stub). When a telemetry snapshot is supplied it is
+/// embedded under a `"metrics"` key so `BENCH_robustness.json` carries
+/// the campaign's instrumentation counters alongside the envelopes.
+pub fn render_json(
+    rows: &[CampaignRow],
+    cfg: &CampaignConfig,
+    violations: &[String],
+    metrics: Option<&wsn_telemetry::Snapshot>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"fault_campaign\",\n");
@@ -321,7 +363,10 @@ pub fn render_json(rows: &[CampaignRow], cfg: &CampaignConfig, violations: &[Str
     out.push_str(&format!("    \"trials\": {},\n", cfg.trials));
     out.push_str(&format!("    \"duration_s\": {},\n", cfg.duration));
     out.push_str(&format!("    \"nodes\": {},\n", cfg.nodes));
-    out.push_str(&format!("    \"field_side_m\": {},\n", campaign_field_side(cfg)));
+    out.push_str(&format!(
+        "    \"field_side_m\": {},\n",
+        campaign_field_side(cfg)
+    ));
     out.push_str(&format!("    \"sweep_rates\": {:?},\n", SWEEP_RATES));
     out.push_str(
         "    \"envelope\": \"mean(rate) <= 3*mean(0) + 12 m; all cells <= 0.55*field_side; \
@@ -339,15 +384,34 @@ pub fn render_json(rows: &[CampaignRow], cfg: &CampaignConfig, violations: &[Str
         }
         out.push_str(&format!("      \"mean_error_m\": {:.3},\n", r.mean_error));
         out.push_str(&format!("      \"worst_error_m\": {:.3},\n", r.worst_error));
-        out.push_str(&format!("      \"lost_fraction\": {:.4},\n", r.lost_fraction));
-        out.push_str(&format!("      \"degraded_fraction\": {:.4},\n", r.degraded_fraction));
+        out.push_str(&format!(
+            "      \"lost_fraction\": {:.4},\n",
+            r.lost_fraction
+        ));
+        out.push_str(&format!(
+            "      \"degraded_fraction\": {:.4},\n",
+            r.degraded_fraction
+        ));
         out.push_str(&format!("      \"trials_lost\": {},\n", r.trials_lost));
-        out.push_str(&format!("      \"recovery_rate\": {:.3},\n", r.recovery_rate));
+        out.push_str(&format!(
+            "      \"recovery_rate\": {:.3},\n",
+            r.recovery_rate
+        ));
         out.push_str(&format!("      \"mean_samples\": {:.2}\n", r.mean_samples));
-        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"violations\": {},\n", violations.len()));
+    if let Some(snap) = metrics {
+        out.push_str(&format!(
+            "  \"metrics\": {},\n",
+            snap.to_json_indented("  ")
+        ));
+    }
     out.push_str(&format!("  \"pass\": {}\n", violations.is_empty()));
     out.push_str("}\n");
     out
@@ -366,7 +430,12 @@ mod tests {
 
     #[test]
     fn single_trial_cell_is_deterministic() {
-        let cfg = CampaignConfig { seed: 9, trials: 1, duration: 5.0, nodes: 8 };
+        let cfg = CampaignConfig {
+            seed: 9,
+            trials: 1,
+            duration: 5.0,
+            nodes: 8,
+        };
         let params = campaign_params(&cfg);
         let schedule = Schedule::parse("static node_failure=0.3").unwrap();
         let a = run_session_trial(&params, false, &schedule, cfg.duration, 123);
@@ -390,8 +459,10 @@ mod tests {
         };
         // A 0-rate baseline of 5 m and a 0.5-rate mean of 40 m breaks
         // 3·5 + 12 = 27 m.
-        let rows =
-            vec![row(SWEEP_REGIME, Some(0.0), 5.0), row(SWEEP_REGIME, Some(0.5), 40.0)];
+        let rows = vec![
+            row(SWEEP_REGIME, Some(0.0), 5.0),
+            row(SWEEP_REGIME, Some(0.5), 40.0),
+        ];
         let v = check_envelopes(&rows, 100.0);
         assert_eq!(v.len(), 2, "envelope + missing FTTT-ext baseline: {v:?}");
         // A blackout row that never reached Lost is a violation too.
@@ -415,9 +486,18 @@ mod tests {
             recovery_rate: 1.0,
             mean_samples: 6.0,
         }];
-        let json = render_json(&rows, &cfg, &[]);
+        let json = render_json(&rows, &cfg, &[], None);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"fault_rate\": null"));
         assert!(json.contains("\"pass\": true"));
+        assert!(!json.contains("\"metrics\""));
+
+        let registry = wsn_telemetry::Registry::new();
+        registry.counter("wsn.regime.activations").add(7);
+        let snap = registry.snapshot();
+        let json = render_json(&rows, &cfg, &[], Some(&snap));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"wsn.regime.activations\": 7"));
     }
 }

@@ -62,7 +62,12 @@ pub struct Scenario {
 impl Scenario {
     /// The paper's default 60 s random-deployment scenario.
     pub fn new(params: PaperParams) -> Self {
-        Self { params, grid_deployment: false, duration: 60.0, fault: FaultModel::none() }
+        Self {
+            params,
+            grid_deployment: false,
+            duration: 60.0,
+            fault: FaultModel::none(),
+        }
     }
 
     /// Switches to a regular grid deployment.
@@ -208,7 +213,10 @@ pub fn trial_stats(
         trials,
         mean_error: per_trial.iter().map(|t| t.0).sum::<f64>() / n,
         mean_std: per_trial.iter().map(|t| t.1).sum::<f64>() / n,
-        worst_mean: per_trial.iter().map(|t| t.0).fold(f64::NEG_INFINITY, f64::max),
+        worst_mean: per_trial
+            .iter()
+            .map(|t| t.0)
+            .fold(f64::NEG_INFINITY, f64::max),
         mean_evaluated: per_trial.iter().map(|t| t.2).sum::<f64>() / n,
     }
 }
@@ -218,8 +226,7 @@ mod tests {
     use super::*;
 
     fn small_scenario() -> Scenario {
-        Scenario::new(PaperParams::default().with_nodes(6).with_cell_size(4.0))
-            .with_duration(5.0)
+        Scenario::new(PaperParams::default().with_nodes(6).with_cell_size(4.0)).with_duration(5.0)
     }
 
     #[test]
@@ -264,7 +271,9 @@ mod tests {
 
     #[test]
     fn empty_run_does_not_poison_evaluated_mean() {
-        let empty = TrackingRun { localizations: Vec::new() };
+        let empty = TrackingRun {
+            localizations: Vec::new(),
+        };
         let m = mean_evaluated_per_localization(&empty);
         assert_eq!(m, 0.0, "0/0 must not produce NaN, got {m}");
     }

@@ -15,7 +15,11 @@ fn fast_campaign_holds_all_envelopes() {
     // Both methods × (4 sweep rates + 5 showcase regimes).
     assert_eq!(rows.len(), 2 * (SWEEP_RATES.len() + 5));
     let violations = check_envelopes(&rows, campaign_field_side(&cfg));
-    assert!(violations.is_empty(), "envelope violations:\n{}", violations.join("\n"));
+    assert!(
+        violations.is_empty(),
+        "envelope violations:\n{}",
+        violations.join("\n")
+    );
 
     // The sweep anchors: fault-free cells must be meaningfully better than
     // the blind-guess scale, not merely under it.
@@ -30,7 +34,11 @@ fn fast_campaign_holds_all_envelopes() {
     // The blackout showcase is the Lost→Tracking regression anchor; the
     // envelope check enforces recovery, this asserts it actually triggered.
     for r in rows.iter().filter(|r| r.regime == BLACKOUT_REGIME) {
-        assert!(r.trials_lost > 0, "{}: blackout never reached Lost", r.method);
+        assert!(
+            r.trials_lost > 0,
+            "{}: blackout never reached Lost",
+            r.method
+        );
         assert!(r.lost_fraction > 0.0);
     }
     let _ = SWEEP_REGIME;
@@ -38,7 +46,12 @@ fn fast_campaign_holds_all_envelopes() {
 
 #[test]
 fn campaign_rows_are_deterministic() {
-    let cfg = CampaignConfig { seed: 7, trials: 2, duration: 8.0, nodes: 8 };
+    let cfg = CampaignConfig {
+        seed: 7,
+        trials: 2,
+        duration: 8.0,
+        nodes: 8,
+    };
     let a = run_campaign(&cfg);
     let b = run_campaign(&cfg);
     assert_eq!(a, b, "same seed must reproduce the campaign exactly");

@@ -1,0 +1,66 @@
+//! End-to-end telemetry spine test: install a sink, run a small campaign
+//! schedule through the real session/sampler/regime/matcher stack, and
+//! assert that every instrumented layer reported. Lives in its own file
+//! (= its own test process) so the installed global sink can never leak
+//! into the sink-free overhead test.
+
+use fttt_bench::robustness::{run_custom_schedule, CampaignConfig};
+use std::sync::Arc;
+use wsn_network::Schedule;
+
+#[test]
+fn campaign_populates_every_telemetry_layer() {
+    let registry = Arc::new(wsn_telemetry::Registry::new());
+    wsn_telemetry::install(Arc::clone(&registry));
+    let cfg = CampaignConfig {
+        seed: 42,
+        trials: 2,
+        duration: 20.0,
+        nodes: 8,
+    };
+    let schedule = Schedule::parse("outage from=8 until=14").unwrap();
+    let rows = run_custom_schedule(&cfg, "outage", &schedule);
+    wsn_telemetry::uninstall();
+    assert_eq!(rows.len(), 2);
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+
+    // Build layer: one face map per trial per method.
+    assert!(counter("fttt.build.calls") >= 4, "{:?}", snap.counters);
+    assert!(counter("fttt.build.faces") > 0);
+    assert!(snap.histograms.contains_key("fttt.build.total"));
+    // Matcher layer: the session methods run the heuristic matcher.
+    assert!(
+        counter("fttt.match.heuristic.calls") > 0,
+        "{:?}",
+        snap.counters
+    );
+    assert!(counter("fttt.match.evaluations") > 0);
+    // Session layer: rounds always tick; a 6 s blackout forces status
+    // transitions (and Lost) in every trial.
+    assert!(counter("fttt.session.rounds") > 0);
+    assert!(
+        counter("fttt.session.transitions") > 0,
+        "{:?}",
+        snap.counters
+    );
+    assert!(counter("fttt.session.to_lost") > 0, "{:?}", snap.counters);
+    // Regime layer: the outage entry applies every round and drops every
+    // delivered reading inside its window.
+    assert!(counter("wsn.regime.activations") > 0, "{:?}", snap.counters);
+    assert!(
+        counter("wsn.regime.readings_dropped") > 0,
+        "{:?}",
+        snap.counters
+    );
+    // Sampler layer: groupings and delivered readings.
+    assert!(counter("wsn.sampler.groupings") > 0);
+    assert!(counter("wsn.sampler.readings_delivered") > 0);
+
+    // The exporters agree with the snapshot on this real workload.
+    let json = snap.to_json();
+    assert!(json.contains("\"fttt.session.rounds\""));
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("fttt_session_rounds"));
+}

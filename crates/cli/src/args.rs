@@ -35,6 +35,9 @@ OPTIONS:
     --fast            (campaign) reduced smoke workload
     --schedule <PATH> (campaign) run one regime-schedule file instead of
                       the built-in sweep (see DESIGN.md for the format)
+    --metrics-out <PATH>
+                      (track/campaign) collect telemetry during the run,
+                      print a metrics table and write the snapshot as JSON
 ";
 
 /// Parsed options (flat across subcommands; each uses what it needs).
@@ -56,6 +59,7 @@ pub struct Options {
     pub load: Option<std::path::PathBuf>,
     pub fast: bool,
     pub schedule: Option<std::path::PathBuf>,
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -77,6 +81,7 @@ impl Default for Options {
             load: None,
             fast: false,
             schedule: None,
+            metrics_out: None,
         }
     }
 }
@@ -88,7 +93,9 @@ impl Options {
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| {
-                it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
             };
             match arg.as_str() {
                 "--nodes" => o.nodes = parse_num(&value("--nodes")?, "--nodes")?,
@@ -107,6 +114,7 @@ impl Options {
                 "--load" => o.load = Some(value("--load")?.into()),
                 "--fast" => o.fast = true,
                 "--schedule" => o.schedule = Some(value("--schedule")?.into()),
+                "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?.into()),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -157,9 +165,27 @@ mod tests {
     #[test]
     fn full_line() {
         let o = parse(&[
-            "--nodes", "25", "--method", "pm", "--seed", "7", "--duration", "30",
-            "--grid", "--epsilon", "2.5", "--samples", "9", "--cell", "0.5",
-            "--trials", "4", "--lambda", "0.999", "--idealized", "--render",
+            "--nodes",
+            "25",
+            "--method",
+            "pm",
+            "--seed",
+            "7",
+            "--duration",
+            "30",
+            "--grid",
+            "--epsilon",
+            "2.5",
+            "--samples",
+            "9",
+            "--cell",
+            "0.5",
+            "--trials",
+            "4",
+            "--lambda",
+            "0.999",
+            "--idealized",
+            "--render",
         ])
         .unwrap();
         assert_eq!(o.nodes, 25);
@@ -188,6 +214,14 @@ mod tests {
         ] {
             assert_eq!(parse(&["--method", name]).unwrap().method, kind);
         }
+    }
+
+    #[test]
+    fn metrics_out_parses() {
+        let o = parse(&["--metrics-out", "m.json"]).unwrap();
+        assert_eq!(o.metrics_out, Some(std::path::PathBuf::from("m.json")));
+        assert!(parse(&[]).unwrap().metrics_out.is_none());
+        assert!(parse(&["--metrics-out"]).is_err());
     }
 
     #[test]

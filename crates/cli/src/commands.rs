@@ -9,6 +9,42 @@ use fttt_bench::{run_once, trial_stats, Scenario, Table};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Installs a fresh telemetry sink when `--metrics-out` was given,
+/// returning the registry to flush after the run.
+fn metrics_sink(opts: &Options) -> Option<std::sync::Arc<wsn_telemetry::Registry>> {
+    opts.metrics_out.as_ref()?;
+    let registry = std::sync::Arc::new(wsn_telemetry::Registry::new());
+    wsn_telemetry::install(std::sync::Arc::clone(&registry));
+    Some(registry)
+}
+
+/// Uninstalls the sink, writes the snapshot JSON to `--metrics-out` and
+/// prints the metrics table.
+fn emit_metrics(opts: &Options, registry: Option<std::sync::Arc<wsn_telemetry::Registry>>) {
+    let (Some(registry), Some(path)) = (registry, opts.metrics_out.as_ref()) else {
+        return;
+    };
+    wsn_telemetry::uninstall();
+    let snap = registry.snapshot();
+    std::fs::write(path, snap.to_json() + "\n").expect("write metrics file");
+    let mut t = Table::new("metrics", &["metric", "value"]);
+    for (name, v) in &snap.counters {
+        t.row(&[name.clone(), v.to_string()]);
+    }
+    for (name, v) in &snap.gauges {
+        t.row(&[name.clone(), format!("{v}")]);
+    }
+    for (name, h) in &snap.histograms {
+        t.row(&[
+            format!("{name} (mean/n)"),
+            format!("{:.2} / {}", h.mean(), h.count),
+        ]);
+    }
+    println!();
+    t.print();
+    eprintln!("[metrics] wrote {}", path.display());
+}
+
 fn params_from(opts: &Options) -> PaperParams {
     let mut p = PaperParams::default()
         .with_nodes(opts.nodes)
@@ -31,6 +67,7 @@ fn scenario_from(opts: &Options) -> Scenario {
 
 /// `fttt-sim track`: one simulation, error report, optional render.
 pub fn track(opts: &Options) {
+    let metrics = metrics_sink(opts);
     let scenario = scenario_from(opts);
     let run = run_once(&scenario, opts.method, opts.seed);
     let stats = run.error_stats();
@@ -57,7 +94,10 @@ pub fn track(opts: &Options) {
         let field = scenario.params.rect();
         let mut canvas = Canvas::new(field, 64, 32);
         canvas.plot_path(
-            &run.localizations.iter().map(|l| l.truth).collect::<Vec<_>>(),
+            &run.localizations
+                .iter()
+                .map(|l| l.truth)
+                .collect::<Vec<_>>(),
             '#',
         );
         for l in &run.localizations {
@@ -66,19 +106,23 @@ pub fn track(opts: &Options) {
         print!("{}", canvas.render());
         println!("  # true trajectory   o estimates");
     }
+    emit_metrics(opts, metrics);
 }
 
 /// `fttt-sim facemap`: build (or load) the division and report structure.
 pub fn facemap(opts: &Options) {
     let params = params_from(opts);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let field = if opts.grid { params.grid_field() } else { params.random_field(&mut rng) };
+    let field = if opts.grid {
+        params.grid_field()
+    } else {
+        params.random_field(&mut rng)
+    };
     let t0 = std::time::Instant::now();
     let map = match &opts.load {
         Some(path) => {
-            let mut file = std::io::BufReader::new(
-                std::fs::File::open(path).expect("open face-map file"),
-            );
+            let mut file =
+                std::io::BufReader::new(std::fs::File::open(path).expect("open face-map file"));
             fttt::facemap::FaceMap::read_from(&mut file).expect("parse face-map file")
         }
         None => params.face_map(&field),
@@ -156,8 +200,12 @@ pub fn campaign(opts: &Options) {
     use fttt_bench::robustness::{
         campaign_field_side, check_envelopes, run_campaign, run_custom_schedule, CampaignConfig,
     };
-    let mut cfg =
-        if opts.fast { CampaignConfig::fast(opts.seed) } else { CampaignConfig::full(opts.seed) };
+    let metrics = metrics_sink(opts);
+    let mut cfg = if opts.fast {
+        CampaignConfig::fast(opts.seed)
+    } else {
+        CampaignConfig::full(opts.seed)
+    };
     cfg.trials = opts.trials.max(1);
     let (rows, check) = match &opts.schedule {
         Some(path) => {
@@ -169,7 +217,10 @@ pub fn campaign(opts: &Options) {
                 eprintln!("error: {}: {e}", path.display());
                 std::process::exit(2);
             });
-            let label = path.file_stem().and_then(|s| s.to_str()).unwrap_or("schedule");
+            let label = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("schedule");
             (run_custom_schedule(&cfg, label, &schedule), false)
         }
         None => (run_campaign(&cfg), true),
@@ -179,12 +230,22 @@ pub fn campaign(opts: &Options) {
             "fault campaign ({} trials x {:.0} s, {} nodes, seed {})",
             cfg.trials, cfg.duration, cfg.nodes, cfg.seed
         ),
-        &["regime", "rate", "method", "mean (m)", "worst (m)", "lost", "degraded", "mean k"],
+        &[
+            "regime",
+            "rate",
+            "method",
+            "mean (m)",
+            "worst (m)",
+            "lost",
+            "degraded",
+            "mean k",
+        ],
     );
     for r in &rows {
         t.row(&[
             r.regime.clone(),
-            r.fault_rate.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            r.fault_rate
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
             r.method.to_string(),
             format!("{:.2}", r.mean_error),
             format!("{:.2}", r.worst_error),
@@ -194,6 +255,7 @@ pub fn campaign(opts: &Options) {
         ]);
     }
     t.print();
+    emit_metrics(opts, metrics);
     if check {
         let violations = check_envelopes(&rows, campaign_field_side(&cfg));
         if violations.is_empty() {

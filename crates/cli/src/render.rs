@@ -19,7 +19,12 @@ impl Canvas {
     /// Panics if either dimension is zero.
     pub fn new(field: Rect, cols: usize, rows: usize) -> Self {
         assert!(cols > 0 && rows > 0, "canvas dimensions must be positive");
-        Self { field, cols, rows, cells: vec!['.'; cols * rows] }
+        Self {
+            field,
+            cols,
+            rows,
+            cells: vec!['.'; cols * rows],
+        }
     }
 
     /// Plots `glyph` at the cell containing `p` (silently ignores
@@ -90,7 +95,12 @@ mod tests {
         // (y = 5.0 falls on the boundary between display rows 9 and 10).
         let s = c.render();
         let hashes = |i: usize| {
-            s.lines().nth(i).unwrap().chars().filter(|&ch| ch == '#').count()
+            s.lines()
+                .nth(i)
+                .unwrap()
+                .chars()
+                .filter(|&ch| ch == '#')
+                .count()
         };
         let best = hashes(9).max(hashes(10));
         assert!(best >= 18, "rows 9/10 held only {best} '#'");

@@ -163,7 +163,10 @@ impl PaperParams {
 
     /// Regular-grid deployment of [`PaperParams::nodes`] sensors.
     pub fn grid_field(&self) -> SensorField {
-        SensorField::new(Deployment::grid(self.nodes, self.rect()), self.sensing_range)
+        SensorField::new(
+            Deployment::grid(self.nodes, self.rect()),
+            self.sensing_range,
+        )
     }
 
     /// Builds the face map for a deployment under these parameters
@@ -212,7 +215,8 @@ impl PaperParams {
     /// A random-waypoint trace of `duration` seconds sampled at the
     /// localization period.
     pub fn random_trace<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Trace {
-        self.mobility().trace(duration, self.localization_period(), rng)
+        self.mobility()
+            .trace(duration, self.localization_period(), rng)
     }
 }
 
@@ -235,7 +239,10 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let p = PaperParams::default().with_nodes(25).with_epsilon(2.0).with_samples(7);
+        let p = PaperParams::default()
+            .with_nodes(25)
+            .with_epsilon(2.0)
+            .with_samples(7);
         assert_eq!(p.nodes, 25);
         assert_eq!(p.epsilon, 2.0);
         assert_eq!(p.samples_k, 7);

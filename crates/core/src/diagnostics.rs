@@ -94,10 +94,28 @@ mod tests {
 
     #[test]
     fn aggregation() {
-        let a = VectorComposition { ordinal: 1, flipped: 2, fractional: 3, unknown: 4 };
-        let mut b = VectorComposition { ordinal: 10, flipped: 20, fractional: 30, unknown: 40 };
+        let a = VectorComposition {
+            ordinal: 1,
+            flipped: 2,
+            fractional: 3,
+            unknown: 4,
+        };
+        let mut b = VectorComposition {
+            ordinal: 10,
+            flipped: 20,
+            fractional: 30,
+            unknown: 40,
+        };
         b.add(&a);
-        assert_eq!(b, VectorComposition { ordinal: 11, flipped: 22, fractional: 33, unknown: 44 });
+        assert_eq!(
+            b,
+            VectorComposition {
+                ordinal: 11,
+                flipped: 22,
+                fractional: 33,
+                unknown: 44
+            }
+        );
     }
 
     #[test]

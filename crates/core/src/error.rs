@@ -43,7 +43,14 @@ impl ErrorStats {
         // Clamp: catastrophic cancellation can push the variance a hair
         // below zero for constant inputs.
         let var = (sum_sq / n - mean * mean).max(0.0);
-        Self { count: errors.len(), mean, std: var.sqrt(), rmse: (sum_sq / n).sqrt(), min, max }
+        Self {
+            count: errors.len(),
+            mean,
+            std: var.sqrt(),
+            rmse: (sum_sq / n).sqrt(),
+            min,
+            max,
+        }
     }
 }
 
@@ -57,7 +64,10 @@ impl ErrorStats {
 /// outside `[0, 1]`.
 pub fn quantile(errors: &[f64], q: f64) -> f64 {
     assert!(!errors.is_empty(), "no errors to summarize");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     let mut sorted: Vec<f64> = errors.to_vec();
     for e in &sorted {
         assert!(e.is_finite(), "non-finite error value {e}");

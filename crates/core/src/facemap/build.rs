@@ -18,6 +18,7 @@ use std::fmt;
 use wsn_geometry::{CellIndex, Grid, PairRegion, Point, Rect};
 use wsn_network::{pair_count, PairIter};
 use wsn_parallel::par_map_threads;
+use wsn_telemetry as telemetry;
 
 /// Dense face identifier (index into [`FaceMap::faces`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -94,7 +95,11 @@ struct PackedRow {
 
 impl PackedRow {
     fn zeroed(nx: usize, words: usize) -> Self {
-        Self { words, plus: vec![0; nx * words], minus: vec![0; nx * words] }
+        Self {
+            words,
+            plus: vec![0; nx * words],
+            minus: vec![0; nx * words],
+        }
     }
 
     #[inline]
@@ -323,14 +328,20 @@ impl FaceMap {
         threads: usize,
     ) -> Self {
         assert!(positions.len() >= 2, "need at least two sensors");
-        assert!(c.is_finite() && c >= 1.0, "uncertainty constant must be ≥ 1, got {c}");
+        assert!(
+            c.is_finite() && c >= 1.0,
+            "uncertainty constant must be ≥ 1, got {c}"
+        );
+        let _total = telemetry::span("fttt.build.total");
         let grid = Grid::cover(field, cell_size);
 
         // Rasterize: one packed signature per cell, row-parallel.
         let raster = RowRasterizer::new(positions, c);
         let rows: Vec<u32> = (0..grid.ny()).collect();
-        let packed: Vec<PackedRow> =
-            par_map_threads(threads, &rows, |_, &iy| raster.rasterize_row(&grid, iy));
+        let packed: Vec<PackedRow> = {
+            let _span = telemetry::span("fttt.build.rasterize");
+            par_map_threads(threads, &rows, |_, &iy| raster.rasterize_row(&grid, iy))
+        };
         Self::from_packed_rows(grid, positions, c, packed)
     }
 
@@ -364,13 +375,21 @@ impl FaceMap {
         threads: usize,
     ) -> Self {
         assert!(positions.len() >= 2, "need at least two sensors");
-        assert!(c.is_finite() && c >= 1.0, "uncertainty constant must be ≥ 1, got {c}");
-        assert!(refine >= 2, "refinement factor must be at least 2, got {refine}");
+        assert!(
+            c.is_finite() && c >= 1.0,
+            "uncertainty constant must be ≥ 1, got {c}"
+        );
+        assert!(
+            refine >= 2,
+            "refinement factor must be at least 2, got {refine}"
+        );
+        let _total = telemetry::span("fttt.build.total");
         let coarse = Grid::cover(field, coarse_cell);
         let fine = Grid::cover(field, coarse_cell / refine as f64);
         let raster = RowRasterizer::new(positions, c);
 
         // Pass 1: classify the coarse lattice.
+        let rasterize_span = telemetry::span("fttt.build.rasterize");
         let rows: Vec<u32> = (0..coarse.ny()).collect();
         let coarse_rows: Vec<PackedRow> =
             par_map_threads(threads, &rows, |_, &iy| raster.rasterize_row(&coarse, iy));
@@ -412,6 +431,7 @@ impl FaceMap {
             }
             row
         });
+        drop(rasterize_span);
         Self::from_packed_rows(fine, positions, c, fine_rows)
     }
 
@@ -426,6 +446,7 @@ impl FaceMap {
     /// in the same pass from the left/above ids already at hand. Faces
     /// keep their first-encounter, row-major numbering.
     fn from_packed_rows(grid: Grid, positions: &[Point], c: f64, rows: Vec<PackedRow>) -> Self {
+        let _span = telemetry::span("fttt.build.group");
         let dim = pair_count(positions.len());
         let nx = grid.nx() as usize;
         let mut planes = SignaturePlanes::new(dim);
@@ -447,7 +468,11 @@ impl FaceMap {
                 let (cp, cm) = row.cell(ix);
                 let idx = CellIndex::new(ix as u32, iy as u32);
                 let center = grid.center(idx);
-                let above = if iy > 0 { Some(cell_to_face[(iy - 1) * nx + ix]) } else { None };
+                let above = if iy > 0 {
+                    Some(cell_to_face[(iy - 1) * nx + ix])
+                } else {
+                    None
+                };
                 let matches = |planes: &SignaturePlanes, f: u32| {
                     planes.plus(f as usize) == cp && planes.minus(f as usize) == cm
                 };
@@ -522,6 +547,17 @@ impl FaceMap {
             })
             .collect();
 
+        // Invariant the matchers lean on (`ties[0]`, heuristic seeds): a
+        // grid always has ≥ 1 cell (Grid rejects empty extents) and every
+        // cell is assigned to exactly one face, so a built map carries
+        // ≥ 1 face. Fail here with a clear message rather than as an
+        // index-out-of-bounds deep inside a matcher.
+        assert!(
+            !faces.is_empty(),
+            "FaceMap invariant violated: rasterization of {} cells produced zero faces",
+            grid.cell_count()
+        );
+
         // Neighbor-face links from the recorded boundary crossings.
         let mut neighbor_sets: Vec<Vec<FaceId>> = vec![Vec::new(); faces.len()];
         for (a, b) in crossings {
@@ -531,6 +567,12 @@ impl FaceMap {
         for set in &mut neighbor_sets {
             set.sort_unstable();
             set.dedup();
+        }
+
+        if telemetry::enabled() {
+            telemetry::counter_add("fttt.build.calls", 1);
+            telemetry::counter_add("fttt.build.faces", faces.len() as u64);
+            telemetry::counter_add("fttt.build.cells", grid.cell_count() as u64);
         }
 
         Self {
@@ -618,7 +660,12 @@ impl FaceMap {
         if matches(first) {
             return Some(FaceId(first));
         }
-        self.sig_index.overflow.iter().copied().find(|&f| matches(f)).map(FaceId)
+        self.sig_index
+            .overflow
+            .iter()
+            .copied()
+            .find(|&f| matches(f))
+            .map(FaceId)
     }
 
     /// Neighbor faces of `id` (Definition 8), sorted by id.
@@ -639,7 +686,8 @@ impl FaceMap {
     /// The face at the centre of the field — the cold-start face for the
     /// heuristic matcher when no previous localization exists.
     pub fn center_face(&self) -> FaceId {
-        self.face_at(self.grid.rect().center()).expect("field centre is always in the grid")
+        self.face_at(self.grid.rect().center())
+            .expect("field centre is always in the grid")
     }
 
     /// Number of *certain* faces (no `0` signature component) — the faces
@@ -747,7 +795,14 @@ impl FaceMap {
         w.write_all(CODEC_MAGIC)?;
         // Grid as its defining parameters.
         let rect = self.grid.rect();
-        for v in [rect.min.x, rect.min.y, rect.max.x, rect.max.y, self.grid.cell_size(), self.c] {
+        for v in [
+            rect.min.x,
+            rect.min.y,
+            rect.max.x,
+            rect.max.y,
+            self.grid.cell_size(),
+            self.c,
+        ] {
             write_f64(w, v)?;
         }
         write_u32(w, self.positions.len() as u32)?;
@@ -760,10 +815,16 @@ impl FaceMap {
         for f in &self.faces {
             debug_assert_eq!(f.signature.len(), dim);
             // Signatures as raw bytes (two's complement i8).
-            let bytes: Vec<u8> =
-                f.signature.components().iter().map(|&v| v as u8).collect();
+            let bytes: Vec<u8> = f.signature.components().iter().map(|&v| v as u8).collect();
             w.write_all(&bytes)?;
-            for v in [f.centroid.x, f.centroid.y, f.bbox.min.x, f.bbox.min.y, f.bbox.max.x, f.bbox.max.y] {
+            for v in [
+                f.centroid.x,
+                f.centroid.y,
+                f.bbox.min.x,
+                f.bbox.min.y,
+                f.bbox.max.x,
+                f.bbox.max.y,
+            ] {
                 write_f64(w, v)?;
             }
             write_u32(w, f.cell_count as u32)?;
@@ -808,7 +869,10 @@ impl FaceMap {
         {
             return Err(CodecError::Corrupt("invalid field rectangle"));
         }
-        let grid = Grid::cover(Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y)), cell);
+        let grid = Grid::cover(
+            Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y)),
+            cell,
+        );
 
         let n_pos = read_u32(r)? as usize;
         if !(2..=100_000).contains(&n_pos) {
@@ -891,7 +955,10 @@ impl FaceMap {
         let mut sig_index = SignatureIndex::default();
         for f in 0..n_faces as u32 {
             let same = |g: u32| planes.components(g as usize) == planes.components(f as usize);
-            match sig_index.first.entry(hash_planes(planes.plus(f as usize), planes.minus(f as usize))) {
+            match sig_index.first.entry(hash_planes(
+                planes.plus(f as usize),
+                planes.minus(f as usize),
+            )) {
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(f);
                 }
@@ -903,7 +970,16 @@ impl FaceMap {
                 }
             }
         }
-        Ok(Self { grid, positions, c, faces, cell_to_face, neighbors, sig_index, planes })
+        Ok(Self {
+            grid,
+            positions,
+            c,
+            faces,
+            cell_to_face,
+            neighbors,
+            sig_index,
+            planes,
+        })
     }
 }
 
@@ -938,7 +1014,11 @@ mod tests {
         let map = FaceMap::build(&square4(), field(), 1.15, 2.0);
         let mut seen = std::collections::HashSet::new();
         for f in map.faces() {
-            assert!(seen.insert(f.signature.clone()), "duplicate signature {}", f.signature);
+            assert!(
+                seen.insert(f.signature.clone()),
+                "duplicate signature {}",
+                f.signature
+            );
             assert_eq!(map.find_by_signature(&f.signature), Some(f.id));
         }
     }
@@ -957,7 +1037,11 @@ mod tests {
     fn centroids_lie_in_field() {
         let map = FaceMap::build(&square4(), field(), 1.2, 1.0);
         for f in map.faces() {
-            assert!(field().contains(f.centroid), "centroid {} escapes", f.centroid);
+            assert!(
+                field().contains(f.centroid),
+                "centroid {} escapes",
+                f.centroid
+            );
             assert!(f.cell_count > 0);
         }
     }
@@ -990,7 +1074,11 @@ mod tests {
         let small = FaceMap::build(&square4(), field(), 1.05, 1.0);
         let large = FaceMap::build(&square4(), field(), 2.5, 1.0);
         assert!(small.certain_face_count() > 0);
-        assert_eq!(large.certain_face_count(), 0, "huge C swallows all certain faces (Fig. 3c)");
+        assert_eq!(
+            large.certain_face_count(),
+            0,
+            "huge C swallows all certain faces (Fig. 3c)"
+        );
         assert!(small.certain_face_count() >= large.certain_face_count());
     }
 
@@ -1000,7 +1088,11 @@ mod tests {
         for f in map.faces() {
             for &nb in map.neighbors(f.id) {
                 assert_ne!(nb, f.id, "face neighbors itself");
-                assert!(map.neighbors(nb).contains(&f.id), "asymmetric link {} → {nb}", f.id);
+                assert!(
+                    map.neighbors(nb).contains(&f.id),
+                    "asymmetric link {} → {nb}",
+                    f.id
+                );
             }
         }
     }
@@ -1159,7 +1251,10 @@ mod tests {
         let mut agree = 0usize;
         for (_, center) in full.grid().iter_centers() {
             let a = full.face(full.face_at(center).unwrap()).signature.clone();
-            let b = adaptive.face(adaptive.face_at(center).unwrap()).signature.clone();
+            let b = adaptive
+                .face(adaptive.face_at(center).unwrap())
+                .signature
+                .clone();
             if a == b {
                 agree += 1;
             }

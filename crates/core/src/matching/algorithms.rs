@@ -14,6 +14,7 @@
 
 use crate::facemap::{FaceId, FaceMap};
 use crate::vector::{PackedQuery, SamplingVector};
+use wsn_telemetry as telemetry;
 
 /// Result of matching one sampling vector against a face map.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +58,11 @@ fn similarity_of_d2(d2: f64) -> f64 {
 /// Panics if the vector's dimension does not match the map's pair count
 /// (they must come from the same deployment).
 pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
-    assert_eq!(v.len(), map.pair_dimension(), "vector/map pair-dimension mismatch");
+    assert_eq!(
+        v.len(),
+        map.pair_dimension(),
+        "vector/map pair-dimension mismatch"
+    );
     let planes = map.planes();
     let q = PackedQuery::new(v);
     let mut best_d2 = f64::INFINITY;
@@ -72,8 +77,20 @@ pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
             ties.push(FaceId(f as u32));
         }
     }
+    let face = *ties
+        .first()
+        .expect("FaceMap invariant: a built map has at least one face (asserted at construction)");
+    if telemetry::enabled() {
+        telemetry::counter_add("fttt.match.exhaustive.calls", 1);
+        telemetry::counter_add("fttt.match.evaluations", map.face_count() as u64);
+        telemetry::observe(
+            "fttt.match.tie_width",
+            telemetry::COUNT_BUCKETS,
+            ties.len() as f64,
+        );
+    }
     MatchOutcome {
-        face: ties[0],
+        face,
         similarity: similarity_of_d2(best_d2),
         ties,
         evaluated: map.face_count(),
@@ -104,7 +121,11 @@ pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
 ///
 /// Panics on a vector/map dimension mismatch or a foreign `start` id.
 pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> MatchOutcome {
-    assert_eq!(v.len(), map.pair_dimension(), "vector/map pair-dimension mismatch");
+    assert_eq!(
+        v.len(),
+        map.pair_dimension(),
+        "vector/map pair-dimension mismatch"
+    );
     assert!(start.index() < map.face_count(), "start face not in map");
 
     /// Plateau faces expanded without a strict improvement before giving
@@ -126,12 +147,14 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
     // Frontier of faces at the current best distance, pending expansion.
     let mut frontier = std::collections::VecDeque::from([start]);
     let mut since_improvement = 0usize;
+    let mut plateau_expansions = 0u64;
 
     while let Some(face) = frontier.pop_front() {
         if since_improvement >= PLATEAU_BUDGET {
             break;
         }
         since_improvement += 1;
+        plateau_expansions += 1;
         for &nb in map.neighbors(face) {
             if visited[nb.index()] {
                 continue;
@@ -156,6 +179,24 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
         }
     }
 
+    if telemetry::enabled() {
+        telemetry::counter_add("fttt.match.heuristic.calls", 1);
+        telemetry::counter_add("fttt.match.evaluations", evaluated as u64);
+        telemetry::counter_add(
+            "fttt.match.heuristic.plateau_expansions",
+            plateau_expansions,
+        );
+        telemetry::observe(
+            "fttt.match.heuristic.rounds",
+            telemetry::COUNT_BUCKETS,
+            rounds as f64,
+        );
+        telemetry::observe(
+            "fttt.match.tie_width",
+            telemetry::COUNT_BUCKETS,
+            best_ties.len() as f64,
+        );
+    }
     MatchOutcome {
         face: best_face,
         similarity: similarity_of_d2(best_d2),
@@ -192,13 +233,54 @@ mod tests {
         let m = map();
         for f in m.faces().iter().take(50) {
             let v = SamplingVector::new(
-                f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+                f.signature
+                    .components()
+                    .iter()
+                    .map(|&c| Some(c as f64))
+                    .collect(),
             );
             let out = match_exhaustive(&m, &v);
             assert_eq!(out.face, f.id);
             assert_eq!(out.similarity, f64::INFINITY);
-            assert_eq!(out.ties, vec![f.id], "signatures are unique, no ties possible");
+            assert_eq!(
+                out.ties,
+                vec![f.id],
+                "signatures are unique, no ties possible"
+            );
         }
+    }
+
+    /// Degenerate map: two sensors so far away that the whole field sits in
+    /// one face. Both matchers must return that face instead of hitting the
+    /// old `ties[0]` index path unguarded.
+    #[test]
+    fn degenerate_one_face_map_matches() {
+        let far = vec![Point::new(10_000.0, 50.0), Point::new(10_010.0, 50.0)];
+        let m = FaceMap::build(&far, Rect::square(100.0), 1.15, 5.0);
+        assert_eq!(
+            m.face_count(),
+            1,
+            "far-away pair leaves the field undivided"
+        );
+        let f = &m.faces()[0];
+        let v = SamplingVector::new(
+            f.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
+        );
+        let out = match_exhaustive(&m, &v);
+        assert_eq!(out.face, f.id);
+        assert_eq!(out.ties, vec![f.id]);
+        assert_eq!(out.evaluated, 1);
+        // A vector disagreeing with the lone signature still matches it —
+        // there is nothing else to return, and no panic.
+        let off = SamplingVector::new(vec![Some(1.0); v.len()]);
+        let worst = match_exhaustive(&m, &off);
+        assert_eq!(worst.face, f.id);
+        let heur = match_heuristic(&m, &v, f.id);
+        assert_eq!(heur.face, f.id);
     }
 
     #[test]
@@ -206,7 +288,11 @@ mod tests {
         let m = map();
         let f0 = &m.faces()[0];
         let v = SamplingVector::new(
-            f0.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+            f0.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
         );
         let out = match_exhaustive(&m, &v);
         assert_eq!(out.evaluated, m.face_count());
@@ -219,8 +305,12 @@ mod tests {
     fn exhaustive_ml_on_perturbed_vector() {
         let m = map();
         let f = m.face(m.center_face()).clone();
-        let mut comps: Vec<Option<f64>> =
-            f.signature.components().iter().map(|&c| Some(c as f64)).collect();
+        let mut comps: Vec<Option<f64>> = f
+            .signature
+            .components()
+            .iter()
+            .map(|&c| Some(c as f64))
+            .collect();
         // Toggle the first 0 component to 1 (or flip a 1 to 0).
         let idx = comps.iter().position(|c| *c == Some(0.0)).unwrap_or(0);
         comps[idx] = Some(if comps[idx] == Some(0.0) { 1.0 } else { 0.0 });
@@ -243,7 +333,13 @@ mod tests {
             .components()
             .iter()
             .enumerate()
-            .map(|(i, &c)| if i % 7 == 3 { None } else { Some((c as f64) * 0.75) })
+            .map(|(i, &c)| {
+                if i % 7 == 3 {
+                    None
+                } else {
+                    Some((c as f64) * 0.75)
+                }
+            })
             .collect();
         let v = SamplingVector::new(comps);
         let out = match_exhaustive(&m, &v);
@@ -279,8 +375,9 @@ mod tests {
             for scale in [-55i32, -54, -56, -53] {
                 for stride in [1usize, 3, 5] {
                     let e = 2.0f64.powi(scale);
-                    let comps: Vec<Option<f64>> =
-                        (0..dim).map(|i| Some(base + ((i * stride) % 8) as f64 * e)).collect();
+                    let comps: Vec<Option<f64>> = (0..dim)
+                        .map(|i| Some(base + ((i * stride) % 8) as f64 * e))
+                        .collect();
                     let v = SamplingVector::new(comps);
                     let scored: Vec<f64> = m
                         .faces()
@@ -307,7 +404,8 @@ mod tests {
         let (v, d2min, dset, rset) = witness.expect("no 1/sqrt collision witness found");
         let out = match_exhaustive(&m, &v);
         assert_eq!(
-            out.ties, dset,
+            out.ties,
+            dset,
             "ties must be exactly the d² argmin set, not the {} faces with equal similarity",
             rset.len()
         );
@@ -324,7 +422,11 @@ mod tests {
         let target = m.face_at(Point::new(52.0, 48.0)).unwrap();
         let f = m.face(target);
         let v = SamplingVector::new(
-            f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+            f.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
         );
         let exhaustive = match_exhaustive(&m, &v);
         let mut converged = 0;
@@ -346,7 +448,11 @@ mod tests {
         let target = m.center_face();
         let f = m.face(target);
         let v = SamplingVector::new(
-            f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+            f.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
         );
         // Warm start at the answer: zero rounds, evaluates only the
         // neighborhood.
@@ -363,7 +469,11 @@ mod tests {
         let target = m.center_face();
         let f = m.face(target);
         let v = SamplingVector::new(
-            f.signature.components().iter().map(|&c| Some(c as f64)).collect(),
+            f.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
         );
         let nb = m.neighbors(target)[0];
         let out = match_heuristic(&m, &v, nb);

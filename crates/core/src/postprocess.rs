@@ -77,7 +77,10 @@ pub fn velocities(run: &TrackingRun) -> Vec<(f64, Vector)> {
         .filter(|w| w[1].t > w[0].t)
         .map(|w| {
             let dt = w[1].t - w[0].t;
-            ((w[0].t + w[1].t) / 2.0, (w[1].estimate - w[0].estimate) / dt)
+            (
+                (w[0].t + w[1].t) / 2.0,
+                (w[1].estimate - w[0].estimate) / dt,
+            )
         })
         .collect()
 }
@@ -122,8 +125,9 @@ mod tests {
     #[test]
     fn smoothing_reduces_flapping() {
         // Alternating ±2 m cross-track flapping around the true line.
-        let pts: Vec<(f64, f64, f64)> =
-            (0..20).map(|i| (i as f64, i as f64, if i % 2 == 0 { 2.0 } else { -2.0 })).collect();
+        let pts: Vec<(f64, f64, f64)> = (0..20)
+            .map(|i| (i as f64, i as f64, if i % 2 == 0 { 2.0 } else { -2.0 }))
+            .collect();
         let run = run_from(&pts);
         let smoothed = smooth_estimates(&run, 2);
         assert!(roughness(&smoothed) < roughness(&run) / 2.0);
@@ -138,7 +142,10 @@ mod tests {
         let smoothed = smooth_estimates(&run, 3);
         // Interior points of a uniform straight line are fixed points of
         // the centred average.
-        for (a, b) in run.localizations[3..7].iter().zip(&smoothed.localizations[3..7]) {
+        for (a, b) in run.localizations[3..7]
+            .iter()
+            .zip(&smoothed.localizations[3..7])
+        {
             assert!((a.estimate.x - b.estimate.x).abs() < 1e-12);
             assert!((a.estimate.y - b.estimate.y).abs() < 1e-12);
         }
@@ -156,7 +163,10 @@ mod tests {
         let pts: Vec<(f64, f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64, 0.0)).collect();
         assert_eq!(roughness(&run_from(&pts)), 0.0);
         // Too-short runs do not panic.
-        assert_eq!(roughness(&run_from(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)])), 0.0);
+        assert_eq!(
+            roughness(&run_from(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)])),
+            0.0
+        );
     }
 
     #[test]
@@ -175,6 +185,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty run")]
     fn empty_run_rejected() {
-        let _ = smooth_estimates(&TrackingRun { localizations: vec![] }, 1);
+        let _ = smooth_estimates(
+            &TrackingRun {
+                localizations: vec![],
+            },
+            1,
+        );
     }
 }

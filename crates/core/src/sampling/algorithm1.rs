@@ -169,7 +169,14 @@ mod tests {
         // Pairs: (1,2),(1,3),(1,4),(2,3),(2,4),(3,4).
         assert_eq!(
             v.components(),
-            &[Some(-1.0), Some(1.0), Some(1.0), Some(1.0), Some(1.0), Some(0.0)]
+            &[
+                Some(-1.0),
+                Some(1.0),
+                Some(1.0),
+                Some(1.0),
+                Some(1.0),
+                Some(0.0)
+            ]
         );
     }
 
@@ -240,10 +247,7 @@ mod tests {
     fn ragged_columns_with_no_overlap() {
         // Both nodes responded but never at the same instant: no order
         // evidence — value 0 for both variants.
-        let g = matrix(vec![
-            vec![Some(-50.0), None],
-            vec![None, Some(-60.0)],
-        ]);
+        let g = matrix(vec![vec![Some(-50.0), None], vec![None, Some(-60.0)]]);
         assert_eq!(basic_sampling_vector(&g).component(0), Some(0.0));
         assert_eq!(extended_sampling_vector(&g).component(0), Some(0.0));
     }

@@ -34,6 +34,7 @@ use rand::Rng;
 use wsn_geometry::Point;
 use wsn_mobility::Trace;
 use wsn_network::{pair_count, GroupSampling};
+use wsn_telemetry as telemetry;
 
 /// The session's judgement of how much to trust the current estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,9 +162,15 @@ impl SessionRun {
     /// `true` if the session declared [`TrackStatus::Lost`] at some round
     /// and returned to [`TrackStatus::Tracking`] at a later one.
     pub fn recovered_from_lost(&self) -> bool {
-        match self.rounds.iter().position(|r| r.status == TrackStatus::Lost) {
+        match self
+            .rounds
+            .iter()
+            .position(|r| r.status == TrackStatus::Lost)
+        {
             None => false,
-            Some(i) => self.rounds[i..].iter().any(|r| r.status == TrackStatus::Tracking),
+            Some(i) => self.rounds[i..]
+                .iter()
+                .any(|r| r.status == TrackStatus::Tracking),
         }
     }
 
@@ -209,7 +216,10 @@ impl TrackingSession {
             "λ must be in (0, 1), got {}",
             options.lambda
         );
-        assert!(options.base_samples > 0, "need at least one sample per grouping");
+        assert!(
+            options.base_samples > 0,
+            "need at least one sample per grouping"
+        );
         assert!(
             options.base_samples <= options.max_samples,
             "base_samples {} exceeds max_samples {}",
@@ -253,10 +263,14 @@ impl TrackingSession {
     ///
     /// [`requested_samples`]: TrackingSession::requested_samples
     pub fn step(&mut self, t: f64, group: &GroupSampling) -> SessionRound {
+        let status_before = self.status;
         let samples_requested = self.samples;
         let v = self.tracker.sampling_vector(group);
-        let missing_fraction =
-            if v.is_empty() { 1.0 } else { v.unknown_count() as f64 / v.len() as f64 };
+        let missing_fraction = if v.is_empty() {
+            1.0
+        } else {
+            v.unknown_count() as f64 / v.len() as f64
+        };
         let blackout = v.is_empty() || v.unknown_count() == v.len();
 
         if blackout {
@@ -275,6 +289,7 @@ impl TrackingSession {
                 held: true,
             };
             self.escalate_samples(group);
+            self.note_round(status_before, &round);
             return round;
         }
 
@@ -287,9 +302,9 @@ impl TrackingSession {
         };
 
         // Health checks.
-        let stranded = self.rolling_median().is_some_and(|median| {
-            outcome.similarity < self.options.reacquire_ratio * median
-        });
+        let stranded = self
+            .rolling_median()
+            .is_some_and(|median| outcome.similarity < self.options.reacquire_ratio * median);
         let starved = missing_fraction > self.options.max_missing_fraction;
         let teleported = self.options.max_speed.is_finite()
             && self.last_trusted.is_some_and(|(t0, p0)| {
@@ -337,6 +352,7 @@ impl TrackingSession {
         } else {
             self.escalate_samples(group);
         }
+        self.note_round(status_before, &round);
         round
     }
 
@@ -368,7 +384,10 @@ impl TrackingSession {
             // centre is the only defensible prior.
             .unwrap_or_else(|| {
                 let _ = group;
-                self.tracker.map().face(self.tracker.map().center_face()).centroid
+                self.tracker
+                    .map()
+                    .face(self.tracker.map().center_face())
+                    .centroid
             })
     }
 
@@ -420,18 +439,60 @@ impl TrackingSession {
     }
 
     /// Escalates `k` toward the Section-5.1 bound at the live pair count.
+    ///
+    /// With fewer than two live nodes there are no pairs, so the bound is
+    /// undefined and extra samples buy no localization evidence — the old
+    /// `.max(1)` fabricated a phantom pair and escalated against it. Now
+    /// the session leaves `k` alone and lets the unhealthy streak walk the
+    /// status toward [`TrackStatus::Lost`] instead.
     fn escalate_samples(&mut self, group: &GroupSampling) {
-        let live = (0..group.node_count()).filter(|&j| group.node_responded(j)).count();
-        let pairs = pair_count(live).max(1);
+        let live = (0..group.node_count())
+            .filter(|&j| group.node_responded(j))
+            .count();
+        let pairs = pair_count(live);
+        if pairs == 0 {
+            return;
+        }
         let needed = required_sampling_times(self.options.lambda, pairs);
-        self.samples =
-            needed.clamp(self.options.base_samples, self.options.max_samples).max(self.samples);
+        let before = self.samples;
+        self.samples = needed
+            .clamp(self.options.base_samples, self.options.max_samples)
+            .max(self.samples);
+        if self.samples > before {
+            telemetry::counter_add("fttt.session.escalations", 1);
+        }
     }
 
     /// Decays `k` one step back toward the baseline after a healthy round.
     fn decay_samples(&mut self) {
         if self.samples > self.options.base_samples {
             self.samples -= 1;
+        }
+    }
+
+    /// Per-round telemetry: round/hold/re-acquisition counters, the
+    /// current-`k` gauge and health-ladder transition counts (no-op when
+    /// no sink is installed).
+    fn note_round(&self, before: TrackStatus, round: &SessionRound) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::counter_add("fttt.session.rounds", 1);
+        if round.held {
+            telemetry::counter_add("fttt.session.holds", 1);
+        }
+        if round.reacquired {
+            telemetry::counter_add("fttt.session.reacquisitions", 1);
+        }
+        telemetry::gauge_set("fttt.session.samples_k", self.samples as f64);
+        if before != self.status {
+            telemetry::counter_add("fttt.session.transitions", 1);
+            let name = match self.status {
+                TrackStatus::Tracking => "fttt.session.to_tracking",
+                TrackStatus::Degraded => "fttt.session.to_degraded",
+                TrackStatus::Lost => "fttt.session.to_lost",
+            };
+            telemetry::counter_add(name, 1);
         }
     }
 }
@@ -479,11 +540,18 @@ mod tests {
         let (field, map, sampler) = setup(4.0);
         let mut s = session(map);
         let run = s.run(&trace(), &mut rng(1), |k, pos, _, r| {
-            let sampler = GroupSampler { samples: k, ..sampler.clone() };
+            let sampler = GroupSampler {
+                samples: k,
+                ..sampler.clone()
+            };
             sampler.sample(&field, pos, r)
         });
         assert_eq!(run.rounds_in(TrackStatus::Lost), 0);
-        assert!(run.error_stats().mean < 20.0, "mean {}", run.error_stats().mean);
+        assert!(
+            run.error_stats().mean < 20.0,
+            "mean {}",
+            run.error_stats().mean
+        );
         // Healthy rounds decay k back to baseline.
         assert_eq!(s.requested_samples(), 5);
     }
@@ -498,12 +566,21 @@ mod tests {
             if (6.0..12.0).contains(&t) {
                 GroupSampling::empty(nodes, k)
             } else {
-                let sampler = GroupSampler { samples: k, ..sampler.clone() };
+                let sampler = GroupSampler {
+                    samples: k,
+                    ..sampler.clone()
+                };
                 sampler.sample(&field, pos, r)
             }
         });
-        assert!(run.rounds_in(TrackStatus::Lost) > 0, "blackout must reach Lost");
-        assert!(run.recovered_from_lost(), "session must recover after the blackout");
+        assert!(
+            run.rounds_in(TrackStatus::Lost) > 0,
+            "blackout must reach Lost"
+        );
+        assert!(
+            run.recovered_from_lost(),
+            "session must recover after the blackout"
+        );
         // Held rounds report the pre-blackout estimate, not the map centre.
         let held: Vec<_> = run.rounds.iter().filter(|r| r.held).collect();
         assert!(!held.is_empty());
@@ -514,22 +591,66 @@ mod tests {
     }
 
     #[test]
-    fn blackout_escalates_sampling_times() {
+    fn partial_blackout_escalates_sampling_times() {
         let (field, map, sampler) = setup(4.0);
         let mut s = session(map);
         let nodes = field.len();
         let mut max_k = 0;
         let _ = s.run(&trace(), &mut rng(3), |k, pos, t, r| {
             max_k = max_k.max(k);
+            let sampler = GroupSampler {
+                samples: k,
+                ..sampler.clone()
+            };
+            let mut g = sampler.sample(&field, pos, r);
             if t >= 6.0 {
-                GroupSampling::empty(nodes, k)
-            } else {
-                let sampler = GroupSampler { samples: k, ..sampler.clone() };
-                sampler.sample(&field, pos, r)
+                // Six of nine nodes fall silent: three live nodes leave
+                // three pairs, a defined Section-5.1 bound to escalate
+                // toward (λ = 0.95, N = 3 ⟹ k = 7).
+                for node in 3..nodes {
+                    for inst in 0..g.instants() {
+                        g.set(inst, node, None);
+                    }
+                }
             }
+            g
         });
         assert!(max_k > 5, "fault pressure must escalate k, saw {max_k}");
         assert!(max_k <= s.options().max_samples);
+    }
+
+    /// The phantom-pair regression: with fewer than two live nodes there
+    /// are no pairs, so the session must hold `k` at baseline and walk
+    /// toward Lost — the old `.max(1)` escalated against a fictitious
+    /// one-pair bound.
+    #[test]
+    fn zero_live_nodes_hold_k_and_walk_to_lost() {
+        let (_, map, _) = setup(4.0);
+        let mut s = session(map);
+        let g = GroupSampling::empty(9, 5);
+        for i in 0..4 {
+            let round = s.step(i as f64, &g);
+            assert_eq!(round.samples, 5, "no pairs must not escalate k");
+        }
+        assert_eq!(s.requested_samples(), 5);
+        assert_eq!(s.status(), TrackStatus::Lost);
+    }
+
+    #[test]
+    fn one_live_node_holds_k_and_walks_to_lost() {
+        let (_, map, _) = setup(4.0);
+        let mut s = session(map);
+        let mut g = GroupSampling::empty(9, 5);
+        for inst in 0..g.instants() {
+            g.set(inst, 4, Some(wsn_signal::Rss::new(-50.0)));
+        }
+        assert!(g.node_responded(4));
+        for i in 0..4 {
+            let round = s.step(i as f64, &g);
+            assert_eq!(round.samples, 5, "one live node has no pairs; k must hold");
+        }
+        assert_eq!(s.requested_samples(), 5);
+        assert_eq!(s.status(), TrackStatus::Lost);
     }
 
     #[test]

@@ -25,14 +25,30 @@
 /// Panics if `k == 0`.
 pub fn flip_miss_probability(k: usize) -> f64 {
     assert!(k > 0, "need at least one sample");
-    0.5_f64.powi(k as i32 - 1)
+    let exponent = k - 1;
+    // 2^−1074 is the smallest positive f64; past it the power underflows to
+    // exactly 0.0. Answering that directly keeps the exponent in i32 range —
+    // a bare `k as i32` would wrap for k > i32::MAX and feed `powi` a
+    // negative exponent, returning garbage ≫ 1.
+    if exponent > 1074 {
+        return 0.0;
+    }
+    0.5_f64.powi(exponent as i32)
 }
 
 /// Probability that a grouping sampling of `k` samples observes the flip
 /// of **every one** of `n_pairs` uncertain pairs: `(1 − f)^N` with
 /// `f = (1/2)^(k−1)` (Appendix I).
 pub fn all_flips_probability(k: usize, n_pairs: usize) -> f64 {
-    (1.0 - flip_miss_probability(k)).powi(n_pairs as i32)
+    let f = flip_miss_probability(k);
+    if f == 1.0 {
+        // k = 1: a single sample can never witness both orders.
+        return if n_pairs == 0 { 1.0 } else { 0.0 };
+    }
+    // (1 − f)^N as exp(N·ln(1 − f)), with ln_1p so small f keeps its full
+    // precision. This also retires the old `powi(n_pairs as i32)`, whose
+    // cast silently wrapped for n_pairs > i32::MAX.
+    (n_pairs as f64 * (-f).ln_1p()).exp()
 }
 
 /// Minimum sampling times `k` such that
@@ -46,10 +62,17 @@ pub fn all_flips_probability(k: usize, n_pairs: usize) -> f64 {
 ///
 /// Panics unless `0 < lambda < 1` and `n_pairs ≥ 1`.
 pub fn required_sampling_times(lambda: f64, n_pairs: usize) -> usize {
-    assert!(lambda > 0.0 && lambda < 1.0, "λ must be in (0, 1), got {lambda}");
+    assert!(
+        lambda > 0.0 && lambda < 1.0,
+        "λ must be in (0, 1), got {lambda}"
+    );
     assert!(n_pairs >= 1, "need at least one pair");
-    let per_pair = lambda.powf(1.0 / n_pairs as f64);
-    let k = 1.0 - (1.0 - per_pair).log2();
+    // 1 − λ^{1/N} = −expm1(ln λ / N). For large N, λ^{1/N} sits within a
+    // few ulps of 1.0, so the textbook `1.0 − lambda.powf(1.0 / N)` cancels
+    // catastrophically (and rounds to 0 outright once N ≳ 10^16); expm1
+    // keeps the per-pair miss budget at full precision.
+    let miss_budget = -(lambda.ln() / n_pairs as f64).exp_m1();
+    let k = 1.0 - miss_budget.log2();
     // Strict inequality: the smallest integer k with k > bound.
     (k.floor() as usize) + 1
 }
@@ -77,10 +100,16 @@ pub fn expected_vector_error(k: usize, n_pairs: usize) -> f64 {
 /// Panics unless `density`, `range` and `xi` are strictly positive, and the
 /// implied in-range node count is at least 2.
 pub fn worst_case_error_bound(k: usize, density: f64, range: f64, xi: f64) -> f64 {
-    assert!(density > 0.0 && range > 0.0 && xi > 0.0, "parameters must be positive");
+    assert!(
+        density > 0.0 && range > 0.0 && xi > 0.0,
+        "parameters must be positive"
+    );
     let area = std::f64::consts::PI * range * range;
     let n = area * density;
-    assert!(n >= 2.0, "fewer than two nodes in sensing range (n = {n:.2})");
+    assert!(
+        n >= 2.0,
+        "fewer than two nodes in sensing range (n = {n:.2})"
+    );
     let pairs = n * (n - 1.0) / 2.0;
     let f = flip_miss_probability(k);
     (pairs * f * area / (xi * n.powi(4))).sqrt()
@@ -134,6 +163,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Property test for the expm1 fix: across a log-spaced grid plus
+    /// pseudorandom draws of `n_pairs` up to 10^9, the returned `k` must
+    /// satisfy its own strict inequality and be minimal. The old
+    /// `1.0 − λ.powf(1/N)` form loses up to five decimal digits of the
+    /// per-pair budget in this range.
+    #[test]
+    fn required_k_satisfies_bound_up_to_1e9_pairs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let mut cases: Vec<usize> = vec![
+            1,
+            2,
+            3,
+            10,
+            97,
+            1_000,
+            10_007,
+            100_003,
+            1_000_000,
+            10_000_019,
+            100_000_000,
+            1_000_000_000,
+        ];
+        for _ in 0..200 {
+            // Log-uniform draw over [1, 10^9].
+            let exp: f64 = rng.gen::<f64>() * 9.0;
+            cases.push(10f64.powf(exp).round().max(1.0) as usize);
+        }
+        for &lambda in &[0.9, 0.99, 0.999, 0.999_999] {
+            for &n_pairs in &cases {
+                let k = required_sampling_times(lambda, n_pairs);
+                assert!(
+                    all_flips_probability(k, n_pairs) > lambda,
+                    "k={k} fails λ={lambda}, N={n_pairs}"
+                );
+                if k > 1 {
+                    assert!(
+                        all_flips_probability(k - 1, n_pairs) <= lambda,
+                        "k−1={} already satisfies λ={lambda}, N={n_pairs}",
+                        k - 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regression for the silently wrapping `as i32` casts: huge `k` and
+    /// `n_pairs > i32::MAX` must stay probabilities, not garbage from a
+    /// negative `powi` exponent.
+    #[test]
+    fn huge_arguments_stay_probabilities() {
+        // Past the last subnormal (2^−1074) the miss probability is exactly 0.
+        assert!(flip_miss_probability(1075) > 0.0);
+        assert_eq!(flip_miss_probability(1076), 0.0);
+        // Pre-fix, `k as i32 − 1` wrapped negative here and returned ≫ 1.
+        assert_eq!(flip_miss_probability(usize::MAX), 0.0);
+        assert_eq!(flip_miss_probability(i32::MAX as usize + 2), 0.0);
+
+        // Pre-fix, `n_pairs as i32` wrapped to i32::MIN here, turning the
+        // power into (1−f)^(−2^31) ≫ 1.
+        let beyond_i32 = i32::MAX as usize + 1;
+        let p = all_flips_probability(50, beyond_i32);
+        assert!((0.0..=1.0).contains(&p), "not a probability: {p}");
+        assert!(p > 0.999, "k=50 leaves ~4e-6 expected misses: {p}");
+        let p_small_k = all_flips_probability(20, 5 * beyond_i32);
+        assert!((0.0..=1.0).contains(&p_small_k));
+        assert!(p_small_k < 1e-300, "~2e4 expected misses ⟹ ≈ 0");
+        // Degenerate corners keep their closed-form values.
+        assert_eq!(all_flips_probability(1, 7), 0.0);
+        assert_eq!(all_flips_probability(1, 0), 1.0);
+        assert_eq!(all_flips_probability(7, 0), 1.0);
+        assert_eq!(all_flips_probability(usize::MAX, 1_000_000), 1.0);
     }
 
     /// Monte-Carlo check of `f_N = (1−f)^N`: simulate N independent pairs,
@@ -206,7 +308,10 @@ mod tests {
         // More samples ⟹ smaller bound, with ratio √2 per extra sample.
         let e5 = worst_case_error_bound(5, 0.002, 40.0, xi);
         let e7 = worst_case_error_bound(7, 0.002, 40.0, xi);
-        assert!((e5 / e7 - 2.0).abs() < 1e-9, "each sample halves f ⟹ √·=2 over two samples");
+        assert!(
+            (e5 / e7 - 2.0).abs() < 1e-9,
+            "each sample halves f ⟹ √·=2 over two samples"
+        );
         // Denser deployments shrink the bound roughly like 1/ρ.
         let sparse = worst_case_error_bound(5, 0.002, 40.0, xi);
         let dense = worst_case_error_bound(5, 0.004, 40.0, xi);

@@ -51,14 +51,21 @@ impl Default for TrackerOptions {
     /// Basic FTTT with exhaustive ML matching and tie averaging — the
     /// configuration of the paper's headline simulations.
     fn default() -> Self {
-        Self { extended: false, matching: Matching::Exhaustive, tie_average: true }
+        Self {
+            extended: false,
+            matching: Matching::Exhaustive,
+            tie_average: true,
+        }
     }
 }
 
 impl TrackerOptions {
     /// Extended FTTT (Section 6) with exhaustive matching.
     pub fn extended() -> Self {
-        Self { extended: true, ..Self::default() }
+        Self {
+            extended: true,
+            ..Self::default()
+        }
     }
 
     /// Basic FTTT with the heuristic matcher (Algorithm 2).
@@ -152,7 +159,12 @@ pub struct Tracker {
 impl Tracker {
     /// Creates a tracker over a prebuilt face map.
     pub fn new(map: FaceMap, options: TrackerOptions) -> Self {
-        Self { map, options, previous: None, recent_sims: std::collections::VecDeque::new() }
+        Self {
+            map,
+            options,
+            previous: None,
+            recent_sims: std::collections::VecDeque::new(),
+        }
     }
 
     /// The face map.
@@ -208,11 +220,13 @@ impl Tracker {
         let v = self.sampling_vector(group);
         let outcome = match self.options.matching {
             Matching::Exhaustive => match_exhaustive(&self.map, &v),
-            Matching::Heuristic { fallback_below, reacquire_ratio } => {
+            Matching::Heuristic {
+                fallback_below,
+                reacquire_ratio,
+            } => {
                 let start = self.previous.unwrap_or_else(|| self.map.center_face());
                 let out = match_heuristic(&self.map, &v, start);
-                let below_absolute =
-                    fallback_below.is_some_and(|th| out.similarity < th);
+                let below_absolute = fallback_below.is_some_and(|th| out.similarity < th);
                 let stranded = reacquire_ratio.is_some_and(|r| {
                     self.rolling_median_similarity()
                         .is_some_and(|median| out.similarity < r * median)
@@ -386,11 +400,16 @@ mod tests {
         for seed in 0..8 {
             let mut basic = Tracker::new(map.clone(), TrackerOptions::default());
             basic_stds.push(
-                basic.track(&field, &sampler, &trace, &mut rng(100 + seed)).error_stats().std,
+                basic
+                    .track(&field, &sampler, &trace, &mut rng(100 + seed))
+                    .error_stats()
+                    .std,
             );
             let mut ext = Tracker::new(map.clone(), TrackerOptions::extended());
             ext_stds.push(
-                ext.track(&field, &sampler, &trace, &mut rng(100 + seed)).error_stats().std,
+                ext.track(&field, &sampler, &trace, &mut rng(100 + seed))
+                    .error_stats()
+                    .std,
             );
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -405,7 +424,9 @@ mod tests {
     #[test]
     fn tracking_survives_node_failures() {
         let (field, map, sampler) = setup(9, 6.0, 5);
-        let faulty = sampler.clone().with_fault(FaultModel::with_node_failure(0.3));
+        let faulty = sampler
+            .clone()
+            .with_fault(FaultModel::with_node_failure(0.3));
         let mut tracker = Tracker::new(map, TrackerOptions::default());
         let run = tracker.track(&field, &faulty, &straight_trace(), &mut rng(5));
         let stats = run.error_stats();

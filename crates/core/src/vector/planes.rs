@@ -89,7 +89,14 @@ impl SignaturePlanes {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "signature planes need at least one pair component");
-        Self { dim, words: words_for(dim), faces: 0, plus: Vec::new(), minus: Vec::new(), comps: Vec::new() }
+        Self {
+            dim,
+            words: words_for(dim),
+            faces: 0,
+            plus: Vec::new(),
+            minus: Vec::new(),
+            comps: Vec::new(),
+        }
     }
 
     /// Reserves storage for `additional` more faces, so a build loop with
@@ -260,9 +267,17 @@ impl SignaturePlanes {
     #[inline]
     pub fn distance_squared(&self, f: usize, query: &PackedQuery) -> f64 {
         assert_eq!(query.dim, self.dim, "query/plane dimension mismatch");
-        assert!(f < self.faces, "face index {f} out of range ({} faces)", self.faces);
+        assert!(
+            f < self.faces,
+            "face index {f} out of range ({} faces)",
+            self.faces
+        );
         match &query.kind {
-            QueryKind::Ternary { plus, minus, present } => {
+            QueryKind::Ternary {
+                plus,
+                minus,
+                present,
+            } => {
                 let base = f * self.words;
                 let mut acc = 0u64;
                 for w in 0..self.words {
@@ -310,8 +325,15 @@ pub struct PackedQuery {
 
 #[derive(Debug, Clone)]
 enum QueryKind {
-    Ternary { plus: Vec<u64>, minus: Vec<u64>, present: Vec<u64> },
-    Extended { vals: Vec<f64>, mask: Vec<f64> },
+    Ternary {
+        plus: Vec<u64>,
+        minus: Vec<u64>,
+        present: Vec<u64>,
+    },
+    Extended {
+        vals: Vec<f64>,
+        mask: Vec<f64>,
+    },
 }
 
 impl PackedQuery {
@@ -332,7 +354,14 @@ impl PackedQuery {
                     minus[w] |= u64::from(*c == -1.0) << b;
                 }
             }
-            Self { dim, kind: QueryKind::Ternary { plus, minus, present } }
+            Self {
+                dim,
+                kind: QueryKind::Ternary {
+                    plus,
+                    minus,
+                    present,
+                },
+            }
         } else {
             let mut vals = Vec::with_capacity(dim);
             let mut mask = Vec::with_capacity(dim);
@@ -340,7 +369,10 @@ impl PackedQuery {
                 vals.push(c.unwrap_or(0.0));
                 mask.push(if c.is_some() { 1.0 } else { 0.0 });
             }
-            Self { dim, kind: QueryKind::Extended { vals, mask } }
+            Self {
+                dim,
+                kind: QueryKind::Extended { vals, mask },
+            }
         }
     }
 
@@ -367,20 +399,28 @@ mod tests {
 
     #[test]
     fn ternary_distance_matches_scalar() {
-        let sigs =
-            vec![SignatureVector::new(vec![1, -1, 0, 1]), SignatureVector::new(vec![0, 0, 1, -1])];
+        let sigs = vec![
+            SignatureVector::new(vec![1, -1, 0, 1]),
+            SignatureVector::new(vec![0, 0, 1, -1]),
+        ];
         let planes = planes_of(&sigs);
         let v = SamplingVector::from_ternary(vec![Some(1), None, Some(-1), Some(0)]);
         let q = PackedQuery::new(&v);
         assert!(q.is_packed_ternary());
         for (f, sig) in sigs.iter().enumerate() {
-            assert_eq!(planes.distance_squared(f, &q), difference_norm_squared(&v, sig));
+            assert_eq!(
+                planes.distance_squared(f, &q),
+                difference_norm_squared(&v, sig)
+            );
         }
     }
 
     #[test]
     fn extended_distance_matches_scalar_bit_for_bit() {
-        let sigs = vec![SignatureVector::new(vec![1, 0, -1]), SignatureVector::new(vec![0, 1, 1])];
+        let sigs = vec![
+            SignatureVector::new(vec![1, 0, -1]),
+            SignatureVector::new(vec![0, 1, 1]),
+        ];
         let planes = planes_of(&sigs);
         let v = SamplingVector::new(vec![Some(1.0 / 3.0), None, Some(-0.7)]);
         let q = PackedQuery::new(&v);
@@ -409,7 +449,10 @@ mod tests {
         let v = SamplingVector::from_ternary(sample);
         let q = PackedQuery::new(&v);
         assert_eq!(planes.distance_squared(0, &q), 6.0);
-        assert_eq!(planes.distance_squared(0, &q), difference_norm_squared(&v, &sigs[0]));
+        assert_eq!(
+            planes.distance_squared(0, &q),
+            difference_norm_squared(&v, &sigs[0])
+        );
     }
 
     #[test]

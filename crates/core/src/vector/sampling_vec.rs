@@ -32,13 +32,20 @@ impl SamplingVector {
                 );
             }
         }
-        Self { components: components.into_boxed_slice() }
+        Self {
+            components: components.into_boxed_slice(),
+        }
     }
 
     /// Convenience constructor from the paper's integer notation, `None`
     /// standing for `*`.
     pub fn from_ternary(components: Vec<Option<i8>>) -> Self {
-        Self::new(components.into_iter().map(|c| c.map(|v| v as f64)).collect())
+        Self::new(
+            components
+                .into_iter()
+                .map(|c| c.map(|v| v as f64))
+                .collect(),
+        )
     }
 
     /// Number of pair components.
@@ -123,14 +130,8 @@ mod tests {
     #[test]
     fn fault_tolerant_vector_with_stars() {
         // The paper's Section 4.4.3 example [1,1,1,-1,*,1].
-        let v = SamplingVector::from_ternary(vec![
-            Some(1),
-            Some(1),
-            Some(1),
-            Some(-1),
-            None,
-            Some(1),
-        ]);
+        let v =
+            SamplingVector::from_ternary(vec![Some(1), Some(1), Some(1), Some(-1), None, Some(1)]);
         assert_eq!(v.unknown_count(), 1);
         assert_eq!(v.component(4), None);
         assert_eq!(format!("{v}"), "[1.00,1.00,1.00,-1.00,*,1.00]");

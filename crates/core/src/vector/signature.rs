@@ -24,7 +24,9 @@ impl SignatureVector {
         for (i, &v) in components.iter().enumerate() {
             assert!((-1..=1).contains(&v), "component {i} out of range: {v}");
         }
-        Self { components: components.into_boxed_slice() }
+        Self {
+            components: components.into_boxed_slice(),
+        }
     }
 
     /// Wraps components already known to be valid (non-empty, every value
@@ -34,12 +36,17 @@ impl SignatureVector {
     pub(crate) fn from_trusted(components: Vec<i8>) -> Self {
         debug_assert!(!components.is_empty());
         debug_assert!(components.iter().all(|v| (-1..=1).contains(v)));
-        Self { components: components.into_boxed_slice() }
+        Self {
+            components: components.into_boxed_slice(),
+        }
     }
 
     /// Builds a signature from per-pair region classifications.
     pub fn from_regions<I: IntoIterator<Item = PairRegion>>(regions: I) -> Self {
-        let comps: Vec<i8> = regions.into_iter().map(|r| r.signature_component()).collect();
+        let comps: Vec<i8> = regions
+            .into_iter()
+            .map(|r| r.signature_component())
+            .collect();
         Self::new(comps)
     }
 

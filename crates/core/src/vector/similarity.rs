@@ -92,14 +92,8 @@ mod tests {
     fn paper_fault_tolerance_example() {
         // Section 4.4.3: V_d = [1,1,1,-1,*,1] vs V_s(f8) = [1,1,1,0,0,0]:
         // diffs (0,0,0,−1,ignored,1) ⟹ ‖Δ‖ = √2, S = 1/√2.
-        let d = SamplingVector::from_ternary(vec![
-            Some(1),
-            Some(1),
-            Some(1),
-            Some(-1),
-            None,
-            Some(1),
-        ]);
+        let d =
+            SamplingVector::from_ternary(vec![Some(1), Some(1), Some(1), Some(-1), None, Some(1)]);
         let s8 = sig(vec![1, 1, 1, 0, 0, 0]);
         assert!((difference_norm_squared(&d, &s8) - 2.0).abs() < 1e-12);
         assert!((similarity(&d, &s8) - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);

@@ -101,10 +101,11 @@ proptest! {
 /// bits of the last word must never leak into the distance.
 #[test]
 fn word_boundary_dims_match_scalar() {
-    for dim in [1, 2, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257] {
+    for dim in [
+        1, 2, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257,
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(dim as u64);
-        let sigs: Vec<SignatureVector> =
-            (0..8).map(|_| random_signature(dim, &mut rng)).collect();
+        let sigs: Vec<SignatureVector> = (0..8).map(|_| random_signature(dim, &mut rng)).collect();
         for _ in 0..16 {
             assert_differential(dim, &sigs, &random_ternary(dim, &mut rng));
             assert_differential(dim, &sigs, &random_extended(dim, &mut rng));
@@ -117,8 +118,7 @@ fn word_boundary_dims_match_scalar() {
 fn all_star_query_is_zero_everywhere() {
     for dim in [1, 64, 65, 200] {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
-        let sigs: Vec<SignatureVector> =
-            (0..4).map(|_| random_signature(dim, &mut rng)).collect();
+        let sigs: Vec<SignatureVector> = (0..4).map(|_| random_signature(dim, &mut rng)).collect();
         let v = SamplingVector::new(vec![None; dim]);
         assert_differential(dim, &sigs, &v);
         let planes = SignaturePlanes::from_signatures(dim, sigs.iter());

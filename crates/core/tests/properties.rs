@@ -14,7 +14,10 @@ use wsn_network::{pair_count, Deployment, FaultModel, GroupSampler, SensorField}
 use wsn_signal::PathLossModel;
 
 fn arb_positions(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((1.0..99.0f64, 1.0..99.0f64).prop_map(|(x, y)| Point::new(x, y)), n)
+    prop::collection::vec(
+        (1.0..99.0f64, 1.0..99.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        n,
+    )
 }
 
 fn arb_signature(dim: usize) -> impl Strategy<Value = SignatureVector> {

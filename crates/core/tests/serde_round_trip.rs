@@ -9,8 +9,7 @@ fn round_trip<T>(value: &T) -> T
 where
     T: serde::Serialize + for<'de> serde::Deserialize<'de>,
 {
-    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
-        .expect("deserialize")
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize")).expect("deserialize")
 }
 
 #[test]
@@ -23,7 +22,9 @@ fn vectors() {
 
 #[test]
 fn params_and_stats() {
-    let p = PaperParams::default().with_nodes(25).with_calibrated_constant();
+    let p = PaperParams::default()
+        .with_nodes(25)
+        .with_calibrated_constant();
     let back = round_trip(&p);
     assert_eq!(back, p);
     assert_eq!(back.uncertainty_constant(), p.uncertainty_constant());

@@ -20,7 +20,10 @@ impl Rect {
     /// Panics if the corners are not ordered (`min.x > max.x` etc.) or not
     /// finite.
     pub fn new(min: Point, max: Point) -> Self {
-        assert!(min.is_finite() && max.is_finite(), "rect corners must be finite");
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "rect corners must be finite"
+        );
         assert!(
             min.x <= max.x && min.y <= max.y,
             "rect corners must be ordered: {min} !<= {max}"
@@ -67,7 +70,10 @@ impl Rect {
     /// Clamps `p` into the rectangle (used to keep mobility traces in-field).
     #[inline]
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// Smallest rectangle containing both `self` and `other`.
@@ -94,8 +100,12 @@ impl Rect {
     /// Shortest distance between the two (closed) rectangles; zero if they
     /// touch or overlap.
     pub fn distance_to(&self, other: &Rect) -> f64 {
-        let dx = (self.min.x - other.max.x).max(other.min.x - self.max.x).max(0.0);
-        let dy = (self.min.y - other.max.y).max(other.min.y - self.max.y).max(0.0);
+        let dx = (self.min.x - other.max.x)
+            .max(other.min.x - self.max.x)
+            .max(0.0);
+        let dy = (self.min.y - other.max.y)
+            .max(other.min.y - self.max.y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 

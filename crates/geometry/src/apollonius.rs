@@ -54,7 +54,10 @@ impl PairRegion {
     /// Panics in debug builds if `c < 1` or `c` is not finite.
     #[inline]
     pub fn classify(p: Point, a: Point, b: Point, c: f64) -> PairRegion {
-        debug_assert!(c.is_finite() && c >= 1.0, "uncertainty constant must be ≥ 1");
+        debug_assert!(
+            c.is_finite() && c >= 1.0,
+            "uncertainty constant must be ≥ 1"
+        );
         let da2 = p.distance_squared(a);
         let db2 = p.distance_squared(b);
         let c2 = c * c;
@@ -159,7 +162,13 @@ impl UncertainBoundary {
         }
         let near_first = apollonius_circle(a, b, 1.0 / c)?;
         let near_second = apollonius_circle(a, b, c)?;
-        Some(Self { a, b, c, near_first, near_second })
+        Some(Self {
+            a,
+            b,
+            c,
+            near_first,
+            near_second,
+        })
     }
 
     /// Classifies `p` (must agree with [`PairRegion::classify`]).
@@ -201,7 +210,11 @@ mod tests {
         let c2 = c * c;
         let expect_cx = -(c2 + 1.0) / (c2 - 1.0) * d;
         let expect_r = 2.0 * c * d / (c2 - 1.0);
-        assert!((circ.center.x - expect_cx).abs() < 1e-9, "{} vs {expect_cx}", circ.center.x);
+        assert!(
+            (circ.center.x - expect_cx).abs() < 1e-9,
+            "{} vs {expect_cx}",
+            circ.center.x
+        );
         assert!(circ.center.y.abs() < 1e-12);
         assert!((circ.radius - expect_r).abs() < 1e-9);
         // And the mirror circle for ratio 1/C encloses a, symmetrically.
@@ -247,25 +260,55 @@ mod tests {
         let b = Point::new(10.0, 0.0);
         let c = 1.5;
         // Right next to a: firmly near a.
-        assert_eq!(PairRegion::classify(Point::new(1.0, 0.0), a, b, c), PairRegion::NearFirst);
+        assert_eq!(
+            PairRegion::classify(Point::new(1.0, 0.0), a, b, c),
+            PairRegion::NearFirst
+        );
         // Midpoint: ratio 1 ∈ [1/C, C] — uncertain.
-        assert_eq!(PairRegion::classify(Point::new(5.0, 0.0), a, b, c), PairRegion::Uncertain);
+        assert_eq!(
+            PairRegion::classify(Point::new(5.0, 0.0), a, b, c),
+            PairRegion::Uncertain
+        );
         // Right next to b: firmly near b.
-        assert_eq!(PairRegion::classify(Point::new(9.0, 0.0), a, b, c), PairRegion::NearSecond);
+        assert_eq!(
+            PairRegion::classify(Point::new(9.0, 0.0), a, b, c),
+            PairRegion::NearSecond
+        );
         // The band edges: x/(10−x) = 1/1.5 ⟹ x = 4, and x = 6 on the other side.
-        assert_eq!(PairRegion::classify(Point::new(3.99, 0.0), a, b, c), PairRegion::NearFirst);
-        assert_eq!(PairRegion::classify(Point::new(4.01, 0.0), a, b, c), PairRegion::Uncertain);
-        assert_eq!(PairRegion::classify(Point::new(5.99, 0.0), a, b, c), PairRegion::Uncertain);
-        assert_eq!(PairRegion::classify(Point::new(6.01, 0.0), a, b, c), PairRegion::NearSecond);
+        assert_eq!(
+            PairRegion::classify(Point::new(3.99, 0.0), a, b, c),
+            PairRegion::NearFirst
+        );
+        assert_eq!(
+            PairRegion::classify(Point::new(4.01, 0.0), a, b, c),
+            PairRegion::Uncertain
+        );
+        assert_eq!(
+            PairRegion::classify(Point::new(5.99, 0.0), a, b, c),
+            PairRegion::Uncertain
+        );
+        assert_eq!(
+            PairRegion::classify(Point::new(6.01, 0.0), a, b, c),
+            PairRegion::NearSecond
+        );
     }
 
     #[test]
     fn classify_c1_degenerates_to_bisector() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(4.0, 0.0);
-        assert_eq!(PairRegion::classify(Point::new(1.9, 7.0), a, b, 1.0), PairRegion::NearFirst);
-        assert_eq!(PairRegion::classify(Point::new(2.0, -3.0), a, b, 1.0), PairRegion::Uncertain);
-        assert_eq!(PairRegion::classify(Point::new(2.1, 7.0), a, b, 1.0), PairRegion::NearSecond);
+        assert_eq!(
+            PairRegion::classify(Point::new(1.9, 7.0), a, b, 1.0),
+            PairRegion::NearFirst
+        );
+        assert_eq!(
+            PairRegion::classify(Point::new(2.0, -3.0), a, b, 1.0),
+            PairRegion::Uncertain
+        );
+        assert_eq!(
+            PairRegion::classify(Point::new(2.1, 7.0), a, b, 1.0),
+            PairRegion::NearSecond
+        );
     }
 
     #[test]
@@ -317,11 +360,17 @@ mod tests {
     fn band_width_grows_with_c() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(10.0, 0.0);
-        let narrow = UncertainBoundary::new(a, b, 1.1).unwrap().band_width_on_axis();
-        let wide = UncertainBoundary::new(a, b, 2.0).unwrap().band_width_on_axis();
+        let narrow = UncertainBoundary::new(a, b, 1.1)
+            .unwrap()
+            .band_width_on_axis();
+        let wide = UncertainBoundary::new(a, b, 2.0)
+            .unwrap()
+            .band_width_on_axis();
         assert!(narrow < wide);
         // C = 1.5 on a 10 m pair: edges at 4 m and 6 m ⟹ 2 m band.
-        let w = UncertainBoundary::new(a, b, 1.5).unwrap().band_width_on_axis();
+        let w = UncertainBoundary::new(a, b, 1.5)
+            .unwrap()
+            .band_width_on_axis();
         assert!((w - 2.0).abs() < 1e-9);
     }
 }

@@ -50,11 +50,22 @@ impl Grid {
     /// Panics if `cell` is non-positive/non-finite or the grid would exceed
     /// `u32` cells per axis.
     pub fn cover(rect: Rect, cell: f64) -> Self {
-        assert!(cell.is_finite() && cell > 0.0, "cell size must be positive, got {cell}");
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell size must be positive, got {cell}"
+        );
         let nx = (rect.width() / cell).ceil().max(1.0);
         let ny = (rect.height() / cell).ceil().max(1.0);
-        assert!(nx <= u32::MAX as f64 && ny <= u32::MAX as f64, "grid too large");
-        Self { rect, cell, nx: nx as u32, ny: ny as u32 }
+        assert!(
+            nx <= u32::MAX as f64 && ny <= u32::MAX as f64,
+            "grid too large"
+        );
+        Self {
+            rect,
+            cell,
+            nx: nx as u32,
+            ny: ny as u32,
+        }
     }
 
     /// The covered rectangle (the monitored field).
@@ -94,7 +105,10 @@ impl Grid {
     /// Panics in debug builds if `idx` is out of range.
     #[inline]
     pub fn center(&self, idx: CellIndex) -> Point {
-        debug_assert!(idx.ix < self.nx && idx.iy < self.ny, "cell index out of range");
+        debug_assert!(
+            idx.ix < self.nx && idx.iy < self.ny,
+            "cell index out of range"
+        );
         Point::new(
             self.rect.min.x + (idx.ix as f64 + 0.5) * self.cell,
             self.rect.min.y + (idx.iy as f64 + 0.5) * self.cell,
@@ -128,7 +142,10 @@ impl Grid {
     #[inline]
     pub fn from_linear(&self, lin: usize) -> CellIndex {
         debug_assert!(lin < self.cell_count(), "linear index out of range");
-        CellIndex::new((lin % self.nx as usize) as u32, (lin / self.nx as usize) as u32)
+        CellIndex::new(
+            (lin % self.nx as usize) as u32,
+            (lin / self.nx as usize) as u32,
+        )
     }
 
     /// Iterates all cells in row-major order with their centres.

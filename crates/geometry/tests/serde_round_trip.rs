@@ -35,7 +35,10 @@ fn grid_preserves_lattice() {
     let back = round_trip(&g);
     assert_eq!(back, g);
     assert_eq!(back.cell_count(), g.cell_count());
-    assert_eq!(back.center(CellIndex::new(3, 4)), g.center(CellIndex::new(3, 4)));
+    assert_eq!(
+        back.center(CellIndex::new(3, 4)),
+        g.center(CellIndex::new(3, 4))
+    );
 }
 
 #[test]
@@ -49,5 +52,8 @@ fn uncertain_boundary() {
     assert_eq!(back.c, ub.c);
     assert!((back.near_first.radius - ub.near_first.radius).abs() < 1e-12);
     assert!((back.near_second.center.x - ub.near_second.center.x).abs() < 1e-12);
-    assert_eq!(back.classify(Point::new(5.0, 0.0)), ub.classify(Point::new(5.0, 0.0)));
+    assert_eq!(
+        back.classify(Point::new(5.0, 0.0)),
+        ub.classify(Point::new(5.0, 0.0))
+    );
 }

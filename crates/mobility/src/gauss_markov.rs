@@ -43,11 +43,29 @@ impl GaussMarkov {
     /// Panics unless `0 ≤ alpha ≤ 1`, `mean_speed > 0`, and the std-devs
     /// are non-negative and finite.
     pub fn new(field: Rect, alpha: f64, mean_speed: f64, speed_std: f64, heading_std: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha), "α must be in [0, 1], got {alpha}");
-        assert!(mean_speed > 0.0 && mean_speed.is_finite(), "mean speed must be positive");
-        assert!(speed_std >= 0.0 && speed_std.is_finite(), "speed std must be non-negative");
-        assert!(heading_std >= 0.0 && heading_std.is_finite(), "heading std must be non-negative");
-        Self { field, alpha, mean_speed, speed_std, heading_std }
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "α must be in [0, 1], got {alpha}"
+        );
+        assert!(
+            mean_speed > 0.0 && mean_speed.is_finite(),
+            "mean speed must be positive"
+        );
+        assert!(
+            speed_std >= 0.0 && speed_std.is_finite(),
+            "speed std must be non-negative"
+        );
+        assert!(
+            heading_std >= 0.0 && heading_std.is_finite(),
+            "heading std must be non-negative"
+        );
+        Self {
+            field,
+            alpha,
+            mean_speed,
+            speed_std,
+            heading_std,
+        }
     }
 
     /// A smooth walker matched to the paper's speed range (mean 3 m/s).
@@ -61,7 +79,10 @@ impl GaussMarkov {
     ///
     /// Panics if `duration` or `dt` is not strictly positive.
     pub fn trace<R: Rng + ?Sized>(&self, duration: f64, dt: f64, rng: &mut R) -> Trace {
-        assert!(duration > 0.0 && duration.is_finite(), "duration must be positive");
+        assert!(
+            duration > 0.0 && duration.is_finite(),
+            "duration must be positive"
+        );
         assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
         let mut pos = Point::new(
             rng.gen_range(self.field.min.x..=self.field.max.x),

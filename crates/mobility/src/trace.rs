@@ -46,7 +46,10 @@ impl Trace {
             );
         }
         for p in &points {
-            assert!(p.t.is_finite() && p.pos.is_finite(), "trace samples must be finite");
+            assert!(
+                p.t.is_finite() && p.pos.is_finite(),
+                "trace samples must be finite"
+            );
         }
         Self { points }
     }
@@ -89,7 +92,10 @@ impl Trace {
 
     /// Total path length (sum of inter-sample distances).
     pub fn path_length(&self) -> f64 {
-        self.points.windows(2).map(|w| w[0].pos.distance(w[1].pos)).sum()
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.distance(w[1].pos))
+            .sum()
     }
 
     /// Position at time `t`, linearly interpolated; clamped to the first /
@@ -128,7 +134,10 @@ impl Trace {
     ///
     /// Panics if `dt` is not strictly positive.
     pub fn resample(&self, dt: f64) -> Trace {
-        assert!(dt.is_finite() && dt > 0.0, "resample period must be positive");
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "resample period must be positive"
+        );
         let mut out = Vec::new();
         let mut t = self.start_time();
         let end = self.end_time();

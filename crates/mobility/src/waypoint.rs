@@ -32,10 +32,18 @@ impl RandomWaypoint {
             min_speed.is_finite() && max_speed.is_finite() && pause.is_finite(),
             "mobility parameters must be finite"
         );
-        assert!(min_speed > 0.0, "min speed must be positive, got {min_speed}");
+        assert!(
+            min_speed > 0.0,
+            "min speed must be positive, got {min_speed}"
+        );
         assert!(max_speed >= min_speed, "max speed below min speed");
         assert!(pause >= 0.0, "pause must be non-negative");
-        Self { field, min_speed, max_speed, pause }
+        Self {
+            field,
+            min_speed,
+            max_speed,
+            pause,
+        }
     }
 
     /// The paper's setting: 1–5 m/s, no pause.
@@ -50,7 +58,10 @@ impl RandomWaypoint {
     ///
     /// Panics if `duration` or `dt` is not strictly positive.
     pub fn trace<R: Rng + ?Sized>(&self, duration: f64, dt: f64, rng: &mut R) -> Trace {
-        assert!(duration > 0.0 && duration.is_finite(), "duration must be positive");
+        assert!(
+            duration > 0.0 && duration.is_finite(),
+            "duration must be positive"
+        );
         assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
         let mut pos = self.random_point(rng);
         let mut samples = Vec::with_capacity((duration / dt).ceil() as usize + 1);
@@ -167,7 +178,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[0].pos.distance(w[1].pos) < 1e-12)
             .count();
-        assert!(stationary > 10, "expected pauses, found {stationary} stationary steps");
+        assert!(
+            stationary > 10,
+            "expected pauses, found {stationary} stationary steps"
+        );
     }
 
     #[test]

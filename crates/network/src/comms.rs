@@ -30,7 +30,11 @@ pub struct Uplink {
 impl Uplink {
     /// A lossless, instantaneous uplink.
     pub fn ideal() -> Self {
-        Self { loss_prob: 0.0, latency: Gaussian::new(0.0, 0.0), deadline: f64::INFINITY }
+        Self {
+            loss_prob: 0.0,
+            latency: Gaussian::new(0.0, 0.0),
+            deadline: f64::INFINITY,
+        }
     }
 
     /// An uplink with the given loss probability, latency distribution and
@@ -41,9 +45,19 @@ impl Uplink {
     /// Panics if `loss_prob` is not a probability or `deadline` is
     /// negative/NaN.
     pub fn new(loss_prob: f64, latency: Gaussian, deadline: f64) -> Self {
-        assert!((0.0..=1.0).contains(&loss_prob), "loss probability out of range: {loss_prob}");
-        assert!(deadline >= 0.0 && !deadline.is_nan(), "deadline must be non-negative");
-        Self { loss_prob, latency, deadline }
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss probability out of range: {loss_prob}"
+        );
+        assert!(
+            deadline >= 0.0 && !deadline.is_nan(),
+            "deadline must be non-negative"
+        );
+        Self {
+            loss_prob,
+            latency,
+            deadline,
+        }
     }
 
     /// Checks every field, rejecting out-of-range values.

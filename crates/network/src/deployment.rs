@@ -23,7 +23,11 @@ impl Deployment {
     /// Panics if any position falls outside `field` or fewer than two nodes
     /// are given (no pairs — nothing to track with).
     pub fn explicit(positions: &[Point], field: Rect) -> Self {
-        assert!(positions.len() >= 2, "need at least two sensors, got {}", positions.len());
+        assert!(
+            positions.len() >= 2,
+            "need at least two sensors, got {}",
+            positions.len()
+        );
         let nodes = positions
             .iter()
             .enumerate()
@@ -81,7 +85,10 @@ impl Deployment {
     ///
     /// Panics if the cross does not fit inside `field`.
     pub fn cross(center: Point, arm_len: usize, spacing: f64, field: Rect) -> Self {
-        assert!(spacing > 0.0 && spacing.is_finite(), "spacing must be positive");
+        assert!(
+            spacing > 0.0 && spacing.is_finite(),
+            "spacing must be positive"
+        );
         let mut positions = vec![center];
         for step in 1..=arm_len {
             let d = step as f64 * spacing;

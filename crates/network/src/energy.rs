@@ -26,7 +26,11 @@ impl Default for EnergyModel {
     fn default() -> Self {
         // 3 V × 8 mA × 1 ms acquisition ≈ 24 µJ; a 36-byte 802.15.4 frame
         // at 250 kbps, 17 mA ≈ 59 µJ; 15 µW sleep.
-        Self { per_sample: 24e-6, per_message: 59e-6, idle_power: 15e-6 }
+        Self {
+            per_sample: 24e-6,
+            per_message: 59e-6,
+            idle_power: 15e-6,
+        }
     }
 }
 
@@ -37,12 +41,21 @@ impl EnergyModel {
     ///
     /// Panics on negative or non-finite prices.
     pub fn new(per_sample: f64, per_message: f64, idle_power: f64) -> Self {
-        for (name, v) in
-            [("per_sample", per_sample), ("per_message", per_message), ("idle_power", idle_power)]
-        {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative, got {v}");
+        for (name, v) in [
+            ("per_sample", per_sample),
+            ("per_message", per_message),
+            ("idle_power", idle_power),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be non-negative, got {v}"
+            );
         }
-        Self { per_sample, per_message, idle_power }
+        Self {
+            per_sample,
+            per_message,
+            idle_power,
+        }
     }
 }
 
@@ -62,7 +75,10 @@ impl EnergyLedger {
     /// Panics if `nodes == 0`.
     pub fn new(model: EnergyModel, nodes: usize) -> Self {
         assert!(nodes > 0, "need at least one node");
-        Self { model, consumed: vec![0.0; nodes] }
+        Self {
+            model,
+            consumed: vec![0.0; nodes],
+        }
     }
 
     /// Charges one grouping sampling: every delivered reading costs a
@@ -72,12 +88,15 @@ impl EnergyLedger {
     ///
     /// Panics if the sampling's node count differs from the ledger's.
     pub fn charge_grouping(&mut self, group: &GroupSampling) {
-        assert_eq!(group.node_count(), self.consumed.len(), "node count mismatch");
+        assert_eq!(
+            group.node_count(),
+            self.consumed.len(),
+            "node count mismatch"
+        );
         for j in 0..group.node_count() {
             let samples = group.column(j).flatten().count();
             if samples > 0 {
-                self.consumed[j] +=
-                    samples as f64 * self.model.per_sample + self.model.per_message;
+                self.consumed[j] += samples as f64 * self.model.per_sample + self.model.per_message;
             }
         }
     }
@@ -169,7 +188,11 @@ mod tests {
             ledger.charge_grouping(&g);
         }
         ledger.charge_idle(60.0);
-        assert!(ledger.total() > 0.0 && ledger.total() < 1.0, "total {} J", ledger.total());
+        assert!(
+            ledger.total() > 0.0 && ledger.total() < 1.0,
+            "total {} J",
+            ledger.total()
+        );
     }
 
     #[test]

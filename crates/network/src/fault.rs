@@ -44,7 +44,9 @@ pub(crate) fn check_probability(name: &str, v: f64) -> Result<(), ConfigError> {
     if (0.0..=1.0).contains(&v) {
         Ok(())
     } else {
-        Err(ConfigError::new(format!("{name} must be a probability in [0, 1], got {v}")))
+        Err(ConfigError::new(format!(
+            "{name} must be a probability in [0, 1], got {v}"
+        )))
     }
 }
 
@@ -74,7 +76,10 @@ impl FaultModel {
     /// Panics if `p` is not a probability.
     pub fn with_node_failure(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        Self { node_failure_prob: p, ..Self::default() }
+        Self {
+            node_failure_prob: p,
+            ..Self::default()
+        }
     }
 
     /// Per-reading drop with probability `p`.
@@ -84,12 +89,18 @@ impl FaultModel {
     /// Panics if `p` is not a probability.
     pub fn with_reading_drop(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        Self { reading_drop_prob: p, ..Self::default() }
+        Self {
+            reading_drop_prob: p,
+            ..Self::default()
+        }
     }
 
     /// Marks `nodes` permanently dead.
     pub fn with_dead_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
-        Self { dead_nodes: nodes.into_iter().collect(), ..Self::default() }
+        Self {
+            dead_nodes: nodes.into_iter().collect(),
+            ..Self::default()
+        }
     }
 
     /// Checks every field, rejecting out-of-range probabilities.
@@ -106,9 +117,7 @@ impl FaultModel {
 
     /// `true` if this model can never remove a reading.
     pub fn is_none(&self) -> bool {
-        self.node_failure_prob == 0.0
-            && self.reading_drop_prob == 0.0
-            && self.dead_nodes.is_empty()
+        self.node_failure_prob == 0.0 && self.reading_drop_prob == 0.0 && self.dead_nodes.is_empty()
     }
 
     /// Decides whether `node` fails for one whole grouping sampling.

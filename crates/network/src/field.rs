@@ -28,7 +28,10 @@ impl SensorField {
             sensing_range.is_finite() && sensing_range > 0.0,
             "sensing range must be positive, got {sensing_range}"
         );
-        Self { deployment, sensing_range }
+        Self {
+            deployment,
+            sensing_range,
+        }
     }
 
     /// The underlying deployment.
@@ -75,7 +78,11 @@ impl SensorField {
 
     /// IDs of all sensors able to sense a target at `p`.
     pub fn nodes_in_range(&self, p: Point) -> Vec<NodeId> {
-        self.nodes().iter().filter(|n| self.in_range(n, p)).map(|n| n.id).collect()
+        self.nodes()
+            .iter()
+            .filter(|n| self.in_range(n, p))
+            .map(|n| n.id)
+            .collect()
     }
 }
 

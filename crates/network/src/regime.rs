@@ -27,6 +27,7 @@ use crate::sampling::GroupSampling;
 use rand::Rng;
 use std::collections::BTreeSet;
 use wsn_signal::Rss;
+use wsn_telemetry as telemetry;
 
 /// One ingredient of a fault regime. Stack several in a [`RegimeEngine`];
 /// they are applied in insertion order, each seeing the output of the
@@ -105,7 +106,12 @@ impl RegimeKind {
     pub fn validate(&self) -> Result<(), ConfigError> {
         match self {
             RegimeKind::Static(fault) => fault.validate(),
-            RegimeKind::Burst { p_enter, p_exit, loss_good, loss_bad } => {
+            RegimeKind::Burst {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
                 check_probability("burst p_enter", *p_enter)?;
                 check_probability("burst p_exit", *p_exit)?;
                 check_probability("burst loss_good", *loss_good)?;
@@ -133,7 +139,11 @@ impl RegimeKind {
                 }
                 Ok(())
             }
-            RegimeKind::Drift { from, rate_db_per_s, .. } => {
+            RegimeKind::Drift {
+                from,
+                rate_db_per_s,
+                ..
+            } => {
                 if from.is_nan() {
                     return Err(ConfigError::new("drift onset time must not be NaN"));
                 }
@@ -157,7 +167,11 @@ enum RegimeState {
     Burst { bad: Vec<bool> },
     /// Energy ledger plus the depleted flags and the previous round's time
     /// (for idle charging between rounds).
-    Energy { ledger: EnergyLedger, dead: Vec<bool>, last_t: Option<f64> },
+    Energy {
+        ledger: EnergyLedger,
+        dead: Vec<bool>,
+        last_t: Option<f64>,
+    },
     /// Last pre-onset reading per node.
     Stuck { frozen: Vec<Option<Rss>> },
 }
@@ -189,7 +203,10 @@ impl RegimeEngine {
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize) -> Self {
         assert!(nodes > 0, "need at least one node");
-        Self { nodes, entries: Vec::new() }
+        Self {
+            nodes,
+            entries: Vec::new(),
+        }
     }
 
     /// Adds a regime to the stack (applied after all earlier ones).
@@ -208,15 +225,17 @@ impl RegimeEngine {
     pub fn try_with(mut self, kind: RegimeKind) -> Result<Self, ConfigError> {
         kind.validate()?;
         let state = match &kind {
-            RegimeKind::Burst { .. } => RegimeState::Burst { bad: vec![false; self.nodes] },
+            RegimeKind::Burst { .. } => RegimeState::Burst {
+                bad: vec![false; self.nodes],
+            },
             RegimeKind::EnergyDepletion { model, .. } => RegimeState::Energy {
                 ledger: EnergyLedger::new(*model, self.nodes),
                 dead: vec![false; self.nodes],
                 last_t: None,
             },
-            RegimeKind::StuckAt { .. } => {
-                RegimeState::Stuck { frozen: vec![None; self.nodes] }
-            }
+            RegimeKind::StuckAt { .. } => RegimeState::Stuck {
+                frozen: vec![None; self.nodes],
+            },
             _ => RegimeState::Stateless,
         };
         self.entries.push(Entry { kind, state });
@@ -241,40 +260,57 @@ impl RegimeEngine {
     /// Panics if the sampling's node count differs from the engine's.
     pub fn apply<R: Rng + ?Sized>(&mut self, t: f64, group: &mut GroupSampling, rng: &mut R) {
         assert_eq!(group.node_count(), self.nodes, "node count mismatch");
+        // Erasure/lying tallies, accumulated locally and flushed once — the
+        // disabled-telemetry path pays two dead integer adds per regime.
+        let mut dropped = 0u64;
+        let mut lying = 0u64;
         for entry in &mut self.entries {
             match (&entry.kind, &mut entry.state) {
                 (RegimeKind::Static(fault), RegimeState::Stateless) => {
-                    apply_static(fault, group, rng);
+                    dropped += apply_static(fault, group, rng);
                 }
                 (
-                    RegimeKind::Burst { p_enter, p_exit, loss_good, loss_bad },
+                    RegimeKind::Burst {
+                        p_enter,
+                        p_exit,
+                        loss_good,
+                        loss_bad,
+                    },
                     RegimeState::Burst { bad },
                 ) => {
                     for (j, is_bad) in bad.iter_mut().enumerate() {
                         // Advance the channel, then draw this round's loss.
                         let flip = rng.gen::<f64>();
-                        *is_bad = if *is_bad { flip >= *p_exit } else { flip < *p_enter };
+                        *is_bad = if *is_bad {
+                            flip >= *p_exit
+                        } else {
+                            flip < *p_enter
+                        };
                         let loss = if *is_bad { *loss_bad } else { *loss_good };
                         if loss > 0.0 && rng.gen::<f64>() < loss {
-                            clear_column(group, j);
+                            dropped += clear_column(group, j);
                         }
                     }
                 }
                 (RegimeKind::Outage { nodes, from, until }, RegimeState::Stateless) => {
                     if t >= *from && t < *until {
                         for j in affected(nodes, self.nodes) {
-                            clear_column(group, j);
+                            dropped += clear_column(group, j);
                         }
                     }
                 }
                 (
                     RegimeKind::EnergyDepletion { battery_j, .. },
-                    RegimeState::Energy { ledger, dead, last_t },
+                    RegimeState::Energy {
+                        ledger,
+                        dead,
+                        last_t,
+                    },
                 ) => {
                     // Dead nodes produce nothing and consume nothing.
                     for (j, is_dead) in dead.iter().enumerate() {
                         if *is_dead {
-                            clear_column(group, j);
+                            dropped += clear_column(group, j);
                         }
                     }
                     if let Some(prev) = *last_t {
@@ -302,16 +338,25 @@ impl RegimeEngine {
                             for inst in 0..group.instants() {
                                 group.set(inst, j, Some(v));
                             }
+                            lying += group.instants() as u64;
                         }
                     }
                 }
-                (RegimeKind::Drift { nodes, from, rate_db_per_s }, RegimeState::Stateless) => {
+                (
+                    RegimeKind::Drift {
+                        nodes,
+                        from,
+                        rate_db_per_s,
+                    },
+                    RegimeState::Stateless,
+                ) => {
                     if t >= *from {
                         let bias = rate_db_per_s * (t - from);
                         for j in affected(nodes, self.nodes) {
                             for inst in 0..group.instants() {
                                 if let Some(r) = group.get(inst, j) {
                                     group.set(inst, j, Some(Rss::new(r.dbm() + bias)));
+                                    lying += 1;
                                 }
                             }
                         }
@@ -322,6 +367,11 @@ impl RegimeEngine {
                 }
             }
         }
+        if telemetry::enabled() && !self.entries.is_empty() {
+            telemetry::counter_add("wsn.regime.activations", self.entries.len() as u64);
+            telemetry::counter_add("wsn.regime.readings_dropped", dropped);
+            telemetry::counter_add("wsn.regime.readings_lying", lying);
+        }
     }
 }
 
@@ -330,30 +380,48 @@ fn affected(nodes: &BTreeSet<NodeId>, n: usize) -> Vec<usize> {
     if nodes.is_empty() {
         (0..n).collect()
     } else {
-        nodes.iter().map(|id| id.index()).filter(|&j| j < n).collect()
+        nodes
+            .iter()
+            .map(|id| id.index())
+            .filter(|&j| j < n)
+            .collect()
     }
 }
 
-fn clear_column(group: &mut GroupSampling, j: usize) {
+/// Silences a node's column, returning how many present readings it erased.
+fn clear_column(group: &mut GroupSampling, j: usize) -> u64 {
+    let mut cleared = 0;
     for inst in 0..group.instants() {
+        if group.get(inst, j).is_some() {
+            cleared += 1;
+        }
         group.set(inst, j, None);
     }
+    cleared
 }
 
 /// The [`FaultModel`] semantics of the sampler, replayed at the engine
 /// layer: one failure draw per node per round, one drop draw per reading.
-fn apply_static<R: Rng + ?Sized>(fault: &FaultModel, group: &mut GroupSampling, rng: &mut R) {
+/// Returns the number of readings erased.
+fn apply_static<R: Rng + ?Sized>(
+    fault: &FaultModel,
+    group: &mut GroupSampling,
+    rng: &mut R,
+) -> u64 {
+    let mut dropped = 0u64;
     for j in 0..group.node_count() {
         if fault.node_fails(NodeId(j as u32), rng) {
-            clear_column(group, j);
+            dropped += clear_column(group, j);
             continue;
         }
         for inst in 0..group.instants() {
             if group.get(inst, j).is_some() && fault.reading_drops(rng) {
                 group.set(inst, j, None);
+                dropped += 1;
             }
         }
     }
+    dropped
 }
 
 #[cfg(test)]
@@ -386,8 +454,8 @@ mod tests {
 
     #[test]
     fn static_regime_matches_fault_model_semantics() {
-        let mut e = RegimeEngine::new(5)
-            .with(RegimeKind::Static(FaultModel::with_dead_nodes([NodeId(2)])));
+        let mut e =
+            RegimeEngine::new(5).with(RegimeKind::Static(FaultModel::with_dead_nodes([NodeId(2)])));
         let mut g = full_group(5, 3);
         e.apply(0.0, &mut g, &mut rng(2));
         assert!(!g.node_responded(2));
@@ -423,7 +491,10 @@ mod tests {
                 }
                 lost_prev = lost;
             }
-            (losses as f64 / rounds as f64, repeats as f64 / losses.max(1) as f64)
+            (
+                losses as f64 / rounds as f64,
+                repeats as f64 / losses.max(1) as f64,
+            )
         };
         // Bursty: stationary P(bad) = 0.1/(0.1+0.1) = 0.5, always lost in
         // bad ⟹ loss rate ≈ 0.5 but P(lost | lost before) ≈ 0.9.
@@ -469,8 +540,10 @@ mod tests {
         // Battery covers exactly two rounds of 2 samples + 1 message at
         // unit prices: dead from round 3 on.
         let model = EnergyModel::new(1.0, 1.0, 0.0);
-        let mut e = RegimeEngine::new(2)
-            .with(RegimeKind::EnergyDepletion { model, battery_j: 5.0 });
+        let mut e = RegimeEngine::new(2).with(RegimeKind::EnergyDepletion {
+            model,
+            battery_j: 5.0,
+        });
         let mut r = rng(7);
         let mut alive_rounds = 0;
         for i in 0..5 {
@@ -548,7 +621,10 @@ mod tests {
                 from: 0.0,
                 until: f64::INFINITY,
             })
-            .with(RegimeKind::StuckAt { nodes: BTreeSet::new(), from: 0.0 });
+            .with(RegimeKind::StuckAt {
+                nodes: BTreeSet::new(),
+                from: 0.0,
+            });
         let mut g = full_group(1, 2);
         e.apply(0.0, &mut g, &mut rng(11));
         assert_eq!(g.missing_count(), 2);
@@ -565,7 +641,11 @@ mod tests {
             })
             .is_err());
         assert!(RegimeEngine::new(2)
-            .try_with(RegimeKind::Outage { nodes: BTreeSet::new(), from: 5.0, until: 1.0 })
+            .try_with(RegimeKind::Outage {
+                nodes: BTreeSet::new(),
+                from: 5.0,
+                until: 1.0
+            })
             .is_err());
         assert!(RegimeEngine::new(2)
             .try_with(RegimeKind::EnergyDepletion {

@@ -11,6 +11,7 @@ use crate::field::SensorField;
 use rand::Rng;
 use wsn_geometry::Point;
 use wsn_signal::{PathLossModel, Rss};
+use wsn_telemetry as telemetry;
 
 /// The `k × n` matrix of one grouping sampling. Row = time instant,
 /// column = node (in ID order); `None` marks a missing reading.
@@ -29,8 +30,15 @@ impl GroupSampling {
     ///
     /// Panics if either dimension is zero.
     pub fn empty(nodes: usize, instants: usize) -> Self {
-        assert!(nodes > 0 && instants > 0, "matrix dimensions must be positive");
-        Self { nodes, instants, readings: vec![None; nodes * instants] }
+        assert!(
+            nodes > 0 && instants > 0,
+            "matrix dimensions must be positive"
+        );
+        Self {
+            nodes,
+            instants,
+            readings: vec![None; nodes * instants],
+        }
     }
 
     /// Builds a matrix from rows of readings (each row one instant,
@@ -49,7 +57,11 @@ impl GroupSampling {
             assert_eq!(row.len(), nodes, "ragged sampling matrix");
             readings.extend_from_slice(row);
         }
-        Self { nodes, instants, readings }
+        Self {
+            nodes,
+            instants,
+            readings,
+        }
     }
 
     /// Number of node columns.
@@ -71,7 +83,10 @@ impl GroupSampling {
     /// Panics if either index is out of range.
     #[inline]
     pub fn get(&self, instant: usize, node: usize) -> Option<Rss> {
-        assert!(instant < self.instants && node < self.nodes, "index out of range");
+        assert!(
+            instant < self.instants && node < self.nodes,
+            "index out of range"
+        );
         self.readings[instant * self.nodes + node]
     }
 
@@ -82,7 +97,10 @@ impl GroupSampling {
     /// Panics if either index is out of range.
     #[inline]
     pub fn set(&mut self, instant: usize, node: usize, value: Option<Rss>) {
-        assert!(instant < self.instants && node < self.nodes, "index out of range");
+        assert!(
+            instant < self.instants && node < self.nodes,
+            "index out of range"
+        );
         self.readings[instant * self.nodes + node] = value;
     }
 
@@ -193,7 +211,9 @@ impl GroupSampler {
     /// Switches to the idealized bounded-noise model whose flip-possible
     /// region is the Apollonius band of ratio `c`.
     pub fn with_idealized_band(mut self, c: f64) -> Self {
-        self.noise = SamplerNoise::UniformBand { half_width: self.model.band_half_width(c) };
+        self.noise = SamplerNoise::UniformBand {
+            half_width: self.model.band_half_width(c),
+        };
         self
     }
 
@@ -209,13 +229,20 @@ impl GroupSampler {
     ) -> GroupSampling {
         let n = field.len();
         let mut out = GroupSampling::empty(n, self.samples);
+        // Fault tallies, accumulated locally and flushed once at the end —
+        // with no telemetry sink the cost is a few dead integer adds.
+        let mut silent_nodes = 0u64;
+        let mut dropped = 0u64;
+        let mut delivered = 0u64;
         for (j, node) in field.nodes().iter().enumerate() {
             if !field.in_range(node, target) || self.fault.node_fails(node.id, rng) {
+                silent_nodes += 1;
                 continue;
             }
             let d = node.distance_to(target);
             for t in 0..self.samples {
                 if self.fault.reading_drops(rng) {
+                    dropped += 1;
                     continue;
                 }
                 let reading = match self.noise {
@@ -226,7 +253,14 @@ impl GroupSampler {
                 };
                 let offset = self.node_offsets.get(j).copied().unwrap_or(0.0);
                 out.set(t, j, Some(Rss::new(reading.dbm() + offset)));
+                delivered += 1;
             }
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add("wsn.sampler.groupings", 1);
+            telemetry::counter_add("wsn.sampler.silent_nodes", silent_nodes);
+            telemetry::counter_add("wsn.sampler.readings_dropped", dropped);
+            telemetry::counter_add("wsn.sampler.readings_delivered", delivered);
         }
         out
     }
@@ -316,7 +350,10 @@ mod tests {
         let m = s.sample(&field(), Point::new(20.0, 20.0), &mut rng(4));
         let total = 4 * 50;
         let missing = m.missing_count();
-        assert!(missing > total / 4 && missing < 3 * total / 4, "missing {missing}/{total}");
+        assert!(
+            missing > total / 4 && missing < 3 * total / 4,
+            "missing {missing}/{total}"
+        );
     }
 
     #[test]
@@ -344,7 +381,10 @@ mod tests {
         let ideal = GroupSampler::new(PathLossModel::paper_default(), 1).with_idealized_band(1.05);
         for _ in 0..2_000 {
             let m = ideal.sample(&f, target, &mut r);
-            assert!(m.get(0, 0).unwrap() > m.get(0, 1).unwrap(), "idealized order flipped");
+            assert!(
+                m.get(0, 0).unwrap() > m.get(0, 1).unwrap(),
+                "idealized order flipped"
+            );
         }
         let gaussian = GroupSampler::new(PathLossModel::paper_default(), 1);
         let flips = (0..2_000)
@@ -353,7 +393,10 @@ mod tests {
                 m.get(0, 0).unwrap() < m.get(0, 1).unwrap()
             })
             .count();
-        assert!(flips > 100, "Gaussian noise must flip sometimes, got {flips}");
+        assert!(
+            flips > 100,
+            "Gaussian noise must flip sometimes, got {flips}"
+        );
     }
 
     #[test]
@@ -399,8 +442,11 @@ mod tests {
             .with_node_offsets(vec![5.0]);
         let g = s.sample(&field(), Point::new(20.0, 20.0), &mut rng(15));
         // Node 3 has no configured offset: unshifted deterministic value.
-        let clean = GroupSampler::new(PathLossModel::paper_default().noiseless(), 1)
-            .sample(&field(), Point::new(20.0, 20.0), &mut rng(15));
+        let clean = GroupSampler::new(PathLossModel::paper_default().noiseless(), 1).sample(
+            &field(),
+            Point::new(20.0, 20.0),
+            &mut rng(15),
+        );
         assert_eq!(g.get(0, 3), clean.get(0, 3));
         assert_ne!(g.get(0, 0), clean.get(0, 0));
     }

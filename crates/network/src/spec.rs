@@ -80,9 +80,9 @@ impl<'a> Fields<'a> {
     fn parse(tokens: &[&'a str]) -> Result<Self, ConfigError> {
         let mut pairs = Vec::with_capacity(tokens.len());
         for tok in tokens {
-            let (k, v) = tok.split_once('=').ok_or_else(|| {
-                ConfigError::new(format!("expected key=value, got `{tok}`"))
-            })?;
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| ConfigError::new(format!("expected key=value, got `{tok}`")))?;
             pairs.push((k, v, false));
         }
         Ok(Self { pairs })
@@ -109,7 +109,8 @@ impl<'a> Fields<'a> {
     }
 
     fn required_f64(&mut self, key: &str) -> Result<f64, ConfigError> {
-        self.f64(key)?.ok_or_else(|| ConfigError::new(format!("missing required key `{key}`")))
+        self.f64(key)?
+            .ok_or_else(|| ConfigError::new(format!("missing required key `{key}`")))
     }
 
     fn nodes(&mut self) -> Result<BTreeSet<NodeId>, ConfigError> {
@@ -148,14 +149,15 @@ fn parse_line(line: &str, schedule: &mut Schedule) -> Result<(), ConfigError> {
                 reading_drop_prob: f.f64("drop")?.unwrap_or(0.0),
                 dead_nodes: match f.take("dead") {
                     None => BTreeSet::new(),
-                    Some(list) => list
-                        .split(',')
-                        .map(|s| {
-                            s.trim().parse::<u32>().map(NodeId).map_err(|_| {
-                                ConfigError::new(format!("dead: bad node id `{s}`"))
+                    Some(list) => {
+                        list.split(',')
+                            .map(|s| {
+                                s.trim().parse::<u32>().map(NodeId).map_err(|_| {
+                                    ConfigError::new(format!("dead: bad node id `{s}`"))
+                                })
                             })
-                        })
-                        .collect::<Result<_, _>>()?,
+                            .collect::<Result<_, _>>()?
+                    }
                 },
             };
             f.finish()?;
@@ -190,9 +192,11 @@ fn parse_line(line: &str, schedule: &mut Schedule) -> Result<(), ConfigError> {
             let per_message = f.f64("per_message")?.unwrap_or(default.per_message);
             let idle_power = f.f64("idle")?.unwrap_or(default.idle_power);
             f.finish()?;
-            for (name, v) in
-                [("per_sample", per_sample), ("per_message", per_message), ("idle", idle_power)]
-            {
+            for (name, v) in [
+                ("per_sample", per_sample),
+                ("per_message", per_message),
+                ("idle", idle_power),
+            ] {
                 if !v.is_finite() || v < 0.0 {
                     return Err(ConfigError::new(format!(
                         "{name} must be non-negative joules, got {v}"
@@ -207,8 +211,10 @@ fn parse_line(line: &str, schedule: &mut Schedule) -> Result<(), ConfigError> {
             schedule.regimes.push(kind);
         }
         "stuck" => {
-            let kind =
-                RegimeKind::StuckAt { nodes: f.nodes()?, from: f.f64("from")?.unwrap_or(0.0) };
+            let kind = RegimeKind::StuckAt {
+                nodes: f.nodes()?,
+                from: f.f64("from")?.unwrap_or(0.0),
+            };
             f.finish()?;
             kind.validate()?;
             schedule.regimes.push(kind);
@@ -299,7 +305,10 @@ uplink loss=0.1 latency_mean=0.05 latency_std=0.02 deadline=0.2
 
     #[test]
     fn unknown_directive_and_key_rejected() {
-        assert!(Schedule::parse("meteor strike=1").unwrap_err().reason().contains("directive"));
+        assert!(Schedule::parse("meteor strike=1")
+            .unwrap_err()
+            .reason()
+            .contains("directive"));
         assert!(Schedule::parse("burst enter=0 exit=1 frequency=2")
             .unwrap_err()
             .reason()

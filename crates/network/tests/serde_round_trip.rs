@@ -9,8 +9,7 @@ fn round_trip<T>(value: &T) -> T
 where
     T: serde::Serialize + for<'de> serde::Deserialize<'de>,
 {
-    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
-        .expect("deserialize")
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize")).expect("deserialize")
 }
 
 #[test]
@@ -20,7 +19,10 @@ fn deployment_and_field() {
     let f = SensorField::new(d, 40.0);
     let back = round_trip(&f);
     assert_eq!(back, f);
-    assert_eq!(back.nodes_in_range(Point::new(50.0, 50.0)), f.nodes_in_range(Point::new(50.0, 50.0)));
+    assert_eq!(
+        back.nodes_in_range(Point::new(50.0, 50.0)),
+        f.nodes_in_range(Point::new(50.0, 50.0))
+    );
 }
 
 #[test]

@@ -7,7 +7,10 @@ use std::sync::Mutex;
 /// parallelism, capped at 16 (the workloads here stop scaling long before
 /// the cap matters, and oversubscribing CI runners only adds noise).
 pub fn recommended_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 /// Parallel, order-preserving map over `items` using
@@ -115,7 +118,11 @@ mod tests {
     #[test]
     fn matches_sequential_map() {
         let items: Vec<u64> = (0..10_000).collect();
-        let expected: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
         for threads in [1, 2, 3, 8, 16] {
             let got = par_map_threads(threads, &items, |i, x| x * 3 + i as u64);
             assert_eq!(got, expected, "threads={threads}");

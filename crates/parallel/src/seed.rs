@@ -38,7 +38,10 @@ mod tests {
         let mut seen = HashSet::new();
         for master in 0..8u64 {
             for index in 0..1024u64 {
-                assert!(seen.insert(seed_for(master, index)), "collision at ({master},{index})");
+                assert!(
+                    seen.insert(seed_for(master, index)),
+                    "collision at ({master},{index})"
+                );
             }
         }
     }

@@ -24,14 +24,23 @@ impl Gaussian {
     ///
     /// Panics if `std` is negative or either parameter is non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(mean.is_finite() && std.is_finite(), "Gaussian parameters must be finite");
-        assert!(std >= 0.0, "standard deviation must be non-negative, got {std}");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "Gaussian parameters must be finite"
+        );
+        assert!(
+            std >= 0.0,
+            "standard deviation must be non-negative, got {std}"
+        );
         Self { mean, std }
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mean: 0.0, std: 1.0 }
+        Self {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Draws one sample via Box–Muller.
@@ -80,9 +89,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -98,7 +106,10 @@ fn erfc(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`.
 pub fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile probability must be in (0, 1), got {p}"
+    );
     let (mut lo, mut hi) = (-40.0_f64, 40.0_f64);
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);

@@ -42,9 +42,20 @@ impl PathLossModel {
             pl_d0.is_finite() && offset_a.is_finite() && beta.is_finite() && sigma.is_finite(),
             "path-loss parameters must be finite"
         );
-        assert!(beta > 0.0, "path-loss exponent must be positive, got {beta}");
-        assert!(sigma >= 0.0, "shadowing σ must be non-negative, got {sigma}");
-        Self { pl_d0, offset_a, beta, sigma }
+        assert!(
+            beta > 0.0,
+            "path-loss exponent must be positive, got {beta}"
+        );
+        assert!(
+            sigma >= 0.0,
+            "shadowing σ must be non-negative, got {sigma}"
+        );
+        Self {
+            pl_d0,
+            offset_a,
+            beta,
+            sigma,
+        }
     }
 
     /// The paper's simulation setting (Table 1): `β = 4`, `σ_X = 6`, with a
@@ -56,7 +67,10 @@ impl PathLossModel {
     /// A noise-free variant (same deterministic part, `σ = 0`): useful in
     /// tests that need exact sequence ground truth.
     pub fn noiseless(&self) -> Self {
-        Self { sigma: 0.0, ..*self }
+        Self {
+            sigma: 0.0,
+            ..*self
+        }
     }
 
     /// Expected RSS at distance `d` metres (the deterministic part of
@@ -90,17 +104,16 @@ impl PathLossModel {
     ///
     /// Panics if `half_width` is negative or non-finite.
     #[inline]
-    pub fn sample_rss_bounded<R: Rng + ?Sized>(
-        &self,
-        d: f64,
-        half_width: f64,
-        rng: &mut R,
-    ) -> Rss {
+    pub fn sample_rss_bounded<R: Rng + ?Sized>(&self, d: f64, half_width: f64, rng: &mut R) -> Rss {
         assert!(
             half_width.is_finite() && half_width >= 0.0,
             "noise half-width must be non-negative, got {half_width}"
         );
-        let noise = if half_width > 0.0 { rng.gen_range(-half_width..=half_width) } else { 0.0 };
+        let noise = if half_width > 0.0 {
+            rng.gen_range(-half_width..=half_width)
+        } else {
+            0.0
+        };
         Rss::new(self.mean_rss(d).dbm() + noise)
     }
 
@@ -151,9 +164,18 @@ pub fn uncertainty_constant(epsilon: f64, beta: f64, sigma: f64) -> f64 {
         epsilon.is_finite() && beta.is_finite() && sigma.is_finite(),
         "uncertainty-constant arguments must be finite"
     );
-    assert!(epsilon >= 0.0, "sensing resolution must be non-negative, got {epsilon}");
-    assert!(beta > 0.0, "path-loss exponent must be positive, got {beta}");
-    assert!(sigma >= 0.0, "shadowing σ must be non-negative, got {sigma}");
+    assert!(
+        epsilon >= 0.0,
+        "sensing resolution must be non-negative, got {epsilon}"
+    );
+    assert!(
+        beta > 0.0,
+        "path-loss exponent must be positive, got {beta}"
+    );
+    assert!(
+        sigma >= 0.0,
+        "shadowing σ must be non-negative, got {sigma}"
+    );
     let g = std::f64::consts::LN_10 / (10.0 * beta);
     let spread = g * std::f64::consts::SQRT_2 * sigma;
     (g * epsilon + 0.5 * spread * spread).exp()
@@ -185,14 +207,26 @@ pub fn uncertainty_constant(epsilon: f64, beta: f64, sigma: f64) -> f64 {
 /// Panics if `k < 2` (a single sample can never witness a flip) or on the
 /// same parameter violations as [`uncertainty_constant`].
 pub fn calibrated_uncertainty_constant(epsilon: f64, beta: f64, sigma: f64, k: usize) -> f64 {
-    assert!(k >= 2, "flip calibration needs at least two samples, got {k}");
+    assert!(
+        k >= 2,
+        "flip calibration needs at least two samples, got {k}"
+    );
     assert!(
         epsilon.is_finite() && beta.is_finite() && sigma.is_finite(),
         "calibrated-constant arguments must be finite"
     );
-    assert!(epsilon >= 0.0, "sensing resolution must be non-negative, got {epsilon}");
-    assert!(beta > 0.0, "path-loss exponent must be positive, got {beta}");
-    assert!(sigma >= 0.0, "shadowing σ must be non-negative, got {sigma}");
+    assert!(
+        epsilon >= 0.0,
+        "sensing resolution must be non-negative, got {epsilon}"
+    );
+    assert!(
+        beta > 0.0,
+        "path-loss exponent must be positive, got {beta}"
+    );
+    assert!(
+        sigma >= 0.0,
+        "shadowing σ must be non-negative, got {sigma}"
+    );
 
     // Solve (1−q)^k + q^k = ½ for q ∈ (0, ½); the LHS falls monotonically
     // from 1 (q = 0) to 2^{1−k} ≤ ½ (q = ½).
@@ -211,7 +245,8 @@ pub fn calibrated_uncertainty_constant(epsilon: f64, beta: f64, sigma: f64, k: u
 
     // Mean RSS gap whose comparison reverses with probability q under
     // X_n − X_m ~ N(0, 2σ²), plus the resolution dead-band.
-    let delta = epsilon + std::f64::consts::SQRT_2 * sigma * crate::noise::inverse_normal_cdf(1.0 - q);
+    let delta =
+        epsilon + std::f64::consts::SQRT_2 * sigma * crate::noise::inverse_normal_cdf(1.0 - q);
     10f64.powf(delta / (10.0 * beta)).max(1.0)
 }
 
@@ -230,7 +265,10 @@ mod tests {
         let mut prev = m.mean_rss(0.5);
         for d in [1.0, 2.0, 5.0, 10.0, 40.0, 100.0] {
             let r = m.mean_rss(d);
-            assert!(r < prev, "RSS must fall with distance: {r} !< {prev} at {d} m");
+            assert!(
+                r < prev,
+                "RSS must fall with distance: {r} !< {prev} at {d} m"
+            );
             prev = r;
         }
     }
@@ -334,7 +372,10 @@ mod tests {
             .filter(|_| m.sample_rss(d, &mut r) > m.sample_rss(d, &mut r))
             .count() as f64
             / n as f64;
-        assert!((first_wins - 0.5).abs() < 0.02, "P(first louder) = {first_wins}");
+        assert!(
+            (first_wins - 0.5).abs() < 0.02,
+            "P(first louder) = {first_wins}"
+        );
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl Ord for Rss {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // Finite by construction, so partial_cmp never fails.
-        self.0.partial_cmp(&other.0).expect("RSS is finite by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("RSS is finite by construction")
     }
 }
 

@@ -1,0 +1,218 @@
+//! Snapshot exporters: hand-formatted JSON and Prometheus text exposition.
+//!
+//! Both are written by hand (no serde) so the crate stays dependency-free;
+//! the JSON shape is stable and embedded verbatim inside the repo's
+//! `BENCH_core.json` / `BENCH_robustness.json` artifacts.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// A JSON number for `v`: Rust's `Display` for finite values (always a
+/// valid JSON literal), `null` for NaN/infinities (JSON has no spelling
+/// for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `a.b-c` → `a_b_c`: Prometheus metric names allow `[a-zA-Z0-9_:]`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// The snapshot as pretty-printed JSON (two-space indent, sorted keys,
+    /// no trailing newline).
+    pub fn to_json(&self) -> String {
+        self.to_json_indented("")
+    }
+
+    /// Like [`Snapshot::to_json`], with every line after the first prefixed
+    /// by `base` — for embedding inside a larger hand-formatted JSON
+    /// document at `base` indentation.
+    pub fn to_json_indented(&self, base: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{base}    {}: {v}", json_str(k)))
+            .collect();
+        let _ = write!(out, "{base}  \"counters\": ");
+        push_block(&mut out, base, &counters);
+        out.push_str(",\n");
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{base}    {}: {}", json_str(k), json_f64(*v)))
+            .collect();
+        let _ = write!(out, "{base}  \"gauges\": ");
+        push_block(&mut out, base, &gauges);
+        out.push_str(",\n");
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let bounds: Vec<String> = h.bounds.iter().map(|b| json_f64(*b)).collect();
+                let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                format!(
+                    "{base}    {}: {{ \"bounds\": [{}], \"counts\": [{}], \"count\": {}, \"sum\": {} }}",
+                    json_str(k),
+                    bounds.join(", "),
+                    counts.join(", "),
+                    h.count,
+                    json_f64(h.sum),
+                )
+            })
+            .collect();
+        let _ = write!(out, "{base}  \"histograms\": ");
+        push_block(&mut out, base, &histograms);
+        let _ = write!(out, "\n{base}}}");
+        out
+    }
+
+    /// The snapshot in the Prometheus text exposition format (version
+    /// 0.0.4): `# TYPE` headers, cumulative `le` buckets, `_sum`/`_count`
+    /// series. Dots and dashes in metric names become underscores.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", json_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                    json_f64(*bound)
+                );
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", json_f64(h.sum));
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Append a `{...}` object body whose entries are pre-rendered lines.
+fn push_block(out: &mut String, base: &str, entries: &[String]) {
+    if entries.is_empty() {
+        out.push_str("{}");
+    } else {
+        out.push_str("{\n");
+        out.push_str(&entries.join(",\n"));
+        let _ = write!(out, "\n{base}  }}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn json_golden_output() {
+        let r = Registry::new();
+        r.counter("match.evaluations").add(12);
+        r.counter("build.faces").add(3);
+        r.gauge("session.samples_k").set(7.0);
+        r.histogram("match.tie_width", &[1.0, 2.0]).observe(1.0);
+        r.histogram("match.tie_width", &[1.0, 2.0]).observe(5.0);
+        let json = r.snapshot().to_json();
+        let expected = "{\n\
+                        \x20 \"counters\": {\n\
+                        \x20   \"build.faces\": 3,\n\
+                        \x20   \"match.evaluations\": 12\n\
+                        \x20 },\n\
+                        \x20 \"gauges\": {\n\
+                        \x20   \"session.samples_k\": 7\n\
+                        \x20 },\n\
+                        \x20 \"histograms\": {\n\
+                        \x20   \"match.tie_width\": { \"bounds\": [1, 2], \"counts\": [1, 0, 1], \"count\": 2, \"sum\": 6 }\n\
+                        \x20 }\n\
+                        }";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn json_empty_sections_collapse() {
+        let json = Registry::new().snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn json_indented_prefixes_continuation_lines() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        let json = r.snapshot().to_json_indented("  ");
+        for line in json.lines().skip(1) {
+            assert!(line.starts_with("  "), "line {line:?} not indented");
+        }
+        assert!(json.ends_with("  }"));
+    }
+
+    #[test]
+    fn prometheus_golden_output() {
+        let r = Registry::new();
+        r.counter("fttt.match.evaluations").add(9);
+        r.gauge("fttt.session.samples_k").set(5.0);
+        let h = r.histogram("fttt.match.tie_width", &[1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(99.0);
+        let text = r.snapshot().to_prometheus();
+        let expected = "# TYPE fttt_match_evaluations counter\n\
+                        fttt_match_evaluations 9\n\
+                        # TYPE fttt_session_samples_k gauge\n\
+                        fttt_session_samples_k 5\n\
+                        # TYPE fttt_match_tie_width histogram\n\
+                        fttt_match_tie_width_bucket{le=\"1\"} 1\n\
+                        fttt_match_tie_width_bucket{le=\"2\"} 2\n\
+                        fttt_match_tie_width_bucket{le=\"+Inf\"} 3\n\
+                        fttt_match_tie_width_sum 102\n\
+                        fttt_match_tie_width_count 3\n";
+        assert_eq!(text, expected);
+    }
+}

@@ -1,0 +1,155 @@
+//! Zero-dependency, low-overhead instrumentation for the FTTT suite.
+//!
+//! The suite's hot paths (face-map builds, vector matching, tracking
+//! sessions, fault regimes) report what they do through this crate:
+//!
+//! * [`Counter`] — monotonic `u64` event counts (`fttt.match.evaluations`).
+//! * [`Gauge`] — last-write-wins `f64` levels (`fttt.session.samples_k`).
+//! * [`Histogram`] — fixed-bucket distributions with Prometheus `le`
+//!   (value ≤ bound) semantics (`fttt.match.tie_width`, span durations).
+//! * [`span`] — RAII wall-clock timers that record microseconds into a
+//!   histogram when dropped.
+//!
+//! Metrics live in a [`Registry`]. Instrumented code talks to a **global
+//! sink**: a process-wide `Option<Arc<Registry>>` behind an `AtomicBool`
+//! fast flag. When no sink is installed every entry point reduces to one
+//! relaxed atomic load and an untaken branch — no clock reads, no locks,
+//! no allocation — so instrumentation can stay compiled into release
+//! binaries (the bench suite asserts this stays within noise).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wsn_telemetry as telemetry;
+//!
+//! let registry = Arc::new(telemetry::Registry::new());
+//! telemetry::install(registry.clone());
+//! telemetry::counter_add("demo.events", 3);
+//! {
+//!     let _span = telemetry::span("demo.phase");
+//!     // ... timed work ...
+//! }
+//! telemetry::uninstall();
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["demo.events"], 3);
+//! println!("{}", snap.to_json());
+//! ```
+//!
+//! Snapshots ([`Registry::snapshot`]) are plain data: they merge across
+//! trials ([`Snapshot::merge`]) and export as JSON ([`Snapshot::to_json`],
+//! embedded in the `BENCH_*.json` artifacts) or Prometheus text
+//! ([`Snapshot::to_prometheus`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, COUNT_BUCKETS, DURATION_US_BUCKETS};
+pub use registry::{HistogramSnapshot, Registry, Snapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Fast-path flag: `true` iff a sink is installed. Checked (relaxed) before
+/// any other telemetry work so uninstrumented runs pay a single atomic load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide metrics sink. Only consulted after [`ENABLED`] reads
+/// `true`, so the lock is never touched on the disabled path.
+static SINK: RwLock<Option<Arc<Registry>>> = RwLock::new(None);
+
+/// Install `registry` as the process-wide metrics sink and enable
+/// instrumentation. Replaces any previously installed sink.
+pub fn install(registry: Arc<Registry>) {
+    *SINK.write().expect("telemetry sink lock poisoned") = Some(registry);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable instrumentation and return the previously installed sink, if any.
+pub fn uninstall() -> Option<Arc<Registry>> {
+    ENABLED.store(false, Ordering::Release);
+    SINK.write().expect("telemetry sink lock poisoned").take()
+}
+
+/// Whether a metrics sink is currently installed.
+///
+/// This is the cheap enabled-check instrumented code guards on: a single
+/// relaxed atomic load. Hot paths accumulate into locals and only touch the
+/// registry when this returns `true`.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Run `f` against the installed sink, or do nothing if there is none.
+pub fn with_sink<F: FnOnce(&Registry)>(f: F) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(guard) = SINK.read() {
+        if let Some(registry) = guard.as_ref() {
+            f(registry);
+        }
+    }
+}
+
+/// Add `n` to the counter `name` in the installed sink (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|r| r.counter(name).add(n));
+}
+
+/// Set the gauge `name` to `value` in the installed sink (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|r| r.gauge(name).set(value));
+}
+
+/// Record `value` into the histogram `name` with the given bucket `bounds`
+/// (no-op when disabled). The bounds are only consulted the first time the
+/// histogram is created in the sink.
+#[inline]
+pub fn observe(name: &str, bounds: &[f64], value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|r| r.histogram(name, bounds).observe(value));
+}
+
+/// An RAII span timer: created by [`span`], records its elapsed wall-clock
+/// time in microseconds into the histogram `name` (bounds
+/// [`DURATION_US_BUCKETS`]) when dropped.
+///
+/// When telemetry is disabled at creation the span holds nothing — no
+/// `Instant::now()` is taken and drop is free.
+#[must_use = "a span records its duration when dropped; binding it to _ drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    armed: Option<(&'static str, Instant)>,
+}
+
+/// Start a span timer named `name`. The histogram count doubles as the call
+/// count of the instrumented phase, so spans need no separate counter.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        armed: enabled().then(|| (name, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            let micros = start.elapsed().as_secs_f64() * 1e6;
+            observe(name, DURATION_US_BUCKETS, micros);
+        }
+    }
+}

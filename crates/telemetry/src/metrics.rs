@@ -1,0 +1,209 @@
+//! The three metric primitives: counters, gauges, histograms.
+//!
+//! All three are lock-free over `std` atomics so hot paths can update them
+//! from `wsn-parallel` worker threads without coordination. Floating-point
+//! state (gauge values, histogram sums) is stored as `f64` bit patterns in
+//! `AtomicU64` cells; the histogram sum is accumulated with a CAS loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default buckets for span durations, in microseconds: 1 µs … 1 s in a
+/// 1/2.5/5 decade ladder, plus the implicit `+Inf` overflow bucket.
+pub const DURATION_US_BUCKETS: &[f64] = &[
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
+    2.5e5, 5e5, 1e6,
+];
+
+/// Default buckets for small cardinalities (tie widths, rounds, expansion
+/// counts): powers of two up to 1024, plus the implicit `+Inf` bucket.
+pub const COUNT_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the count.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one to the count.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins level, stored as `f64` bits in an atomic cell.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0.0_f64.to_bits()))
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-bucket histogram with Prometheus semantics: a value `v` lands in
+/// the first bucket whose upper bound satisfies `v <= bound` (`le`), and
+/// values above the last bound land in an implicit `+Inf` overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One cell per bound plus the trailing `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum of observed values, as `f64` bits (CAS-accumulated).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly ascending, finite upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty, contains a non-finite value, or is not strictly
+    /// ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending: {bounds:?}"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// The configured upper bounds (excluding the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        // First bucket whose bound is >= value; bounds.len() == +Inf bucket.
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts (non-cumulative), last entry being the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_increments() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(7.5);
+        g.set(-3.25);
+        assert_eq!(g.get(), -3.25);
+    }
+
+    #[test]
+    fn histogram_buckets_use_le_semantics() {
+        let h = Histogram::new(&[1.0, 5.0, 10.0]);
+        // Exactly on a bound counts into that bound's bucket (v <= bound).
+        for v in [0.5, 1.0, 1.0000001, 5.0, 9.9, 10.0, 10.1, 1e9] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        let expected_sum = 0.5 + 1.0 + 1.0000001 + 5.0 + 9.9 + 10.0 + 10.1 + 1e9;
+        assert!((h.sum() - expected_sum).abs() < 1e-6 * expected_sum);
+    }
+
+    #[test]
+    fn default_bucket_ladders_are_valid() {
+        // Histogram::new re-validates: finite, strictly ascending.
+        let _ = Histogram::new(DURATION_US_BUCKETS);
+        let _ = Histogram::new(COUNT_BUCKETS);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The metrics registry and its plain-data snapshots.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Metrics are created lazily on first use and handed out as `Arc`s, so a
+/// hot loop can resolve its counter once and update it lock-free. Names are
+/// dot-separated paths (`fttt.match.evaluations`); the maps are B-trees so
+/// snapshots and exports iterate in sorted order deterministically.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+        {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry lock poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge named `name`, created at `0.0` on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self
+            .gauges
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+        {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("registry lock poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use.
+    /// Later calls return the existing histogram and ignore `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry lock poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A point-in-time copy of every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Configured upper bounds (excluding the implicit `+Inf`).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; one entry per bound plus the
+    /// trailing `+Inf` overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Plain-data copy of a [`Registry`]: mergeable across trials, exportable as
+/// JSON or Prometheus text (see the [`export`](crate::Snapshot::to_json)
+/// methods).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the snapshot carries no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` into `self`: counters add, gauges take `other`'s value
+    /// (last write wins), histograms with identical bounds add bucket
+    /// counts and sums; a histogram whose bounds disagree is replaced by
+    /// `other`'s copy wholesale.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                }
+                _ => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_hands_out_shared_metrics() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 5);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        let h = r.histogram("h", &[1.0, 2.0]);
+        h.observe(0.5);
+        // Second resolve ignores the (different) bounds and returns the same
+        // histogram.
+        r.histogram("h", &[9.0]).observe(1.5);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn snapshot_copies_current_state() {
+        let r = Registry::new();
+        r.counter("events").add(7);
+        r.gauge("level").set(-2.0);
+        r.histogram("width", &[1.0, 4.0]).observe(3.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["events"], 7);
+        assert_eq!(snap.gauges["level"], -2.0);
+        let h = &snap.histograms["width"];
+        assert_eq!(h.counts, vec![0, 1, 0]);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 3.0);
+        assert_eq!(h.mean(), 3.0);
+        // Registry keeps evolving; the snapshot does not.
+        r.counter("events").inc();
+        assert_eq!(snap.counters["events"], 7);
+    }
+
+    #[test]
+    fn merge_adds_counters_overwrites_gauges_sums_histograms() {
+        let a = Registry::new();
+        a.counter("c").add(2);
+        a.gauge("g").set(1.0);
+        a.histogram("h", &[1.0, 2.0]).observe(0.5);
+        let b = Registry::new();
+        b.counter("c").add(40);
+        b.counter("only_b").inc();
+        b.gauge("g").set(9.0);
+        b.histogram("h", &[1.0, 2.0]).observe(1.5);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["c"], 42);
+        assert_eq!(merged.counters["only_b"], 1);
+        assert_eq!(merged.gauges["g"], 9.0);
+        let h = &merged.histograms["h"];
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 2.0);
+    }
+
+    #[test]
+    fn merge_replaces_histogram_on_bounds_mismatch() {
+        let a = Registry::new();
+        a.histogram("h", &[1.0]).observe(0.5);
+        let b = Registry::new();
+        b.histogram("h", &[2.0, 4.0]).observe(3.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.histograms["h"].bounds, vec![2.0, 4.0]);
+        assert_eq!(merged.histograms["h"].counts, vec![0, 1, 0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Tests for the process-wide sink. The sink is global state, so every test
+//! that touches it serializes on one mutex (the unit tests in `src/` only
+//! use local `Registry` instances and can run freely in parallel).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use wsn_telemetry as telemetry;
+use wsn_telemetry::Registry;
+
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn sink_guard() -> MutexGuard<'static, ()> {
+    // A panicking test poisons the mutex; the lock itself is stateless.
+    SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn disabled_sink_drops_everything() {
+    let _guard = sink_guard();
+    assert!(!telemetry::enabled());
+    telemetry::counter_add("nobody.listening", 5);
+    telemetry::gauge_set("nobody.listening", 1.0);
+    telemetry::observe("nobody.listening", telemetry::COUNT_BUCKETS, 1.0);
+    drop(telemetry::span("nobody.listening"));
+    let registry = Arc::new(Registry::new());
+    telemetry::install(registry.clone());
+    let snap = registry.snapshot();
+    telemetry::uninstall();
+    assert!(
+        snap.is_empty(),
+        "pre-install events must not be buffered: {snap:?}"
+    );
+}
+
+#[test]
+fn installed_sink_collects_and_uninstall_returns_it() {
+    let _guard = sink_guard();
+    let registry = Arc::new(Registry::new());
+    telemetry::install(registry.clone());
+    assert!(telemetry::enabled());
+    telemetry::counter_add("events", 2);
+    telemetry::gauge_set("level", 4.5);
+    {
+        let _span = telemetry::span("phase");
+        std::hint::black_box(0u64);
+    }
+    let back = telemetry::uninstall().expect("a sink was installed");
+    assert!(Arc::ptr_eq(&back, &registry));
+    assert!(!telemetry::enabled());
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["events"], 2);
+    assert_eq!(snap.gauges["level"], 4.5);
+    assert_eq!(snap.histograms["phase"].count, 1);
+    assert!(snap.histograms["phase"].sum >= 0.0);
+    // After uninstall, further events vanish.
+    telemetry::counter_add("events", 100);
+    assert_eq!(registry.snapshot().counters["events"], 2);
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let _guard = sink_guard();
+    let registry = Arc::new(Registry::new());
+    telemetry::install(registry.clone());
+    let items: Vec<u64> = (0..4096).collect();
+    let partials = wsn_parallel::par_map_threads(8, &items, |_, &i| {
+        telemetry::counter_add("parallel.events", 1);
+        registry
+            .histogram("parallel.width", telemetry::COUNT_BUCKETS)
+            .observe((i % 7) as f64);
+        1u64
+    });
+    telemetry::uninstall();
+    assert_eq!(partials.iter().sum::<u64>(), 4096);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["parallel.events"], 4096);
+    let h = &snap.histograms["parallel.width"];
+    assert_eq!(h.count, 4096);
+    assert_eq!(h.counts.iter().sum::<u64>(), 4096);
+}

@@ -25,7 +25,10 @@ fn main() {
     let trace = params.random_trace(60.0, &mut rng);
     let sampler = params.sampler();
 
-    println!("12 sensors, 60 s target, localization every {:.1} s\n", params.localization_period());
+    println!(
+        "12 sensors, 60 s target, localization every {:.1} s\n",
+        params.localization_period()
+    );
     println!(
         "{:<34} {:>9} {:>9} {:>11} {:>12}",
         "uplink", "mean (m)", "max (m)", "delivered %", "energy (mJ)"

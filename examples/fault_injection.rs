@@ -41,10 +41,22 @@ fn main() {
 
     let cases: Vec<(String, FaultModel)> = vec![
         ("no faults".into(), FaultModel::none()),
-        ("10% node failure / localization".into(), FaultModel::with_node_failure(0.10)),
-        ("30% node failure / localization".into(), FaultModel::with_node_failure(0.30)),
-        ("50% node failure / localization".into(), FaultModel::with_node_failure(0.50)),
-        ("20% of one-shot readings lost".into(), FaultModel::with_reading_drop(0.20)),
+        (
+            "10% node failure / localization".into(),
+            FaultModel::with_node_failure(0.10),
+        ),
+        (
+            "30% node failure / localization".into(),
+            FaultModel::with_node_failure(0.30),
+        ),
+        (
+            "50% node failure / localization".into(),
+            FaultModel::with_node_failure(0.50),
+        ),
+        (
+            "20% of one-shot readings lost".into(),
+            FaultModel::with_reading_drop(0.20),
+        ),
         (
             "nodes 0–2 permanently dead".into(),
             FaultModel::with_dead_nodes([NodeId(0), NodeId(1), NodeId(2)]),
@@ -69,6 +81,11 @@ fn main() {
     print!("{}", SCHEDULE.replace("# ", "  # ").replace('\n', "\n  "));
     println!();
 
+    // Watch the whole act through the telemetry spine: the sink collects
+    // per-layer counters while the session runs.
+    let registry = std::sync::Arc::new(fttt_suite::telemetry::Registry::new());
+    fttt_suite::telemetry::install(std::sync::Arc::clone(&registry));
+
     let schedule = Schedule::parse(SCHEDULE).expect("schedule is valid");
     let mut engine = schedule.engine(field.len());
     let mut session = TrackingSession::new(
@@ -78,13 +95,19 @@ fn main() {
     let base = params.sampler();
     let mut world = ChaCha8Rng::seed_from_u64(21);
     let run = session.run(&trace, &mut world, |k, pos, t, r| {
-        let sampler = GroupSampler { samples: k, ..base.clone() };
+        let sampler = GroupSampler {
+            samples: k,
+            ..base.clone()
+        };
         let mut g = sampler.sample(&field, pos, r);
         engine.apply(t, &mut g, r);
         g
     });
 
-    println!("{:>6} {:>9} {:>4} {:>6} {:>10}  status", "t (s)", "err (m)", "k", "miss", "held");
+    println!(
+        "{:>6} {:>9} {:>4} {:>6} {:>10}  status",
+        "t (s)", "err (m)", "k", "miss", "held"
+    );
     for (round, err) in run.rounds.iter().zip(&run.errors).step_by(4) {
         let status = match round.status {
             TrackStatus::Tracking => "Tracking",
@@ -112,4 +135,23 @@ fn main() {
     println!("The blackout drives the session Lost (it holds the last trusted estimate");
     println!("and escalates k toward the Section-5.1 bound); when readings return it");
     println!("re-acquires exhaustively and walks back to Tracking.");
+
+    fttt_suite::telemetry::uninstall();
+    let snap = registry.snapshot();
+    println!("\ntelemetry (same counters `fttt-sim campaign --metrics-out` writes):");
+    for name in [
+        "fttt.session.rounds",
+        "fttt.session.transitions",
+        "fttt.session.to_lost",
+        "fttt.session.escalations",
+        "fttt.match.evaluations",
+        "wsn.regime.activations",
+        "wsn.regime.readings_dropped",
+        "wsn.regime.readings_lying",
+    ] {
+        println!(
+            "  {name:<32} {}",
+            snap.counters.get(name).copied().unwrap_or(0)
+        );
+    }
 }

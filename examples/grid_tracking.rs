@@ -31,7 +31,10 @@ fn main() {
         );
     };
 
-    println!("grid of {} sensors, 60 s random-waypoint target\n", field.len());
+    println!(
+        "grid of {} sensors, 60 s random-waypoint target\n",
+        field.len()
+    );
 
     let map = params.face_map(&field);
     for (name, options) in [
@@ -46,7 +49,10 @@ fn main() {
 
     let mle = DirectMle::new(&positions, params.rect(), params.cell_size);
     let mut world = ChaCha8Rng::seed_from_u64(99);
-    report("Direct MLE", mle.track(&field, &sampler, &trace, &mut world));
+    report(
+        "Direct MLE",
+        mle.track(&field, &sampler, &trace, &mut world),
+    );
 
     let mut pm = PathMatching::new(
         &positions,

@@ -23,7 +23,11 @@ struct Canvas {
 
 impl Canvas {
     fn new(cols: usize, rows: usize) -> Self {
-        Self { cols, rows, cells: vec!['.'; cols * rows] }
+        Self {
+            cols,
+            rows,
+            cells: vec!['.'; cols * rows],
+        }
     }
 
     fn plot(&mut self, p: Point, glyph: char) {
@@ -43,15 +47,18 @@ impl Canvas {
 }
 
 fn main() {
-    let params = PaperParams { beta: 3.0, nodes: 9, ..PaperParams::default() };
+    let params = PaperParams {
+        beta: 3.0,
+        nodes: 9,
+        ..PaperParams::default()
+    };
     let rect = Rect::square(100.0);
     let deployment = Deployment::cross(rect.center(), 2, 15.0, rect);
     let field = SensorField::new(deployment, params.sensing_range);
     let path = WaypointPath::corner(Point::new(30.0, 70.0), 40.0);
 
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let trace =
-        path.walk_random_speed(1.0, 5.0, params.localization_period(), &mut rng);
+    let trace = path.walk_random_speed(1.0, 5.0, params.localization_period(), &mut rng);
 
     let map = params.face_map(&field);
     println!(

@@ -10,6 +10,7 @@
 //! * [`network`] — sensor nodes, deployments, grouping sampling, faults.
 //! * [`mobility`] — target traces (random waypoint, waypoint paths).
 //! * [`parallel`] — the scoped-thread data-parallel runtime.
+//! * [`telemetry`] — counters, gauges, histograms, spans and exporters.
 //! * [`fttt`] — the paper's contribution: vectors, face maps, matchers,
 //!   trackers and the Section-5 theory.
 //! * [`baselines`] — the Direct MLE and PM comparator trackers.
@@ -23,3 +24,4 @@ pub use wsn_mobility as mobility;
 pub use wsn_network as network;
 pub use wsn_parallel as parallel;
 pub use wsn_signal as signal;
+pub use wsn_telemetry as telemetry;

@@ -29,7 +29,11 @@ fn full_pipeline_produces_bounded_errors() {
     assert!(stats.mean > 0.0 && stats.mean < 25.0, "mean {}", stats.mean);
     // Every estimate stays inside the monitored field.
     for l in &run.localizations {
-        assert!(p.rect().contains(l.estimate), "estimate {} escaped", l.estimate);
+        assert!(
+            p.rect().contains(l.estimate),
+            "estimate {} escaped",
+            l.estimate
+        );
     }
 }
 
@@ -62,7 +66,10 @@ fn more_sensors_reduce_error() {
             let map = p.face_map(&field);
             let trace = p.random_trace(15.0, &mut r);
             let mut tracker = Tracker::new(map, TrackerOptions::default());
-            total += tracker.track(&field, &p.sampler(), &trace, &mut r).error_stats().mean;
+            total += tracker
+                .track(&field, &p.sampler(), &trace, &mut r)
+                .error_stats()
+                .mean;
         }
         total / seeds as f64
     };
@@ -90,7 +97,10 @@ fn more_samples_reduce_error_under_idealized_sensing() {
             let map = p.face_map(&field);
             let trace = p.random_trace(15.0, &mut r);
             let mut tracker = Tracker::new(map, TrackerOptions::default());
-            total += tracker.track(&field, &p.sampler(), &trace, &mut r).error_stats().mean;
+            total += tracker
+                .track(&field, &p.sampler(), &trace, &mut r)
+                .error_stats()
+                .mean;
         }
         total / seeds as f64
     };
@@ -111,7 +121,10 @@ fn gaussian_k_sweep_stays_bounded() {
         let map = p.face_map(&field);
         let trace = p.random_trace(15.0, &mut r);
         let mut tracker = Tracker::new(map, TrackerOptions::default());
-        tracker.track(&field, &p.sampler(), &trace, &mut r).error_stats().mean
+        tracker
+            .track(&field, &p.sampler(), &trace, &mut r)
+            .error_stats()
+            .mean
     };
     let few = mean_for(2);
     let many = mean_for(9);

@@ -28,7 +28,11 @@ fn vector_dimension_survives_any_fault_rate() {
         let sampler = p.sampler().with_fault(FaultModel::with_node_failure(prob));
         let group = sampler.sample(&field, p.rect().center(), &mut world);
         let v = basic_sampling_vector(&group);
-        assert_eq!(v.len(), expected_dim, "dimension must be invariant (P = {prob})");
+        assert_eq!(
+            v.len(),
+            expected_dim,
+            "dimension must be invariant (P = {prob})"
+        );
     }
 }
 
@@ -67,14 +71,20 @@ fn degradation_is_graceful() {
             let trace = p.random_trace(15.0, &mut world);
             let sampler = p.sampler().with_fault(FaultModel::with_node_failure(prob));
             let mut tracker = Tracker::new(map, TrackerOptions::default());
-            total += tracker.track(&field, &sampler, &trace, &mut world).error_stats().mean;
+            total += tracker
+                .track(&field, &sampler, &trace, &mut world)
+                .error_stats()
+                .mean;
         }
         total / seeds as f64
     };
     let clean = mean_for(0.0);
     let faulty = mean_for(0.3);
     let very_faulty = mean_for(0.6);
-    assert!(clean <= faulty * 1.05, "faults should not help: {clean} vs {faulty}");
+    assert!(
+        clean <= faulty * 1.05,
+        "faults should not help: {clean} vs {faulty}"
+    );
     assert!(
         very_faulty < 45.0,
         "even at 60% failure the tracker must stay in the field's scale, got {very_faulty}"
@@ -95,7 +105,9 @@ fn dead_node_equals_out_of_range_node() {
     let mut world = rng(9);
     let field = p.random_field(&mut world);
     // Node 0 dead:
-    let sampler_dead = p.sampler().with_fault(FaultModel::with_dead_nodes([NodeId(0)]));
+    let sampler_dead = p
+        .sampler()
+        .with_fault(FaultModel::with_dead_nodes([NodeId(0)]));
     let g = sampler_dead.sample(&field, p.rect().center(), &mut world);
     // Pairs involving node 0 must be -1 (node 0 is the smaller id and is
     // silent ⟹ "silent reads weaker" ⟹ value −1), never '*', because the

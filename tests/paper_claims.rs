@@ -32,11 +32,17 @@ fn method_means(seeds: std::ops::Range<u64>) -> (f64, f64, f64, f64) {
         let map = p.face_map(&field);
         let mut tracker = Tracker::new(map.clone(), TrackerOptions::default());
         let mut noise = rng(s + 1000);
-        fttt_sum += tracker.track(&field, &p.sampler(), &trace, &mut noise).error_stats().mean;
+        fttt_sum += tracker
+            .track(&field, &p.sampler(), &trace, &mut noise)
+            .error_stats()
+            .mean;
 
         let mut ext = Tracker::new(map, TrackerOptions::extended());
         let mut noise = rng(s + 1000);
-        ext_sum += ext.track(&field, &p.sampler(), &trace, &mut noise).error_stats().mean;
+        ext_sum += ext
+            .track(&field, &p.sampler(), &trace, &mut noise)
+            .error_stats()
+            .mean;
 
         let mut pm = PathMatching::new(
             &positions,
@@ -46,11 +52,17 @@ fn method_means(seeds: std::ops::Range<u64>) -> (f64, f64, f64, f64) {
             p.localization_period(),
         );
         let mut noise = rng(s + 1000);
-        pm_sum += pm.track(&field, &p.sampler(), &trace, &mut noise).error_stats().mean;
+        pm_sum += pm
+            .track(&field, &p.sampler(), &trace, &mut noise)
+            .error_stats()
+            .mean;
 
         let mle = DirectMle::new(&positions, p.rect(), p.cell_size);
         let mut noise = rng(s + 1000);
-        mle_sum += mle.track(&field, &p.sampler(), &trace, &mut noise).error_stats().mean;
+        mle_sum += mle
+            .track(&field, &p.sampler(), &trace, &mut noise)
+            .error_stats()
+            .mean;
     }
     (fttt_sum / n, ext_sum / n, pm_sum / n, mle_sum / n)
 }
@@ -72,7 +84,10 @@ fn fttt_beats_pm_beats_direct_mle() {
         "basic FTTT ({fttt:.2} m) must at least match PM ({pm:.2} m)"
     );
     assert!(pm < mle, "PM ({pm:.2} m) must beat Direct MLE ({mle:.2} m)");
-    assert!(fttt < mle, "basic FTTT ({fttt:.2} m) must beat Direct MLE ({mle:.2} m)");
+    assert!(
+        fttt < mle,
+        "basic FTTT ({fttt:.2} m) must beat Direct MLE ({mle:.2} m)"
+    );
 }
 
 /// Fig. 12(c,d): the extension keeps (or improves) the mean and cuts the
@@ -157,7 +172,10 @@ fn certain_faces_vanish_with_spacing() {
     };
     let tight = certain_cells_in_window(8.0);
     let wide = certain_cells_in_window(45.0);
-    assert!(tight > 0, "nearby nodes must give certain cells in the window");
+    assert!(
+        tight > 0,
+        "nearby nodes must give certain cells in the window"
+    );
     assert!(
         (wide as f64) < 0.25 * tight as f64,
         "certainty must collapse in the window: tight {tight} vs wide {wide} cells"

@@ -24,7 +24,10 @@ fn session(p: &PaperParams, extended: bool) -> TrackingSession {
     let field = p.grid_field();
     let map = p.face_map(&field);
     let options = if extended {
-        TrackerOptions { extended: true, ..TrackerOptions::heuristic() }
+        TrackerOptions {
+            extended: true,
+            ..TrackerOptions::heuristic()
+        }
     } else {
         TrackerOptions::heuristic()
     };
@@ -42,7 +45,10 @@ fn run_checked(p: &PaperParams, extended: bool, mut engine: RegimeEngine, seed: 
     let mut s = session(p, extended);
     let base = p.sampler();
     let run = s.run(&trace, &mut world, |k, pos, t, r| {
-        let sampler = GroupSampler { samples: k, ..base.clone() };
+        let sampler = GroupSampler {
+            samples: k,
+            ..base.clone()
+        };
         let mut g = sampler.sample(&field, pos, r);
         engine.apply(t, &mut g, r);
         g
@@ -115,7 +121,10 @@ fn session_recovers_across_blackout_window() {
     let mut s = session(&p, false);
     let base = p.sampler();
     let run = s.run(&trace, &mut world, |k, pos, t, r| {
-        let sampler = GroupSampler { samples: k, ..base.clone() };
+        let sampler = GroupSampler {
+            samples: k,
+            ..base.clone()
+        };
         let mut g = sampler.sample(&field, pos, r);
         engine.apply(t, &mut g, r);
         g
@@ -141,31 +150,54 @@ fn session_recovers_across_blackout_window() {
             assert!(r.held, "blackout rounds must be holds");
         }
     }
-    // Fault pressure escalates the sampling times above the baseline.
-    let max_k = run.rounds.iter().map(|r| r.samples).max().unwrap();
-    assert!(max_k > p.samples_k, "blackout must escalate k, saw {max_k}");
+    // A *total* blackout has zero live pairs, so the Section-5.1 bound is
+    // undefined and the session must NOT escalate k against phantom pairs
+    // (the old `.max(1)` bug): k holds constant across the window.
+    let blackout_ks: BTreeSet<usize> = run
+        .rounds
+        .iter()
+        .filter(|r| r.held && r.similarity.is_none())
+        .map(|r| r.samples)
+        .collect();
+    assert_eq!(
+        blackout_ks.len(),
+        1,
+        "k must hold constant through a zero-pair blackout, saw {blackout_ks:?}"
+    );
 }
 
-/// The escalated sampling times stay within the Section-5.1 bound's clamp
-/// and decay back to the baseline once rounds run healthy again.
+/// A *partial* outage (live pairs remain, so the Section-5.1 bound is
+/// defined) escalates the sampling times, the escalation stays within the
+/// clamp, and `k` decays back toward the baseline once rounds run healthy
+/// again.
 #[test]
 fn sampling_times_decay_after_recovery() {
     let p = params();
     let field = p.grid_field();
-    let schedule = Schedule::parse("outage from=3 until=6").expect("valid schedule");
+    // Nodes 4–7 go silent for the window: 22 of 28 pairs unknown (starved,
+    // > max_missing_fraction) while 4 live nodes leave 6 pairs to escalate
+    // against.
+    let schedule = Schedule::parse("outage nodes=4,5,6,7 from=3 until=6").expect("valid schedule");
     let mut engine = schedule.engine(p.nodes);
     let mut world = rng(11);
     let trace = p.random_trace(30.0, &mut world);
     let mut s = session(&p, false);
     let base = p.sampler();
     let run = s.run(&trace, &mut world, |k, pos, t, r| {
-        let sampler = GroupSampler { samples: k, ..base.clone() };
+        let sampler = GroupSampler {
+            samples: k,
+            ..base.clone()
+        };
         let mut g = sampler.sample(&field, pos, r);
         engine.apply(t, &mut g, r);
         g
     });
     let peak = run.rounds.iter().map(|r| r.samples).max().unwrap();
-    assert!(peak > p.samples_k, "outage must escalate k");
+    assert!(peak > p.samples_k, "partial outage must escalate k");
+    assert!(
+        peak <= s.options().max_samples,
+        "escalation must respect the clamp"
+    );
     let last = run.rounds.last().unwrap();
     assert!(
         last.samples < peak,

@@ -43,8 +43,14 @@ fn lossy_uplink_degrades_gracefully() {
     let clean = run_with_loss(0.0);
     let lossy = run_with_loss(0.4);
     assert!(clean.is_finite() && lossy.is_finite());
-    assert!(lossy < 45.0, "40% packet loss must not collapse tracking: {lossy}");
-    assert!(clean <= lossy * 1.1, "loss should not help: {clean} vs {lossy}");
+    assert!(
+        lossy < 45.0,
+        "40% packet loss must not collapse tracking: {lossy}"
+    );
+    assert!(
+        clean <= lossy * 1.1,
+        "loss should not help: {clean} vs {lossy}"
+    );
 }
 
 #[test]
@@ -74,7 +80,10 @@ fn energy_accounting_scales_with_k() {
 }
 
 fn wsn_geometry_point(i: usize) -> fttt_suite::geometry::Point {
-    fttt_suite::geometry::Point::new(10.0 + (i as f64 * 7.3) % 80.0, 10.0 + (i as f64 * 3.9) % 80.0)
+    fttt_suite::geometry::Point::new(
+        10.0 + (i as f64 * 7.3) % 80.0,
+        10.0 + (i as f64 * 3.9) % 80.0,
+    )
 }
 
 #[test]
