@@ -14,6 +14,11 @@
 //!
 //! Writes a table to stdout and a hand-formatted `BENCH_core.json` at the
 //! repository root (the vendored `serde_json` is a compile-only stub).
+//!
+//! With `--check BASELINE.json` the binary runs the same workload but,
+//! instead of writing the artifact, diffs the fresh timings against the
+//! committed baseline through [`fttt_bench::gate`] and exits nonzero on
+//! any regression beyond tolerance — the bench-trajectory gate.
 
 use fttt::facemap::{signature_of, FaceMap};
 use fttt::matching::{match_exhaustive, match_heuristic};
@@ -325,9 +330,60 @@ fn main() {
     let metrics = registry.snapshot();
 
     let json = render_json(&rows, threads, cli.seed, &metrics);
+    if let Some(baseline_path) = &cli.check {
+        // Regression-gate mode: compare against the committed baseline and
+        // leave BENCH_core.json untouched (a gate run must not move its
+        // own goalposts).
+        std::process::exit(run_gate(&json, baseline_path));
+    }
     let path = "BENCH_core.json";
     std::fs::write(path, json).expect("write BENCH_core.json");
     println!("\nwrote {path}");
+}
+
+/// Diffs the rendered fresh run against the baseline at `path`; returns
+/// the process exit code (0 pass, 1 regression or unreadable baseline).
+fn run_gate(fresh_json: &str, path: &std::path::Path) -> i32 {
+    let baseline_text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[gate] cannot read baseline {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let baseline = match wsn_telemetry::json::JsonValue::parse(&baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("[gate] baseline {} is not valid JSON: {e}", path.display());
+            return 1;
+        }
+    };
+    let fresh = wsn_telemetry::json::JsonValue::parse(fresh_json)
+        .expect("perf_snapshot renders valid JSON");
+    match fttt_bench::gate::check_core(&fresh, &baseline) {
+        Err(e) => {
+            eprintln!("[gate] structural mismatch: {e}");
+            1
+        }
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "\n[gate] PASS — all gated metrics within tolerance of {}",
+                path.display()
+            );
+            0
+        }
+        Ok(violations) => {
+            eprintln!(
+                "\n[gate] FAIL — {} regression(s) vs {}:",
+                violations.len(),
+                path.display()
+            );
+            for v in &violations {
+                eprintln!("[gate]   {v}");
+            }
+            1
+        }
+    }
 }
 
 /// Hand-formatted JSON: the vendored `serde_json` is a compile-only stub.

@@ -3,7 +3,9 @@
 /// Common experiment options, parsed from `std::env::args`:
 /// `--seed <u64>` (default 42), `--trials <usize>` (default
 /// binary-specific), `--out <dir>` (default `results/`), `--fast`
-/// (binary-specific reduced workload for smoke runs).
+/// (binary-specific reduced workload for smoke runs), `--check <FILE>`
+/// (regression-gate mode against a committed baseline; honored by
+/// `perf_snapshot`, ignored by the figure binaries).
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Master RNG seed; every trial derives from it deterministically.
@@ -14,6 +16,9 @@ pub struct Cli {
     pub out: std::path::PathBuf,
     /// Reduced workload for smoke testing.
     pub fast: bool,
+    /// Baseline artifact to gate the run against instead of writing a new
+    /// one (see [`crate::gate`]).
+    pub check: Option<std::path::PathBuf>,
 }
 
 impl Default for Cli {
@@ -23,6 +28,7 @@ impl Default for Cli {
             trials: None,
             out: "results".into(),
             fast: false,
+            check: None,
         }
     }
 }
@@ -59,8 +65,12 @@ impl Cli {
                     cli.out = it.next().expect("--out needs a value").into();
                 }
                 "--fast" => cli.fast = true,
+                "--check" => {
+                    cli.check = Some(it.next().expect("--check needs a baseline path").into());
+                }
                 other => panic!(
-                    "unknown argument {other}; usage: [--seed N] [--trials N] [--out DIR] [--fast]"
+                    "unknown argument {other}; usage: [--seed N] [--trials N] [--out DIR] \
+                     [--fast] [--check BASELINE.json]"
                 ),
             }
         }
@@ -102,7 +112,17 @@ mod tests {
         assert_eq!(c.trials, Some(3));
         assert_eq!(c.out, std::path::PathBuf::from("/tmp/x"));
         assert!(c.fast);
+        assert!(c.check.is_none());
         assert_eq!(c.trials_or(10), 1);
+    }
+
+    #[test]
+    fn check_takes_a_baseline_path() {
+        let c = parse(&["--check", "baselines/core.json"]);
+        assert_eq!(
+            c.check,
+            Some(std::path::PathBuf::from("baselines/core.json"))
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod gate;
 pub mod robustness;
 pub mod scenario;
 pub mod table;

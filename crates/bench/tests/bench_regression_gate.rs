@@ -1,0 +1,58 @@
+//! Gate smoke test against the *committed* baseline artifact: the baseline
+//! must pass the gate against itself (so `perf_snapshot --check` on an
+//! unchanged tree can pass), and a doctored fresh run must be caught with
+//! the regressing metric named.
+
+use fttt_bench::gate::check_core;
+use wsn_telemetry::json::JsonValue;
+
+fn baseline() -> JsonValue {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/core.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline missing");
+    JsonValue::parse(&text).expect("committed baseline is not valid JSON")
+}
+
+#[test]
+fn committed_baseline_passes_against_itself() {
+    let doc = baseline();
+    assert_eq!(check_core(&doc, &doc).unwrap(), Vec::<String>::new());
+}
+
+#[test]
+fn committed_baseline_has_every_gated_metric() {
+    // A baseline missing a gated metric would silently weaken the gate;
+    // check_core reports such holes as violations, so self-check covers it
+    // — but assert the rows exist at all so an empty artifact can't pass.
+    let doc = baseline();
+    let rows = doc.get("results").and_then(JsonValue::as_array).unwrap();
+    assert!(rows.len() >= 3, "expected the n = 10/20/40 sweep rows");
+}
+
+#[test]
+fn doctored_fresh_run_fails_with_the_metric_named() {
+    let base = baseline();
+    let mut fresh = baseline();
+    for row in fresh
+        .get_mut("results")
+        .unwrap()
+        .as_array_mut()
+        .unwrap()
+        .iter_mut()
+    {
+        let m = row.get_mut("match_us").expect("row without match_us");
+        if let JsonValue::Obj(map) = m {
+            if let Some(JsonValue::Num(v)) = map.get_mut("packed_exhaustive") {
+                // Past any tolerance regardless of the baseline's scale.
+                *v = *v * 10.0 + 1000.0;
+            }
+        }
+    }
+    let violations = check_core(&fresh, &base).unwrap();
+    assert!(!violations.is_empty(), "doctored run passed the gate");
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.contains("match_us.packed_exhaustive") && v.contains("regressed")),
+        "{violations:?}"
+    );
+}

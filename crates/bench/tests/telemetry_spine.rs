@@ -1,17 +1,21 @@
-//! End-to-end telemetry spine test: install a sink, run a small campaign
-//! schedule through the real session/sampler/regime/matcher stack, and
-//! assert that every instrumented layer reported. Lives in its own file
-//! (= its own test process) so the installed global sink can never leak
-//! into the sink-free overhead test.
+//! End-to-end telemetry spine test: install a sink AND a trace journal,
+//! run a small campaign schedule through the real
+//! session/sampler/regime/matcher stack, and assert that every
+//! instrumented layer reported to both. Lives in its own file (= its own
+//! test process) so the installed globals can never leak into the
+//! sink-free overhead tests.
 
 use fttt_bench::robustness::{run_custom_schedule, CampaignConfig};
 use std::sync::Arc;
 use wsn_network::Schedule;
+use wsn_telemetry::{Journal, TraceEvent};
 
 #[test]
 fn campaign_populates_every_telemetry_layer() {
     let registry = Arc::new(wsn_telemetry::Registry::new());
     wsn_telemetry::install(Arc::clone(&registry));
+    let journal = Arc::new(Journal::new());
+    wsn_telemetry::install_journal(Arc::clone(&journal));
     let cfg = CampaignConfig {
         seed: 42,
         trials: 2,
@@ -21,6 +25,7 @@ fn campaign_populates_every_telemetry_layer() {
     let schedule = Schedule::parse("outage from=8 until=14").unwrap();
     let rows = run_custom_schedule(&cfg, "outage", &schedule);
     wsn_telemetry::uninstall();
+    wsn_telemetry::uninstall_journal();
     assert_eq!(rows.len(), 2);
 
     let snap = registry.snapshot();
@@ -63,4 +68,63 @@ fn campaign_populates_every_telemetry_layer() {
     assert!(json.contains("\"fttt.session.rounds\""));
     let prom = snap.to_prometheus();
     assert!(prom.contains("fttt_session_rounds"));
+
+    // Journal side of the spine: the same run must leave a coherent trace.
+    let log = journal.snapshot();
+    assert!(
+        log.dropped == 0 && log.events.len() as u64 == log.emitted(),
+        "small campaign must fit the default ring ({} events, {} dropped)",
+        log.events.len(),
+        log.dropped
+    );
+    let named =
+        |name: &str| -> Vec<&TraceEvent> { log.events.iter().filter(|e| e.name == name).collect() };
+    // Session layer: one round event per session round, carrying the
+    // explainability args the `explain` subcommand renders.
+    let rounds = named("fttt.session.round");
+    assert_eq!(
+        rounds.len() as u64,
+        counter("fttt.session.rounds"),
+        "every metrics-counted round must also be journaled"
+    );
+    for r in &rounds {
+        for key in [
+            "t",
+            "status_before",
+            "status",
+            "cause",
+            "missing",
+            "k_after",
+        ] {
+            assert!(
+                r.args.iter().any(|(k, _)| *k == key),
+                "round event lacks `{key}`: {:?}",
+                r.args
+            );
+        }
+    }
+    fn cause_of(e: &TraceEvent) -> Option<&str> {
+        e.args
+            .iter()
+            .find(|(k, _)| *k == "cause")
+            .and_then(|(_, v)| {
+                if let wsn_telemetry::ArgValue::Str(s) = v {
+                    Some(s.as_str())
+                } else {
+                    None
+                }
+            })
+    }
+    // The 6 s outage must surface as blackout-caused rounds.
+    assert!(
+        rounds.iter().any(|r| cause_of(r) == Some("blackout")),
+        "no blackout-caused round despite the outage window"
+    );
+    // Matcher + sampler + regime layers journal instants too.
+    assert!(!named("fttt.match.heuristic").is_empty());
+    assert!(!named("wsn.sampler.grouping").is_empty());
+    assert!(!named("wsn.regime.apply").is_empty());
+    // And the whole log round-trips through both exporters.
+    assert!(log.to_chrome_json().contains("\"traceEvents\""));
+    assert!(log.to_jsonl().starts_with("{\"kind\":\"meta\""));
 }

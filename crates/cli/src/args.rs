@@ -2,6 +2,15 @@
 
 use fttt_bench::MethodKind;
 
+/// Serialization format for the `--metrics-out` snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Structured JSON document (the default).
+    Json,
+    /// Prometheus exposition text.
+    Prom,
+}
+
 /// Usage text printed on `help` or malformed input.
 pub const USAGE: &str = "\
 fttt-sim — FTTT fault-tolerant target tracking simulator
@@ -15,6 +24,7 @@ COMMANDS:
     sweep     Monte-Carlo sweep of the node count for one method
     campaign  fault campaign: self-healing sessions across fault regimes
     theory    print the Section-5 sampling-times table
+    explain   render a human-readable timeline from a --trace-out file
     help      show this message
 
 OPTIONS:
@@ -37,7 +47,15 @@ OPTIONS:
                       the built-in sweep (see DESIGN.md for the format)
     --metrics-out <PATH>
                       (track/campaign) collect telemetry during the run,
-                      print a metrics table and write the snapshot as JSON
+                      print a metrics table and write the snapshot
+    --metrics-format <F>
+                      (track/campaign) snapshot format for --metrics-out:
+                      json (default) or prom (Prometheus exposition text)
+    --trace-out <PATH>
+                      (track/campaign) record a structured trace journal
+                      and write it on exit; `.jsonl` extension selects
+                      line-delimited JSON, anything else a Chrome
+                      trace-event file loadable in Perfetto / about:tracing
 ";
 
 /// Parsed options (flat across subcommands; each uses what it needs).
@@ -60,6 +78,8 @@ pub struct Options {
     pub fast: bool,
     pub schedule: Option<std::path::PathBuf>,
     pub metrics_out: Option<std::path::PathBuf>,
+    pub metrics_format: MetricsFormat,
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -82,6 +102,8 @@ impl Default for Options {
             fast: false,
             schedule: None,
             metrics_out: None,
+            metrics_format: MetricsFormat::Json,
+            trace_out: None,
         }
     }
 }
@@ -115,6 +137,18 @@ impl Options {
                 "--fast" => o.fast = true,
                 "--schedule" => o.schedule = Some(value("--schedule")?.into()),
                 "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?.into()),
+                "--metrics-format" => {
+                    o.metrics_format = match value("--metrics-format")?.as_str() {
+                        "json" => MetricsFormat::Json,
+                        "prom" => MetricsFormat::Prom,
+                        other => {
+                            return Err(format!(
+                                "--metrics-format: unknown format `{other}` (json|prom)"
+                            ))
+                        }
+                    }
+                }
+                "--trace-out" => o.trace_out = Some(value("--trace-out")?.into()),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -222,6 +256,32 @@ mod tests {
         assert_eq!(o.metrics_out, Some(std::path::PathBuf::from("m.json")));
         assert!(parse(&[]).unwrap().metrics_out.is_none());
         assert!(parse(&["--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn metrics_format_parses() {
+        assert_eq!(parse(&[]).unwrap().metrics_format, MetricsFormat::Json);
+        assert_eq!(
+            parse(&["--metrics-format", "json"]).unwrap().metrics_format,
+            MetricsFormat::Json
+        );
+        assert_eq!(
+            parse(&["--metrics-format", "prom"]).unwrap().metrics_format,
+            MetricsFormat::Prom
+        );
+        assert!(parse(&["--metrics-format", "xml"]).is_err());
+        assert!(parse(&["--metrics-format"]).is_err());
+    }
+
+    #[test]
+    fn trace_out_parses() {
+        let o = parse(&["--trace-out", "run.trace.json"]).unwrap();
+        assert_eq!(
+            o.trace_out,
+            Some(std::path::PathBuf::from("run.trace.json"))
+        );
+        assert!(parse(&[]).unwrap().trace_out.is_none());
+        assert!(parse(&["--trace-out"]).is_err());
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Subcommand implementations.
 
-use crate::args::Options;
+use crate::args::{MetricsFormat, Options};
 use crate::render::Canvas;
 use fttt::config::PaperParams;
 use fttt::postprocess;
 use fttt::theory;
-use fttt_bench::{run_once, trial_stats, Scenario, Table};
+use fttt_bench::{run_once, trial_stats, MethodKind, Scenario, Table};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -18,15 +18,55 @@ fn metrics_sink(opts: &Options) -> Option<std::sync::Arc<wsn_telemetry::Registry
     Some(registry)
 }
 
-/// Uninstalls the sink, writes the snapshot JSON to `--metrics-out` and
-/// prints the metrics table.
+/// Installs a fresh trace journal when `--trace-out` was given, returning
+/// it for draining after the run.
+fn trace_sink(opts: &Options) -> Option<std::sync::Arc<wsn_telemetry::Journal>> {
+    opts.trace_out.as_ref()?;
+    let journal = std::sync::Arc::new(wsn_telemetry::Journal::new());
+    wsn_telemetry::install_journal(std::sync::Arc::clone(&journal));
+    Some(journal)
+}
+
+/// Uninstalls the journal and writes its snapshot to `--trace-out`:
+/// a `.jsonl` path selects line-delimited JSON, anything else the Chrome
+/// trace-event format (loadable in Perfetto / about:tracing).
+fn emit_trace(opts: &Options, journal: Option<std::sync::Arc<wsn_telemetry::Journal>>) {
+    let (Some(journal), Some(path)) = (journal, opts.trace_out.as_ref()) else {
+        return;
+    };
+    wsn_telemetry::uninstall_journal();
+    let log = journal.snapshot();
+    let payload = if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+        log.to_jsonl()
+    } else {
+        log.to_chrome_json()
+    };
+    std::fs::write(path, payload).expect("write trace file");
+    eprintln!(
+        "[trace] wrote {} ({} events, {} dropped)",
+        path.display(),
+        log.events.len(),
+        log.dropped
+    );
+}
+
+/// Renders a snapshot in the format picked by `--metrics-format`.
+fn metrics_payload(snap: &wsn_telemetry::Snapshot, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Json => snap.to_json() + "\n",
+        MetricsFormat::Prom => snap.to_prometheus(),
+    }
+}
+
+/// Uninstalls the sink, writes the snapshot to `--metrics-out` in the
+/// chosen format and prints the metrics table.
 fn emit_metrics(opts: &Options, registry: Option<std::sync::Arc<wsn_telemetry::Registry>>) {
     let (Some(registry), Some(path)) = (registry, opts.metrics_out.as_ref()) else {
         return;
     };
     wsn_telemetry::uninstall();
     let snap = registry.snapshot();
-    std::fs::write(path, snap.to_json() + "\n").expect("write metrics file");
+    std::fs::write(path, metrics_payload(&snap, opts.metrics_format)).expect("write metrics file");
     let mut t = Table::new("metrics", &["metric", "value"]);
     for (name, v) in &snap.counters {
         t.row(&[name.clone(), v.to_string()]);
@@ -68,6 +108,7 @@ fn scenario_from(opts: &Options) -> Scenario {
 /// `fttt-sim track`: one simulation, error report, optional render.
 pub fn track(opts: &Options) {
     let metrics = metrics_sink(opts);
+    let journal = trace_sink(opts);
     let scenario = scenario_from(opts);
     let run = run_once(&scenario, opts.method, opts.seed);
     let stats = run.error_stats();
@@ -106,7 +147,71 @@ pub fn track(opts: &Options) {
         print!("{}", canvas.render());
         println!("  # true trajectory   o estimates");
     }
+    if journal.is_some() {
+        session_pass(opts);
+    }
     emit_metrics(opts, metrics);
+    emit_trace(opts, journal);
+}
+
+/// With a journal armed, `track` additionally runs the self-healing
+/// [`TrackingSession`](fttt::session::TrackingSession) wrapper (FTTT
+/// methods only) over the same seeded world, so the trace carries the
+/// per-round explainability events that `fttt-sim explain` renders.
+fn session_pass(opts: &Options) {
+    use fttt::session::{SessionOptions, TrackStatus, TrackingSession};
+    use fttt::tracker::{Tracker, TrackerOptions};
+    let tracker_options = match opts.method {
+        MethodKind::FtttBasic => TrackerOptions::default(),
+        MethodKind::FtttExtended => TrackerOptions::extended(),
+        MethodKind::FtttHeuristic => TrackerOptions::heuristic(),
+        _ => {
+            eprintln!(
+                "[trace] note: {} has no session wrapper — the trace holds \
+                 sampler events only",
+                opts.method.label()
+            );
+            return;
+        }
+    };
+    let params = params_from(opts);
+    // Same world derivation as `run_once`: deployment then trace from one
+    // seeded stream.
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let field = if opts.grid {
+        params.grid_field()
+    } else {
+        params.random_field(&mut rng)
+    };
+    let trace = params.random_trace(opts.duration, &mut rng);
+    let map = params.face_map(&field);
+    let mut session = TrackingSession::new(
+        Tracker::new(map, tracker_options),
+        SessionOptions::new(params.samples_k).with_max_speed(params.max_speed),
+    );
+    let base = params.sampler();
+    let run = session.run(&trace, &mut rng, |k, pos, _, r| {
+        let sampler = wsn_network::GroupSampler {
+            samples: k,
+            ..base.clone()
+        };
+        sampler.sample(&field, pos, r)
+    });
+    let transitions = run
+        .rounds
+        .windows(2)
+        .filter(|w| w[0].status != w[1].status)
+        .count();
+    println!(
+        "session pass: {} rounds | tracking {} / degraded {} / lost {} | \
+         {} transition(s) | mean k {:.2}",
+        run.rounds.len(),
+        run.rounds_in(TrackStatus::Tracking),
+        run.rounds_in(TrackStatus::Degraded),
+        run.rounds_in(TrackStatus::Lost),
+        transitions,
+        run.total_samples() as f64 / run.rounds.len().max(1) as f64,
+    );
 }
 
 /// `fttt-sim facemap`: build (or load) the division and report structure.
@@ -201,6 +306,7 @@ pub fn campaign(opts: &Options) {
         campaign_field_side, check_envelopes, run_campaign, run_custom_schedule, CampaignConfig,
     };
     let metrics = metrics_sink(opts);
+    let journal = trace_sink(opts);
     let mut cfg = if opts.fast {
         CampaignConfig::fast(opts.seed)
     } else {
@@ -256,6 +362,7 @@ pub fn campaign(opts: &Options) {
     }
     t.print();
     emit_metrics(opts, metrics);
+    emit_trace(opts, journal);
     if check {
         let violations = check_envelopes(&rows, campaign_field_side(&cfg));
         if violations.is_empty() {
@@ -294,4 +401,27 @@ pub fn theory(opts: &Options) {
         opts.samples,
         theory::expected_vector_error(opts.samples, 45)
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_payload_renders_both_formats() {
+        let registry = wsn_telemetry::Registry::new();
+        registry.counter("fttt.session.rounds").add(3);
+        registry.gauge("fttt.session.samples_k").set(7.0);
+        let snap = registry.snapshot();
+
+        let json = metrics_payload(&snap, MetricsFormat::Json);
+        assert!(json.ends_with('\n'));
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(json.contains("\"fttt.session.rounds\": 3"), "{json}");
+
+        let prom = metrics_payload(&snap, MetricsFormat::Prom);
+        assert!(prom.contains("# TYPE"), "{prom}");
+        assert!(prom.contains("fttt_session_rounds 3"), "{prom}");
+        assert!(prom.contains("fttt_session_samples_k 7"), "{prom}");
+    }
 }

@@ -1,0 +1,351 @@
+//! `fttt-sim explain`: render a `--trace-out` journal as a human-readable
+//! timeline of session status transitions and their causes.
+//!
+//! Accepts both trace formats the journal writes: a Chrome trace-event
+//! document (one JSON object with a `traceEvents` array) or line-delimited
+//! JSON (one meta line, then one object per event). Round data lives in the
+//! per-event `args` object in both, so extraction is format-agnostic once
+//! the event objects are in hand.
+
+use wsn_telemetry::json::JsonValue;
+
+/// One `fttt.session.round` event, decoded from either trace format.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Owning session's process-unique id (0 for old traces without one).
+    pub session: u64,
+    pub round: u64,
+    pub t: f64,
+    pub status_before: String,
+    pub status: String,
+    pub cause: String,
+    pub missing: f64,
+    pub zeros: f64,
+    pub k: u64,
+    pub k_after: u64,
+    pub held: bool,
+    pub reacquired: bool,
+    pub similarity: Option<f64>,
+}
+
+/// Everything `explain` pulls out of one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Session rounds in journal order.
+    pub rounds: Vec<RoundRecord>,
+    /// Dropped-event count from the journal meta, when present.
+    pub dropped: Option<u64>,
+    /// Occurrence counts of every other event name in the trace.
+    pub other_events: Vec<(String, u64)>,
+}
+
+fn str_of(obj: &JsonValue, key: &str) -> Option<String> {
+    obj.get(key).and_then(JsonValue::as_str).map(str::to_owned)
+}
+
+fn f64_of(obj: &JsonValue, key: &str) -> Option<f64> {
+    obj.get(key).and_then(JsonValue::as_f64)
+}
+
+fn bool_of(obj: &JsonValue, key: &str) -> bool {
+    obj.get(key).and_then(JsonValue::as_bool).unwrap_or(false)
+}
+
+/// Decodes one journal event object; `Some` only for session rounds.
+fn round_of(event: &JsonValue) -> Option<RoundRecord> {
+    if str_of(event, "name").as_deref() != Some("fttt.session.round") {
+        return None;
+    }
+    let args = event.get("args")?;
+    // Chrome puts the round ordinal in args, JSONL beside them.
+    let round = args
+        .get("round")
+        .or_else(|| event.get("round"))
+        .and_then(JsonValue::as_u64)?;
+    Some(RoundRecord {
+        session: args.get("session").and_then(JsonValue::as_u64).unwrap_or(0),
+        round,
+        t: f64_of(args, "t")?,
+        status_before: str_of(args, "status_before")?,
+        status: str_of(args, "status")?,
+        cause: str_of(args, "cause")?,
+        missing: f64_of(args, "missing").unwrap_or(0.0),
+        zeros: f64_of(args, "zeros").unwrap_or(0.0),
+        k: args.get("k").and_then(JsonValue::as_u64).unwrap_or(0),
+        k_after: args.get("k_after").and_then(JsonValue::as_u64).unwrap_or(0),
+        held: bool_of(args, "held"),
+        reacquired: bool_of(args, "reacquired"),
+        similarity: f64_of(args, "similarity"),
+    })
+}
+
+/// Parses a trace file's text in either format into a [`TraceSummary`].
+pub fn load(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut counts = std::collections::BTreeMap::<String, u64>::new();
+    let mut note = |event: &JsonValue| {
+        if let Some(r) = round_of(event) {
+            summary.rounds.push(r);
+        } else if let Some(name) = str_of(event, "name") {
+            *counts.entry(name).or_insert(0) += 1;
+        }
+    };
+    if let Ok(doc) = JsonValue::parse(text) {
+        // A whole-file parse succeeding means Chrome trace-event format.
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .ok_or("not a trace file: no \"traceEvents\" array")?;
+        for e in events {
+            note(e);
+        }
+        summary.dropped = doc
+            .get("otherData")
+            .and_then(|o| o.get("dropped"))
+            .and_then(JsonValue::as_u64);
+    } else {
+        // Otherwise it must be line-delimited JSON.
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e = JsonValue::parse(line)
+                .map_err(|err| format!("line {}: not JSON ({err})", i + 1))?;
+            if str_of(&e, "kind").as_deref() == Some("meta") {
+                summary.dropped = e.get("dropped").and_then(JsonValue::as_u64);
+                continue;
+            }
+            note(&e);
+        }
+    }
+    summary.rounds.sort_by_key(|r| (r.session, r.round));
+    summary.other_events = counts.into_iter().collect();
+    Ok(summary)
+}
+
+fn pct(fraction: f64) -> String {
+    format!("{:.0}%", 100.0 * fraction)
+}
+
+/// Renders the human-readable timeline: one line per status transition
+/// (naming the round and the cause), ladder movements, and a summary.
+pub fn render(summary: &TraceSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if summary.rounds.is_empty() {
+        out.push_str("no session rounds in this trace\n");
+        if !summary.other_events.is_empty() {
+            out.push_str("(the journal holds other events — see below)\n");
+        }
+    }
+    let sessions: std::collections::BTreeSet<u64> =
+        summary.rounds.iter().map(|r| r.session).collect();
+    let many_sessions = sessions.len() > 1;
+    let mut current_session = None;
+    let mut transitions = 0usize;
+    for r in &summary.rounds {
+        let mut notes = Vec::new();
+        if r.status_before != r.status {
+            transitions += 1;
+            notes.push(format!("{} -> {}", r.status_before, r.status));
+        }
+        if r.k_after != r.k {
+            notes.push(format!(
+                "k {} -> {} ({})",
+                r.k,
+                r.k_after,
+                if r.k_after > r.k {
+                    "escalated"
+                } else {
+                    "relaxed"
+                }
+            ));
+        }
+        if r.held {
+            notes.push("held last estimate".into());
+        }
+        if r.reacquired {
+            notes.push("reacquired by exhaustive fallback".into());
+        }
+        if notes.is_empty() {
+            continue; // steady-state rounds stay silent
+        }
+        // Campaign traces interleave many sessions; break the timeline
+        // into per-session blocks so round ordinals read coherently (and
+        // only for sessions that have something to say).
+        if many_sessions && current_session != Some(r.session) {
+            current_session = Some(r.session);
+            let _ = writeln!(out, "— session {} —", r.session);
+        }
+        let _ = write!(
+            out,
+            "round {:>4}  t={:>6.1}s  cause: {:<10}  missing {:>4}, zeros {:>4}",
+            r.round,
+            r.t,
+            r.cause,
+            pct(r.missing),
+            pct(r.zeros),
+        );
+        if let Some(sim) = r.similarity {
+            let _ = write!(out, ", sim {sim:.2}");
+        }
+        let _ = writeln!(out, "  | {}", notes.join("; "));
+    }
+    let _ = writeln!(out, "---");
+    let _ = writeln!(
+        out,
+        "{} rounds across {} session(s), {} status transition(s)",
+        summary.rounds.len(),
+        sessions.len(),
+        transitions
+    );
+    let mut causes = std::collections::BTreeMap::<&str, u64>::new();
+    for r in &summary.rounds {
+        *causes.entry(r.cause.as_str()).or_insert(0) += 1;
+    }
+    if !causes.is_empty() {
+        let rendered: Vec<String> = causes.iter().map(|(c, n)| format!("{c} x{n}")).collect();
+        let _ = writeln!(out, "causes: {}", rendered.join(", "));
+    }
+    if let Some(last) = summary.rounds.last() {
+        let _ = writeln!(out, "final status: {}", last.status);
+    }
+    if let Some(dropped) = summary.dropped {
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "warning: journal dropped {dropped} event(s) — raise the capacity \
+                 or shorten the run for a complete record"
+            );
+        }
+    }
+    for (name, n) in &summary.other_events {
+        let _ = writeln!(out, "other events: {name} x{n}");
+    }
+    out
+}
+
+/// The `explain` subcommand: load, render, print.
+pub fn run(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    match load(&text) {
+        Ok(summary) => print!("{}", render(&summary)),
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_telemetry::trace::{ArgValue, Journal, TraceKind};
+
+    /// Builds a journal holding two rounds (one Degraded transition) and an
+    /// unrelated instant, then returns both serializations.
+    fn sample_trace() -> (String, String) {
+        let j = Journal::with_capacity(16);
+        for (round, before, after, cause, missing) in [
+            (0u64, "Tracking", "Tracking", "healthy", 0.0),
+            (1, "Tracking", "Degraded", "blackout", 1.0),
+        ] {
+            j.record(
+                "fttt.session.round",
+                TraceKind::Round { round },
+                vec![
+                    ("t", ArgValue::F64(round as f64)),
+                    ("status_before", ArgValue::Str(before.into())),
+                    ("status", ArgValue::Str(after.into())),
+                    ("cause", ArgValue::Str(cause.into())),
+                    ("missing", ArgValue::F64(missing)),
+                    ("zeros", ArgValue::F64(0.25)),
+                    ("k", ArgValue::U64(5)),
+                    ("k_after", ArgValue::U64(if round == 1 { 7 } else { 5 })),
+                    ("held", ArgValue::Bool(round == 1)),
+                    ("reacquired", ArgValue::Bool(false)),
+                ],
+            );
+        }
+        j.record("fttt.match.exhaustive", TraceKind::Instant, Vec::new());
+        let log = j.snapshot();
+        (log.to_chrome_json(), log.to_jsonl())
+    }
+
+    #[test]
+    fn both_formats_decode_to_the_same_rounds() {
+        let (chrome, jsonl) = sample_trace();
+        for text in [chrome, jsonl] {
+            let s = load(&text).unwrap();
+            assert_eq!(s.rounds.len(), 2, "{text}");
+            assert_eq!(s.rounds[1].round, 1);
+            assert_eq!(s.rounds[1].cause, "blackout");
+            assert_eq!(s.rounds[1].status_before, "Tracking");
+            assert_eq!(s.rounds[1].status, "Degraded");
+            assert_eq!(s.rounds[1].k_after, 7);
+            assert!(s.rounds[1].held);
+            assert_eq!(s.dropped, Some(0));
+            assert_eq!(s.other_events, vec![("fttt.match.exhaustive".into(), 1)]);
+        }
+    }
+
+    #[test]
+    fn render_names_round_and_cause_of_each_transition() {
+        let (chrome, _) = sample_trace();
+        let text = render(&load(&chrome).unwrap());
+        assert!(text.contains("round    1"), "{text}");
+        assert!(text.contains("cause: blackout"), "{text}");
+        assert!(text.contains("Tracking -> Degraded"), "{text}");
+        assert!(text.contains("k 5 -> 7 (escalated)"), "{text}");
+        assert!(
+            text.contains("2 rounds across 1 session(s), 1 status transition(s)"),
+            "{text}"
+        );
+        // One session only: no per-session block headers.
+        assert!(!text.contains("— session"), "{text}");
+        assert!(text.contains("final status: Degraded"), "{text}");
+        // The healthy steady-state round stays silent in the timeline.
+        assert!(!text.contains("round    0"), "{text}");
+    }
+
+    #[test]
+    fn interleaved_sessions_split_into_blocks() {
+        let j = Journal::with_capacity(16);
+        for session in [3u64, 9] {
+            j.record(
+                "fttt.session.round",
+                TraceKind::Round { round: 0 },
+                vec![
+                    ("session", ArgValue::U64(session)),
+                    ("t", ArgValue::F64(0.0)),
+                    ("status_before", ArgValue::Str("Tracking".into())),
+                    ("status", ArgValue::Str("Degraded".into())),
+                    ("cause", ArgValue::Str("starved".into())),
+                ],
+            );
+        }
+        let s = load(&j.snapshot().to_jsonl()).unwrap();
+        assert_eq!(s.rounds[0].session, 3);
+        assert_eq!(s.rounds[1].session, 9);
+        let text = render(&s);
+        assert!(text.contains("— session 3 —"), "{text}");
+        assert!(text.contains("— session 9 —"), "{text}");
+        assert!(text.contains("2 rounds across 2 session(s)"), "{text}");
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_with_a_reason() {
+        assert!(load("{\"hello\": 1}").is_err());
+        assert!(load("not json at all").is_err());
+    }
+
+    #[test]
+    fn empty_trace_renders_a_note() {
+        let j = Journal::with_capacity(4);
+        let text = render(&load(&j.snapshot().to_chrome_json()).unwrap());
+        assert!(text.contains("no session rounds"), "{text}");
+    }
+}

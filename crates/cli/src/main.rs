@@ -7,12 +7,14 @@
 //! fttt-sim sweep   [--method M] [--trials T] [--seed S]
 //! fttt-sim campaign [--seed S] [--trials T] [--fast] [--schedule PATH]
 //! fttt-sim theory  [--lambda L]
+//! fttt-sim explain TRACE_FILE
 //! ```
 //!
 //! Methods: `fttt` (default), `fttt-ext`, `fttt-heur`, `pm`, `mle`, `wcl`, `pf`, `ekf`.
 
 mod args;
 mod commands;
+mod explain;
 mod render;
 
 fn main() {
@@ -22,6 +24,15 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
+    // `explain` takes a positional trace-file argument, not options.
+    if cmd == "explain" {
+        let Some(path) = argv.first() else {
+            eprintln!("error: explain needs a trace file\n\n{}", args::USAGE);
+            std::process::exit(2);
+        };
+        explain::run(std::path::Path::new(path));
+        return;
+    }
     let opts = match args::Options::parse(&argv) {
         Ok(o) => o,
         Err(e) => {

@@ -67,6 +67,8 @@ pub use config::{ConstantRule, NoiseModel, PaperParams};
 pub use facemap::{Face, FaceId, FaceMap};
 pub use matching::{match_exhaustive, match_heuristic, MatchOutcome};
 pub use sampling::{basic_sampling_vector, extended_sampling_vector};
-pub use session::{SessionOptions, SessionRound, SessionRun, TrackStatus, TrackingSession};
+pub use session::{
+    status_name, RoundTrace, SessionOptions, SessionRound, SessionRun, TrackStatus, TrackingSession,
+};
 pub use tracker::{Tracker, TrackerOptions, TrackingRun};
 pub use vector::{SamplingVector, SignatureVector};

@@ -89,6 +89,17 @@ pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
             ties.len() as f64,
         );
     }
+    if telemetry::journal_enabled() {
+        use telemetry::ArgValue;
+        telemetry::trace_instant(
+            "fttt.match.exhaustive",
+            vec![
+                ("face", ArgValue::U64(face.index() as u64)),
+                ("evaluated", ArgValue::U64(map.face_count() as u64)),
+                ("ties", ArgValue::U64(ties.len() as u64)),
+            ],
+        );
+    }
     MatchOutcome {
         face,
         similarity: similarity_of_d2(best_d2),
@@ -96,6 +107,23 @@ pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
         evaluated: map.face_count(),
         rounds: 0,
     }
+}
+
+/// `[3, 17, 9]` → `"3>17>9"`, elided past `HOP_PATH_DISPLAY_CAP` faces.
+fn render_hop_path(path: &[u32]) -> String {
+    /// Faces shown before the path is elided; keeps one journal arg
+    /// bounded even on pathological climbs across a huge map.
+    const HOP_PATH_DISPLAY_CAP: usize = 32;
+    let shown: Vec<String> = path
+        .iter()
+        .take(HOP_PATH_DISPLAY_CAP)
+        .map(|f| f.to_string())
+        .collect();
+    let mut out = shown.join(">");
+    if path.len() > HOP_PATH_DISPLAY_CAP {
+        out.push_str(&format!(">…+{}", path.len() - HOP_PATH_DISPLAY_CAP));
+    }
+    out
 }
 
 /// Algorithm 2: hill-climbing over neighbor-face links, with bounded
@@ -143,6 +171,10 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
     let mut best_ties = vec![start];
     let mut evaluated = 1;
     let mut rounds = 0;
+    // Hop path (strict-ascent faces, start included) — only assembled
+    // when a trace journal wants it.
+    let mut hop_path: Option<Vec<u32>> =
+        telemetry::journal_enabled().then(|| vec![start.index() as u32]);
 
     // Frontier of faces at the current best distance, pending expansion.
     let mut frontier = std::collections::VecDeque::from([start]);
@@ -172,6 +204,9 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
                 frontier.push_back(nb);
                 since_improvement = 0;
                 rounds += 1;
+                if let Some(path) = hop_path.as_mut() {
+                    path.push(nb.index() as u32);
+                }
             } else if d2 == best_d2 {
                 best_ties.push(nb);
                 frontier.push_back(nb);
@@ -195,6 +230,21 @@ pub fn match_heuristic(map: &FaceMap, v: &SamplingVector, start: FaceId) -> Matc
             "fttt.match.tie_width",
             telemetry::COUNT_BUCKETS,
             best_ties.len() as f64,
+        );
+    }
+    if let Some(path) = hop_path {
+        use telemetry::ArgValue;
+        telemetry::trace_instant(
+            "fttt.match.heuristic",
+            vec![
+                ("start", ArgValue::U64(start.index() as u64)),
+                ("face", ArgValue::U64(best_face.index() as u64)),
+                ("path", ArgValue::Str(render_hop_path(&path))),
+                ("evaluated", ArgValue::U64(evaluated as u64)),
+                ("rounds", ArgValue::U64(rounds as u64)),
+                ("plateau_expansions", ArgValue::U64(plateau_expansions)),
+                ("ties", ArgValue::U64(best_ties.len() as u64)),
+            ],
         );
     }
     MatchOutcome {
@@ -496,5 +546,15 @@ mod tests {
         let m = map();
         let v = SamplingVector::from_ternary(vec![Some(1)]);
         let _ = match_exhaustive(&m, &v);
+    }
+
+    #[test]
+    fn hop_path_renders_and_elides() {
+        assert_eq!(render_hop_path(&[7]), "7");
+        assert_eq!(render_hop_path(&[3, 17, 9]), "3>17>9");
+        let long: Vec<u32> = (0..40).collect();
+        let rendered = render_hop_path(&long);
+        assert!(rendered.starts_with("0>1>2>"));
+        assert!(rendered.ends_with(">…+8"), "got {rendered}");
     }
 }

@@ -110,6 +110,43 @@ impl SessionOptions {
     }
 }
 
+/// The per-round causal record: which health checks fired, what the
+/// monitor concluded and how the recovery ladder moved.
+///
+/// Every [`TrackingSession::step`] builds one and attaches it to the
+/// returned [`SessionRound`]; when a trace journal is installed
+/// ([`wsn_telemetry::install_journal`]) the same record is emitted as a
+/// `fttt.session.round` journal event, which `fttt-sim explain` renders
+/// into a status-transition timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTrace {
+    /// Zero-based index of this round within the session's lifetime.
+    pub round: u64,
+    /// Session status *before* this round's checks ran.
+    pub status_before: TrackStatus,
+    /// Why the round was judged the way it was: `"healthy"`, or the
+    /// highest-priority failing check (`"blackout"` > `"stranded"` >
+    /// `"starved"` > `"teleported"`).
+    pub cause: &'static str,
+    /// The sampling vector was empty or all-`*`; the session held.
+    pub blackout: bool,
+    /// Similarity fell below `reacquire_ratio` × rolling median.
+    pub stranded: bool,
+    /// Missing fraction exceeded `max_missing_fraction`.
+    pub starved: bool,
+    /// The estimate jumped farther than the target could travel.
+    pub teleported: bool,
+    /// Fraction of *known* components that are exactly zero — pairs whose
+    /// order was sampled but never observed flipped. A spike alongside a
+    /// healthy missing fraction points at lying (stuck/drifting) sensors
+    /// rather than erasures.
+    pub zero_fraction: f64,
+    /// Sampling times `k` in effect after this round's escalation/decay
+    /// (the request for the *next* round; `SessionRound::samples` is the
+    /// `k` this round was sampled with).
+    pub k_after: usize,
+}
+
 /// One session round: the estimate plus everything the monitor saw.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionRound {
@@ -132,6 +169,8 @@ pub struct SessionRound {
     /// `true` if the estimate is a hold of the last trusted one rather
     /// than a fresh localization.
     pub held: bool,
+    /// The round's causal record (check verdicts, cause, ladder movement).
+    pub trace: RoundTrace,
 }
 
 /// A completed session run over a trace.
@@ -201,7 +240,16 @@ pub struct TrackingSession {
     recent_sims: std::collections::VecDeque<f64>,
     /// Escalation ladder: force exhaustive re-acquisition next round.
     force_reacquire: bool,
+    /// Lifetime round counter, indexing [`RoundTrace::round`].
+    round_index: u64,
+    /// Process-unique id stamped on journaled round events, so traces
+    /// holding many interleaved sessions (campaigns) stay separable.
+    /// Clones share the id of the original.
+    session_id: u64,
 }
+
+/// Source of [`TrackingSession::session_id`] values.
+static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl TrackingSession {
     /// Wraps `tracker` in a session with the given options.
@@ -237,6 +285,8 @@ impl TrackingSession {
             last_reported: None,
             recent_sims: std::collections::VecDeque::new(),
             force_reacquire: false,
+            round_index: 0,
+            session_id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -265,11 +315,19 @@ impl TrackingSession {
     pub fn step(&mut self, t: f64, group: &GroupSampling) -> SessionRound {
         let status_before = self.status;
         let samples_requested = self.samples;
+        let round_index = self.round_index;
+        self.round_index += 1;
         let v = self.tracker.sampling_vector(group);
         let missing_fraction = if v.is_empty() {
             1.0
         } else {
             v.unknown_count() as f64 / v.len() as f64
+        };
+        let known = v.len() - v.unknown_count();
+        let zero_fraction = if known == 0 {
+            0.0
+        } else {
+            v.components().iter().filter(|c| **c == Some(0.0)).count() as f64 / known as f64
         };
         let blackout = v.is_empty() || v.unknown_count() == v.len();
 
@@ -278,6 +336,7 @@ impl TrackingSession {
             // every face and would report the field centre. Hold instead.
             let estimate = self.hold_estimate(group);
             self.record_unhealthy();
+            self.escalate_samples(group);
             let round = SessionRound {
                 t,
                 estimate,
@@ -287,9 +346,19 @@ impl TrackingSession {
                 missing_fraction,
                 reacquired: false,
                 held: true,
+                trace: RoundTrace {
+                    round: round_index,
+                    status_before,
+                    cause: "blackout",
+                    blackout: true,
+                    stranded: false,
+                    starved: false,
+                    teleported: false,
+                    zero_fraction,
+                    k_after: self.samples,
+                },
             };
-            self.escalate_samples(group);
-            self.note_round(status_before, &round);
+            self.note_round(&round);
             return round;
         }
 
@@ -337,6 +406,20 @@ impl TrackingSession {
             (estimate, false)
         };
 
+        if healthy {
+            self.decay_samples();
+        } else {
+            self.escalate_samples(group);
+        }
+        let cause = if healthy {
+            "healthy"
+        } else if stranded {
+            "stranded"
+        } else if starved {
+            "starved"
+        } else {
+            "teleported"
+        };
         let round = SessionRound {
             t,
             estimate: reported,
@@ -346,13 +429,19 @@ impl TrackingSession {
             missing_fraction,
             reacquired,
             held,
+            trace: RoundTrace {
+                round: round_index,
+                status_before,
+                cause,
+                blackout: false,
+                stranded,
+                starved,
+                teleported,
+                zero_fraction,
+                k_after: self.samples,
+            },
         };
-        if healthy {
-            self.decay_samples();
-        } else {
-            self.escalate_samples(group);
-        }
-        self.note_round(status_before, &round);
+        self.note_round(&round);
         round
     }
 
@@ -471,29 +560,65 @@ impl TrackingSession {
     }
 
     /// Per-round telemetry: round/hold/re-acquisition counters, the
-    /// current-`k` gauge and health-ladder transition counts (no-op when
-    /// no sink is installed).
-    fn note_round(&self, before: TrackStatus, round: &SessionRound) {
-        if !telemetry::enabled() {
-            return;
+    /// current-`k` gauge and health-ladder transition counts into the
+    /// metrics sink, plus one `fttt.session.round` event carrying the
+    /// full [`RoundTrace`] into the trace journal. Each half is a no-op
+    /// when its sink is not installed.
+    fn note_round(&self, round: &SessionRound) {
+        let before = round.trace.status_before;
+        if telemetry::enabled() {
+            telemetry::counter_add("fttt.session.rounds", 1);
+            if round.held {
+                telemetry::counter_add("fttt.session.holds", 1);
+            }
+            if round.reacquired {
+                telemetry::counter_add("fttt.session.reacquisitions", 1);
+            }
+            telemetry::gauge_set("fttt.session.samples_k", self.samples as f64);
+            if before != self.status {
+                telemetry::counter_add("fttt.session.transitions", 1);
+                let name = match self.status {
+                    TrackStatus::Tracking => "fttt.session.to_tracking",
+                    TrackStatus::Degraded => "fttt.session.to_degraded",
+                    TrackStatus::Lost => "fttt.session.to_lost",
+                };
+                telemetry::counter_add(name, 1);
+            }
         }
-        telemetry::counter_add("fttt.session.rounds", 1);
-        if round.held {
-            telemetry::counter_add("fttt.session.holds", 1);
+        if telemetry::journal_enabled() {
+            use telemetry::ArgValue;
+            let trace = &round.trace;
+            let mut args = vec![
+                ("session", ArgValue::U64(self.session_id)),
+                ("t", ArgValue::F64(round.t)),
+                ("status_before", ArgValue::Str(status_name(before).into())),
+                ("status", ArgValue::Str(status_name(round.status).into())),
+                ("cause", ArgValue::Str(trace.cause.into())),
+                ("blackout", ArgValue::Bool(trace.blackout)),
+                ("stranded", ArgValue::Bool(trace.stranded)),
+                ("starved", ArgValue::Bool(trace.starved)),
+                ("teleported", ArgValue::Bool(trace.teleported)),
+                ("missing", ArgValue::F64(round.missing_fraction)),
+                ("zeros", ArgValue::F64(trace.zero_fraction)),
+                ("k", ArgValue::U64(round.samples as u64)),
+                ("k_after", ArgValue::U64(trace.k_after as u64)),
+                ("held", ArgValue::Bool(round.held)),
+                ("reacquired", ArgValue::Bool(round.reacquired)),
+            ];
+            if let Some(sim) = round.similarity {
+                args.push(("similarity", ArgValue::F64(sim)));
+            }
+            telemetry::trace_round("fttt.session.round", trace.round, args);
         }
-        if round.reacquired {
-            telemetry::counter_add("fttt.session.reacquisitions", 1);
-        }
-        telemetry::gauge_set("fttt.session.samples_k", self.samples as f64);
-        if before != self.status {
-            telemetry::counter_add("fttt.session.transitions", 1);
-            let name = match self.status {
-                TrackStatus::Tracking => "fttt.session.to_tracking",
-                TrackStatus::Degraded => "fttt.session.to_degraded",
-                TrackStatus::Lost => "fttt.session.to_lost",
-            };
-            telemetry::counter_add(name, 1);
-        }
+    }
+}
+
+/// The stable journal/CLI spelling of a [`TrackStatus`].
+pub fn status_name(status: TrackStatus) -> &'static str {
+    match status {
+        TrackStatus::Tracking => "Tracking",
+        TrackStatus::Degraded => "Degraded",
+        TrackStatus::Lost => "Lost",
     }
 }
 
@@ -675,6 +800,57 @@ mod tests {
         assert_eq!(s.step(1.0, &g).status, TrackStatus::Degraded);
         assert_eq!(s.step(2.0, &g).status, TrackStatus::Lost);
     }
+
+    #[test]
+    fn round_trace_records_cause_and_ladder_movement() {
+        let (_, map, _) = setup(4.0);
+        let mut s = session(map);
+        let g = GroupSampling::empty(9, 5);
+        let r0 = s.step(0.0, &g);
+        assert_eq!(r0.trace.round, 0);
+        assert_eq!(r0.trace.status_before, TrackStatus::Tracking);
+        assert_eq!(r0.status, TrackStatus::Degraded);
+        assert_eq!(r0.trace.cause, "blackout");
+        assert!(r0.trace.blackout);
+        assert!(!r0.trace.stranded && !r0.trace.starved && !r0.trace.teleported);
+        // No pairs: k must not escalate.
+        assert_eq!(r0.trace.k_after, 5);
+        let r1 = s.step(1.0, &g);
+        assert_eq!(r1.trace.round, 1);
+        assert_eq!(r1.trace.status_before, TrackStatus::Degraded);
+    }
+
+    #[test]
+    fn healthy_rounds_trace_healthy_cause_and_zero_stats() {
+        let (field, map, sampler) = setup(4.0);
+        let mut s = session(map);
+        let run = s.run(&trace(), &mut rng(7), |k, pos, _, r| {
+            let sampler = GroupSampler {
+                samples: k,
+                ..sampler.clone()
+            };
+            sampler.sample(&field, pos, r)
+        });
+        let healthy = run
+            .rounds
+            .iter()
+            .filter(|r| r.trace.cause == "healthy")
+            .count();
+        assert!(healthy > 0, "a clean run must have healthy rounds");
+        for (i, r) in run.rounds.iter().enumerate() {
+            assert_eq!(r.trace.round, i as u64, "rounds index the session lifetime");
+            assert!((0.0..=1.0).contains(&r.trace.zero_fraction));
+            assert_eq!(
+                r.trace.cause == "healthy",
+                !r.trace.blackout && !r.trace.stranded && !r.trace.starved && !r.trace.teleported
+            );
+        }
+    }
+
+    // NOTE: journal-emission coverage for `note_round` lives in
+    // `crates/bench/tests/telemetry_spine.rs` — installing the
+    // process-global journal from this multi-threaded unit-test binary
+    // would race other tests' sessions into the same ring.
 
     #[test]
     fn invalid_options_rejected() {

@@ -10,6 +10,7 @@ use rand::Rng;
 use wsn_geometry::Point;
 use wsn_mobility::Trace;
 use wsn_network::{GroupSampler, GroupSampling, SensorField};
+use wsn_telemetry as telemetry;
 
 /// Which matcher a tracker uses per localization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -232,6 +233,17 @@ impl Tracker {
                         .is_some_and(|median| out.similarity < r * median)
                 });
                 if below_absolute || stranded {
+                    if telemetry::journal_enabled() {
+                        use telemetry::ArgValue;
+                        telemetry::trace_instant(
+                            "fttt.tracker.fallback_reacquire",
+                            vec![
+                                ("similarity", ArgValue::F64(out.similarity)),
+                                ("below_absolute", ArgValue::Bool(below_absolute)),
+                                ("stranded", ArgValue::Bool(stranded)),
+                            ],
+                        );
+                    }
                     let mut ex = match_exhaustive(&self.map, &v);
                     ex.evaluated += out.evaluated;
                     ex

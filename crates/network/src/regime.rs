@@ -372,6 +372,19 @@ impl RegimeEngine {
             telemetry::counter_add("wsn.regime.readings_dropped", dropped);
             telemetry::counter_add("wsn.regime.readings_lying", lying);
         }
+        // Journal: only rounds where a regime actually corrupted the
+        // grouping are worth a timeline entry.
+        if telemetry::journal_enabled() && dropped + lying > 0 {
+            use telemetry::ArgValue;
+            telemetry::trace_instant(
+                "wsn.regime.apply",
+                vec![
+                    ("t", ArgValue::F64(t)),
+                    ("dropped", ArgValue::U64(dropped)),
+                    ("lying", ArgValue::U64(lying)),
+                ],
+            );
+        }
     }
 }
 

@@ -262,6 +262,17 @@ impl GroupSampler {
             telemetry::counter_add("wsn.sampler.readings_dropped", dropped);
             telemetry::counter_add("wsn.sampler.readings_delivered", delivered);
         }
+        if telemetry::journal_enabled() {
+            use telemetry::ArgValue;
+            telemetry::trace_instant(
+                "wsn.sampler.grouping",
+                vec![
+                    ("silent_nodes", ArgValue::U64(silent_nodes)),
+                    ("dropped", ArgValue::U64(dropped)),
+                    ("delivered", ArgValue::U64(delivered)),
+                ],
+            );
+        }
         out
     }
 }

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 /// A JSON number for `v`: Rust's `Display` for finite values (always a
 /// valid JSON literal), `null` for NaN/infinities (JSON has no spelling
 /// for them).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -18,7 +18,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -38,16 +38,28 @@
 //! trials ([`Snapshot::merge`]) and export as JSON ([`Snapshot::to_json`],
 //! embedded in the `BENCH_*.json` artifacts) or Prometheus text
 //! ([`Snapshot::to_prometheus`]).
+//!
+//! Alongside the metrics sink lives a second, independent global: the
+//! **trace journal** ([`trace`] module) — a fixed-capacity ring buffer of
+//! typed events (span begin/end with parent ids, instants, round markers)
+//! installed via [`install_journal`] and exported as Chrome trace-event
+//! JSON or JSONL ([`TraceLog`]). Metrics aggregate; the journal keeps the
+//! per-round causal story. The [`json`] module is the matching reader used
+//! by downstream tools (`fttt-sim explain`, the bench regression gate) to
+//! load these artifacts back, since the vendored serde stack cannot parse.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod export;
+pub mod json;
 mod metrics;
 mod registry;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, COUNT_BUCKETS, DURATION_US_BUCKETS};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};
+pub use trace::{ArgValue, Journal, TraceEvent, TraceKind, TraceLog, DEFAULT_JOURNAL_CAPACITY};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -125,23 +137,109 @@ pub fn observe(name: &str, bounds: &[f64], value: f64) {
     with_sink(|r| r.histogram(name, bounds).observe(value));
 }
 
+/// Fast-path flag for the trace journal, mirroring [`ENABLED`]: `true` iff
+/// a journal is installed. With neither sink nor journal installed a
+/// [`span`] costs two relaxed atomic loads and two untaken branches.
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide trace journal. Only consulted after [`TRACING`] reads
+/// `true`, so the lock is never touched on the disabled path.
+static JOURNAL: RwLock<Option<Arc<Journal>>> = RwLock::new(None);
+
+/// Install `journal` as the process-wide trace journal and enable event
+/// emission. Replaces any previously installed journal.
+pub fn install_journal(journal: Arc<Journal>) {
+    *JOURNAL.write().expect("telemetry journal lock poisoned") = Some(journal);
+    TRACING.store(true, Ordering::Release);
+}
+
+/// Disable event emission and return the previously installed journal, if
+/// any. Existing [`Span`]s keep an `Arc` to it, so in-flight spans still
+/// record their end events harmlessly.
+pub fn uninstall_journal() -> Option<Arc<Journal>> {
+    TRACING.store(false, Ordering::Release);
+    JOURNAL
+        .write()
+        .expect("telemetry journal lock poisoned")
+        .take()
+}
+
+/// Whether a trace journal is currently installed (one relaxed atomic
+/// load — the guard instrumented code checks before assembling event args).
+#[inline]
+pub fn journal_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Run `f` against the installed journal, or do nothing if there is none.
+pub fn with_journal<F: FnOnce(&Journal)>(f: F) {
+    if !journal_enabled() {
+        return;
+    }
+    if let Ok(guard) = JOURNAL.read() {
+        if let Some(journal) = guard.as_ref() {
+            f(journal);
+        }
+    }
+}
+
+fn current_journal() -> Option<Arc<Journal>> {
+    JOURNAL
+        .read()
+        .ok()
+        .and_then(|guard| guard.as_ref().cloned())
+}
+
+/// Record a point-in-time event `name` with `args` into the installed
+/// journal (no-op when none is installed).
+#[inline]
+pub fn trace_instant(name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+    if !journal_enabled() {
+        return;
+    }
+    with_journal(|j| j.record(name, TraceKind::Instant, args));
+}
+
+/// Record a tracking-round marker `name` for `round` with `args` into the
+/// installed journal (no-op when none is installed).
+#[inline]
+pub fn trace_round(name: &'static str, round: u64, args: Vec<(&'static str, ArgValue)>) {
+    if !journal_enabled() {
+        return;
+    }
+    with_journal(|j| j.record(name, TraceKind::Round { round }, args));
+}
+
 /// An RAII span timer: created by [`span`], records its elapsed wall-clock
 /// time in microseconds into the histogram `name` (bounds
-/// [`DURATION_US_BUCKETS`]) when dropped.
+/// [`DURATION_US_BUCKETS`]) when dropped. When a trace journal is
+/// installed the span additionally emits begin/end events with parent
+/// links, so one `span()` call site feeds both the metrics and the
+/// journal.
 ///
-/// When telemetry is disabled at creation the span holds nothing — no
-/// `Instant::now()` is taken and drop is free.
+/// When both telemetry and tracing are disabled at creation the span holds
+/// nothing — no `Instant::now()` is taken and drop is free.
 #[must_use = "a span records its duration when dropped; binding it to _ drops it immediately"]
 #[derive(Debug)]
 pub struct Span {
     armed: Option<(&'static str, Instant)>,
+    traced: Option<(Arc<Journal>, &'static str, u64)>,
 }
 
 /// Start a span timer named `name`. The histogram count doubles as the call
 /// count of the instrumented phase, so spans need no separate counter.
 pub fn span(name: &'static str) -> Span {
+    let traced = if journal_enabled() {
+        current_journal().map(|j| {
+            let id = j.begin_span(name);
+            (j, name, id)
+        })
+    } else {
+        None
+    };
     Span {
         armed: enabled().then(|| (name, Instant::now())),
+        traced,
     }
 }
 
@@ -150,6 +248,9 @@ impl Drop for Span {
         if let Some((name, start)) = self.armed.take() {
             let micros = start.elapsed().as_secs_f64() * 1e6;
             observe(name, DURATION_US_BUCKETS, micros);
+        }
+        if let Some((journal, name, id)) = self.traced.take() {
+            journal.end_span(name, id);
         }
     }
 }

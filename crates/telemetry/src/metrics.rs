@@ -49,6 +49,22 @@ impl Counter {
 }
 
 /// A last-write-wins level, stored as `f64` bits in an atomic cell.
+///
+/// # Concurrency contract
+///
+/// [`Gauge::set`] is a single relaxed atomic store of the value's bit
+/// pattern. Two consequences, both by design:
+///
+/// * **Last write wins.** Concurrent setters race; whichever store lands
+///   last in the cell's modification order is the value readers see, and
+///   there is no ordering guarantee *between* threads about which that is.
+///   A gauge models "the current level" (e.g. `fttt.session.samples_k`);
+///   racing writers are both claiming the level, and either claim is a
+///   valid answer. Use a [`Counter`] when contributions must all survive.
+/// * **Never torn.** The full 8-byte bit pattern is stored atomically, so
+///   a reader gets some value that was actually written — never a mix of
+///   two writes' bytes. `metrics::tests::gauge_concurrent_sets_never_tear`
+///   pins both properties.
 #[derive(Debug)]
 pub struct Gauge(AtomicU64);
 
@@ -205,5 +221,84 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_bounds_are_rejected() {
         let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    /// Golden pin of the bucket boundary semantics over the real ladders:
+    /// a value exactly equal to a bound lands in that bound's `le` bucket
+    /// (Prometheus-style `v <= bound`), and the next representable value
+    /// above it lands in the following bucket.
+    #[test]
+    fn boundary_values_land_in_their_le_bucket_golden() {
+        for ladder in [DURATION_US_BUCKETS, COUNT_BUCKETS] {
+            for (i, &bound) in ladder.iter().enumerate() {
+                let h = Histogram::new(ladder);
+                h.observe(bound);
+                let mut expected = vec![0u64; ladder.len() + 1];
+                expected[i] = 1;
+                assert_eq!(
+                    h.bucket_counts(),
+                    expected,
+                    "value {bound} must land in its own le bucket {i}"
+                );
+                // Epsilon above the bound spills into the next bucket
+                // (the +Inf overflow bucket after the last bound).
+                h.observe(f64::next_up(bound));
+                expected[i + 1] += 1;
+                assert_eq!(
+                    h.bucket_counts(),
+                    expected,
+                    "next_up({bound}) must land in bucket {}",
+                    i + 1
+                );
+            }
+        }
+        // Below the first bound, including zero and negatives: bucket 0.
+        let h = Histogram::new(COUNT_BUCKETS);
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(f64::next_down(1.0));
+        assert_eq!(h.bucket_counts()[0], 3);
+    }
+
+    /// The Gauge concurrency contract (see the type docs): racing `set`
+    /// calls are never torn — every read returns a bit pattern some
+    /// thread actually stored — and the settled value is one writer's
+    /// last write.
+    #[test]
+    fn gauge_concurrent_sets_never_tear() {
+        use std::sync::Arc;
+
+        let gauge = Arc::new(Gauge::new());
+        // Each thread writes a distinctive pattern whose halves would be
+        // recognizably mixed if a store could tear.
+        let written: Vec<f64> = (0..4)
+            .map(|i| f64::from_bits(0x0101_0101_0101_0101 * (i + 1)))
+            .collect();
+        let writers: Vec<_> = written
+            .iter()
+            .map(|&v| {
+                let g = Arc::clone(&gauge);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        g.set(v);
+                    }
+                })
+            })
+            .collect();
+        let valid = {
+            let mut v: Vec<u64> = written.iter().map(|w| w.to_bits()).collect();
+            v.push(0.0_f64.to_bits());
+            v
+        };
+        for _ in 0..10_000 {
+            let seen = gauge.get().to_bits();
+            assert!(valid.contains(&seen), "torn gauge read: {seen:#018x}");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // After all writers finish, the level is some writer's value:
+        // last write wins, and which writer won is unspecified.
+        assert!(valid[..valid.len() - 1].contains(&gauge.get().to_bits()));
     }
 }

@@ -1,0 +1,148 @@
+//! Concurrency contract of the trace journal under real worker threads.
+//!
+//! Drives the ring buffer from `wsn_parallel::par_map_threads` — the same
+//! pool the instrumented hot paths run on — and checks the two invariants
+//! the journal promises:
+//!
+//! * **No torn events.** Every retained event is internally consistent
+//!   (its args were written by exactly one emitter, in full).
+//! * **Exact accounting.** `retained + dropped == emitted`, with no
+//!   sequence number retained twice.
+//!
+//! Lives in its own integration-test binary alongside `global_sink.rs`;
+//! the `spans_through_global_journal` test owns the process-global journal
+//! for its duration (no other test in this binary installs one).
+
+use std::sync::Arc;
+use wsn_parallel::par_map_threads;
+use wsn_telemetry as telemetry;
+use wsn_telemetry::{ArgValue, Journal, TraceKind};
+
+/// Recompute the self-check an emitter encoded into its event args; a torn
+/// or mixed event fails it.
+fn assert_consistent(args: &[(&'static str, ArgValue)]) {
+    let get = |key: &str| {
+        args.iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| match v {
+                ArgValue::U64(n) => *n,
+                other => panic!("unexpected arg type {other:?}"),
+            })
+            .unwrap_or_else(|| panic!("missing arg {key}"))
+    };
+    let i = get("i");
+    assert_eq!(get("i_squared"), i * i, "torn event for i={i}");
+    assert_eq!(get("i_plus_tag"), i + 0xABCD, "torn event for i={i}");
+}
+
+#[test]
+fn ring_holds_under_worker_pool_with_exact_overflow_accounting() {
+    // Capacity far below the emission count so the ring wraps many times
+    // while 8 workers race it.
+    let journal = Arc::new(Journal::with_capacity(256));
+    let items: Vec<u64> = (0..20_000).collect();
+    par_map_threads(8, &items, |_, &i| {
+        journal.record(
+            "test.event",
+            TraceKind::Instant,
+            vec![
+                ("i", ArgValue::U64(i)),
+                ("i_squared", ArgValue::U64(i * i)),
+                ("i_plus_tag", ArgValue::U64(i + 0xABCD)),
+            ],
+        );
+    });
+
+    let log = journal.snapshot();
+    assert_eq!(journal.emitted(), items.len() as u64);
+    assert_eq!(
+        log.events.len() as u64 + log.dropped,
+        journal.emitted(),
+        "retained + dropped must equal emitted exactly"
+    );
+    assert!(
+        log.events.len() <= 256,
+        "retained {} events in a 256-slot ring",
+        log.events.len()
+    );
+    assert!(!log.events.is_empty(), "a wrapped ring still holds events");
+
+    let mut seen = std::collections::HashSet::new();
+    for event in &log.events {
+        assert!(
+            seen.insert(event.seq),
+            "sequence {} retained twice",
+            event.seq
+        );
+        assert_eq!(event.name, "test.event");
+        assert_eq!(event.kind, TraceKind::Instant);
+        assert_consistent(&event.args);
+    }
+}
+
+#[test]
+fn single_threaded_overflow_counter_is_exact() {
+    // Without contention every drop is a ring overwrite, so the counter
+    // is exactly emitted - capacity and the survivors are the newest.
+    let journal = Journal::with_capacity(64);
+    for i in 0..1000u64 {
+        journal.record("solo", TraceKind::Instant, vec![("i", ArgValue::U64(i))]);
+    }
+    let log = journal.snapshot();
+    assert_eq!(log.dropped, 1000 - 64);
+    assert_eq!(log.events.len(), 64);
+    assert_eq!(
+        log.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+        (936..1000).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn spans_through_global_journal() {
+    // The full production path: journal installed process-wide, spans and
+    // instants emitted from pool workers via the crate-level entry points.
+    let journal = Arc::new(Journal::with_capacity(4096));
+    telemetry::install_journal(Arc::clone(&journal));
+    assert!(telemetry::journal_enabled());
+
+    let items: Vec<u64> = (0..200).collect();
+    par_map_threads(4, &items, |_, &i| {
+        let _outer = telemetry::span("test.outer");
+        let _inner = telemetry::span("test.inner");
+        telemetry::trace_instant("test.mark", vec![("i", ArgValue::U64(i))]);
+    });
+
+    let uninstalled = telemetry::uninstall_journal().expect("journal was installed");
+    assert!(Arc::ptr_eq(&uninstalled, &journal));
+    assert!(!telemetry::journal_enabled());
+    // Emission after uninstall is a no-op.
+    telemetry::trace_instant("test.after", vec![]);
+
+    let log = journal.snapshot();
+    assert_eq!(log.dropped, 0, "4096 slots must hold 1000 events");
+    assert_eq!(log.events.len(), items.len() * 5);
+    assert!(log.events.iter().all(|e| e.name != "test.after"));
+
+    // Per thread, each inner span's parent is the outer span opened just
+    // before it on the same thread.
+    let mut open_outer: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut inner_seen = 0;
+    for event in &log.events {
+        match (&event.kind, event.name) {
+            (TraceKind::SpanBegin { id, parent }, "test.outer") => {
+                assert_eq!(*parent, None);
+                open_outer.insert(event.thread, *id);
+            }
+            (TraceKind::SpanBegin { id: _, parent }, "test.inner") => {
+                assert_eq!(
+                    *parent,
+                    open_outer.get(&event.thread).copied(),
+                    "inner span must nest under its thread's outer span"
+                );
+                inner_seen += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(inner_seen, items.len());
+}
