@@ -2,7 +2,12 @@
 //!
 //! Times face-map construction (serial / parallel / adaptive) and matching
 //! throughput at n ∈ {10, 20, 40} against in-binary *scalar reference*
-//! implementations of the seed's code paths:
+//! implementations of the seed's code paths, then match throughput alone
+//! at the scale rows n ∈ {100, 200} (cell 0.5 m, ~4×10⁴ faces each) where
+//! the coarse-to-fine chunk index has to deliver sublinear full-accuracy
+//! matching — `indexed` (steady-state mean) and `indexed_p99` (worst
+//! percentile over a 10×10 grid of probe targets) are gated alongside the
+//! linear scan:
 //!
 //! * build reference — a faithful port of the seed's serial
 //!   `FaceMap::build`: rasterize all rows into per-cell `SignatureVector`
@@ -21,7 +26,7 @@
 //! any regression beyond tolerance — the bench-trajectory gate.
 
 use fttt::facemap::{signature_of, FaceMap};
-use fttt::matching::{match_exhaustive, match_heuristic};
+use fttt::matching::{match_exhaustive, match_heuristic, match_indexed};
 use fttt::sampling::basic_sampling_vector;
 use fttt::vector::{difference_norm_squared, SamplingVector, SignatureVector};
 use fttt_bench::{Cli, Table};
@@ -37,30 +42,42 @@ struct Setup {
     positions: Vec<Point>,
     field: Rect,
     c: f64,
+    cell: f64,
     map: FaceMap,
     vector: SamplingVector,
     truth: Point,
+    /// Sampling vectors from a 10×10 grid of probe targets — the p99
+    /// population (one steady-state query per distinct target position).
+    probes: Vec<SamplingVector>,
 }
 
 /// Same world as `benches/matching.rs` / `benches/facemap_build.rs`.
-fn setup(n: usize, seed: u64) -> Setup {
+fn setup(n: usize, seed: u64, cell: f64) -> Setup {
     let field = Rect::square(100.0);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let deployment = Deployment::random_uniform(n, field, &mut rng);
     let sensor_field = SensorField::new(deployment, 200.0);
     let c = uncertainty_constant(1.0, 4.0, 6.0);
     let positions = sensor_field.deployment().positions();
-    let map = FaceMap::build(&positions, field, c, 1.0);
+    let map = FaceMap::build(&positions, field, c, cell);
     let sampler = GroupSampler::new(PathLossModel::paper_default(), 5);
     let truth = Point::new(47.0, 53.0);
     let group = sampler.sample(&sensor_field, truth, &mut rng);
+    let probes = (0..10)
+        .flat_map(|i| {
+            (0..10).map(move |j| Point::new(5.0 + 10.0 * i as f64, 5.0 + 10.0 * j as f64))
+        })
+        .map(|p| basic_sampling_vector(&sampler.sample(&sensor_field, p, &mut rng)))
+        .collect();
     Setup {
         positions,
         field,
         c,
+        cell,
         map,
         vector: basic_sampling_vector(&group),
         truth,
+        probes,
     }
 }
 
@@ -193,16 +210,46 @@ fn time_interleaved_ms<T>(rounds: usize, fs: &mut [&mut dyn FnMut() -> T]) -> Ve
     best
 }
 
+/// Build timings, present only on the full (small-n) rows — the scale
+/// rows build once, untimed, and gate match throughput alone.
+struct BuildCols {
+    ref_ms: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    adaptive_ms: f64,
+}
+
 struct Row {
     n: usize,
     faces: usize,
-    build_ref_ms: f64,
-    build_serial_ms: f64,
-    build_parallel_ms: f64,
-    build_adaptive_ms: f64,
-    match_ref_us: f64,
+    cell_m: f64,
+    build: Option<BuildCols>,
+    match_ref_us: Option<f64>,
     match_packed_us: f64,
     match_heur_us: f64,
+    match_indexed_us: f64,
+    match_indexed_p99_us: f64,
+}
+
+/// Per-probe minimum-of-rounds single-match timings, 99th percentile, µs.
+/// Each probe is timed individually (no batching) because a percentile of
+/// batch means would launder slow outliers away — the p99 target is about
+/// the worst realistic query, not the average one.
+fn indexed_p99_us(map: &FaceMap, probes: &[SamplingVector], rounds: usize) -> f64 {
+    for v in probes {
+        std::hint::black_box(match_indexed(map, v));
+    }
+    let mut per = vec![f64::INFINITY; probes.len()];
+    for _ in 0..rounds.max(1) {
+        for (best, v) in per.iter_mut().zip(probes) {
+            let t0 = Instant::now();
+            std::hint::black_box(match_indexed(map, v));
+            *best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    per.sort_unstable_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let idx = ((per.len() as f64) * 0.99).ceil() as usize;
+    per[idx.saturating_sub(1).min(per.len() - 1)]
 }
 
 fn main() {
@@ -210,11 +257,16 @@ fn main() {
     let build_rounds = if cli.fast { 2 } else { 24 };
     let match_rounds = if cli.fast { 2 } else { 16 };
     let match_batch = if cli.fast { 10 } else { 30 };
+    // Scale rows: a single linear scan is tens of milliseconds, so small
+    // batches and few rounds keep the snapshot's wall time sane.
+    let big_match_rounds = if cli.fast { 2 } else { 6 };
+    let big_match_batch = if cli.fast { 1 } else { 3 };
+    let p99_rounds = if cli.fast { 1 } else { 3 };
     let threads = wsn_parallel::recommended_threads();
 
     let mut rows = Vec::new();
     let mut table = Table::new(
-        "Packed-kernel performance snapshot (cell = 1 m, 100×100 m²)",
+        "Packed-kernel performance snapshot (100×100 m²; n ≤ 40 @ cell 1 m, n ≥ 100 @ cell 0.5 m)",
         &[
             "n",
             "faces",
@@ -225,30 +277,36 @@ fn main() {
             "match ref (µs)",
             "match packed (µs)",
             "heur warm (µs)",
+            "match idx (µs)",
+            "idx p99 (µs)",
         ],
     );
 
     for n in [10usize, 20, 40] {
-        let s = setup(n, 7);
+        let s = setup(n, 7, 1.0);
         let build = time_interleaved_ms(
             build_rounds,
             &mut [
                 &mut || {
-                    scalar_reference_build(&s.positions, s.field, s.c, 1.0);
+                    scalar_reference_build(&s.positions, s.field, s.c, s.cell);
                 },
                 &mut || {
-                    FaceMap::build(&s.positions, s.field, s.c, 1.0);
+                    FaceMap::build(&s.positions, s.field, s.c, s.cell);
                 },
                 &mut || {
-                    FaceMap::build_with_threads(&s.positions, s.field, s.c, 1.0, threads);
+                    FaceMap::build_with_threads(&s.positions, s.field, s.c, s.cell, threads);
                 },
                 &mut || {
                     FaceMap::build_adaptive(&s.positions, s.field, s.c, 4.0, 4, threads);
                 },
             ],
         );
-        let (build_ref_ms, build_serial_ms, build_parallel_ms, build_adaptive_ms) =
-            (build[0], build[1], build[2], build[3]);
+        let build_cols = BuildCols {
+            ref_ms: build[0],
+            serial_ms: build[1],
+            parallel_ms: build[2],
+            adaptive_ms: build[3],
+        };
 
         // Matches are microsecond-scale, so each timed round is a batch.
         let warm = s.map.face_at(s.truth).unwrap();
@@ -271,32 +329,103 @@ fn main() {
                         std::hint::black_box(match_heuristic(&s.map, &s.vector, warm));
                     }
                 },
+                &mut || {
+                    for _ in 0..match_batch {
+                        std::hint::black_box(match_indexed(&s.map, &s.vector));
+                    }
+                },
             ],
         );
-        let (match_ref_us, match_packed_us, match_heur_us) =
-            (batch(matches[0]), batch(matches[1]), batch(matches[2]));
+        let (match_ref_us, match_packed_us, match_heur_us, match_indexed_us) = (
+            batch(matches[0]),
+            batch(matches[1]),
+            batch(matches[2]),
+            batch(matches[3]),
+        );
+        let match_indexed_p99_us = indexed_p99_us(&s.map, &s.probes, p99_rounds);
 
         table.row(&[
             n.to_string(),
             s.map.face_count().to_string(),
-            format!("{build_ref_ms:.1}"),
-            format!("{build_serial_ms:.1}"),
-            format!("{build_parallel_ms:.1}"),
-            format!("{build_adaptive_ms:.1}"),
+            format!("{:.1}", build_cols.ref_ms),
+            format!("{:.1}", build_cols.serial_ms),
+            format!("{:.1}", build_cols.parallel_ms),
+            format!("{:.1}", build_cols.adaptive_ms),
             format!("{match_ref_us:.1}"),
             format!("{match_packed_us:.1}"),
             format!("{match_heur_us:.1}"),
+            format!("{match_indexed_us:.1}"),
+            format!("{match_indexed_p99_us:.1}"),
         ]);
         rows.push(Row {
             n,
             faces: s.map.face_count(),
-            build_ref_ms,
-            build_serial_ms,
-            build_parallel_ms,
-            build_adaptive_ms,
-            match_ref_us,
+            cell_m: s.cell,
+            build: Some(build_cols),
+            match_ref_us: Some(match_ref_us),
             match_packed_us,
             match_heur_us,
+            match_indexed_us,
+            match_indexed_p99_us,
+        });
+        eprintln!("[perf_snapshot] n = {n} done");
+    }
+
+    // Scale rows: ~4×10⁴ faces each (~10⁵ combined). The build runs once,
+    // untimed; only match throughput is recorded and gated, with the
+    // chunk index expected to hold exhaustive-quality matching under 1 ms
+    // at the 99th percentile.
+    for n in [100usize, 200] {
+        let s = setup(n, 7, 0.5);
+        let warm = s.map.face_at(s.truth).unwrap();
+        let batch = |r: f64| r / big_match_batch as f64 * 1e3;
+        let matches = time_interleaved_ms(
+            big_match_rounds,
+            &mut [
+                &mut || {
+                    for _ in 0..big_match_batch {
+                        std::hint::black_box(match_exhaustive(&s.map, &s.vector));
+                    }
+                },
+                &mut || {
+                    for _ in 0..big_match_batch {
+                        std::hint::black_box(match_heuristic(&s.map, &s.vector, warm));
+                    }
+                },
+                &mut || {
+                    for _ in 0..big_match_batch {
+                        std::hint::black_box(match_indexed(&s.map, &s.vector));
+                    }
+                },
+            ],
+        );
+        let (match_packed_us, match_heur_us, match_indexed_us) =
+            (batch(matches[0]), batch(matches[1]), batch(matches[2]));
+        let match_indexed_p99_us = indexed_p99_us(&s.map, &s.probes, p99_rounds);
+
+        table.row(&[
+            n.to_string(),
+            s.map.face_count().to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{match_packed_us:.1}"),
+            format!("{match_heur_us:.1}"),
+            format!("{match_indexed_us:.1}"),
+            format!("{match_indexed_p99_us:.1}"),
+        ]);
+        rows.push(Row {
+            n,
+            faces: s.map.face_count(),
+            cell_m: s.cell,
+            build: None,
+            match_ref_us: None,
+            match_packed_us,
+            match_heur_us,
+            match_indexed_us,
+            match_indexed_p99_us,
         });
         eprintln!("[perf_snapshot] n = {n} done");
     }
@@ -304,13 +433,23 @@ fn main() {
     table.print();
     println!();
     for r in &rows {
-        println!(
-            "n = {:>2}: build speedup (scalar ref / packed serial) = {:.2}x, \
-             match speedup (scalar ref / packed) = {:.2}x",
-            r.n,
-            r.build_ref_ms / r.build_serial_ms,
-            r.match_ref_us / r.match_packed_us,
-        );
+        if let (Some(b), Some(match_ref)) = (&r.build, r.match_ref_us) {
+            println!(
+                "n = {:>3}: build speedup (scalar ref / packed serial) = {:.2}x, \
+                 match speedup (scalar ref / packed) = {:.2}x",
+                r.n,
+                b.ref_ms / b.serial_ms,
+                match_ref / r.match_packed_us,
+            );
+        } else {
+            println!(
+                "n = {:>3}: indexed speedup (packed scan / indexed) = {:.2}x, \
+                 indexed p99 = {:.1} µs",
+                r.n,
+                r.match_packed_us / r.match_indexed_us,
+                r.match_indexed_p99_us,
+            );
+        }
     }
 
     // The timing loops above ran with NO telemetry sink installed — the
@@ -320,11 +459,12 @@ fn main() {
     let registry = std::sync::Arc::new(wsn_telemetry::Registry::new());
     wsn_telemetry::install(std::sync::Arc::clone(&registry));
     for n in [10usize, 20, 40] {
-        let s = setup(n, 7);
-        FaceMap::build_with_threads(&s.positions, s.field, s.c, 1.0, threads);
+        let s = setup(n, 7, 1.0);
+        FaceMap::build_with_threads(&s.positions, s.field, s.c, s.cell, threads);
         let warm = s.map.face_at(s.truth).unwrap();
         std::hint::black_box(match_exhaustive(&s.map, &s.vector));
         std::hint::black_box(match_heuristic(&s.map, &s.vector, warm));
+        std::hint::black_box(match_indexed(&s.map, &s.vector));
     }
     wsn_telemetry::uninstall();
     let metrics = registry.snapshot();
@@ -400,7 +540,7 @@ fn render_json(
     out.push_str("  \"bench\": \"perf_snapshot\",\n");
     out.push_str("  \"config\": {\n");
     out.push_str("    \"field\": \"100x100 m\",\n");
-    out.push_str("    \"cell_size_m\": 1.0,\n");
+    out.push_str("    \"cell_size_m\": \"per row (`cell_m`): 1.0 for n <= 40, 0.5 for the match-only scale rows\",\n");
     out.push_str("    \"adaptive\": {\"coarse_cell_m\": 4.0, \"refine\": 4},\n");
     out.push_str(&format!("    \"threads\": {threads},\n"));
     out.push_str(&format!("    \"seed\": {seed},\n"));
@@ -416,48 +556,63 @@ fn render_json(
         out.push_str("    {\n");
         out.push_str(&format!("      \"n\": {},\n", r.n));
         out.push_str(&format!("      \"faces\": {},\n", r.faces));
-        out.push_str("      \"build_ms\": {\n");
-        out.push_str(&format!(
-            "        \"scalar_reference\": {:.3},\n",
-            r.build_ref_ms
-        ));
-        out.push_str(&format!(
-            "        \"packed_serial\": {:.3},\n",
-            r.build_serial_ms
-        ));
-        out.push_str(&format!(
-            "        \"packed_parallel\": {:.3},\n",
-            r.build_parallel_ms
-        ));
-        out.push_str(&format!(
-            "        \"packed_adaptive\": {:.3}\n",
-            r.build_adaptive_ms
-        ));
-        out.push_str("      },\n");
+        out.push_str(&format!("      \"cell_m\": {},\n", r.cell_m));
+        // The build and speedup groups exist only on the full rows; the
+        // gate is presence-driven, so match-only scale rows gate match
+        // metrics alone.
+        if let Some(b) = &r.build {
+            out.push_str("      \"build_ms\": {\n");
+            out.push_str(&format!("        \"scalar_reference\": {:.3},\n", b.ref_ms));
+            out.push_str(&format!("        \"packed_serial\": {:.3},\n", b.serial_ms));
+            out.push_str(&format!(
+                "        \"packed_parallel\": {:.3},\n",
+                b.parallel_ms
+            ));
+            out.push_str(&format!(
+                "        \"packed_adaptive\": {:.3}\n",
+                b.adaptive_ms
+            ));
+            out.push_str("      },\n");
+        }
         out.push_str("      \"match_us\": {\n");
-        out.push_str(&format!(
-            "        \"scalar_reference\": {:.3},\n",
-            r.match_ref_us
-        ));
+        if let Some(match_ref) = r.match_ref_us {
+            out.push_str(&format!("        \"scalar_reference\": {match_ref:.3},\n"));
+        }
         out.push_str(&format!(
             "        \"packed_exhaustive\": {:.3},\n",
             r.match_packed_us
         ));
         out.push_str(&format!(
-            "        \"heuristic_warm\": {:.3}\n",
+            "        \"heuristic_warm\": {:.3},\n",
             r.match_heur_us
         ));
-        out.push_str("      },\n");
-        out.push_str("      \"speedup\": {\n");
         out.push_str(&format!(
-            "        \"build_serial\": {:.3},\n",
-            r.build_ref_ms / r.build_serial_ms
+            "        \"indexed\": {:.3},\n",
+            r.match_indexed_us
         ));
         out.push_str(&format!(
-            "        \"match_exhaustive\": {:.3}\n",
-            r.match_ref_us / r.match_packed_us
+            "        \"indexed_p99\": {:.3}\n",
+            r.match_indexed_p99_us
         ));
-        out.push_str("      }\n");
+        out.push_str("      }");
+        if let (Some(b), Some(match_ref)) = (&r.build, r.match_ref_us) {
+            out.push_str(",\n      \"speedup\": {\n");
+            out.push_str(&format!(
+                "        \"build_serial\": {:.3},\n",
+                b.ref_ms / b.serial_ms
+            ));
+            out.push_str(&format!(
+                "        \"match_exhaustive\": {:.3},\n",
+                match_ref / r.match_packed_us
+            ));
+            out.push_str(&format!(
+                "        \"match_indexed\": {:.3}\n",
+                match_ref / r.match_indexed_us
+            ));
+            out.push_str("      }\n");
+        } else {
+            out.push('\n');
+        }
         out.push_str(if i + 1 == rows.len() {
             "    }\n"
         } else {

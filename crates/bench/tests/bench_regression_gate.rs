@@ -22,10 +22,36 @@ fn committed_baseline_passes_against_itself() {
 fn committed_baseline_has_every_gated_metric() {
     // A baseline missing a gated metric would silently weaken the gate;
     // check_core reports such holes as violations, so self-check covers it
-    // — but assert the rows exist at all so an empty artifact can't pass.
+    // — but assert the row *shape* so an empty or truncated artifact
+    // can't pass: the full n = 10/20/40 sweep plus the match-only
+    // N = 100/200 scale rows, and (presence-driven gating) every scale
+    // row must actually carry the indexed metrics it is supposed to pin.
     let doc = baseline();
     let rows = doc.get("results").and_then(JsonValue::as_array).unwrap();
-    assert!(rows.len() >= 3, "expected the n = 10/20/40 sweep rows");
+    let ns: Vec<u64> = rows
+        .iter()
+        .filter_map(|r| r.get("n").and_then(JsonValue::as_u64))
+        .collect();
+    assert_eq!(
+        ns,
+        vec![10, 20, 40, 100, 200],
+        "baseline sweep rows changed"
+    );
+    for row in rows {
+        let n = row.get("n").and_then(JsonValue::as_u64).unwrap();
+        for metric in ["indexed", "indexed_p99"] {
+            assert!(
+                row.get("match_us")
+                    .and_then(|m| m.get(metric))
+                    .and_then(JsonValue::as_f64)
+                    .is_some(),
+                "n={n}: baseline row lacks match_us.{metric}"
+            );
+        }
+        // Scale rows are match-only: they must not accidentally start
+        // gating build timings nobody measured at that size.
+        assert_eq!(row.get("build_ms").is_some(), n <= 40, "n={n}");
+    }
 }
 
 #[test]

@@ -1,0 +1,67 @@
+//! Tier-1 smoke test for the coarse-to-fine face index: on a small but
+//! non-trivial map the index must actually be built, agree bit-for-bit
+//! with the exhaustive matcher (face, similarity, and full tie set), and
+//! finish its probes inside a generous wall-clock budget. The real scale
+//! and latency story lives in `perf_snapshot` (N = 100/200 rows); this
+//! test only guards against the index silently not engaging or turning
+//! pathological, and is sized to stay well under two seconds.
+
+use fttt::matching::{match_exhaustive, match_indexed};
+use fttt::sampling::basic_sampling_vector;
+use fttt::FaceMap;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+use wsn_geometry::{Point, Rect};
+use wsn_network::{Deployment, GroupSampler, SensorField};
+use wsn_signal::{uncertainty_constant, PathLossModel};
+
+#[test]
+fn indexed_match_engages_and_agrees_with_exhaustive_at_n40() {
+    let field = Rect::square(100.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let deployment = Deployment::random_uniform(40, field, &mut rng);
+    let sf = SensorField::new(deployment, 200.0);
+    let c = uncertainty_constant(1.0, 4.0, 6.0);
+    let map = FaceMap::build(&sf.deployment().positions(), field, c, 2.0);
+    assert!(
+        map.planes().has_chunks(),
+        "FaceMap::build must leave the spatial index built"
+    );
+    assert!(
+        map.planes().chunk_count() > 1,
+        "index degenerated to one chunk"
+    );
+
+    let sampler = GroupSampler::new(PathLossModel::paper_default(), 5);
+    let probes: Vec<_> = (0..4)
+        .flat_map(|i| {
+            (0..4).map(move |j| Point::new(12.5 + 25.0 * i as f64, 12.5 + 25.0 * j as f64))
+        })
+        .map(|p| basic_sampling_vector(&sampler.sample(&sf, p, &mut rng)))
+        .collect();
+
+    let t0 = Instant::now();
+    for v in &probes {
+        let ex = match_exhaustive(&map, v);
+        let ix = match_indexed(&map, v);
+        // Exhaustive-quality contract: identical winner, bit-identical
+        // similarity, identical tie set.
+        assert_eq!(ix.face, ex.face);
+        assert_eq!(ix.similarity.to_bits(), ex.similarity.to_bits());
+        assert_eq!(ix.ties, ex.ties);
+        // Sublinearity in its weakest form: the index must have pruned
+        // something, not degenerated into a full scan.
+        assert!(
+            ix.evaluated < map.face_count(),
+            "index evaluated every face ({} of {})",
+            ix.evaluated,
+            map.face_count()
+        );
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "index smoke probes took {elapsed:?}, budget is 2 s"
+    );
+}

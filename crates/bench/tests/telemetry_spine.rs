@@ -5,8 +5,10 @@
 //! test process) so the installed globals can never leak into the
 //! sink-free overhead tests.
 
+use fttt::{match_indexed, FaceMap, SamplingVector};
 use fttt_bench::robustness::{run_custom_schedule, CampaignConfig};
 use std::sync::Arc;
+use wsn_geometry::{Point, Rect};
 use wsn_network::Schedule;
 use wsn_telemetry::{Journal, TraceEvent};
 
@@ -24,6 +26,26 @@ fn campaign_populates_every_telemetry_layer() {
     };
     let schedule = Schedule::parse("outage from=8 until=14").unwrap();
     let rows = run_custom_schedule(&cfg, "outage", &schedule);
+    // Indexed-matcher layer: drive it explicitly so its counters and
+    // journal instants are deterministically present, on top of whatever
+    // the sessions' full-accuracy re-acquisitions contributed.
+    let positions = vec![
+        Point::new(30.0, 30.0),
+        Point::new(70.0, 30.0),
+        Point::new(30.0, 70.0),
+        Point::new(70.0, 70.0),
+    ];
+    let map = FaceMap::build(&positions, Rect::square(100.0), 1.15, 1.0);
+    for f in map.faces().iter().take(3) {
+        let v = SamplingVector::new(
+            f.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
+        );
+        assert_eq!(match_indexed(&map, &v).face, f.id);
+    }
     wsn_telemetry::uninstall();
     wsn_telemetry::uninstall_journal();
     assert_eq!(rows.len(), 2);
@@ -124,6 +146,42 @@ fn campaign_populates_every_telemetry_layer() {
     assert!(!named("fttt.match.heuristic").is_empty());
     assert!(!named("wsn.sampler.grouping").is_empty());
     assert!(!named("wsn.regime.apply").is_empty());
+    // Indexed-matcher layer: counters and journal must tell the same
+    // story — one instant per call, per-event chunk args summing to the
+    // aggregate counters, and the scanned/pruned split exhaustive.
+    let indexed_calls = counter("fttt.match.indexed.calls");
+    assert!(indexed_calls >= 3, "{:?}", snap.counters);
+    assert_eq!(
+        counter("fttt.match.index.chunks_total"),
+        counter("fttt.match.index.chunks_scanned") + counter("fttt.match.index.chunks_pruned"),
+        "every chunk bound is either scanned or pruned"
+    );
+    let index_events = named("fttt.match.index");
+    assert_eq!(
+        index_events.len() as u64,
+        indexed_calls,
+        "every indexed match must journal exactly one instant"
+    );
+    let arg_sum = |key: &str| -> u64 {
+        index_events
+            .iter()
+            .map(|e| {
+                e.args
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map_or(0, |(_, v)| match v {
+                        wsn_telemetry::ArgValue::U64(n) => *n,
+                        _ => 0,
+                    })
+            })
+            .sum()
+    };
+    assert_eq!(arg_sum("chunks"), counter("fttt.match.index.chunks_total"));
+    assert_eq!(
+        arg_sum("scanned"),
+        counter("fttt.match.index.chunks_scanned")
+    );
+    assert_eq!(arg_sum("pruned"), counter("fttt.match.index.chunks_pruned"));
     // And the whole log round-trips through both exporters.
     assert!(log.to_chrome_json().contains("\"traceEvents\""));
     assert!(log.to_jsonl().starts_with("{\"kind\":\"meta\""));

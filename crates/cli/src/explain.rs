@@ -9,6 +9,35 @@
 
 use wsn_telemetry::json::JsonValue;
 
+/// Aggregated `fttt.match.index` activity (the coarse-to-fine matcher's
+/// chunk-pruning instants), either for one round or for a whole trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IndexStats {
+    /// Indexed matches performed.
+    pub matches: u64,
+    /// Chunk bounds computed across those matches.
+    pub chunks: u64,
+    /// Chunks whose faces were actually scanned.
+    pub scanned: u64,
+    /// Chunks pruned wholesale by their envelope lower bound.
+    pub pruned: u64,
+}
+
+impl IndexStats {
+    fn absorb(&mut self, event: &JsonValue) {
+        let args = event.get("args");
+        let u = |key| {
+            args.and_then(|a| a.get(key))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0)
+        };
+        self.matches += 1;
+        self.chunks += u("chunks");
+        self.scanned += u("scanned");
+        self.pruned += u("pruned");
+    }
+}
+
 /// One `fttt.session.round` event, decoded from either trace format.
 #[derive(Debug, Clone)]
 pub struct RoundRecord {
@@ -26,6 +55,9 @@ pub struct RoundRecord {
     pub held: bool,
     pub reacquired: bool,
     pub similarity: Option<f64>,
+    /// Indexed-matcher activity journaled since the previous round event
+    /// (matches run *during* a round precede its closing event).
+    pub index: IndexStats,
 }
 
 /// Everything `explain` pulls out of one trace file.
@@ -35,6 +67,9 @@ pub struct TraceSummary {
     pub rounds: Vec<RoundRecord>,
     /// Dropped-event count from the journal meta, when present.
     pub dropped: Option<u64>,
+    /// Whole-trace indexed-matcher totals (including matches after the
+    /// last round event, which no round can claim).
+    pub index_totals: IndexStats,
     /// Occurrence counts of every other event name in the trace.
     pub other_events: Vec<(String, u64)>,
 }
@@ -76,6 +111,7 @@ fn round_of(event: &JsonValue) -> Option<RoundRecord> {
         held: bool_of(args, "held"),
         reacquired: bool_of(args, "reacquired"),
         similarity: f64_of(args, "similarity"),
+        index: IndexStats::default(),
     })
 }
 
@@ -83,8 +119,19 @@ fn round_of(event: &JsonValue) -> Option<RoundRecord> {
 pub fn load(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
     let mut counts = std::collections::BTreeMap::<String, u64>::new();
+    // Indexed matches run *inside* a round, so their instants precede the
+    // round's closing event in journal order: accumulate until the next
+    // round event claims them. Must happen before the stable sort below —
+    // attribution is positional, not keyed.
+    let mut pending = IndexStats::default();
     let mut note = |event: &JsonValue| {
-        if let Some(r) = round_of(event) {
+        if str_of(event, "name").as_deref() == Some("fttt.match.index") {
+            pending.absorb(event);
+            summary.index_totals.absorb(event);
+            return;
+        }
+        if let Some(mut r) = round_of(event) {
+            r.index = std::mem::take(&mut pending);
             summary.rounds.push(r);
         } else if let Some(name) = str_of(event, "name") {
             *counts.entry(name).or_insert(0) += 1;
@@ -170,6 +217,14 @@ pub fn render(summary: &TraceSummary) -> String {
         if notes.is_empty() {
             continue; // steady-state rounds stay silent
         }
+        // Only on rounds that already have something to say: pruning
+        // effectiveness of the indexed matches that ran inside them.
+        if r.index.matches > 0 {
+            notes.push(format!(
+                "index pruned {}/{} chunks over {} match(es)",
+                r.index.pruned, r.index.chunks, r.index.matches
+            ));
+        }
         // Campaign traces interleave many sessions; break the timeline
         // into per-session blocks so round ordinals read coherently (and
         // only for sessions that have something to say).
@@ -209,6 +264,19 @@ pub fn render(summary: &TraceSummary) -> String {
     }
     if let Some(last) = summary.rounds.last() {
         let _ = writeln!(out, "final status: {}", last.status);
+    }
+    let ix = &summary.index_totals;
+    if ix.matches > 0 {
+        let rate = if ix.chunks > 0 {
+            100.0 * ix.pruned as f64 / ix.chunks as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "indexed matching: {} match(es), pruned {} of {} chunk bounds ({rate:.0}%)",
+            ix.matches, ix.pruned, ix.chunks
+        );
     }
     if let Some(dropped) = summary.dropped {
         if dropped > 0 {
@@ -334,6 +402,99 @@ mod tests {
         assert!(text.contains("— session 3 —"), "{text}");
         assert!(text.contains("— session 9 —"), "{text}");
         assert!(text.contains("2 rounds across 2 session(s)"), "{text}");
+    }
+
+    /// Builds a journal interleaving indexed-match instants with rounds:
+    /// two matches inside round 0 (silent round), one inside round 1 (a
+    /// transition), one after the final round (attributable to no round).
+    fn indexed_trace() -> String {
+        let j = Journal::with_capacity(32);
+        let index_instant = |chunks: u64, scanned: u64| {
+            j.record(
+                "fttt.match.index",
+                TraceKind::Instant,
+                vec![
+                    ("face", ArgValue::U64(3)),
+                    ("evaluated", ArgValue::U64(9)),
+                    ("ties", ArgValue::U64(1)),
+                    ("chunks", ArgValue::U64(chunks)),
+                    ("scanned", ArgValue::U64(scanned)),
+                    ("pruned", ArgValue::U64(chunks - scanned)),
+                    ("tightness", ArgValue::F64(0.8)),
+                ],
+            );
+        };
+        let round = |round: u64, status: &str| {
+            j.record(
+                "fttt.session.round",
+                TraceKind::Round { round },
+                vec![
+                    ("t", ArgValue::F64(round as f64)),
+                    ("status_before", ArgValue::Str("Tracking".into())),
+                    ("status", ArgValue::Str(status.into())),
+                    ("cause", ArgValue::Str("healthy".into())),
+                ],
+            );
+        };
+        index_instant(10, 2);
+        index_instant(10, 3);
+        round(0, "Tracking");
+        index_instant(20, 4);
+        round(1, "Degraded");
+        index_instant(8, 8);
+        j.snapshot().to_jsonl()
+    }
+
+    #[test]
+    fn index_instants_attribute_to_their_round_in_journal_order() {
+        let s = load(&indexed_trace()).unwrap();
+        assert_eq!(s.rounds.len(), 2);
+        assert_eq!(
+            s.rounds[0].index,
+            IndexStats {
+                matches: 2,
+                chunks: 20,
+                scanned: 5,
+                pruned: 15
+            }
+        );
+        assert_eq!(
+            s.rounds[1].index,
+            IndexStats {
+                matches: 1,
+                chunks: 20,
+                scanned: 4,
+                pruned: 16
+            }
+        );
+        // Totals also cover the trailing match no round could claim.
+        assert_eq!(
+            s.index_totals,
+            IndexStats {
+                matches: 4,
+                chunks: 48,
+                scanned: 17,
+                pruned: 31
+            }
+        );
+        // Index instants are rendered as index stats, not "other events".
+        assert!(s.other_events.is_empty(), "{:?}", s.other_events);
+    }
+
+    #[test]
+    fn render_shows_pruning_effectiveness() {
+        let text = render(&load(&indexed_trace()).unwrap());
+        // Round 0 is steady-state: silent, even with index activity.
+        assert!(!text.contains("round    0"), "{text}");
+        // Round 1 transitions and reports its own pruning.
+        assert!(
+            text.contains("index pruned 16/20 chunks over 1 match(es)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("indexed matching: 4 match(es), pruned 31 of 48 chunk bounds (65%)"),
+            "{text}"
+        );
     }
 
     #[test]

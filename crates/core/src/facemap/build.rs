@@ -246,6 +246,43 @@ impl RowRasterizer {
     }
 }
 
+/// Assigns every face to a `(chunk, super-chunk)` pair of the
+/// coarse-to-fine index by the grid cell of its centroid.
+///
+/// The grid is tiled twice with square tiles of raster cells: fine tiles
+/// of `side × side` cells become chunks, coarse tiles of `4·side` become
+/// super-chunks (so each super-chunk covers a 4×4 block of chunks).
+/// Nearby faces have similar signatures (they differ only in the pairs
+/// whose boundary separates them), so spatial tiles give the envelope
+/// summaries their tightness. The fine side targets ~16 faces per chunk
+/// — small enough that a surviving chunk costs only a handful of exact
+/// distance evaluations — while the matcher's full bound sweep happens
+/// at the ~256-face super level, keeping it a fraction of the map.
+///
+/// Deterministic in the map alone: centroids are exact f64 averages that
+/// round-trip bit-for-bit through the codec, so an encoded/decoded map
+/// reproduces the identical assignment.
+fn chunk_assignment(grid: &Grid, faces: &[Face]) -> (Vec<u32>, Vec<u32>) {
+    let cells = grid.cell_count() as f64;
+    let per_cell = faces.len().max(1) as f64 / cells;
+    let side = ((16.0 / per_cell).sqrt().round()).clamp(1.0, 4096.0) as u32;
+    let super_side = side * 4;
+    let cx = grid.nx().div_ceil(side);
+    let sx = grid.nx().div_ceil(super_side);
+    let keys = |tile: u32, stride: u32| {
+        faces
+            .iter()
+            .map(|f| {
+                // A centroid is an average of in-field cell centers, so it
+                // lies in the field; `map_or` keeps this total regardless.
+                grid.index_of(f.centroid)
+                    .map_or(0, |cell| (cell.iy / tile) * stride + cell.ix / tile)
+            })
+            .collect::<Vec<u32>>()
+    };
+    (keys(side, cx), keys(super_side, sx))
+}
+
 /// Word mixer keying the grouping table; full planes are compared on the
 /// rare collisions, so this only needs to spread well.
 fn hash_planes(plus: &[u64], minus: &[u64]) -> u64 {
@@ -574,6 +611,9 @@ impl FaceMap {
             telemetry::counter_add("fttt.build.faces", faces.len() as u64);
             telemetry::counter_add("fttt.build.cells", grid.cell_count() as u64);
         }
+
+        let (chunk_of, super_of) = chunk_assignment(&grid, &faces);
+        planes.build_chunks(&chunk_of, &super_of);
 
         Self {
             grid,
@@ -951,7 +991,7 @@ impl FaceMap {
             neighbors.push(nbs);
         }
 
-        let planes = SignaturePlanes::from_signatures(dim, faces.iter().map(|f| &f.signature));
+        let mut planes = SignaturePlanes::from_signatures(dim, faces.iter().map(|f| &f.signature));
         let mut sig_index = SignatureIndex::default();
         for f in 0..n_faces as u32 {
             let same = |g: u32| planes.components(g as usize) == planes.components(f as usize);
@@ -970,6 +1010,11 @@ impl FaceMap {
                 }
             }
         }
+        // Centroids round-trip exactly through the codec (written as raw
+        // f64 bits), so a decoded map rebuilds the *same* chunk layout as
+        // the one it was encoded from — `SignaturePlanes` stays `Eq`.
+        let (chunk_of, super_of) = chunk_assignment(&grid, &faces);
+        planes.build_chunks(&chunk_of, &super_of);
         Ok(Self {
             grid,
             positions,

@@ -16,6 +16,36 @@ use crate::facemap::{FaceId, FaceMap};
 use crate::vector::{PackedQuery, SamplingVector};
 use wsn_telemetry as telemetry;
 
+/// How a full-accuracy (exhaustive-quality) match is executed.
+///
+/// Both strategies return **bit-identical** outcomes — same winner, same
+/// similarity, same tie set (the `index_differential` suite proves it) —
+/// so callers pick purely on performance. Only
+/// [`MatchOutcome::evaluated`] differs: the index reports the distance
+/// evaluations it actually spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchStrategy {
+    /// Linear scan over every face ([`match_exhaustive`]).
+    Scan,
+    /// Coarse-to-fine descent over the face map's chunk index
+    /// ([`match_indexed`]), pruning whole chunks by their envelope lower
+    /// bound before any face is scanned.
+    #[default]
+    Indexed,
+}
+
+/// Runs a full-accuracy match under the chosen [`MatchStrategy`].
+///
+/// # Panics
+///
+/// Panics if the vector's dimension does not match the map's pair count.
+pub fn match_full(map: &FaceMap, v: &SamplingVector, strategy: MatchStrategy) -> MatchOutcome {
+    match strategy {
+        MatchStrategy::Scan => match_exhaustive(map, v),
+        MatchStrategy::Indexed => match_indexed(map, v),
+    }
+}
+
 /// Result of matching one sampling vector against a face map.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatchOutcome {
@@ -105,6 +135,247 @@ pub fn match_exhaustive(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
         similarity: similarity_of_d2(best_d2),
         ties,
         evaluated: map.face_count(),
+        rounds: 0,
+    }
+}
+
+/// Histogram buckets for fractions in `[0, 1]` (bound tightness).
+const FRACTION_BUCKETS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// A frontier node in the best-first descent: an unexpanded super-chunk
+/// or an unscanned leaf chunk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Super(u32),
+    Leaf(u32),
+}
+
+impl Node {
+    /// Deterministic tie-break key at equal bound: leaves pop before
+    /// supers (a leaf tightens `best_d2` immediately, a super only adds
+    /// more frontier), then ascending id.
+    fn key(self) -> (u8, u32) {
+        match self {
+            Node::Leaf(c) => (0, c),
+            Node::Super(s) => (1, s),
+        }
+    }
+}
+
+/// An entry in the [`BestFirstFrontier`]: totally ordered by ascending
+/// bound, then by [`Node::key`]. Bounds are exact ternary distances —
+/// finite, never NaN — so `total_cmp` agrees with the numeric order.
+struct FrontierEntry {
+    bound: f64,
+    node: Node,
+}
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for FrontierEntry {}
+
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| self.node.key().cmp(&other.node.key()))
+    }
+}
+
+/// Min-priority queue driving the best-first descent in
+/// [`match_indexed`]: pops the frontier node with the smallest lower
+/// bound first, with a deterministic tie order (see [`FrontierEntry`]).
+struct BestFirstFrontier {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<FrontierEntry>>,
+}
+
+impl BestFirstFrontier {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            heap: std::collections::BinaryHeap::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, bound: f64, node: Node) {
+        self.heap
+            .push(std::cmp::Reverse(FrontierEntry { bound, node }));
+    }
+
+    fn pop(&mut self) -> Option<(f64, Node)> {
+        self.heap
+            .pop()
+            .map(|std::cmp::Reverse(e)| (e.bound, e.node))
+    }
+}
+
+/// Coarse-to-fine maximum-likelihood matching over the map's chunk index:
+/// bit-identical to [`match_exhaustive`], usually far cheaper.
+///
+/// The face map groups its faces into a two-level index: small leaf
+/// chunks of nearby grid cells nested under coarser super-chunks, each
+/// level carrying envelope summaries whose
+/// [`chunk_lower_bound`](crate::vector::SignaturePlanes::chunk_lower_bound)
+/// (resp. `super_lower_bound`) provably undercuts every member face's
+/// squared distance. The matcher bounds all super-chunks first (cheap:
+/// there are few), visits them in ascending bound order, and descends a
+/// super-chunk only while its bound does not exceed the best distance
+/// found so far. Inside a descended super-chunk the leaf bounds are
+/// computed on demand, sorted, and faces are scanned exactly only while
+/// the leaf bound also stays within the best — once either level's bound
+/// exceeds it, everything below is pruned wholesale.
+///
+/// Correctness of the prune: at each level candidates are visited in
+/// ascending bound order and skipped only when `bound > best_d2`. Since
+/// the super bound undercuts every member leaf bound, which undercuts
+/// `d²(f)` for each member face, and `best_d2` only decreases, no pruned
+/// face can beat **or tie** the winner, so the winner, its distance, and
+/// the complete tie set are exactly the exhaustive scan's (ties are
+/// re-sorted into face order to make the equality literal).
+///
+/// Extended (Definition 10) queries carry no envelope structure, and maps
+/// without a chunk index have nothing to descend; both fall back to the
+/// plain scan — same outcome, linear cost.
+///
+/// # Panics
+///
+/// Panics if the vector's dimension does not match the map's pair count.
+pub fn match_indexed(map: &FaceMap, v: &SamplingVector) -> MatchOutcome {
+    assert_eq!(
+        v.len(),
+        map.pair_dimension(),
+        "vector/map pair-dimension mismatch"
+    );
+    let planes = map.planes();
+    let q = PackedQuery::new(v);
+    if !q.is_packed_ternary() || !planes.has_chunks() {
+        return match_exhaustive(map, v);
+    }
+    let chunk_count = planes.chunk_count();
+    // Ternary distances and bounds are exact small integers in f64, so
+    // every comparison below is exact. The descent is *globally*
+    // best-first: a single priority queue holds super-chunks and leaf
+    // chunks together, ordered by lower bound. Popping a super-chunk
+    // pushes its leaf bounds; popping a leaf scans its faces exactly.
+    // Because pops come in ascending bound order, the first leaf scanned
+    // is the tightest anywhere in the map — `best_d2` snaps to (near)
+    // the optimum immediately and the rest of the queue dies on the
+    // first pop whose bound exceeds it. Most of the map is pruned
+    // without its leaf bounds (let alone faces) ever being touched.
+    let mut frontier = BestFirstFrontier::with_capacity(planes.super_count() + 16);
+    let mut min_bound = f64::INFINITY;
+    for s in 0..planes.super_count() as u32 {
+        let b = planes.super_lower_bound(s as usize, &q);
+        min_bound = min_bound.min(b);
+        frontier.push(b, Node::Super(s));
+    }
+
+    let mut best_d2 = f64::INFINITY;
+    let mut ties: Vec<FaceId> = Vec::new();
+    let mut evaluated = 0usize;
+    let mut descended = 0u64;
+    let mut scanned = 0u64;
+    while let Some((bound, node)) = frontier.pop() {
+        // Strict inequality: a bound *equal* to the best could still hide
+        // a tie, so such nodes are expanded. Stopping is sound because
+        // every remaining node pops with a bound ≥ this one > best, and
+        // every face under it has d² ≥ that bound.
+        if !ties.is_empty() && bound > best_d2 {
+            break;
+        }
+        match node {
+            Node::Super(s) => {
+                descended += 1;
+                for c in planes.super_chunks(s as usize) {
+                    frontier.push(planes.chunk_lower_bound(c, &q), Node::Leaf(c as u32));
+                }
+            }
+            Node::Leaf(c) => {
+                scanned += 1;
+                for (slot, &f) in planes.chunk_faces(c as usize).iter().enumerate() {
+                    evaluated += 1;
+                    // Early-exit evaluation against the current best,
+                    // streaming the chunk-ordered lane copy of the
+                    // planes: a rejected face provably has d² > best and
+                    // can neither win nor tie, so the outcome stays
+                    // bit-identical to the exhaustive scan.
+                    let Some(d2) = planes.chunk_slot_distance_within(c as usize, slot, &q, best_d2)
+                    else {
+                        continue;
+                    };
+                    if d2 < best_d2 {
+                        best_d2 = d2;
+                        ties.clear();
+                        ties.push(FaceId(f));
+                    } else {
+                        // `d2 ≤ best` and not `<` — an exact tie.
+                        ties.push(FaceId(f));
+                    }
+                }
+            }
+        }
+    }
+    // Chunks interleave face ids, so restore the exhaustive scan's face
+    // order before `ties[0]` picks the winner.
+    ties.sort_unstable();
+    let face = *ties
+        .first()
+        .expect("FaceMap invariant: a built map has at least one face (asserted at construction)");
+    let pruned = chunk_count as u64 - scanned;
+    // How close the cheapest bound came to the true optimum (1 = tight).
+    let tightness = if best_d2 > 0.0 {
+        min_bound / best_d2
+    } else {
+        1.0
+    };
+    if telemetry::enabled() {
+        telemetry::counter_add("fttt.match.indexed.calls", 1);
+        telemetry::counter_add("fttt.match.evaluations", evaluated as u64);
+        telemetry::counter_add("fttt.match.index.chunks_total", chunk_count as u64);
+        telemetry::counter_add("fttt.match.index.chunks_scanned", scanned);
+        telemetry::counter_add("fttt.match.index.chunks_pruned", pruned);
+        telemetry::counter_add("fttt.match.index.supers_descended", descended);
+        telemetry::observe(
+            "fttt.match.index.bound_tightness",
+            FRACTION_BUCKETS,
+            tightness,
+        );
+        telemetry::observe(
+            "fttt.match.tie_width",
+            telemetry::COUNT_BUCKETS,
+            ties.len() as f64,
+        );
+    }
+    if telemetry::journal_enabled() {
+        use telemetry::ArgValue;
+        telemetry::trace_instant(
+            "fttt.match.index",
+            vec![
+                ("face", ArgValue::U64(face.index() as u64)),
+                ("evaluated", ArgValue::U64(evaluated as u64)),
+                ("ties", ArgValue::U64(ties.len() as u64)),
+                ("chunks", ArgValue::U64(chunk_count as u64)),
+                ("scanned", ArgValue::U64(scanned)),
+                ("pruned", ArgValue::U64(pruned)),
+                ("supers", ArgValue::U64(descended)),
+                ("tightness", ArgValue::F64(tightness)),
+            ],
+        );
+    }
+    MatchOutcome {
+        face,
+        similarity: similarity_of_d2(best_d2),
+        ties,
+        evaluated,
         rounds: 0,
     }
 }
@@ -538,6 +809,120 @@ mod tests {
         let out = match_exhaustive(&m, &v);
         assert_eq!(out.ties.len(), m.face_count());
         assert!(out.is_tied());
+    }
+
+    /// Outcome equality on every probe kind the suite uses elsewhere:
+    /// exact signatures, perturbed signatures, and the all-star vector.
+    /// (`index_differential` does this at scale; this is the in-crate
+    /// smoke check.)
+    #[test]
+    fn indexed_matches_exhaustive_outcomes() {
+        let m = map();
+        assert!(m.planes().has_chunks(), "built maps carry a chunk index");
+        let mut probes: Vec<SamplingVector> = m
+            .faces()
+            .iter()
+            .step_by(7)
+            .map(|f| {
+                SamplingVector::new(
+                    f.signature
+                        .components()
+                        .iter()
+                        .map(|&c| Some(c as f64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let f = m.face(m.center_face()).clone();
+        let mut comps: Vec<Option<f64>> = f
+            .signature
+            .components()
+            .iter()
+            .map(|&c| Some(c as f64))
+            .collect();
+        comps[0] = Some(if comps[0] == Some(0.0) { 1.0 } else { 0.0 });
+        comps[5] = None;
+        probes.push(SamplingVector::new(comps));
+        probes.push(SamplingVector::new(vec![None; m.pair_dimension()]));
+        for v in &probes {
+            let ex = match_exhaustive(&m, v);
+            let ix = match_indexed(&m, v);
+            assert_eq!(ix.face, ex.face);
+            assert_eq!(ix.similarity.to_bits(), ex.similarity.to_bits());
+            assert_eq!(ix.ties, ex.ties);
+            assert!(
+                ix.evaluated <= ex.evaluated,
+                "the index never evaluates more faces than the scan"
+            );
+        }
+    }
+
+    /// A unique exact match prunes hard: the winning chunk's bound is 0
+    /// and every other chunk's bound is ≥ 1, so only chunks containing a
+    /// zero-distance candidate are ever scanned.
+    #[test]
+    fn indexed_prunes_on_exact_match() {
+        let m = map();
+        let f = m.face(m.center_face()).clone();
+        let v = SamplingVector::new(
+            f.signature
+                .components()
+                .iter()
+                .map(|&c| Some(c as f64))
+                .collect(),
+        );
+        let out = match_indexed(&m, &v);
+        assert_eq!(out.face, f.id);
+        assert_eq!(out.similarity, f64::INFINITY);
+        assert!(
+            out.evaluated < m.face_count(),
+            "evaluated {} of {} faces — no pruning happened",
+            out.evaluated,
+            m.face_count()
+        );
+    }
+
+    /// Extended (non-ternary) queries carry no envelope structure; the
+    /// indexed entry point must fall back to the scan, not misprune.
+    #[test]
+    fn indexed_extended_query_falls_back_to_scan() {
+        let m = map();
+        // 0.3 is outside {−1, 0, +1}, so the packed query is extended no
+        // matter what any face's signature looks like.
+        let comps: Vec<Option<f64>> = (0..m.pair_dimension())
+            .map(|i| if i % 5 == 2 { None } else { Some(0.3) })
+            .collect();
+        let v = SamplingVector::new(comps);
+        let ex = match_exhaustive(&m, &v);
+        let ix = match_indexed(&m, &v);
+        assert_eq!(ix.face, ex.face);
+        assert_eq!(ix.similarity.to_bits(), ex.similarity.to_bits());
+        assert_eq!(ix.ties, ex.ties);
+        assert_eq!(ix.evaluated, m.face_count(), "fallback scans every face");
+    }
+
+    /// `match_full` is a pure dispatcher.
+    #[test]
+    fn match_full_dispatches_both_strategies() {
+        let m = map();
+        let v = SamplingVector::new(vec![None; m.pair_dimension()]);
+        let scan = match_full(&m, &v, MatchStrategy::Scan);
+        let indexed = match_full(&m, &v, MatchStrategy::Indexed);
+        assert_eq!(scan, match_exhaustive(&m, &v));
+        assert_eq!(indexed, match_indexed(&m, &v));
+        assert_eq!(MatchStrategy::default(), MatchStrategy::Indexed);
+    }
+
+    /// One-face degenerate map through the indexed path.
+    #[test]
+    fn indexed_degenerate_one_face_map() {
+        let far = vec![Point::new(10_000.0, 50.0), Point::new(10_010.0, 50.0)];
+        let m = FaceMap::build(&far, Rect::square(100.0), 1.15, 5.0);
+        assert_eq!(m.face_count(), 1);
+        let v = SamplingVector::new(vec![Some(1.0)]);
+        let out = match_indexed(&m, &v);
+        assert_eq!(out.face, m.faces()[0].id);
+        assert_eq!(out.ties, vec![m.faces()[0].id]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::error::ErrorStats;
 use crate::facemap::{FaceId, FaceMap};
-use crate::matching::{match_exhaustive, match_heuristic, MatchOutcome};
+use crate::matching::{match_full, match_heuristic, MatchOutcome, MatchStrategy};
 use crate::sampling::{basic_sampling_vector, extended_sampling_vector};
 use crate::vector::SamplingVector;
 use rand::Rng;
@@ -43,6 +43,12 @@ pub struct TrackerOptions {
     pub extended: bool,
     /// Matching strategy.
     pub matching: Matching,
+    /// How full-accuracy matches execute — the exhaustive matcher itself,
+    /// the heuristic's fallback/re-acquisition scans, everything that
+    /// must return the exact maximum-likelihood face. Both strategies are
+    /// bit-identical in outcome; [`MatchStrategy::Indexed`] (the default)
+    /// prunes whole chunks of faces by an envelope lower bound first.
+    pub strategy: MatchStrategy,
     /// On similarity ties, report the mean of the tied faces' centroids
     /// (the paper's tie rule) instead of the first face's centroid.
     pub tie_average: bool,
@@ -55,6 +61,7 @@ impl Default for TrackerOptions {
         Self {
             extended: false,
             matching: Matching::Exhaustive,
+            strategy: MatchStrategy::default(),
             tie_average: true,
         }
     }
@@ -220,7 +227,7 @@ impl Tracker {
     pub fn localize(&mut self, group: &GroupSampling) -> (Point, MatchOutcome) {
         let v = self.sampling_vector(group);
         let outcome = match self.options.matching {
-            Matching::Exhaustive => match_exhaustive(&self.map, &v),
+            Matching::Exhaustive => match_full(&self.map, &v, self.options.strategy),
             Matching::Heuristic {
                 fallback_below,
                 reacquire_ratio,
@@ -244,7 +251,7 @@ impl Tracker {
                             ],
                         );
                     }
-                    let mut ex = match_exhaustive(&self.map, &v);
+                    let mut ex = match_full(&self.map, &v, self.options.strategy);
                     ex.evaluated += out.evaluated;
                     ex
                 } else {
@@ -258,13 +265,14 @@ impl Tracker {
         (estimate, outcome)
     }
 
-    /// Localizes one grouping sampling with a forced exhaustive scan,
-    /// regardless of the configured matching strategy, and rebases the
-    /// warm start on the result. The session layer's recovery ladder uses
-    /// this when the heuristic climb is suspected of being stranded.
+    /// Localizes one grouping sampling with a forced full-accuracy match
+    /// (under the configured [`MatchStrategy`]), regardless of the
+    /// configured matching mode, and rebases the warm start on the
+    /// result. The session layer's recovery ladder uses this when the
+    /// heuristic climb is suspected of being stranded.
     pub fn reacquire(&mut self, group: &GroupSampling) -> (Point, MatchOutcome) {
         let v = self.sampling_vector(group);
-        let outcome = match_exhaustive(&self.map, &v);
+        let outcome = match_full(&self.map, &v, self.options.strategy);
         self.record_similarity(outcome.similarity);
         self.previous = Some(outcome.face);
         let estimate = self.resolve_estimate(&outcome);

@@ -1,0 +1,102 @@
+//! Best-effort huge-page backing for large, latency-critical arenas.
+//!
+//! The indexed matcher streams hundreds of megabytes of bit-planes and
+//! envelopes; on 4 KiB pages every candidate face costs one or two dTLB
+//! walks, which on this class of machine is comparable to the distance
+//! kernel itself. When the kernel supports it, collapsing the arenas onto
+//! 2 MiB transparent huge pages removes almost all of that overhead.
+//!
+//! Everything here is *advisory*: `advise` asks via `madvise(2)` —
+//! `MADV_HUGEPAGE` to opt the range into transparent huge pages (required
+//! when THP runs in `madvise` mode, as it commonly does) and
+//! `MADV_COLLAPSE` (Linux ≥ 6.1) to collapse the already-populated range
+//! synchronously instead of waiting for `khugepaged`. Failures are
+//! ignored — the mapping keeps working on small pages, just slower — so
+//! the call is safe to make unconditionally. On targets other than
+//! `linux` + `x86_64` it is a no-op.
+//!
+//! No libc dependency: the two `madvise` calls go through a raw syscall
+//! (the workspace's no-new-dependencies rule predates this module).
+// Sanctioned unsafe island, like `vector::simd`: the only unsafe code is
+// an advisory syscall on an address range derived from a live slice.
+#![allow(unsafe_code)]
+
+/// Requests (best-effort) 2 MiB transparent-huge-page backing for the
+/// given slice's memory. No-op on empty slices, foreign targets, and
+/// kernels without THP/`MADV_COLLAPSE`; never fails.
+pub(crate) fn advise<T>(data: &[T]) {
+    let bytes = std::mem::size_of_val(data);
+    if bytes == 0 {
+        return;
+    }
+    imp::advise_range(data.as_ptr().cast(), bytes);
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    /// `madvise(2)` syscall number on `x86_64`.
+    const SYS_MADVISE: usize = 28;
+    /// Opt the range into transparent huge pages.
+    const MADV_HUGEPAGE: usize = 14;
+    /// Synchronously collapse the range onto huge pages (Linux ≥ 6.1).
+    const MADV_COLLAPSE: usize = 25;
+    const PAGE: usize = 4096;
+
+    pub(super) fn advise_range(ptr: *const u8, bytes: usize) {
+        // madvise wants a page-aligned start; shrink the range inward to
+        // the pages fully covered by the allocation so the advice never
+        // touches a neighbouring object's pages.
+        let addr = ptr as usize;
+        let start = addr.next_multiple_of(PAGE);
+        let end = (addr + bytes) & !(PAGE - 1);
+        if start >= end {
+            return;
+        }
+        madvise(start, end - start, MADV_HUGEPAGE);
+        madvise(start, end - start, MADV_COLLAPSE);
+    }
+
+    fn madvise(addr: usize, len: usize, advice: usize) {
+        let mut ret: isize;
+        // SAFETY: madvise is purely advisory for these two advice values
+        // — it never unmaps, remaps, or alters the contents of the range,
+        // and unknown advice values just return EINVAL. The asm clobbers
+        // only what the syscall ABI says it clobbers (rax, rcx, r11).
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MADVISE as isize => ret,
+                in("rdi") addr,
+                in("rsi") len,
+                in("rdx") advice,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        // Best-effort: ENOMEM/EINVAL (old kernel, THP disabled) are fine.
+        let _ = ret;
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    pub(super) fn advise_range(_ptr: *const u8, _bytes: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::advise;
+
+    #[test]
+    fn advise_is_harmless_on_any_slice() {
+        advise::<u64>(&[]);
+        let small = vec![1u64; 8];
+        advise(&small);
+        // Large enough to span huge-page-aligned interior pages; the data
+        // must be untouched afterwards.
+        let big = vec![0xabcd_ef01_2345_6789u64; 1 << 19];
+        advise(&big);
+        assert!(big.iter().all(|&w| w == 0xabcd_ef01_2345_6789));
+    }
+}

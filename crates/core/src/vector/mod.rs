@@ -18,14 +18,21 @@
 //! [`SignaturePlanes`]/[`PackedQuery`] are the packed fast path: face
 //! signatures stored as bit-planes (two `u64` words per 64 pairs) with a
 //! branch-free popcount distance kernel, bit-identical to the scalar
-//! [`difference_norm_squared`] reference.
+//! [`difference_norm_squared`] reference. The ternary kernel dispatches
+//! to runtime-detected SIMD (AVX2/SSE2/NEON; [`active_kernel`],
+//! [`force_kernel`]), and the planes can carry coarse chunk summaries
+//! ([`SignaturePlanes::build_chunks`]) whose envelope lower bound
+//! ([`SignaturePlanes::chunk_lower_bound`]) powers the indexed matcher.
 
+mod hugepages;
 mod planes;
 mod sampling_vec;
 mod signature;
+mod simd;
 mod similarity;
 
 pub use planes::{words_for, PackedQuery, SignaturePlanes};
 pub use sampling_vec::SamplingVector;
 pub use signature::SignatureVector;
+pub use simd::{active_kernel, available_kernels, force_kernel, KernelKind};
 pub use similarity::{difference_norm_squared, similarity};

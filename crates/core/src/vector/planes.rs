@@ -29,7 +29,7 @@
 //!
 //! [`difference_norm_squared`]: crate::vector::difference_norm_squared
 
-use crate::vector::{SamplingVector, SignatureVector};
+use crate::vector::{hugepages, simd, SamplingVector, SignatureVector};
 
 /// Bit-plane arena holding the signatures of every face of a map.
 ///
@@ -49,6 +49,175 @@ pub struct SignaturePlanes {
     plus: Vec<u64>,
     minus: Vec<u64>,
     comps: Vec<i8>,
+    chunks: PlaneChunks,
+}
+
+/// Coarse-to-fine chunk summaries over the face arena: the data behind
+/// [`SignaturePlanes::chunk_lower_bound`] and
+/// [`SignaturePlanes::super_lower_bound`].
+///
+/// A *chunk* is a caller-chosen group of faces and a *super-chunk* a
+/// caller-chosen group of chunks (the face map groups by grid locality at
+/// both granularities, so grouped faces have similar signatures). Each
+/// node at either level stores five per-word envelopes over its faces'
+/// planes (an [`EnvelopeArena`] block):
+///
+/// * `union_plus` / `union_minus` — OR of the faces' plus/minus planes
+///   (bit set ⟺ *some* face has that component `+1`/`−1`),
+/// * `inter_plus` / `inter_minus` — AND of the planes (bit set ⟺ *every*
+///   face has it),
+/// * `inter_known` — AND of `plus | minus` (bit set ⟺ *no* face has a
+///   `0` there).
+///
+/// Together they bound each component's distance contribution from below
+/// for every face of the node at once, which is what lets the indexed
+/// matcher discard whole regions without scanning a single face: a cheap
+/// sweep over the few super-chunk envelopes prunes most of the map, and
+/// fine per-chunk bounds are only ever computed inside the survivors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PlaneChunks {
+    /// Face ids grouped by chunk: chunk `c` owns
+    /// `face_order[starts[c] .. starts[c+1]]`, ascending within a chunk.
+    face_order: Vec<u32>,
+    /// Chunk boundaries into `face_order`; `len = chunk_count + 1`, empty
+    /// when no chunks are built.
+    starts: Vec<u32>,
+    /// Super-chunk boundaries into the *chunk* sequence: super `s` owns
+    /// chunks `super_starts[s] .. super_starts[s+1]`.
+    super_starts: Vec<u32>,
+    /// Per-chunk envelopes, block `c` of the arena.
+    env: EnvelopeArena,
+    /// Per-super-chunk envelopes, block `s` of the arena.
+    super_env: EnvelopeArena,
+    /// Chunk-ordered copy of the face planes: the face at `face_order`
+    /// position `p` stores its plus plane at `lanes[2pw .. 2pw+w]` and
+    /// its minus plane at `lanes[2pw+w .. 2pw+2w]` (`w` = words). Leaf
+    /// scans stream this sequentially instead of hopping through the
+    /// main arena in face-id order — trading one extra copy of the
+    /// planes for hardware-prefetchable candidate evaluation.
+    lanes: Vec<u64>,
+}
+
+impl PlaneChunks {
+    fn count(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    fn super_count(&self) -> usize {
+        self.super_starts.len().saturating_sub(1)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.face_order.capacity() + self.starts.capacity() + self.super_starts.capacity())
+            * std::mem::size_of::<u32>()
+            + self.env.memory_bytes()
+            + self.super_env.memory_bytes()
+            + self.lanes.capacity() * std::mem::size_of::<u64>()
+    }
+
+    fn shrink_to_fit(&mut self) {
+        self.face_order.shrink_to_fit();
+        self.starts.shrink_to_fit();
+        self.super_starts.shrink_to_fit();
+        self.env.shrink_to_fit();
+        self.super_env.shrink_to_fit();
+        self.lanes.shrink_to_fit();
+    }
+
+    /// Asks the OS (best-effort) to back the hot arenas — the lanes and
+    /// both envelope levels — with transparent huge pages. At scale the
+    /// lanes alone span hundreds of megabytes, and the indexed matcher's
+    /// candidate sweeps are dTLB-bound on 4 KiB pages.
+    fn advise_hugepages(&self) {
+        hugepages::advise(&self.lanes);
+        self.env.advise_hugepages();
+        self.super_env.advise_hugepages();
+    }
+
+    /// The chunk-ordered `(plus, minus)` planes of the face at
+    /// `face_order` position `pos`.
+    #[inline]
+    fn lane(&self, pos: usize, words: usize) -> (&[u64], &[u64]) {
+        let base = pos * 2 * words;
+        (
+            &self.lanes[base..base + words],
+            &self.lanes[base + words..base + 2 * words],
+        )
+    }
+}
+
+/// Flat storage for fixed-width envelope blocks (one block per chunk or
+/// super-chunk), kept as five parallel word arrays so the bound kernels
+/// stream them directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct EnvelopeArena {
+    union_plus: Vec<u64>,
+    inter_plus: Vec<u64>,
+    union_minus: Vec<u64>,
+    inter_minus: Vec<u64>,
+    inter_known: Vec<u64>,
+}
+
+impl EnvelopeArena {
+    /// Appends an identity envelope block of `w` words (unions empty,
+    /// intersections full), returning its word base.
+    fn push_block(&mut self, w: usize) -> usize {
+        let base = self.union_plus.len();
+        self.union_plus.resize(base + w, 0);
+        self.union_minus.resize(base + w, 0);
+        self.inter_plus.resize(base + w, !0);
+        self.inter_minus.resize(base + w, !0);
+        self.inter_known.resize(base + w, !0);
+        base
+    }
+
+    /// Folds one face's planes into the block at word `base`.
+    fn absorb(&mut self, base: usize, fp: &[u64], fm: &[u64]) {
+        for k in 0..fp.len() {
+            self.union_plus[base + k] |= fp[k];
+            self.union_minus[base + k] |= fm[k];
+            self.inter_plus[base + k] &= fp[k];
+            self.inter_minus[base + k] &= fm[k];
+            self.inter_known[base + k] &= fp[k] | fm[k];
+        }
+    }
+
+    /// Borrows block `idx` (blocks are `words`-sized) for the kernels.
+    fn block(&self, idx: usize, words: usize) -> simd::ChunkEnvelope<'_> {
+        let (a, b) = (idx * words, (idx + 1) * words);
+        simd::ChunkEnvelope {
+            union_plus: &self.union_plus[a..b],
+            inter_plus: &self.inter_plus[a..b],
+            union_minus: &self.union_minus[a..b],
+            inter_minus: &self.inter_minus[a..b],
+            inter_known: &self.inter_known[a..b],
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.union_plus.capacity()
+            + self.inter_plus.capacity()
+            + self.union_minus.capacity()
+            + self.inter_minus.capacity()
+            + self.inter_known.capacity())
+            * std::mem::size_of::<u64>()
+    }
+
+    fn shrink_to_fit(&mut self) {
+        self.union_plus.shrink_to_fit();
+        self.inter_plus.shrink_to_fit();
+        self.union_minus.shrink_to_fit();
+        self.inter_minus.shrink_to_fit();
+        self.inter_known.shrink_to_fit();
+    }
+
+    fn advise_hugepages(&self) {
+        hugepages::advise(&self.union_plus);
+        hugepages::advise(&self.inter_plus);
+        hugepages::advise(&self.union_minus);
+        hugepages::advise(&self.inter_minus);
+        hugepages::advise(&self.inter_known);
+    }
 }
 
 /// Number of 64-bit words needed for `dim` pair components.
@@ -96,6 +265,7 @@ impl SignaturePlanes {
             plus: Vec::new(),
             minus: Vec::new(),
             comps: Vec::new(),
+            chunks: PlaneChunks::default(),
         }
     }
 
@@ -115,6 +285,7 @@ impl SignaturePlanes {
         self.plus.shrink_to_fit();
         self.minus.shrink_to_fit();
         self.comps.shrink_to_fit();
+        self.chunks.shrink_to_fit();
     }
 
     /// Packs an iterator of signatures (all of dimension `dim`).
@@ -136,6 +307,10 @@ impl SignaturePlanes {
     /// Panics if `sig.len() != self.dim()`.
     pub fn push_signature(&mut self, sig: &SignatureVector) -> usize {
         assert_eq!(sig.len(), self.dim, "signature/plane dimension mismatch");
+        assert!(
+            !self.has_chunks(),
+            "cannot append faces after chunk summaries are built"
+        );
         let base = self.plus.len();
         self.plus.resize(base + self.words, 0);
         self.minus.resize(base + self.words, 0);
@@ -162,6 +337,10 @@ impl SignaturePlanes {
     pub fn push_packed(&mut self, plus: &[u64], minus: &[u64]) -> usize {
         assert_eq!(plus.len(), self.words, "plus plane has wrong word count");
         assert_eq!(minus.len(), self.words, "minus plane has wrong word count");
+        assert!(
+            !self.has_chunks(),
+            "cannot append faces after chunk summaries are built"
+        );
         let pad = self.padding_mask();
         for w in 0..self.words {
             assert_eq!(plus[w] & minus[w], 0, "overlapping signature planes");
@@ -248,10 +427,11 @@ impl SignaturePlanes {
         SignatureVector::from_trusted(self.components(f).to_vec())
     }
 
-    /// Heap bytes held by the arena.
+    /// Heap bytes held by the arena, chunk summaries included.
     pub fn memory_bytes(&self) -> usize {
         (self.plus.capacity() + self.minus.capacity()) * std::mem::size_of::<u64>()
             + self.comps.capacity()
+            + self.chunks.memory_bytes()
     }
 
     /// `*`-aware squared distance `‖V_d − V_s(f)‖²` between a packed
@@ -277,23 +457,23 @@ impl SignaturePlanes {
                 plus,
                 minus,
                 present,
+                active,
             } => {
+                // Exact integer counts, so the SIMD-dispatched kernel is
+                // bit-identical to the scalar word loop regardless of how
+                // lanes group the words — and the sparse gather, which
+                // only skips provably-zero words, is bit-identical to
+                // both.
                 let base = f * self.words;
-                let mut acc = 0u64;
-                for w in 0..self.words {
-                    let gp = self.plus[base + w];
-                    let gm = self.minus[base + w];
-                    let (vp, vm, pr) = (plus[w], minus[w], present[w]);
-                    // Opposite signs: |v − g| = 2 ⟹ contributes 4. Query
-                    // bits are only set on present pairs, so no masking
-                    // with `pr` is needed here.
-                    let opp = (vp & gm) | (vm & gp);
-                    // Exactly one side nonzero: contributes 1. The face
-                    // planes carry bits on `*` pairs too, so mask those.
-                    let one = ((vp | vm) ^ (gp | gm)) & pr;
-                    acc += 4 * u64::from(opp.count_ones()) + u64::from(one.count_ones());
-                }
-                acc as f64
+                let (gp, gm) = (
+                    &self.plus[base..base + self.words],
+                    &self.minus[base..base + self.words],
+                );
+                let d2 = match active {
+                    Some(active) => simd::d2_ternary_sparse(gp, gm, plus, minus, present, active),
+                    None => simd::d2_ternary(gp, gm, plus, minus, present),
+                };
+                d2 as f64
             }
             QueryKind::Extended { vals, mask } => {
                 let row = &self.comps[f * self.dim..(f + 1) * self.dim];
@@ -308,6 +488,313 @@ impl SignaturePlanes {
                 acc
             }
         }
+    }
+
+    /// Builds the two-level chunk summaries from per-face keys: face `f`
+    /// belongs to chunk `(super_of[f], chunk_of[f])` and that chunk to
+    /// super-chunk `super_of[f]`. Keys need not be dense — chunks are
+    /// compacted in ascending `(super, chunk)` key order (so a super's
+    /// chunks are contiguous), faces ascending within a chunk. Freezes
+    /// the arena: no more faces can be appended afterwards.
+    ///
+    /// Deterministic: the same faces and assignments always produce the
+    /// same summaries, so structures rebuilt from a codec round-trip
+    /// compare equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either assignment's length differs from `face_count()`
+    /// or if chunks were already built.
+    pub fn build_chunks(&mut self, chunk_of: &[u32], super_of: &[u32]) {
+        assert_eq!(
+            chunk_of.len(),
+            self.faces,
+            "chunk assignment must cover every face"
+        );
+        assert_eq!(
+            super_of.len(),
+            self.faces,
+            "super-chunk assignment must cover every face"
+        );
+        assert!(!self.has_chunks(), "chunk summaries already built");
+        if self.faces == 0 {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.faces as u32).collect();
+        order.sort_unstable_by_key(|&f| (super_of[f as usize], chunk_of[f as usize], f));
+
+        let mut ch = PlaneChunks {
+            face_order: order,
+            ..PlaneChunks::default()
+        };
+        ch.starts.push(0);
+        ch.super_starts.push(0);
+        let w = self.words;
+        let n = ch.face_order.len();
+        let mut i = 0usize;
+        while i < n {
+            let skey = super_of[ch.face_order[i] as usize];
+            let sbase = ch.super_env.push_block(w);
+            while i < n && super_of[ch.face_order[i] as usize] == skey {
+                let ckey = chunk_of[ch.face_order[i] as usize];
+                let cbase = ch.env.push_block(w);
+                while i < n
+                    && super_of[ch.face_order[i] as usize] == skey
+                    && chunk_of[ch.face_order[i] as usize] == ckey
+                {
+                    let f = ch.face_order[i] as usize;
+                    let (fp, fm) = (
+                        &self.plus[f * w..(f + 1) * w],
+                        &self.minus[f * w..(f + 1) * w],
+                    );
+                    ch.env.absorb(cbase, fp, fm);
+                    ch.super_env.absorb(sbase, fp, fm);
+                    ch.lanes.extend_from_slice(fp);
+                    ch.lanes.extend_from_slice(fm);
+                    i += 1;
+                }
+                ch.starts.push(i as u32);
+            }
+            ch.super_starts.push((ch.starts.len() - 1) as u32);
+        }
+        ch.shrink_to_fit();
+        // Addresses are final after the shrink; ask for huge-page backing
+        // of everything the matcher streams per query (the chunk-ordered
+        // lanes, both envelope levels, and the main plane arenas, which
+        // the bound/eval kernels still touch for exhaustive fallbacks).
+        ch.advise_hugepages();
+        hugepages::advise(&self.plus);
+        hugepages::advise(&self.minus);
+        self.chunks = ch;
+    }
+
+    /// `true` once [`build_chunks`](SignaturePlanes::build_chunks) ran
+    /// (and the arena holds at least one face).
+    #[inline]
+    pub fn has_chunks(&self) -> bool {
+        !self.chunks.starts.is_empty()
+    }
+
+    /// Number of chunks (0 before
+    /// [`build_chunks`](SignaturePlanes::build_chunks)).
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.count()
+    }
+
+    /// Face indices of chunk `c`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn chunk_faces(&self, c: usize) -> &[u32] {
+        let (a, b) = (self.chunks.starts[c], self.chunks.starts[c + 1]);
+        &self.chunks.face_order[a as usize..b as usize]
+    }
+
+    /// Provable lower bound on [`distance_squared`] over **every** face of
+    /// chunk `c`: `chunk_lower_bound(c, q) ≤ d²(f, q)` for all `f` in the
+    /// chunk. Exact (equal to the distance) when the chunk holds one face.
+    ///
+    /// Per component the bound takes the minimum possible contribution
+    /// across the chunk, certified by the envelopes:
+    ///
+    /// * query `+1` — contributes ≥ 4 when every face is `−1` there
+    ///   (`inter_minus`), else ≥ 1 when *no* face is `+1` (`¬union_plus`),
+    ///   else 0 (symmetrically for query `−1`);
+    /// * query `0` (present) — contributes ≥ 1 when no face has a `0`
+    ///   there (`inter_known`);
+    /// * query `*` — contributes 0.
+    ///
+    /// Summing per-component minima can only undercount any single face's
+    /// distance, hence the bound. Extended queries have no envelope
+    /// structure and get the trivial bound `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or the query dimension differs.
+    ///
+    /// [`distance_squared`]: SignaturePlanes::distance_squared
+    pub fn chunk_lower_bound(&self, c: usize, query: &PackedQuery) -> f64 {
+        assert_eq!(query.dim, self.dim, "query/plane dimension mismatch");
+        assert!(
+            c < self.chunk_count(),
+            "chunk index {c} out of range ({} chunks)",
+            self.chunk_count()
+        );
+        Self::envelope_bound(self.chunks.env.block(c, self.words), query)
+    }
+
+    /// Number of super-chunks (0 before
+    /// [`build_chunks`](SignaturePlanes::build_chunks)).
+    #[inline]
+    pub fn super_count(&self) -> usize {
+        self.chunks.super_count()
+    }
+
+    /// Chunk indices owned by super-chunk `s` (always contiguous — chunks
+    /// are laid out grouped by super).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn super_chunks(&self, s: usize) -> std::ops::Range<usize> {
+        self.chunks.super_starts[s] as usize..self.chunks.super_starts[s + 1] as usize
+    }
+
+    /// [`chunk_lower_bound`](SignaturePlanes::chunk_lower_bound) one level
+    /// up: a provable lower bound on [`distance_squared`] over every face
+    /// of every chunk of super-chunk `s`. The super envelope folds the
+    /// same faces, so `super_lower_bound(s, q) ≤ chunk_lower_bound(c, q)`
+    /// for each chunk `c` of `s` — pruning a super-chunk is exactly as
+    /// sound as pruning each of its chunks, at a fraction of the sweep
+    /// cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the query dimension differs.
+    ///
+    /// [`distance_squared`]: SignaturePlanes::distance_squared
+    pub fn super_lower_bound(&self, s: usize, query: &PackedQuery) -> f64 {
+        assert_eq!(query.dim, self.dim, "query/plane dimension mismatch");
+        assert!(
+            s < self.super_count(),
+            "super-chunk index {s} out of range ({} super-chunks)",
+            self.super_count()
+        );
+        Self::envelope_bound(self.chunks.super_env.block(s, self.words), query)
+    }
+
+    /// The envelope bound kernel shared by both index levels.
+    fn envelope_bound(env: simd::ChunkEnvelope<'_>, query: &PackedQuery) -> f64 {
+        match &query.kind {
+            QueryKind::Ternary {
+                plus,
+                minus,
+                present,
+                active,
+            } => {
+                // Exact integer counts again, so the SIMD-dispatched bound
+                // kernel and the sparse gather are bit-identical to the
+                // scalar word loop.
+                let lb = match active {
+                    Some(active) => simd::chunk_bound_sparse(&env, plus, minus, present, active),
+                    None => simd::chunk_bound(&env, plus, minus, present),
+                };
+                lb as f64
+            }
+            QueryKind::Extended { .. } => 0.0,
+        }
+    }
+
+    /// [`distance_squared`](SignaturePlanes::distance_squared) with an
+    /// early exit: returns `Some(d²)` — the exact, bit-identical distance
+    /// — when `d² ≤ cutoff`, and `None` as soon as a partial sum proves
+    /// `d² > cutoff`.
+    ///
+    /// Sound because both accumulations are monotone in the prefix: the
+    /// ternary sum is exact integer addition of nonnegative per-word
+    /// counts, and the extended sum adds nonnegative `f64` terms (round
+    /// to nearest of `a + b` with `b ≥ 0` never drops below `a`). A
+    /// rejected face therefore truly has `d² > cutoff` — it can neither
+    /// win nor tie a best-so-far of `cutoff` — while an accepted face
+    /// reports the same bits the full evaluation would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range or the query dimension differs.
+    pub fn distance_squared_within(
+        &self,
+        f: usize,
+        query: &PackedQuery,
+        cutoff: f64,
+    ) -> Option<f64> {
+        assert_eq!(query.dim, self.dim, "query/plane dimension mismatch");
+        assert!(
+            f < self.faces,
+            "face index {f} out of range ({} faces)",
+            self.faces
+        );
+        match &query.kind {
+            QueryKind::Ternary { .. } => {
+                let base = f * self.words;
+                let (gp, gm) = (
+                    &self.plus[base..base + self.words],
+                    &self.minus[base..base + self.words],
+                );
+                Self::ternary_within(gp, gm, query, cutoff)
+            }
+            QueryKind::Extended { .. } => {
+                let d = self.distance_squared(f, query);
+                (d <= cutoff).then_some(d)
+            }
+        }
+    }
+
+    /// [`distance_squared_within`](SignaturePlanes::distance_squared_within)
+    /// for the face in *slot* `slot` of chunk `c` (its id is
+    /// `chunk_faces(c)[slot]`), read from the chunk-ordered lane copy of
+    /// the planes: consecutive slots are consecutive in memory, so a leaf
+    /// scan streams sequentially instead of gathering faces scattered
+    /// across the main arena. Bit-identical to calling
+    /// `distance_squared_within` on the face id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c`/`slot` is out of range or the query dimension
+    /// differs.
+    pub fn chunk_slot_distance_within(
+        &self,
+        c: usize,
+        slot: usize,
+        query: &PackedQuery,
+        cutoff: f64,
+    ) -> Option<f64> {
+        assert_eq!(query.dim, self.dim, "query/plane dimension mismatch");
+        let faces = self.chunk_faces(c);
+        assert!(
+            slot < faces.len(),
+            "slot {slot} out of range ({} faces in chunk {c})",
+            faces.len()
+        );
+        match &query.kind {
+            QueryKind::Ternary { .. } => {
+                let pos = self.chunks.starts[c] as usize + slot;
+                let (gp, gm) = self.chunks.lane(pos, self.words);
+                Self::ternary_within(gp, gm, query, cutoff)
+            }
+            QueryKind::Extended { .. } => {
+                let d = self.distance_squared(faces[slot] as usize, query);
+                (d <= cutoff).then_some(d)
+            }
+        }
+    }
+
+    /// The early-exit ternary kernel shared by
+    /// [`distance_squared_within`](SignaturePlanes::distance_squared_within)
+    /// and
+    /// [`chunk_slot_distance_within`](SignaturePlanes::chunk_slot_distance_within):
+    /// `gp`/`gm` are the face's plus/minus planes, wherever they are
+    /// stored.
+    fn ternary_within(gp: &[u64], gm: &[u64], query: &PackedQuery, cutoff: f64) -> Option<f64> {
+        let QueryKind::Ternary {
+            plus,
+            minus,
+            present,
+            active,
+        } = &query.kind
+        else {
+            unreachable!("ternary_within requires a ternary query");
+        };
+        // Sparse queries touch so few words that the gathered sum is
+        // cheaper than any partial-sum bookkeeping.
+        if let Some(active) = active {
+            let d = simd::d2_ternary_sparse(gp, gm, plus, minus, present, active) as f64;
+            return (d <= cutoff).then_some(d);
+        }
+        simd::d2_ternary_within(gp, gm, plus, minus, present, cutoff).map(|d| d as f64)
     }
 }
 
@@ -329,6 +816,12 @@ enum QueryKind {
         plus: Vec<u64>,
         minus: Vec<u64>,
         present: Vec<u64>,
+        /// Indices of the words with any present pair, kept only when the
+        /// query is sparse enough (≤ ¼ of the words nonzero) that gathered
+        /// scalar loops beat the dense SIMD sweep. Since `plus`/`minus` ⊆
+        /// `present` and every distance/bound term is masked by a query
+        /// plane, restricting any kernel to these words is exact.
+        active: Option<Vec<u32>>,
     },
     Extended {
         vals: Vec<f64>,
@@ -354,12 +847,23 @@ impl PackedQuery {
                     minus[w] |= u64::from(*c == -1.0) << b;
                 }
             }
+            // Real sampling vectors hear one small node group, so most
+            // words carry no present pair at all; record the nonzero ones
+            // when they are rare enough for gathers to win.
+            let nonzero: Vec<u32> = present
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w != 0)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let active = (nonzero.len() * 4 <= words).then_some(nonzero);
             Self {
                 dim,
                 kind: QueryKind::Ternary {
                     plus,
                     minus,
                     present,
+                    active,
                 },
             }
         } else {
@@ -474,6 +978,120 @@ mod tests {
         let v = SamplingVector::from_ternary(vec![None, None, None]);
         let q = PackedQuery::new(&v);
         assert_eq!(planes.distance_squared(0, &q), 0.0);
+    }
+
+    #[test]
+    fn chunk_lower_bound_never_exceeds_chunk_min_distance() {
+        let dim = 9;
+        let sigs: Vec<SignatureVector> = (0..6)
+            .map(|s| SignatureVector::new((0..dim).map(|i| ((i + s) % 3) as i8 - 1).collect()))
+            .collect();
+        let mut planes = planes_of(&sigs);
+        // Three chunks with sparse keys ({0,1} {2,3} {4,5}) under two
+        // super-chunks ({0..4} and {4,5}).
+        planes.build_chunks(&[7, 7, 2, 2, 40, 40], &[1, 1, 1, 1, 9, 9]);
+        assert!(planes.has_chunks());
+        assert_eq!(planes.chunk_count(), 3);
+        // Keys compact in ascending (super, chunk) order: (1,2) first.
+        assert_eq!(planes.chunk_faces(0), &[2, 3]);
+        assert_eq!(planes.chunk_faces(1), &[0, 1]);
+        assert_eq!(planes.chunk_faces(2), &[4, 5]);
+        assert_eq!(planes.super_count(), 2);
+        assert_eq!(planes.super_chunks(0), 0..2);
+        assert_eq!(planes.super_chunks(1), 2..3);
+        for pat in 0..64u32 {
+            let v = SamplingVector::from_ternary(
+                (0..dim)
+                    .map(|i| match (pat >> (i % 6)) & 1 {
+                        0 => Some(((i % 3) as i8) - 1),
+                        _ => None,
+                    })
+                    .collect(),
+            );
+            let q = PackedQuery::new(&v);
+            for c in 0..planes.chunk_count() {
+                let lb = planes.chunk_lower_bound(c, &q);
+                let min = planes
+                    .chunk_faces(c)
+                    .iter()
+                    .map(|&f| planes.distance_squared(f as usize, &q))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(lb <= min, "chunk {c}: lb {lb} > min d² {min}");
+            }
+            for s in 0..planes.super_count() {
+                let sb = planes.super_lower_bound(s, &q);
+                for c in planes.super_chunks(s) {
+                    assert!(
+                        sb <= planes.chunk_lower_bound(c, &q),
+                        "super {s} bound exceeds chunk {c} bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_chunk_bound_is_exact() {
+        let sigs = vec![
+            SignatureVector::new(vec![1, -1, 0, 1, 0]),
+            SignatureVector::new(vec![0, 1, -1, -1, 1]),
+        ];
+        let mut planes = planes_of(&sigs);
+        planes.build_chunks(&[0, 1], &[0, 0]);
+        let v = SamplingVector::from_ternary(vec![Some(-1), Some(1), Some(0), None, Some(0)]);
+        let q = PackedQuery::new(&v);
+        for c in 0..2 {
+            let f = planes.chunk_faces(c)[0] as usize;
+            assert_eq!(
+                planes.chunk_lower_bound(c, &q),
+                planes.distance_squared(f, &q)
+            );
+        }
+    }
+
+    #[test]
+    fn extended_queries_get_the_trivial_bound() {
+        let sigs = vec![SignatureVector::new(vec![1, -1, 0])];
+        let mut planes = planes_of(&sigs);
+        planes.build_chunks(&[0], &[0]);
+        let q = PackedQuery::new(&SamplingVector::new(vec![Some(0.5), None, Some(-0.25)]));
+        assert_eq!(planes.chunk_lower_bound(0, &q), 0.0);
+    }
+
+    #[test]
+    fn chunk_storage_is_accounted_and_shrunk() {
+        let sigs: Vec<SignatureVector> = (0..4)
+            .map(|s| SignatureVector::new(vec![(s % 3) as i8 - 1; 70]))
+            .collect();
+        let mut planes = planes_of(&sigs);
+        let before = planes.memory_bytes();
+        planes.build_chunks(&[0, 0, 1, 1], &[0, 0, 0, 0]);
+        let with_chunks = planes.memory_bytes();
+        // 2 chunks × 2 words × 5 envelopes × 8 bytes, plus the face order
+        // and boundary arrays.
+        assert!(
+            with_chunks >= before + 2 * 2 * 5 * 8,
+            "chunk arrays unaccounted: {before} -> {with_chunks}"
+        );
+        planes.shrink_to_fit();
+        assert!(planes.memory_bytes() <= with_chunks);
+        assert!(planes.has_chunks(), "shrinking must not drop the chunks");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append faces")]
+    fn pushing_after_chunks_built_is_rejected() {
+        let sig = SignatureVector::new(vec![1, 0, -1]);
+        let mut planes = planes_of(std::slice::from_ref(&sig));
+        planes.build_chunks(&[0], &[0]);
+        planes.push_signature(&sig);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every face")]
+    fn wrong_assignment_length_rejected() {
+        let mut planes = planes_of(&[SignatureVector::new(vec![1, 0, -1])]);
+        planes.build_chunks(&[0, 1], &[0, 1]);
     }
 
     #[test]

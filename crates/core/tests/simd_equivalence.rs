@@ -1,0 +1,147 @@
+//! SIMD/scalar equivalence through the public API: every kernel the host
+//! supports must produce bit-identical distances to the forced scalar
+//! fallback, across dimensions that exercise full SIMD blocks, partial
+//! blocks, and scalar tail words.
+//!
+//! The tests serialize on a mutex because the forced-kernel override is
+//! process-global state.
+
+use fttt::vector::{
+    active_kernel, available_kernels, difference_norm_squared, force_kernel, KernelKind,
+    PackedQuery, SamplingVector, SignaturePlanes, SignatureVector,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
+
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the dispatch pinned to `kind`, restoring auto-detection
+/// afterwards even on panic.
+fn with_kernel<T>(kind: KernelKind, f: impl FnOnce() -> T) -> T {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            force_kernel(None);
+        }
+    }
+    let _reset = Reset;
+    assert!(force_kernel(Some(kind)), "kernel {kind:?} not supported");
+    f()
+}
+
+fn random_signature<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> SignatureVector {
+    SignatureVector::new((0..dim).map(|_| rng.gen_range(-1i8..=1)).collect())
+}
+
+fn random_ternary<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> SamplingVector {
+    SamplingVector::new(
+        (0..dim)
+            .map(|_| match rng.gen_range(0..4) {
+                0 => Some(-1.0),
+                1 => Some(0.0),
+                2 => Some(1.0),
+                _ => None,
+            })
+            .collect(),
+    )
+}
+
+/// Dimensions covering every tail shape of the 4-words-per-AVX2-step
+/// layout: sub-word, exact word multiples, word multiples ± 1, and sizes
+/// leaving 1–3 tail words after the widest SIMD step.
+const DIMS: &[usize] = &[
+    1, 2, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257, 320, 449, 1000,
+];
+
+/// Every available kernel returns bit-identical distances to the scalar
+/// loop, for random faces and queries at every tail shape.
+#[test]
+fn every_kernel_matches_scalar_distances() {
+    for &dim in DIMS {
+        let mut rng = ChaCha8Rng::seed_from_u64(dim as u64);
+        let sigs: Vec<SignatureVector> = (0..6).map(|_| random_signature(dim, &mut rng)).collect();
+        let planes = SignaturePlanes::from_signatures(dim, sigs.iter());
+        let queries: Vec<SamplingVector> = (0..8).map(|_| random_ternary(dim, &mut rng)).collect();
+        let reference: Vec<Vec<f64>> = with_kernel(KernelKind::Scalar, || {
+            queries
+                .iter()
+                .map(|v| {
+                    let q = PackedQuery::new(v);
+                    assert!(q.is_packed_ternary());
+                    (0..planes.face_count())
+                        .map(|f| planes.distance_squared(f, &q))
+                        .collect()
+                })
+                .collect()
+        });
+        // The scalar kernel itself is checked against the f64 reference,
+        // so SIMD == scalar == definitional distance, transitively.
+        for (v, row) in queries.iter().zip(&reference) {
+            for (f, sig) in sigs.iter().enumerate() {
+                assert_eq!(row[f].to_bits(), difference_norm_squared(v, sig).to_bits());
+            }
+        }
+        for kind in available_kernels() {
+            let got: Vec<Vec<f64>> = with_kernel(kind, || {
+                queries
+                    .iter()
+                    .map(|v| {
+                        let q = PackedQuery::new(v);
+                        (0..planes.face_count())
+                            .map(|f| planes.distance_squared(f, &q))
+                            .collect()
+                    })
+                    .collect()
+            });
+            for (qi, (a, b)) in reference.iter().zip(&got).enumerate() {
+                for f in 0..a.len() {
+                    assert_eq!(
+                        a[f].to_bits(),
+                        b[f].to_bits(),
+                        "dim {dim} query {qi} face {f}: {:?} disagrees with scalar ({} vs {})",
+                        kind,
+                        b[f],
+                        a[f]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forcing the scalar fallback is always possible and actually pins the
+/// dispatch — the degraded path stays reachable on any host.
+#[test]
+fn forced_scalar_fallback_is_always_available() {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(available_kernels().contains(&KernelKind::Scalar));
+    assert!(force_kernel(Some(KernelKind::Scalar)));
+    assert_eq!(active_kernel(), KernelKind::Scalar);
+    force_kernel(None);
+    let auto = active_kernel();
+    assert!(
+        available_kernels().contains(&auto),
+        "auto-detected kernel {auto:?} must be one the host supports"
+    );
+}
+
+/// Kernels the host cannot run are refused, leaving the dispatch intact —
+/// `force_kernel` can never set up an illegal-instruction fault.
+#[test]
+fn unsupported_kernels_are_refused_via_public_api() {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let before = active_kernel();
+    for kind in [
+        KernelKind::Scalar,
+        KernelKind::Sse2,
+        KernelKind::Avx2,
+        KernelKind::Neon,
+    ] {
+        let supported = available_kernels().contains(&kind);
+        assert_eq!(force_kernel(Some(kind)), supported);
+        force_kernel(None);
+    }
+    assert_eq!(active_kernel(), before);
+}
