@@ -2,11 +2,33 @@
 //! prints the degradation table, writes `BENCH_robustness.json` and exits
 //! non-zero on any graceful-degradation envelope violation.
 //!
-//! Usage: `fault_campaign [--seed N] [--trials N] [--fast]`
-//! (`--fast` runs the reduced tier-1 smoke workload).
+//! Usage:
+//!
+//! * `fault_campaign [--seed N] [--trials N] [--fast]` — single-process
+//!   run (`--fast` is the reduced tier-1 smoke workload).
+//! * `fault_campaign --shards N` — coordinator mode: spawns `N` child
+//!   processes (one per shard), each running the trial subset
+//!   `trial % N == shard`, merges their shard files and writes the same
+//!   artifact a single-process run would — bit-identical rows and
+//!   campaign checksum, which the coordinator asserts.
+//! * `fault_campaign --shards N --shard-id I` — one worker: writes
+//!   `shard-I-of-N.json` into `--shard-dir` (default `<out>/shards`) and
+//!   exits without touching the merged artifact.
+//! * `fault_campaign --check-determinism [--fast]` — golden-checksum
+//!   gate: recomputes the campaign checksum and compares it against
+//!   `crates/bench/baselines/robustness_checksums.json` (or
+//!   `--checksum-baseline FILE`), exiting 1 on drift without writing any
+//!   artifact.
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use fttt::replay::digest_hex;
+use fttt_bench::replay::{check_checksum, checksum_key};
 use fttt_bench::robustness::{
-    campaign_field_side, check_envelopes, render_json, run_campaign, CampaignConfig,
+    campaign_checksum, campaign_field_side, check_envelopes, parse_shard_json, render_json,
+    render_shard_json, rows_from_stats, run_campaign_stats, CampaignConfig, CampaignKind,
+    CampaignStats, TrialStat,
 };
 use fttt_bench::{Cli, Table};
 
@@ -20,11 +42,197 @@ fn main() {
     if let Some(trials) = cli.trials {
         cfg.trials = trials.max(1);
     }
-    let registry = std::sync::Arc::new(wsn_telemetry::Registry::new());
-    wsn_telemetry::install(std::sync::Arc::clone(&registry));
-    let rows = run_campaign(&cfg);
+    let shard_dir = cli
+        .shard_dir
+        .clone()
+        .unwrap_or_else(|| cli.out.join("shards"));
+
+    if let Some(shard_id) = cli.shard_id {
+        run_shard(&cfg, cli.shards, shard_id, &shard_dir);
+        return;
+    }
+
+    let (stats, metrics) = if cli.shards > 1 {
+        run_coordinator(&cfg, cli.shards, &shard_dir, &cli)
+    } else {
+        let registry = Arc::new(wsn_telemetry::Registry::new());
+        wsn_telemetry::install(Arc::clone(&registry));
+        let stats = run_campaign_stats(&cfg, &CampaignKind::Builtin, 1, 0);
+        wsn_telemetry::uninstall();
+        (stats, registry.snapshot())
+    };
+    let rows = rows_from_stats(&cfg, &stats.cells, &stats.stats);
+    let checksum = campaign_checksum(&cfg, &stats.cells, stats.map_digest, &stats.stats);
+
+    if cli.check_determinism {
+        let path = baseline_path(&cli);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read checksum baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        match check_checksum(&text, &cfg, checksum) {
+            Ok(()) => {
+                println!(
+                    "determinism gate: {} checksum {} matches {}",
+                    checksum_key(&cfg),
+                    digest_hex(checksum),
+                    path.display()
+                );
+                return;
+            }
+            Err(msg) => {
+                eprintln!("determinism gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    print_table(&rows, &cfg);
+    println!("campaign checksum: {}", digest_hex(checksum));
+
+    let violations = check_envelopes(&rows, campaign_field_side(&cfg));
+    let json = render_json(&rows, &cfg, &violations, Some(&metrics), Some(checksum));
+    let path = "BENCH_robustness.json";
+    std::fs::write(path, json).expect("write BENCH_robustness.json");
+    println!("wrote {path}");
+
+    if violations.is_empty() {
+        println!("all graceful-degradation envelopes hold");
+    } else {
+        eprintln!("\n{} envelope violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn shard_file(shard_dir: &Path, shard_id: usize, shards: usize) -> PathBuf {
+    shard_dir.join(format!("shard-{shard_id}-of-{shards}.json"))
+}
+
+/// Worker mode: run one shard's trial subset, write its stats + metrics.
+fn run_shard(cfg: &CampaignConfig, shards: usize, shard_id: usize, shard_dir: &Path) {
+    assert!(
+        shard_id < shards,
+        "--shard-id {shard_id} out of range for --shards {shards}"
+    );
+    let registry = Arc::new(wsn_telemetry::Registry::new());
+    wsn_telemetry::install(Arc::clone(&registry));
+    let stats = run_campaign_stats(cfg, &CampaignKind::Builtin, shards, shard_id);
     wsn_telemetry::uninstall();
-    let metrics = registry.snapshot();
+    std::fs::create_dir_all(shard_dir).expect("create shard dir");
+    let path = shard_file(shard_dir, shard_id, shards);
+    let json = render_shard_json(
+        cfg,
+        shards,
+        shard_id,
+        &stats.stats,
+        stats.map_digest,
+        &registry.snapshot(),
+    );
+    std::fs::write(&path, json).expect("write shard file");
+    println!(
+        "shard {shard_id}/{shards}: {} trials -> {}",
+        stats.stats.len(),
+        path.display()
+    );
+}
+
+/// Coordinator mode: spawn one worker per shard, re-parse their files,
+/// merge, and assert the merge reproduces the single-process checksum
+/// derivation (same cells, same map digest, full trial set).
+fn run_coordinator(
+    cfg: &CampaignConfig,
+    shards: usize,
+    shard_dir: &Path,
+    cli: &Cli,
+) -> (CampaignStats, wsn_telemetry::Snapshot) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut children = Vec::with_capacity(shards);
+    for shard_id in 0..shards {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--seed")
+            .arg(cli.seed.to_string())
+            .arg("--trials")
+            .arg(cfg.trials.to_string())
+            .arg("--shards")
+            .arg(shards.to_string())
+            .arg("--shard-id")
+            .arg(shard_id.to_string())
+            .arg("--shard-dir")
+            .arg(shard_dir);
+        if cli.fast {
+            cmd.arg("--fast");
+        }
+        children.push((shard_id, cmd.spawn().expect("spawn shard worker")));
+    }
+    for (shard_id, child) in &mut children {
+        let status = child.wait().expect("wait for shard worker");
+        assert!(status.success(), "shard {shard_id} failed: {status}");
+    }
+
+    let mut merged: Vec<TrialStat> = Vec::new();
+    let mut metrics = wsn_telemetry::Snapshot::default();
+    let mut map_digest = None;
+    for shard_id in 0..shards {
+        let path = shard_file(shard_dir, shard_id, shards);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let shard =
+            parse_shard_json(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        assert_eq!(
+            shard.config, *cfg,
+            "shard {shard_id} ran a different config than the coordinator"
+        );
+        assert_eq!(
+            shard.shard, shard_id,
+            "shard file claims the wrong shard id"
+        );
+        assert_eq!(
+            shard.shards, shards,
+            "shard file claims the wrong shard count"
+        );
+        match map_digest {
+            None => map_digest = Some(shard.map_digest),
+            Some(d) => assert_eq!(
+                d, shard.map_digest,
+                "shards disagree on the face-map digest — non-deterministic map build"
+            ),
+        }
+        merged.extend(shard.stats);
+        metrics.merge(&shard.metrics);
+    }
+    merged.sort_by_key(|s| (s.cell, s.trial));
+    let cells = fttt_bench::robustness::campaign_cells(&CampaignKind::Builtin);
+    println!("merged {} trials from {shards} shard files", merged.len());
+    (
+        CampaignStats {
+            cells,
+            stats: merged,
+            map_digest: map_digest.expect("at least one shard"),
+        },
+        metrics,
+    )
+}
+
+fn baseline_path(cli: &Cli) -> PathBuf {
+    if let Some(path) = &cli.checksum_baseline {
+        return path.clone();
+    }
+    let repo_relative = PathBuf::from("crates/bench/baselines/robustness_checksums.json");
+    if repo_relative.exists() {
+        return repo_relative;
+    }
+    // Fall back to the compile-time crate location so the gate also works
+    // when invoked from outside the repo root.
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/robustness_checksums.json"
+    ))
+}
+
+fn print_table(rows: &[fttt_bench::robustness::CampaignRow], cfg: &CampaignConfig) {
     let mut table = Table::new(
         format!(
             "Fault campaign ({} trials x {} s, {} nodes, seed {})",
@@ -42,7 +250,7 @@ fn main() {
             "mean k",
         ],
     );
-    for r in &rows {
+    for r in rows {
         table.row(&[
             r.regime.clone(),
             r.fault_rate
@@ -61,20 +269,4 @@ fn main() {
         ]);
     }
     table.print();
-
-    let violations = check_envelopes(&rows, campaign_field_side(&cfg));
-    let json = render_json(&rows, &cfg, &violations, Some(&metrics));
-    let path = "BENCH_robustness.json";
-    std::fs::write(path, json).expect("write BENCH_robustness.json");
-    println!("\nwrote {path}");
-
-    if violations.is_empty() {
-        println!("all graceful-degradation envelopes hold");
-    } else {
-        eprintln!("\n{} envelope violation(s):", violations.len());
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(1);
-    }
 }

@@ -11,6 +11,7 @@
 
 pub mod cli;
 pub mod gate;
+pub mod replay;
 pub mod robustness;
 pub mod scenario;
 pub mod table;

@@ -21,14 +21,32 @@
 //! assertions; the `fault_campaign` binary and the CLI `campaign`
 //! subcommand print the table, write `BENCH_robustness.json` and fail on
 //! any violation.
+//!
+//! # Determinism
+//!
+//! The campaign is a pure function of `(master seed, schedule, config)`:
+//! trial `i` of every cell is seeded with `seed_for(cfg.seed, i)`, each
+//! trial folds its full per-round state (session rounds, regime state,
+//! live-node sets — see [`fttt::replay`]) into a [`TrialStat::digest`],
+//! and the trial digests fold into a campaign [`campaign_checksum`]. The
+//! per-trial records are also the unit of distribution: a shard runs the
+//! trial subset `i % shards == shard_id` of every cell, writes its
+//! [`TrialStat`]s to disk ([`render_shard_json`]), and the coordinator
+//! merges them back ([`parse_shard_json`]) — aggregation always walks the
+//! per-trial stats in `(cell, trial)` order, so single-process and merged
+//! sharded runs produce bit-identical rows and checksums.
 
 use fttt::config::PaperParams;
+use fttt::facemap::FaceMap;
+use fttt::replay::{digest_hex, digest_world, parse_digest_hex, Digest};
 use fttt::session::{SessionOptions, SessionRun, TrackStatus, TrackingSession};
 use fttt::tracker::{Tracker, TrackerOptions};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use wsn_network::{GroupSampler, Schedule};
+use wsn_network::{GroupSampler, Schedule, SensorField};
 use wsn_parallel::{par_map, seed_for};
+use wsn_telemetry as telemetry;
+use wsn_telemetry::json::{format_f64, format_str, JsonValue};
 
 /// Campaign workload parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,26 +135,165 @@ pub struct CampaignRow {
 /// The two session-wrapped trackers under test.
 const METHODS: [(&str, bool); 2] = [("FTTT-basic", false), ("FTTT-ext", true)];
 
+/// Resolves a method label back to its `(label, extended)` pair — the
+/// shard-file parser needs the `&'static str` identity.
+fn method_by_label(label: &str) -> Option<(&'static str, bool)> {
+    METHODS.iter().copied().find(|(name, _)| *name == label)
+}
+
+/// What a campaign runs: the built-in sweep + showcases, or one
+/// user-provided schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignKind {
+    /// The node-failure sweep plus every showcase regime.
+    Builtin,
+    /// Both methods against one schedule (the CLI `--schedule` path).
+    Custom {
+        /// Row label.
+        label: String,
+        /// The schedule text (embedded in the journal header so a replay
+        /// can re-run without the original file).
+        schedule: String,
+    },
+}
+
+/// One campaign cell's static identity, in deterministic campaign order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Index in campaign order (row order of the artifact).
+    pub index: usize,
+    /// Regime label.
+    pub regime: String,
+    /// Method label.
+    pub method: &'static str,
+    /// Extended sampling vectors?
+    pub extended: bool,
+    /// Node-failure rate for sweep cells.
+    pub fault_rate: Option<f64>,
+    /// The cell's schedule, as parseable text.
+    pub schedule_text: String,
+}
+
+/// The cells a campaign kind expands to, in deterministic order.
+///
+/// # Panics
+///
+/// Panics if a custom schedule fails to parse (callers validate first) or
+/// a built-in one does (a bug in this module).
+pub fn campaign_cells(kind: &CampaignKind) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    match kind {
+        CampaignKind::Builtin => {
+            for (method, extended) in METHODS {
+                for rate in SWEEP_RATES {
+                    cells.push(CellSpec {
+                        index: cells.len(),
+                        regime: SWEEP_REGIME.to_string(),
+                        method,
+                        extended,
+                        fault_rate: Some(rate),
+                        schedule_text: format!("static node_failure={rate}"),
+                    });
+                }
+            }
+            for (label, text) in showcase_regimes() {
+                for (method, extended) in METHODS {
+                    cells.push(CellSpec {
+                        index: cells.len(),
+                        regime: label.to_string(),
+                        method,
+                        extended,
+                        fault_rate: None,
+                        schedule_text: text.to_string(),
+                    });
+                }
+            }
+        }
+        CampaignKind::Custom { label, schedule } => {
+            Schedule::parse(schedule).expect("custom schedule must have been validated");
+            for (method, extended) in METHODS {
+                cells.push(CellSpec {
+                    index: cells.len(),
+                    regime: label.clone(),
+                    method,
+                    extended,
+                    fault_rate: None,
+                    schedule_text: schedule.clone(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// One completed trial: the unit the sharded runner ships between
+/// processes and the unit aggregation/checksumming walk. Everything a
+/// [`CampaignRow`] needs survives a JSON round-trip exactly — floats are
+/// written with shortest-round-trip formatting, digests as hex strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStat {
+    /// Cell index into [`campaign_cells`] order.
+    pub cell: usize,
+    /// Trial index within the cell.
+    pub trial: u64,
+    /// The trial's derived RNG seed (`seed_for(cfg.seed, trial)`).
+    pub seed: u64,
+    /// Stable session id (deterministic across processes and threads).
+    pub session: u64,
+    /// Mean geographic error over the trial's rounds, metres.
+    pub mean_error: f64,
+    /// Rounds in the trial.
+    pub rounds: u64,
+    /// Rounds that ended [`TrackStatus::Lost`].
+    pub lost_rounds: u64,
+    /// Rounds that ended [`TrackStatus::Degraded`].
+    pub degraded_rounds: u64,
+    /// The session declared Lost and later returned to Tracking.
+    pub recovered: bool,
+    /// Total sampling times spent across the trial.
+    pub total_samples: u64,
+    /// The trial's replay digest (seed + per-round session state + regime
+    /// state + live-node sets + ground-truth errors).
+    pub digest: u64,
+}
+
 fn campaign_params(cfg: &CampaignConfig) -> PaperParams {
     PaperParams::default()
         .with_nodes(cfg.nodes)
         .with_cell_size(2.0)
 }
 
-/// Runs one seeded session trial against a parsed schedule.
-fn run_session_trial(
-    params: &PaperParams,
-    extended: bool,
-    schedule: &Schedule,
+/// The per-cell immutable context one trial runs against: the campaign's
+/// shared deployment (the face map is built once per campaign and cloned
+/// per trial — the build is deterministic, so this is purely a time
+/// saver) plus the cell's parsed schedule.
+struct TrialEnv<'a> {
+    params: &'a PaperParams,
+    field: &'a SensorField,
+    map: &'a FaceMap,
+    schedule: &'a Schedule,
     duration: f64,
+}
+
+/// Runs one seeded session trial, returning the run plus its replay
+/// digest; `session_id` must be the trial's stable id.
+fn run_session_trial(
+    env: &TrialEnv<'_>,
+    extended: bool,
     seed: u64,
-) -> SessionRun {
+    session_id: u64,
+) -> (SessionRun, u64) {
+    let TrialEnv {
+        params,
+        field,
+        map,
+        schedule,
+        duration,
+    } = *env;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Grid deployment: the campaign compares fault regimes, so the
     // geometry is held fixed and only noise/faults vary per trial.
-    let field = params.grid_field();
     let trace = params.random_trace(duration, &mut rng);
-    let map = params.face_map(&field);
     let options = if extended {
         TrackerOptions {
             extended: true,
@@ -146,81 +303,275 @@ fn run_session_trial(
         TrackerOptions::heuristic()
     };
     let session_options = SessionOptions::new(params.samples_k).with_max_speed(params.max_speed);
-    let mut session = TrackingSession::new(Tracker::new(map, options), session_options);
+    let mut session = TrackingSession::new(Tracker::new(map.clone(), options), session_options)
+        .with_session_id(session_id);
     let mut engine = schedule.engine(field.len());
     let base = params.sampler();
-    session.run(&trace, &mut rng, |k, pos, t, r| {
+    let mut world = Digest::new();
+    let run = session.run(&trace, &mut rng, |k, pos, t, r| {
         let sampler = GroupSampler {
             samples: k,
             ..base.clone()
         };
-        let mut g = sampler.sample(&field, pos, r);
+        let mut g = sampler.sample(field, pos, r);
         engine.apply(t, &mut g, r);
+        digest_world(&mut world, &engine, &g);
         g
-    })
+    });
+    let mut digest = Digest::new();
+    digest.write_u64(seed);
+    digest.write_digest(world);
+    fttt::replay::digest_run(&mut digest, &run);
+    (run, digest.value())
 }
 
-fn aggregate(
-    regime: &str,
-    method: &'static str,
-    fault_rate: Option<f64>,
-    runs: &[SessionRun],
-) -> CampaignRow {
-    let n = runs.len() as f64;
-    let means: Vec<f64> = runs.iter().map(|r| r.error_stats().mean).collect();
-    let frac = |status: TrackStatus| {
-        runs.iter()
-            .map(|r| r.rounds_in(status) as f64 / r.rounds.len() as f64)
-            .sum::<f64>()
-            / n
-    };
-    let lost: Vec<&SessionRun> = runs
-        .iter()
-        .filter(|r| r.rounds_in(TrackStatus::Lost) > 0)
-        .collect();
-    let recovery_rate = if lost.is_empty() {
-        1.0
-    } else {
-        lost.iter().filter(|r| r.recovered_from_lost()).count() as f64 / lost.len() as f64
-    };
-    CampaignRow {
-        regime: regime.to_string(),
-        method,
-        fault_rate,
-        mean_error: means.iter().sum::<f64>() / n,
-        worst_error: means.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
-        lost_fraction: frac(TrackStatus::Lost),
-        degraded_fraction: frac(TrackStatus::Degraded),
-        trials_lost: lost.len(),
-        recovery_rate,
-        mean_samples: runs
-            .iter()
-            .map(|r| r.total_samples() as f64 / r.rounds.len() as f64)
-            .sum::<f64>()
-            / n,
+fn trial_stat_of(
+    cell: &CellSpec,
+    trial: u64,
+    seed: u64,
+    run: &SessionRun,
+    digest: u64,
+) -> TrialStat {
+    TrialStat {
+        cell: cell.index,
+        trial,
+        seed,
+        session: fttt::replay::stable_session_id(&cell.regime, cell.method, cell.fault_rate, trial),
+        mean_error: run.error_stats().mean,
+        rounds: run.rounds.len() as u64,
+        lost_rounds: run.rounds_in(TrackStatus::Lost) as u64,
+        degraded_rounds: run.rounds_in(TrackStatus::Degraded) as u64,
+        recovered: run.recovered_from_lost(),
+        total_samples: run.total_samples() as u64,
+        digest,
     }
 }
 
-/// Runs one campaign cell: `trials` seeded trials of `(schedule, method)`.
-fn run_cell(
+/// The outcome of running (a shard of) a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStats {
+    /// The campaign's cells, in order.
+    pub cells: Vec<CellSpec>,
+    /// Per-trial records, sorted by `(cell, trial)`. A shard holds only
+    /// its trial subset.
+    pub stats: Vec<TrialStat>,
+    /// Digest of the (shared, deterministic) face map.
+    pub map_digest: u64,
+}
+
+/// Runs the trials of every cell whose index satisfies
+/// `trial % shards == shard_id` — `shards = 1, shard_id = 0` is the full
+/// single-process campaign. Emits the campaign header and one per-trial
+/// event into the trace journal when one is installed.
+///
+/// # Panics
+///
+/// Panics if `cfg.trials == 0`, `shard_id >= shards`, or a schedule fails
+/// to parse.
+pub fn run_campaign_stats(
     cfg: &CampaignConfig,
-    params: &PaperParams,
-    regime: &str,
-    method: (&'static str, bool),
-    fault_rate: Option<f64>,
-    schedule: &Schedule,
-) -> CampaignRow {
-    let idx: Vec<u64> = (0..cfg.trials as u64).collect();
-    let runs: Vec<SessionRun> = par_map(&idx, |_, &i| {
-        run_session_trial(
-            params,
-            method.1,
-            schedule,
-            cfg.duration,
-            seed_for(cfg.seed, i),
-        )
-    });
-    aggregate(regime, method.0, fault_rate, &runs)
+    kind: &CampaignKind,
+    shards: usize,
+    shard_id: usize,
+) -> CampaignStats {
+    assert!(cfg.trials > 0, "need at least one trial");
+    assert!(
+        shards > 0 && shard_id < shards,
+        "shard {shard_id}/{shards} out of range"
+    );
+    let params = campaign_params(cfg);
+    let field = params.grid_field();
+    let map = params.face_map(&field);
+    let map_digest = fttt::replay::digest_face_map(&map);
+    let cells = campaign_cells(kind);
+    journal_header(cfg, kind, &cells, map_digest);
+    let mut stats = Vec::with_capacity(cells.len() * cfg.trials.div_ceil(shards));
+    for cell in &cells {
+        let schedule = Schedule::parse(&cell.schedule_text).expect("cell schedule is valid");
+        let env = TrialEnv {
+            params: &params,
+            field: &field,
+            map: &map,
+            schedule: &schedule,
+            duration: cfg.duration,
+        };
+        let idx: Vec<u64> = (0..cfg.trials as u64)
+            .filter(|i| *i as usize % shards == shard_id)
+            .collect();
+        let cell_stats: Vec<TrialStat> = par_map(&idx, |_, &i| {
+            let seed = seed_for(cfg.seed, i);
+            let session =
+                fttt::replay::stable_session_id(&cell.regime, cell.method, cell.fault_rate, i);
+            let (run, digest) = run_session_trial(&env, cell.extended, seed, session);
+            let stat = trial_stat_of(cell, i, seed, &run, digest);
+            journal_trial(cell, &stat);
+            stat
+        });
+        stats.extend(cell_stats);
+    }
+    CampaignStats {
+        cells,
+        stats,
+        map_digest,
+    }
+}
+
+/// Emits the `fttt.campaign.header` journal event: everything a replay
+/// needs to re-run the campaign (config, kind, schedule text, map digest).
+fn journal_header(cfg: &CampaignConfig, kind: &CampaignKind, cells: &[CellSpec], map_digest: u64) {
+    if !telemetry::journal_enabled() {
+        return;
+    }
+    use telemetry::ArgValue;
+    // Full-range u64s travel as hex strings everywhere they are
+    // serialized: JSON numbers are f64, exact only below 2^53, and both
+    // the master seed and the derived trial seeds use all 64 bits.
+    let mut args = vec![
+        ("seed", ArgValue::Str(digest_hex(cfg.seed))),
+        ("trials", ArgValue::U64(cfg.trials as u64)),
+        ("duration_s", ArgValue::F64(cfg.duration)),
+        ("nodes", ArgValue::U64(cfg.nodes as u64)),
+        ("cells", ArgValue::U64(cells.len() as u64)),
+        ("map_digest", ArgValue::Str(digest_hex(map_digest))),
+    ];
+    // "campaign_kind", not "kind": the JSONL event root already carries a
+    // "kind" (the trace-event kind tag) and the replay parser reads both
+    // layers.
+    match kind {
+        CampaignKind::Builtin => args.push(("campaign_kind", ArgValue::Str("builtin".into()))),
+        CampaignKind::Custom { label, schedule } => {
+            args.push(("campaign_kind", ArgValue::Str("custom".into())));
+            args.push(("label", ArgValue::Str(label.clone())));
+            args.push(("schedule", ArgValue::Str(schedule.clone())));
+        }
+    }
+    telemetry::trace_instant("fttt.campaign.header", args);
+}
+
+/// Emits one `fttt.campaign.trial` journal event mapping the trial's
+/// stable session id to its cell identity and replay digest.
+fn journal_trial(cell: &CellSpec, stat: &TrialStat) {
+    if !telemetry::journal_enabled() {
+        return;
+    }
+    use telemetry::ArgValue;
+    let mut args = vec![
+        ("session", ArgValue::U64(stat.session)),
+        ("cell", ArgValue::U64(stat.cell as u64)),
+        ("regime", ArgValue::Str(cell.regime.clone())),
+        ("method", ArgValue::Str(cell.method.into())),
+        ("trial", ArgValue::U64(stat.trial)),
+        ("seed", ArgValue::Str(digest_hex(stat.seed))),
+        ("rounds", ArgValue::U64(stat.rounds)),
+        ("digest", ArgValue::Str(digest_hex(stat.digest))),
+    ];
+    if let Some(rate) = cell.fault_rate {
+        args.push(("fault_rate", ArgValue::F64(rate)));
+    }
+    telemetry::trace_instant("fttt.campaign.trial", args);
+}
+
+/// Aggregates per-trial stats into campaign rows.
+///
+/// Walks the stats in `(cell, trial)` order — sorting first — so the
+/// floating-point reduction order is identical no matter how the stats
+/// were produced (one process, merged shards, any thread count).
+///
+/// # Panics
+///
+/// Panics if any cell is missing trials (an incomplete shard set must not
+/// silently aggregate into wrong rows).
+pub fn rows_from_stats(
+    cfg: &CampaignConfig,
+    cells: &[CellSpec],
+    stats: &[TrialStat],
+) -> Vec<CampaignRow> {
+    let mut stats: Vec<&TrialStat> = stats.iter().collect();
+    stats.sort_by_key(|s| (s.cell, s.trial));
+    let mut rows = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let cell_stats: Vec<&&TrialStat> = stats.iter().filter(|s| s.cell == cell.index).collect();
+        assert_eq!(
+            cell_stats.len(),
+            cfg.trials,
+            "cell {} ({}/{}) has {} trials, campaign wants {} — merged an incomplete shard set?",
+            cell.index,
+            cell.regime,
+            cell.method,
+            cell_stats.len(),
+            cfg.trials
+        );
+        let n = cell_stats.len() as f64;
+        let lost: Vec<&&&TrialStat> = cell_stats.iter().filter(|s| s.lost_rounds > 0).collect();
+        let recovery_rate = if lost.is_empty() {
+            1.0
+        } else {
+            lost.iter().filter(|s| s.recovered).count() as f64 / lost.len() as f64
+        };
+        rows.push(CampaignRow {
+            regime: cell.regime.clone(),
+            method: cell.method,
+            fault_rate: cell.fault_rate,
+            mean_error: cell_stats.iter().map(|s| s.mean_error).sum::<f64>() / n,
+            worst_error: cell_stats
+                .iter()
+                .map(|s| s.mean_error)
+                .fold(f64::NEG_INFINITY, f64::max),
+            lost_fraction: cell_stats
+                .iter()
+                .map(|s| s.lost_rounds as f64 / s.rounds as f64)
+                .sum::<f64>()
+                / n,
+            degraded_fraction: cell_stats
+                .iter()
+                .map(|s| s.degraded_rounds as f64 / s.rounds as f64)
+                .sum::<f64>()
+                / n,
+            trials_lost: lost.len(),
+            recovery_rate,
+            mean_samples: cell_stats
+                .iter()
+                .map(|s| s.total_samples as f64 / s.rounds as f64)
+                .sum::<f64>()
+                / n,
+        });
+    }
+    rows
+}
+
+/// The campaign checksum: a pure function of `(config, cells, map, every
+/// trial digest)` folded in canonical `(cell, trial)` order. Wall-clock
+/// quantities (durations, timestamps, telemetry histograms) are *not*
+/// folded — the checksum pins the simulation, not the machine.
+pub fn campaign_checksum(
+    cfg: &CampaignConfig,
+    cells: &[CellSpec],
+    map_digest: u64,
+    stats: &[TrialStat],
+) -> u64 {
+    let mut d = Digest::new();
+    d.write_u64(cfg.seed);
+    d.write_u64(cfg.trials as u64);
+    d.write_f64(cfg.duration);
+    d.write_u64(cfg.nodes as u64);
+    d.write_u64(map_digest);
+    d.write_u64(cells.len() as u64);
+    for cell in cells {
+        d.write_str(&cell.regime);
+        d.write_str(cell.method);
+        d.write_bool(cell.fault_rate.is_some());
+        d.write_f64(cell.fault_rate.unwrap_or(0.0));
+        d.write_str(&cell.schedule_text);
+    }
+    let mut ordered: Vec<&TrialStat> = stats.iter().collect();
+    ordered.sort_by_key(|s| (s.cell, s.trial));
+    d.write_u64(ordered.len() as u64);
+    for s in ordered {
+        d.write_u64(s.cell as u64);
+        d.write_u64(s.trial);
+        d.write_u64(s.digest);
+    }
+    d.value()
 }
 
 /// Runs the whole campaign: the node-failure sweep then the showcase
@@ -231,49 +582,29 @@ fn run_cell(
 /// Panics if `cfg.trials == 0` or a built-in schedule fails to parse
 /// (which would be a bug in this module).
 pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CampaignRow> {
-    assert!(cfg.trials > 0, "need at least one trial");
-    let params = campaign_params(cfg);
-    let mut rows = Vec::new();
-    for method in METHODS {
-        for rate in SWEEP_RATES {
-            let schedule = Schedule::parse(&format!("static node_failure={rate}"))
-                .expect("sweep schedule is valid");
-            rows.push(run_cell(
-                cfg,
-                &params,
-                SWEEP_REGIME,
-                method,
-                Some(rate),
-                &schedule,
-            ));
-        }
-    }
-    for (label, text) in showcase_regimes() {
-        let schedule = Schedule::parse(text).expect("showcase schedule is valid");
-        for method in METHODS {
-            rows.push(run_cell(cfg, &params, label, method, None, &schedule));
-        }
-    }
-    rows
+    let cs = run_campaign_stats(cfg, &CampaignKind::Builtin, 1, 0);
+    rows_from_stats(cfg, &cs.cells, &cs.stats)
 }
 
 /// Runs both session-wrapped methods against one user-provided schedule
-/// (the CLI `campaign --schedule` path). Row order follows [`METHODS`].
+/// (the CLI `campaign --schedule` path). Row order follows the method
+/// order.
 ///
 /// # Panics
 ///
-/// Panics if `cfg.trials == 0`.
+/// Panics if `cfg.trials == 0` or `schedule_text` does not parse (the CLI
+/// validates it first).
 pub fn run_custom_schedule(
     cfg: &CampaignConfig,
     label: &str,
-    schedule: &Schedule,
+    schedule_text: &str,
 ) -> Vec<CampaignRow> {
-    assert!(cfg.trials > 0, "need at least one trial");
-    let params = campaign_params(cfg);
-    METHODS
-        .iter()
-        .map(|&method| run_cell(cfg, &params, label, method, None, schedule))
-        .collect()
+    let kind = CampaignKind::Custom {
+        label: label.to_string(),
+        schedule: schedule_text.to_string(),
+    };
+    let cs = run_campaign_stats(cfg, &kind, 1, 0);
+    rows_from_stats(cfg, &cs.cells, &cs.stats)
 }
 
 /// Checks the graceful-degradation envelopes; returns one message per
@@ -349,11 +680,19 @@ pub fn campaign_field_side(cfg: &CampaignConfig) -> f64 {
 /// compile-only stub). When a telemetry snapshot is supplied it is
 /// embedded under a `"metrics"` key so `BENCH_robustness.json` carries
 /// the campaign's instrumentation counters alongside the envelopes.
+///
+/// Every float goes through [`wsn_telemetry::json::format_f64`] — the
+/// shortest string that parses back to the exact same bits — so the
+/// replay/diff parser and the sharded merge see the values the run
+/// computed, not a `{:.3}` truncation of them. The campaign checksum is
+/// serialized as a hex *string* (JSON numbers are f64 and lose integer
+/// precision above 2⁵³).
 pub fn render_json(
     rows: &[CampaignRow],
     cfg: &CampaignConfig,
     violations: &[String],
     metrics: Option<&wsn_telemetry::Snapshot>,
+    checksum: Option<u64>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -361,43 +700,59 @@ pub fn render_json(
     out.push_str("  \"config\": {\n");
     out.push_str(&format!("    \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("    \"trials\": {},\n", cfg.trials));
-    out.push_str(&format!("    \"duration_s\": {},\n", cfg.duration));
+    out.push_str(&format!(
+        "    \"duration_s\": {},\n",
+        format_f64(cfg.duration)
+    ));
     out.push_str(&format!("    \"nodes\": {},\n", cfg.nodes));
     out.push_str(&format!(
         "    \"field_side_m\": {},\n",
-        campaign_field_side(cfg)
+        format_f64(campaign_field_side(cfg))
     ));
-    out.push_str(&format!("    \"sweep_rates\": {:?},\n", SWEEP_RATES));
+    let rates: Vec<String> = SWEEP_RATES.iter().map(|r| format_f64(*r)).collect();
+    out.push_str(&format!("    \"sweep_rates\": [{}],\n", rates.join(", ")));
     out.push_str(
         "    \"envelope\": \"mean(rate) <= 3*mean(0) + 12 m; all cells <= 0.55*field_side; \
          blackout must reach Lost and majority-recover\"\n",
     );
     out.push_str("  },\n");
+    if let Some(sum) = checksum {
+        out.push_str(&format!("  \"checksum\": \"{}\",\n", digest_hex(sum)));
+    }
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("    {\n");
-        out.push_str(&format!("      \"regime\": \"{}\",\n", r.regime));
-        out.push_str(&format!("      \"method\": \"{}\",\n", r.method));
+        out.push_str(&format!("      \"regime\": {},\n", format_str(&r.regime)));
+        out.push_str(&format!("      \"method\": {},\n", format_str(r.method)));
         match r.fault_rate {
-            Some(rate) => out.push_str(&format!("      \"fault_rate\": {rate},\n")),
+            Some(rate) => out.push_str(&format!("      \"fault_rate\": {},\n", format_f64(rate))),
             None => out.push_str("      \"fault_rate\": null,\n"),
         }
-        out.push_str(&format!("      \"mean_error_m\": {:.3},\n", r.mean_error));
-        out.push_str(&format!("      \"worst_error_m\": {:.3},\n", r.worst_error));
         out.push_str(&format!(
-            "      \"lost_fraction\": {:.4},\n",
-            r.lost_fraction
+            "      \"mean_error_m\": {},\n",
+            format_f64(r.mean_error)
         ));
         out.push_str(&format!(
-            "      \"degraded_fraction\": {:.4},\n",
-            r.degraded_fraction
+            "      \"worst_error_m\": {},\n",
+            format_f64(r.worst_error)
+        ));
+        out.push_str(&format!(
+            "      \"lost_fraction\": {},\n",
+            format_f64(r.lost_fraction)
+        ));
+        out.push_str(&format!(
+            "      \"degraded_fraction\": {},\n",
+            format_f64(r.degraded_fraction)
         ));
         out.push_str(&format!("      \"trials_lost\": {},\n", r.trials_lost));
         out.push_str(&format!(
-            "      \"recovery_rate\": {:.3},\n",
-            r.recovery_rate
+            "      \"recovery_rate\": {},\n",
+            format_f64(r.recovery_rate)
         ));
-        out.push_str(&format!("      \"mean_samples\": {:.2}\n", r.mean_samples));
+        out.push_str(&format!(
+            "      \"mean_samples\": {}\n",
+            format_f64(r.mean_samples)
+        ));
         out.push_str(if i + 1 == rows.len() {
             "    }\n"
         } else {
@@ -415,6 +770,178 @@ pub fn render_json(
     out.push_str(&format!("  \"pass\": {}\n", violations.is_empty()));
     out.push_str("}\n");
     out
+}
+
+/// Renders one shard's output: config echo, shard coordinates, per-trial
+/// stats and the shard's telemetry snapshot. The coordinator re-parses
+/// this with [`parse_shard_json`] and merges.
+pub fn render_shard_json(
+    cfg: &CampaignConfig,
+    shards: usize,
+    shard_id: usize,
+    stats: &[TrialStat],
+    map_digest: u64,
+    metrics: &wsn_telemetry::Snapshot,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fault_campaign_shard\",\n");
+    out.push_str(&format!("  \"shard\": {shard_id},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str("  \"config\": {\n");
+    // The master seed is a full-range u64: hex string, not a JSON number
+    // (f64 is exact only below 2^53).
+    out.push_str(&format!("    \"seed\": \"{}\",\n", digest_hex(cfg.seed)));
+    out.push_str(&format!("    \"trials\": {},\n", cfg.trials));
+    out.push_str(&format!(
+        "    \"duration_s\": {},\n",
+        format_f64(cfg.duration)
+    ));
+    out.push_str(&format!("    \"nodes\": {}\n", cfg.nodes));
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"map_digest\": \"{}\",\n",
+        digest_hex(map_digest)
+    ));
+    out.push_str("  \"trials\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"cell\": {}, \"trial\": {}, \"seed\": \"{}\", \"session\": {}, \
+             \"mean_error\": {}, \"rounds\": {}, \"lost_rounds\": {}, \
+             \"degraded_rounds\": {}, \"recovered\": {}, \"total_samples\": {}, \
+             \"digest\": \"{}\" }}{}\n",
+            s.cell,
+            s.trial,
+            digest_hex(s.seed),
+            s.session,
+            format_f64(s.mean_error),
+            s.rounds,
+            s.lost_rounds,
+            s.degraded_rounds,
+            s.recovered,
+            s.total_samples,
+            digest_hex(s.digest),
+            if i + 1 == stats.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        metrics.to_json_indented("  ")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// A parsed shard file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFile {
+    /// Which shard wrote it.
+    pub shard: usize,
+    /// Out of how many.
+    pub shards: usize,
+    /// The config the shard ran (must match the coordinator's).
+    pub config: CampaignConfig,
+    /// The shard's face-map digest (must match across shards).
+    pub map_digest: u64,
+    /// The shard's per-trial records.
+    pub stats: Vec<TrialStat>,
+    /// The shard's telemetry snapshot.
+    pub metrics: wsn_telemetry::Snapshot,
+}
+
+fn field_u64(v: &JsonValue, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing integral {key:?}"))
+}
+
+fn field_f64(v: &JsonValue, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric {key:?}"))
+}
+
+/// Parses a [`render_shard_json`] document back.
+pub fn parse_shard_json(text: &str) -> Result<ShardFile, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("shard file: {e}"))?;
+    if doc.get("bench").and_then(JsonValue::as_str) != Some("fault_campaign_shard") {
+        return Err("shard file: not a fault_campaign_shard document".into());
+    }
+    let cfg_doc = doc
+        .get("config")
+        .ok_or_else(|| "shard file: missing \"config\"".to_string())?;
+    let config = CampaignConfig {
+        seed: cfg_doc
+            .get("seed")
+            .and_then(JsonValue::as_str)
+            .and_then(parse_digest_hex)
+            .ok_or_else(|| "shard config: missing hex \"seed\"".to_string())?,
+        trials: field_u64(cfg_doc, "trials", "shard config")? as usize,
+        duration: field_f64(cfg_doc, "duration_s", "shard config")?,
+        nodes: field_u64(cfg_doc, "nodes", "shard config")? as usize,
+    };
+    let map_digest = doc
+        .get("map_digest")
+        .and_then(JsonValue::as_str)
+        .and_then(parse_digest_hex)
+        .ok_or_else(|| "shard file: missing hex \"map_digest\"".to_string())?;
+    let trials = doc
+        .get("trials")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "shard file: missing \"trials\" array".to_string())?;
+    let mut stats = Vec::with_capacity(trials.len());
+    for (i, t) in trials.iter().enumerate() {
+        let ctx = format!("shard trial {i}");
+        stats.push(TrialStat {
+            cell: field_u64(t, "cell", &ctx)? as usize,
+            trial: field_u64(t, "trial", &ctx)?,
+            seed: t
+                .get("seed")
+                .and_then(JsonValue::as_str)
+                .and_then(parse_digest_hex)
+                .ok_or_else(|| format!("{ctx}: missing hex \"seed\""))?,
+            session: field_u64(t, "session", &ctx)?,
+            mean_error: field_f64(t, "mean_error", &ctx)?,
+            rounds: field_u64(t, "rounds", &ctx)?,
+            lost_rounds: field_u64(t, "lost_rounds", &ctx)?,
+            degraded_rounds: field_u64(t, "degraded_rounds", &ctx)?,
+            recovered: t
+                .get("recovered")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("{ctx}: missing boolean \"recovered\""))?,
+            total_samples: field_u64(t, "total_samples", &ctx)?,
+            digest: t
+                .get("digest")
+                .and_then(JsonValue::as_str)
+                .and_then(parse_digest_hex)
+                .ok_or_else(|| format!("{ctx}: missing hex \"digest\""))?,
+        });
+    }
+    let metrics = doc
+        .get("metrics")
+        .ok_or_else(|| "shard file: missing \"metrics\"".to_string())
+        .and_then(wsn_telemetry::Snapshot::from_json_value)?;
+    Ok(ShardFile {
+        shard: field_u64(&doc, "shard", "shard file")? as usize,
+        shards: field_u64(&doc, "shards", "shard file")? as usize,
+        config,
+        map_digest,
+        stats,
+        metrics,
+    })
+}
+
+/// Re-export: labels the shard-merge and replay paths use to resolve
+/// methods.
+pub fn method_labels() -> Vec<&'static str> {
+    METHODS.iter().map(|(label, _)| *label).collect()
+}
+
+/// Looks up whether a method label runs extended vectors (shard/replay
+/// parsers reject unknown labels).
+pub fn method_extended(label: &str) -> Option<bool> {
+    method_by_label(label).map(|(_, extended)| extended)
 }
 
 #[cfg(test)]
@@ -437,10 +964,106 @@ mod tests {
             nodes: 8,
         };
         let params = campaign_params(&cfg);
+        let field = params.grid_field();
+        let map = params.face_map(&field);
         let schedule = Schedule::parse("static node_failure=0.3").unwrap();
-        let a = run_session_trial(&params, false, &schedule, cfg.duration, 123);
-        let b = run_session_trial(&params, false, &schedule, cfg.duration, 123);
-        assert_eq!(a, b);
+        let env = TrialEnv {
+            params: &params,
+            field: &field,
+            map: &map,
+            schedule: &schedule,
+            duration: cfg.duration,
+        };
+        let a = run_session_trial(&env, false, 123, 1);
+        let b = run_session_trial(&env, false, 123, 1);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "trial digests must agree");
+        // A different seed must move the digest.
+        let c = run_session_trial(&env, false, 124, 1);
+        assert_ne!(a.1, c.1, "different seed, same digest — digest is blind");
+    }
+
+    /// The sharding invariant, in miniature: running the trials of every
+    /// cell split across 3 "shards" and merging must reproduce the
+    /// single-process rows bit-for-bit and the same campaign checksum.
+    #[test]
+    fn sharded_stats_merge_to_identical_rows_and_checksum() {
+        let cfg = CampaignConfig {
+            seed: 5,
+            trials: 3,
+            duration: 4.0,
+            nodes: 8,
+        };
+        let kind = CampaignKind::Custom {
+            label: "mini".into(),
+            schedule: "static node_failure=0.2".into(),
+        };
+        let single = run_campaign_stats(&cfg, &kind, 1, 0);
+        let mut merged: Vec<TrialStat> = Vec::new();
+        let mut map_digests = Vec::new();
+        for shard_id in 0..3 {
+            let part = run_campaign_stats(&cfg, &kind, 3, shard_id);
+            assert_eq!(part.cells, single.cells);
+            map_digests.push(part.map_digest);
+            merged.extend(part.stats);
+        }
+        assert!(map_digests.iter().all(|d| *d == single.map_digest));
+        // Shards see disjoint trial subsets that union to the full set.
+        assert_eq!(merged.len(), single.stats.len());
+
+        let rows_single = rows_from_stats(&cfg, &single.cells, &single.stats);
+        let rows_merged = rows_from_stats(&cfg, &single.cells, &merged);
+        assert_eq!(rows_single, rows_merged);
+        assert_eq!(
+            campaign_checksum(&cfg, &single.cells, single.map_digest, &single.stats),
+            campaign_checksum(&cfg, &single.cells, single.map_digest, &merged),
+        );
+    }
+
+    /// Shard files survive the disk round-trip exactly: stats (floats
+    /// included) and metrics parse back equal.
+    #[test]
+    fn shard_json_round_trips_exactly() {
+        let cfg = CampaignConfig {
+            seed: 11,
+            trials: 2,
+            duration: 3.0,
+            nodes: 8,
+        };
+        let kind = CampaignKind::Custom {
+            label: "rt".into(),
+            schedule: "burst enter=0.3 exit=0.3 loss_bad=0.9".into(),
+        };
+        let part = run_campaign_stats(&cfg, &kind, 2, 1);
+        let registry = wsn_telemetry::Registry::new();
+        registry.counter("wsn.regime.activations").add(3);
+        registry.gauge("fttt.session.samples_k").set(0.1 + 0.2);
+        let snap = registry.snapshot();
+        let text = render_shard_json(&cfg, 2, 1, &part.stats, part.map_digest, &snap);
+        let back = parse_shard_json(&text).unwrap();
+        assert_eq!(back.shard, 1);
+        assert_eq!(back.shards, 2);
+        assert_eq!(back.config, cfg);
+        assert_eq!(back.map_digest, part.map_digest);
+        assert_eq!(back.stats, part.stats);
+        assert_eq!(back.metrics, snap);
+    }
+
+    #[test]
+    fn incomplete_merge_is_rejected_loudly() {
+        let cfg = CampaignConfig {
+            seed: 5,
+            trials: 2,
+            duration: 3.0,
+            nodes: 8,
+        };
+        let kind = CampaignKind::Custom {
+            label: "mini".into(),
+            schedule: "static node_failure=0.2".into(),
+        };
+        let part = run_campaign_stats(&cfg, &kind, 2, 0);
+        let result = std::panic::catch_unwind(|| rows_from_stats(&cfg, &part.cells, &part.stats));
+        assert!(result.is_err(), "one shard of two must not aggregate");
     }
 
     #[test]
@@ -486,18 +1109,58 @@ mod tests {
             recovery_rate: 1.0,
             mean_samples: 6.0,
         }];
-        let json = render_json(&rows, &cfg, &[], None);
+        let json = render_json(&rows, &cfg, &[], None, None);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"fault_rate\": null"));
         assert!(json.contains("\"pass\": true"));
         assert!(!json.contains("\"metrics\""));
+        assert!(!json.contains("\"checksum\""));
 
         let registry = wsn_telemetry::Registry::new();
         registry.counter("wsn.regime.activations").add(7);
         let snap = registry.snapshot();
-        let json = render_json(&rows, &cfg, &[], Some(&snap));
+        let json = render_json(&rows, &cfg, &[], Some(&snap), Some(0xdead_beef));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"metrics\""));
         assert!(json.contains("\"wsn.regime.activations\": 7"));
+        assert!(json.contains("\"checksum\": \"0x00000000deadbeef\""));
+    }
+
+    /// The artifact's floats must round-trip exactly through the shared
+    /// JSON parser — the `{:.3}` truncation this replaces could not.
+    #[test]
+    fn artifact_floats_round_trip_exactly() {
+        let cfg = CampaignConfig::fast(1);
+        let mean = 9.123456789012345;
+        let rows = vec![CampaignRow {
+            regime: "burst".into(),
+            method: "FTTT-basic",
+            fault_rate: Some(0.1),
+            mean_error: mean,
+            worst_error: mean * 1.5,
+            lost_fraction: 1.0 / 3.0,
+            degraded_fraction: 0.1 + 0.2,
+            trials_lost: 1,
+            recovery_rate: 2.0 / 3.0,
+            mean_samples: 5.123,
+        }];
+        let json = render_json(&rows, &cfg, &[], None, None);
+        let doc = JsonValue::parse(&json).unwrap();
+        let row = &doc.get("rows").and_then(JsonValue::as_array).unwrap()[0];
+        for (key, want) in [
+            ("mean_error_m", mean),
+            ("worst_error_m", mean * 1.5),
+            ("lost_fraction", 1.0 / 3.0),
+            ("degraded_fraction", 0.1 + 0.2),
+            ("recovery_rate", 2.0 / 3.0),
+            ("mean_samples", 5.123),
+        ] {
+            let got = row.get(key).and_then(JsonValue::as_f64).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{key} mangled: {want} -> {got}"
+            );
+        }
     }
 }

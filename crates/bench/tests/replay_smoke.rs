@@ -1,0 +1,84 @@
+//! Tier-1 replay smoke test: record a tiny campaign's journal, re-run it
+//! from its own header via the replay diff, and require a faithful
+//! round-for-round reproduction — then perturb the seed and require the
+//! diff to reject the recording with the first divergent round named.
+//!
+//! Kept deliberately small (2 trials × 5 s × 8 nodes, one custom
+//! schedule) so it stays well under the tier-1 time budget.
+//!
+//! The trace journal sink is process-global, so everything lives in one
+//! `#[test]` — integration tests in this file run in one process and must
+//! not install journals concurrently.
+
+use std::sync::Arc;
+
+use fttt_bench::replay::{parse_recording, replay_and_diff};
+use fttt_bench::robustness::{
+    campaign_cells, campaign_checksum, run_campaign_stats, CampaignConfig, CampaignKind,
+};
+use wsn_telemetry::Journal;
+
+#[test]
+fn recorded_campaign_replays_faithfully_and_rejects_perturbation() {
+    let cfg = CampaignConfig {
+        seed: 3,
+        trials: 2,
+        duration: 5.0,
+        nodes: 8,
+    };
+    let kind = CampaignKind::Custom {
+        label: "smoke".into(),
+        schedule: "static node_failure=0.3".into(),
+    };
+
+    // Record: run under a journal and keep the JSONL serialization —
+    // exactly what `fttt-sim campaign --trace-out run.jsonl` writes.
+    let journal = Arc::new(Journal::with_capacity(1 << 16));
+    wsn_telemetry::install_journal(Arc::clone(&journal));
+    let stats = run_campaign_stats(&cfg, &kind, 1, 0);
+    wsn_telemetry::uninstall_journal();
+    let log = journal.snapshot();
+    assert_eq!(log.dropped, 0, "smoke journal must not drop events");
+    let recorded_text = log.to_jsonl();
+
+    let rec = parse_recording(&recorded_text).expect("recording parses");
+    assert_eq!(rec.cfg, cfg, "header round-trips the config");
+    assert_eq!(rec.kind, kind, "header round-trips the kind + schedule");
+    assert_eq!(rec.trials.len(), 2 * cfg.trials, "2 methods x trials");
+    assert!(!rec.rounds.is_empty(), "recording holds round events");
+
+    // Replay: zero divergences, and the diff's live checksum equals the
+    // recording run's own checksum.
+    let report = replay_and_diff(&rec).expect("replay runs");
+    assert!(
+        report.is_faithful(),
+        "faithful recording diverged: {:?}",
+        report.divergences.first()
+    );
+    assert_eq!(report.recorded_rounds, report.live_rounds);
+    let cells = campaign_cells(&kind);
+    assert_eq!(
+        report.checksum,
+        campaign_checksum(&cfg, &cells, stats.map_digest, &stats.stats),
+        "replay checksum must equal the original run's"
+    );
+
+    // The Chrome serialization parses back to the same recording.
+    let chrome = parse_recording(&log.to_chrome_json()).expect("chrome form parses");
+    assert_eq!(chrome, rec, "both serializations decode identically");
+
+    // Perturb: same recording, different seed in the header — the live
+    // run must diverge, and the first divergence must name a round.
+    let mut perturbed = rec.clone();
+    perturbed.cfg.seed = cfg.seed + 1;
+    let report = replay_and_diff(&perturbed).expect("perturbed replay runs");
+    assert!(
+        !report.is_faithful(),
+        "a different seed cannot reproduce the recording"
+    );
+    let first = &report.divergences[0];
+    assert!(
+        first.round.is_some(),
+        "first divergence should be a concrete round, got {first:?}"
+    );
+}

@@ -24,8 +24,9 @@ fn campaign_populates_every_telemetry_layer() {
         duration: 20.0,
         nodes: 8,
     };
-    let schedule = Schedule::parse("outage from=8 until=14").unwrap();
-    let rows = run_custom_schedule(&cfg, "outage", &schedule);
+    let schedule_text = "outage from=8 until=14";
+    assert!(Schedule::parse(schedule_text).is_ok());
+    let rows = run_custom_schedule(&cfg, "outage", schedule_text);
     // Indexed-matcher layer: drive it explicitly so its counters and
     // journal instants are deterministically present, on top of whatever
     // the sessions' full-accuracy re-acquisitions contributed.
@@ -53,8 +54,9 @@ fn campaign_populates_every_telemetry_layer() {
     let snap = registry.snapshot();
     let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
 
-    // Build layer: one face map per trial per method.
-    assert!(counter("fttt.build.calls") >= 4, "{:?}", snap.counters);
+    // Build layer: the campaign builds one shared face map (trials clone
+    // it — the build is deterministic), plus the explicit build below.
+    assert!(counter("fttt.build.calls") >= 2, "{:?}", snap.counters);
     assert!(counter("fttt.build.faces") > 0);
     assert!(snap.histograms.contains_key("fttt.build.total"));
     // Matcher layer: the session methods run the heuristic matcher.

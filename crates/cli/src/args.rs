@@ -25,6 +25,8 @@ COMMANDS:
     campaign  fault campaign: self-healing sessions across fault regimes
     theory    print the Section-5 sampling-times table
     explain   render a human-readable timeline from a --trace-out file
+    replay    re-run a campaign recorded with --trace-out and diff every
+              round against the recording (exit 1 on divergence)
     help      show this message
 
 OPTIONS:

@@ -319,7 +319,11 @@ pub fn campaign(opts: &Options) {
                 eprintln!("error: cannot read {}: {e}", path.display());
                 std::process::exit(2);
             });
-            let schedule = wsn_network::Schedule::parse(&text).unwrap_or_else(|e| {
+            // Parse up front so a malformed file is rejected with its
+            // offending line before any simulation runs; the campaign
+            // takes the text itself (it embeds the schedule in the
+            // journal header so a recording is replayable stand-alone).
+            wsn_network::Schedule::parse(&text).unwrap_or_else(|e| {
                 eprintln!("error: {}: {e}", path.display());
                 std::process::exit(2);
             });
@@ -327,7 +331,7 @@ pub fn campaign(opts: &Options) {
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("schedule");
-            (run_custom_schedule(&cfg, label, &schedule), false)
+            (run_custom_schedule(&cfg, label, &text), false)
         }
         None => (run_campaign(&cfg), true),
     };

@@ -8,6 +8,7 @@
 //! fttt-sim campaign [--seed S] [--trials T] [--fast] [--schedule PATH]
 //! fttt-sim theory  [--lambda L]
 //! fttt-sim explain TRACE_FILE
+//! fttt-sim replay  TRACE_FILE
 //! ```
 //!
 //! Methods: `fttt` (default), `fttt-ext`, `fttt-heur`, `pm`, `mle`, `wcl`, `pf`, `ekf`.
@@ -16,6 +17,7 @@ mod args;
 mod commands;
 mod explain;
 mod render;
+mod replay;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -24,13 +26,18 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
-    // `explain` takes a positional trace-file argument, not options.
-    if cmd == "explain" {
+    // `explain` and `replay` take a positional trace-file argument, not
+    // options.
+    if cmd == "explain" || cmd == "replay" {
         let Some(path) = argv.first() else {
-            eprintln!("error: explain needs a trace file\n\n{}", args::USAGE);
+            eprintln!("error: {cmd} needs a trace file\n\n{}", args::USAGE);
             std::process::exit(2);
         };
-        explain::run(std::path::Path::new(path));
+        if cmd == "explain" {
+            explain::run(std::path::Path::new(path));
+        } else {
+            replay::run(std::path::Path::new(path));
+        }
         return;
     }
     let opts = match args::Options::parse(&argv) {

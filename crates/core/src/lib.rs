@@ -61,6 +61,7 @@ pub mod error;
 pub mod facemap;
 pub mod matching;
 pub mod postprocess;
+pub mod replay;
 pub mod sampling;
 pub mod session;
 pub mod theory;

@@ -31,6 +31,7 @@
 //! fault regime — and decays `k` back once rounds run healthy again.
 
 use crate::error::ErrorStats;
+use crate::facemap::FaceId;
 use crate::theory::required_sampling_times;
 use crate::tracker::Tracker;
 use rand::Rng;
@@ -162,6 +163,11 @@ pub struct SessionRound {
     pub status: TrackStatus,
     /// Sampling times `k` the session requested for this round.
     pub samples: usize,
+    /// The face the round's match landed on, `None` when the round was a
+    /// blackout hold (no match ran). On held non-blackout rounds this is
+    /// still the *fresh* match's face — the rejected localization — while
+    /// `estimate` is the hold; the replay digest folds both.
+    pub face: Option<FaceId>,
     /// Similarity of the match, `None` when the round was a blackout hold.
     pub similarity: Option<f64>,
     /// Fraction of `*` components in the sampling vector (1.0 on
@@ -308,6 +314,27 @@ impl TrackingSession {
         self.options
     }
 
+    /// Replaces the process-unique session id with a caller-chosen one.
+    ///
+    /// The default ids come from a process-global counter, so sessions
+    /// created on racing worker threads get ids in a nondeterministic
+    /// order — and across processes (sharded campaigns) the same trial
+    /// gets different ids entirely. Deterministic pipelines (the fault
+    /// campaign, replay) derive a *stable* id from the trial's identity
+    /// instead and install it here before the first round, so journaled
+    /// round events key identically across runs, thread counts and
+    /// processes. Keep ids below 2⁵³ if the journal will be re-read
+    /// through JSON (numbers are f64 there).
+    pub fn with_session_id(mut self, id: u64) -> Self {
+        self.session_id = id;
+        self
+    }
+
+    /// The id stamped on this session's journaled round events.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
     /// Processes one grouping sampling taken at time `t`.
     ///
     /// `group` should have been sampled with [`requested_samples`]
@@ -345,6 +372,7 @@ impl TrackingSession {
                 estimate,
                 status: self.status,
                 samples: samples_requested,
+                face: None,
                 similarity: None,
                 missing_fraction,
                 reacquired: false,
@@ -428,6 +456,7 @@ impl TrackingSession {
             estimate: reported,
             status: self.status,
             samples: samples_requested,
+            face: Some(outcome.face),
             similarity: Some(outcome.similarity),
             missing_fraction,
             reacquired,
@@ -607,6 +636,14 @@ impl TrackingSession {
                 ("k_after", ArgValue::U64(trace.k_after as u64)),
                 ("held", ArgValue::Bool(round.held)),
                 ("reacquired", ArgValue::Bool(round.reacquired)),
+                ("x", ArgValue::F64(round.estimate.x)),
+                ("y", ArgValue::F64(round.estimate.y)),
+                // Faces journal 1-based so 0 can mean "no match ran"
+                // (blackout hold) without an optional-arg shape change.
+                (
+                    "face",
+                    ArgValue::U64(round.face.map_or(0, |f| f.0 as u64 + 1)),
+                ),
             ];
             if let Some(sim) = round.similarity {
                 args.push(("similarity", ArgValue::F64(sim)));

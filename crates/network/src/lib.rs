@@ -29,6 +29,7 @@ pub mod field;
 pub mod node;
 pub mod pairs;
 pub mod regime;
+pub mod replay;
 pub mod sampling;
 pub mod spec;
 

@@ -252,6 +252,63 @@ impl RegimeEngine {
         self.entries.len()
     }
 
+    /// Digests the engine's full mutable state (Gilbert–Elliott channel
+    /// flags, energy ledgers with depletion flags and the idle-charging
+    /// clock, stuck-at frozen readings) plus a tag per regime kind, in
+    /// stack order.
+    ///
+    /// This is the "regime state" leg of the per-round replay checksum
+    /// (see [`crate::replay`]): two engines digest equal iff they would
+    /// transform all future samplings identically given identical RNG
+    /// draws. Stateless regimes contribute only their tag — their behavior
+    /// is pinned by the schedule text, which the campaign checksum folds
+    /// separately.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = crate::replay::Digest::new();
+        d.write_u64(self.nodes as u64);
+        d.write_u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            let tag: u8 = match entry.kind {
+                RegimeKind::Static(_) => 0,
+                RegimeKind::Burst { .. } => 1,
+                RegimeKind::Outage { .. } => 2,
+                RegimeKind::EnergyDepletion { .. } => 3,
+                RegimeKind::StuckAt { .. } => 4,
+                RegimeKind::Drift { .. } => 5,
+            };
+            d.write_bytes(&[tag]);
+            match &entry.state {
+                RegimeState::Stateless => {}
+                RegimeState::Burst { bad } => {
+                    for &b in bad {
+                        d.write_bool(b);
+                    }
+                }
+                RegimeState::Energy {
+                    ledger,
+                    dead,
+                    last_t,
+                } => {
+                    for &j in ledger.per_node() {
+                        d.write_f64(j);
+                    }
+                    for &b in dead {
+                        d.write_bool(b);
+                    }
+                    d.write_bool(last_t.is_some());
+                    d.write_f64(last_t.unwrap_or(0.0));
+                }
+                RegimeState::Stuck { frozen } => {
+                    for reading in frozen {
+                        d.write_bool(reading.is_some());
+                        d.write_f64(reading.map_or(0.0, Rss::dbm));
+                    }
+                }
+            }
+        }
+        d.value()
+    }
+
     /// Applies every regime, in order, to one grouping sampling taken at
     /// trace time `t`, advancing the engine's state.
     ///

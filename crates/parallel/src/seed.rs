@@ -46,6 +46,51 @@ mod tests {
         }
     }
 
+    /// Golden values, pinned to exact constants.
+    ///
+    /// Every campaign checksum in `crates/bench/baselines/` is downstream
+    /// of these outputs: trial `i` of a campaign with master seed `s` is
+    /// seeded with `seed_for(s, i)`, single-process and sharded runs
+    /// alike. A refactor of the parallel layer that changes any of these
+    /// values silently invalidates every committed golden checksum — this
+    /// test turns that into a loud, named failure at the source.
+    #[test]
+    fn golden_values_are_pinned() {
+        for (master, index, expected) in [
+            (0u64, 0u64, 0xa706dd2f4d197e6fu64),
+            (0, 1, 0xa7f76c06f869c6af),
+            (0, 2, 0xda7d353b51e2ad79),
+            (42, 0, 0x57e1faba65107204),
+            (42, 1, 0x029a8eaf241c23a8),
+            (42, 5, 0x0c09ac792540aa23),
+            (0xDEAD_BEEF, 123, 0xd6bb3b7c7fc7e983),
+            (u64::MAX, u64::MAX, 0xbe84892bcba6184a),
+        ] {
+            assert_eq!(
+                seed_for(master, index),
+                expected,
+                "seed_for({master}, {index}) drifted — committed campaign \
+                 checksums are now invalid"
+            );
+        }
+    }
+
+    /// Pairwise distinct over realistic campaign sizes: every master seed
+    /// the repo's benches use, crossed with far more trial indices than
+    /// any campaign runs, with no collision within or across masters.
+    #[test]
+    fn pairwise_distinct_over_realistic_trial_counts() {
+        let mut seen = HashSet::new();
+        for master in [0u64, 1, 7, 42, 123, 0xDEAD_BEEF, u64::MAX] {
+            for index in 0..16_384u64 {
+                assert!(
+                    seen.insert(seed_for(master, index)),
+                    "collision at ({master},{index})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn no_trivial_structure_for_zero_master() {
         // Consecutive indices under master=0 should differ in many bits.

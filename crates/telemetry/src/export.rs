@@ -4,36 +4,13 @@
 //! the JSON shape is stable and embedded verbatim inside the repo's
 //! `BENCH_core.json` / `BENCH_robustness.json` artifacts.
 
-use crate::registry::Snapshot;
+use crate::json::JsonValue;
+use crate::registry::{HistogramSnapshot, Snapshot};
 use std::fmt::Write as _;
 
-/// A JSON number for `v`: Rust's `Display` for finite values (always a
-/// valid JSON literal), `null` for NaN/infinities (JSON has no spelling
-/// for them).
-pub(crate) fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-pub(crate) fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+// The canonical formatters live in `crate::json` (public — the bench
+// artifacts reuse them); these aliases keep the crate-internal call sites.
+pub(crate) use crate::json::{format_f64 as json_f64, format_str as json_str};
 
 /// `a.b-c` → `a_b_c`: Prometheus metric names allow `[a-zA-Z0-9_:]`.
 fn prom_name(name: &str) -> String {
@@ -134,6 +111,113 @@ impl Snapshot {
     }
 }
 
+impl Snapshot {
+    /// Parses a snapshot back from its [`Snapshot::to_json`] form — the
+    /// inverse the multi-process campaign merge path needs: each shard
+    /// exports its snapshot to disk, the coordinator re-parses and
+    /// [`Snapshot::merge`]s them.
+    ///
+    /// Round-trip contract (covered by tests):
+    /// * counters are exact for values < 2⁵³ (JSON numbers are f64; the
+    ///   parser rejects non-integral counter/count values rather than
+    ///   silently rounding);
+    /// * gauges and histogram bounds/sums round-trip bit-exactly for
+    ///   finite values because the writer emits shortest-round-trip
+    ///   `Display` strings; non-finite gauges/sums are written as `null`
+    ///   and re-parse as NaN (documented lossiness: the sign and payload
+    ///   of the non-finite value are gone);
+    /// * histogram `counts` keep the overflow bucket (`bounds.len() + 1`
+    ///   entries) so merged bucket shapes stay compatible.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let doc = JsonValue::parse(text).map_err(|e| format!("snapshot JSON: {e}"))?;
+        Snapshot::from_json_value(&doc)
+    }
+
+    /// Like [`Snapshot::from_json`], over an already-parsed document (for
+    /// snapshots embedded inside a larger artifact).
+    pub fn from_json_value(doc: &JsonValue) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (name, v) in object_of(doc, "counters")? {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("counter {name:?}: not a non-negative integer"))?;
+            snap.counters.insert(name.clone(), n);
+        }
+        for (name, v) in object_of(doc, "gauges")? {
+            snap.gauges.insert(name.clone(), f64_or_nan(v, name)?);
+        }
+        for (name, v) in object_of(doc, "histograms")? {
+            let bounds = array_of(v, name, "bounds")?
+                .iter()
+                .map(|b| {
+                    b.as_f64()
+                        .ok_or_else(|| format!("histogram {name:?}: non-numeric bound"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            let counts = array_of(v, name, "counts")?
+                .iter()
+                .map(|c| {
+                    c.as_u64()
+                        .ok_or_else(|| format!("histogram {name:?}: non-integer bucket count"))
+                })
+                .collect::<Result<Vec<u64>, String>>()?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(format!(
+                    "histogram {name:?}: {} counts for {} bounds (need bounds + overflow)",
+                    counts.len(),
+                    bounds.len()
+                ));
+            }
+            let count = v
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("histogram {name:?}: missing integral \"count\""))?;
+            let sum = v
+                .get("sum")
+                .map(|s| f64_or_nan(s, name))
+                .transpose()?
+                .ok_or_else(|| format!("histogram {name:?}: missing \"sum\""))?;
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                },
+            );
+        }
+        Ok(snap)
+    }
+}
+
+fn object_of<'a>(
+    doc: &'a JsonValue,
+    key: &str,
+) -> Result<&'a std::collections::BTreeMap<String, JsonValue>, String> {
+    match doc.get(key) {
+        Some(JsonValue::Obj(map)) => Ok(map),
+        _ => Err(format!("snapshot JSON: missing {key:?} object")),
+    }
+}
+
+fn array_of<'a>(v: &'a JsonValue, name: &str, key: &str) -> Result<&'a [JsonValue], String> {
+    v.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("histogram {name:?}: missing {key:?} array"))
+}
+
+/// The writer spells NaN/∞ as `null`; re-parse it as NaN so a round-trip
+/// stays a gauge rather than an error.
+fn f64_or_nan(v: &JsonValue, name: &str) -> Result<f64, String> {
+    match v {
+        JsonValue::Null => Ok(f64::NAN),
+        other => other
+            .as_f64()
+            .ok_or_else(|| format!("{name:?}: not a number or null")),
+    }
+}
+
 /// Append a `{...}` object body whose entries are pre-rendered lines.
 fn push_block(out: &mut String, base: &str, entries: &[String]) {
     if entries.is_empty() {
@@ -214,5 +298,120 @@ mod tests {
                         fttt_match_tie_width_sum 102\n\
                         fttt_match_tie_width_count 3\n";
         assert_eq!(text, expected);
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use crate::registry::{HistogramSnapshot, Snapshot};
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("a.events".into(), 12);
+        s.counters.insert("b.big".into(), (1u64 << 53) - 1);
+        s.gauges.insert("g.tenth".into(), 0.1);
+        s.gauges.insert("g.tiny".into(), 1e-308);
+        s.gauges.insert("g.negzero".into(), -0.0);
+        s.gauges.insert("g.pi".into(), std::f64::consts::PI);
+        s.histograms.insert(
+            "h.lat".into(),
+            HistogramSnapshot {
+                bounds: vec![0.1, 1.0, 10.0],
+                counts: vec![1, 2, 0, 3],
+                count: 6,
+                sum: 123.456789,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn export_reparse_is_lossless_for_finite_values() {
+        let snap = sample();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges.len(), snap.gauges.len());
+        for (k, v) in &snap.gauges {
+            let r = back.gauges[k];
+            assert_eq!(r.to_bits(), v.to_bits(), "gauge {k} mangled: {v} -> {r}");
+        }
+        assert_eq!(back.histograms, snap.histograms);
+    }
+
+    #[test]
+    fn embedded_and_indented_forms_reparse_too() {
+        let snap = sample();
+        let embedded = format!("{{\n  \"metrics\": {}\n}}", snap.to_json_indented("  "));
+        let doc = crate::json::JsonValue::parse(&embedded).unwrap();
+        let back = Snapshot::from_json_value(doc.get("metrics").unwrap()).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.histograms, snap.histograms);
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip_to_nan_by_contract() {
+        let mut s = Snapshot::default();
+        s.gauges.insert("g.inf".into(), f64::INFINITY);
+        let back = Snapshot::from_json(&s.to_json()).unwrap();
+        assert!(back.gauges["g.inf"].is_nan());
+    }
+
+    /// The shard-merge path end to end: export → reparse → merge must
+    /// behave exactly like merging the in-memory snapshots — counters
+    /// add, gauges last-write-wins, equal-bounds histograms add, and
+    /// mismatched-bounds histograms are replaced wholesale.
+    #[test]
+    fn reparsed_merge_matches_in_memory_merge() {
+        let a = sample();
+        let mut b = sample();
+        b.counters.insert("a.events".into(), 30);
+        b.gauges.insert("g.pi".into(), 2.5);
+        b.histograms.insert(
+            "h.lat".into(),
+            HistogramSnapshot {
+                bounds: vec![0.5, 5.0], // mismatched bounds vs `a`
+                counts: vec![4, 0, 1],
+                count: 5,
+                sum: 9.25,
+            },
+        );
+
+        let mut in_memory = a.clone();
+        in_memory.merge(&b);
+
+        let mut reparsed = Snapshot::from_json(&a.to_json()).unwrap();
+        reparsed.merge(&Snapshot::from_json(&b.to_json()).unwrap());
+
+        assert_eq!(reparsed.counters, in_memory.counters);
+        assert_eq!(reparsed.histograms, in_memory.histograms);
+        assert_eq!(
+            reparsed.counters["a.events"], 42,
+            "counters add across shards"
+        );
+        assert_eq!(reparsed.gauges["g.pi"], 2.5, "gauges last-write-wins");
+        assert_eq!(
+            reparsed.histograms["h.lat"].bounds,
+            vec![0.5, 5.0],
+            "mismatched bounds replace wholesale"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_named_cause() {
+        for (text, needle) in [
+            ("{}", "missing \"counters\""),
+            (
+                r#"{"counters": {"c": 1.5}, "gauges": {}, "histograms": {}}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"counters": {}, "gauges": {}, "histograms":
+                    {"h": {"bounds": [1], "counts": [1], "count": 1, "sum": 1}}}"#,
+                "need bounds + overflow",
+            ),
+        ] {
+            let err = Snapshot::from_json(text).unwrap_err();
+            assert!(err.contains(needle), "{err:?} lacks {needle:?}");
+        }
     }
 }

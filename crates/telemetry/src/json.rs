@@ -296,6 +296,42 @@ impl Parser<'_> {
     }
 }
 
+/// Formats an `f64` as a JSON number literal: Rust's `Display` for finite
+/// values (the shortest decimal string that parses back to the exact same
+/// bits — so writer → [`JsonValue::parse`] → `f64` round-trips losslessly),
+/// `null` for NaN/infinities (JSON has no spelling for them).
+///
+/// This is *the* float formatter for every artifact this workspace writes;
+/// anything that a checksum or a replay diff will later re-read must go
+/// through it rather than a truncating `format!("{:.3}")`.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes, backslashes, and control
+/// characters below U+0020).
+pub fn format_str(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

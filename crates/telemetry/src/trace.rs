@@ -379,6 +379,56 @@ impl TraceLog {
         }
         out
     }
+
+    /// The log in the *canonical* line-delimited form used by the
+    /// determinism tests and the replay diff: everything that depends on
+    /// scheduling rather than on simulation state is stripped — wall-clock
+    /// `ts_us`, global sequence numbers, per-thread ordinals, and span ids
+    /// (begin/end keep only their kind tag) — and the event lines are
+    /// sorted lexicographically, so per-thread interleaving and racy
+    /// sequence assignment cannot reorder the output. Time survives only
+    /// where it is *virtual*: the round index on round markers and any
+    /// simulation-time `t` the emitter put in `args`.
+    ///
+    /// Two identically-seeded runs whose emitters use stable (not
+    /// process-global) session ids produce byte-identical canonical logs
+    /// under any `par_map_threads` width, provided no events were dropped;
+    /// the leading meta line carries the drop count so a diff surfaces a
+    /// lossy capture instead of silently passing on a truncated log.
+    pub fn to_canonical_jsonl(&self) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let mut line = format!("{{\"name\":{}", json_str(e.name));
+            match &e.kind {
+                TraceKind::SpanBegin { .. } => line.push_str(",\"kind\":\"span_begin\""),
+                TraceKind::SpanEnd { .. } => line.push_str(",\"kind\":\"span_end\""),
+                TraceKind::Instant => line.push_str(",\"kind\":\"instant\""),
+                TraceKind::Round { round } => {
+                    let _ = write!(line, ",\"kind\":\"round\",\"round\":{round}");
+                }
+            }
+            line.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{}:{}", json_str(k), v.render_json());
+            }
+            line.push_str("}}");
+            lines.push(line);
+        }
+        lines.sort_unstable();
+        let mut out = format!(
+            "{{\"kind\":\"meta\",\"events\":{},\"dropped\":{}}}\n",
+            lines.len(),
+            self.dropped
+        );
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +595,64 @@ mod tests {
         let expected = "{\"kind\":\"meta\",\"capacity\":16,\"dropped\":0,\"emitted\":1}\n\
             {\"seq\":4,\"ts_us\":3.5,\"thread\":2,\"name\":\"wsn.regime.apply\",\"kind\":\"instant\",\"args\":{\"dropped\":12}}\n";
         assert_eq!(log.to_jsonl(), expected);
+    }
+
+    /// The canonical export strips every scheduling-dependent field (seq,
+    /// ts, thread, span ids) and sorts lines — so two logs holding the
+    /// same events in different interleavings with different sequence
+    /// numbers render byte-identically.
+    #[test]
+    fn canonical_jsonl_is_interleaving_invariant() {
+        let round = TraceEvent {
+            seq: 1,
+            t_us: 2.0,
+            thread: 0,
+            name: "fttt.session.round",
+            kind: TraceKind::Round { round: 3 },
+            args: vec![
+                ("session", ArgValue::U64(7)),
+                ("cause", ArgValue::Str("starved".into())),
+            ],
+        };
+        let begin = TraceEvent {
+            seq: 0,
+            t_us: 1.5,
+            thread: 0,
+            name: "fttt.build.total",
+            kind: TraceKind::SpanBegin {
+                id: 0,
+                parent: None,
+            },
+            args: Vec::new(),
+        };
+        let a = TraceLog {
+            events: vec![begin.clone(), round.clone()],
+            dropped: 0,
+            capacity: 8,
+        };
+        // Same events, swapped order, different seq/thread/ts/span ids.
+        let mut begin2 = begin;
+        begin2.seq = 9;
+        begin2.thread = 3;
+        begin2.t_us = 99.0;
+        begin2.kind = TraceKind::SpanBegin {
+            id: 5,
+            parent: Some(4),
+        };
+        let mut round2 = round;
+        round2.seq = 2;
+        round2.t_us = 41.5;
+        let b = TraceLog {
+            events: vec![round2, begin2],
+            dropped: 0,
+            capacity: 32,
+        };
+        let canon = a.to_canonical_jsonl();
+        assert_eq!(canon, b.to_canonical_jsonl());
+        let expected = "{\"kind\":\"meta\",\"events\":2,\"dropped\":0}\n\
+            {\"name\":\"fttt.build.total\",\"kind\":\"span_begin\",\"args\":{}}\n\
+            {\"name\":\"fttt.session.round\",\"kind\":\"round\",\"round\":3,\"args\":{\"session\":7,\"cause\":\"starved\"}}\n";
+        assert_eq!(canon, expected);
     }
 
     #[test]
