@@ -6,6 +6,12 @@
 //!
 //! * `fault_campaign [--seed N] [--trials N] [--fast]` — single-process
 //!   run (`--fast` is the reduced tier-1 smoke workload).
+//! * `fault_campaign --churn [...]` — the live-topology-churn campaign
+//!   instead of the built-in sweep: a staggered death/birth storm under
+//!   three map policies (stale / incremental repair / rebuild per event),
+//!   with the incremental-vs-rebuild per-trial digest identity enforced
+//!   as an envelope. Composes with `--shards`, `--fast` and
+//!   `--check-determinism` (churn goldens are separate baseline entries).
 //! * `fault_campaign --shards N` — coordinator mode: spawns `N` child
 //!   processes (one per shard), each running the trial subset
 //!   `trial % N == shard`, merges their shard files and writes the same
@@ -26,9 +32,9 @@ use std::sync::Arc;
 use fttt::replay::digest_hex;
 use fttt_bench::replay::{check_checksum, checksum_key};
 use fttt_bench::robustness::{
-    campaign_checksum, campaign_field_side, check_envelopes, parse_shard_json, render_json,
-    render_shard_json, rows_from_stats, run_campaign_stats, CampaignConfig, CampaignKind,
-    CampaignStats, TrialStat,
+    campaign_checksum, campaign_field_side, campaign_kind_label, check_churn_digests,
+    check_envelopes, parse_shard_json, render_json, render_shard_json, rows_from_stats,
+    run_campaign_stats, CampaignConfig, CampaignKind, CampaignStats, TrialStat,
 };
 use fttt_bench::{Cli, Table};
 
@@ -42,22 +48,27 @@ fn main() {
     if let Some(trials) = cli.trials {
         cfg.trials = trials.max(1);
     }
+    let kind = if cli.churn {
+        CampaignKind::Churn
+    } else {
+        CampaignKind::Builtin
+    };
     let shard_dir = cli
         .shard_dir
         .clone()
         .unwrap_or_else(|| cli.out.join("shards"));
 
     if let Some(shard_id) = cli.shard_id {
-        run_shard(&cfg, cli.shards, shard_id, &shard_dir);
+        run_shard(&cfg, &kind, cli.shards, shard_id, &shard_dir);
         return;
     }
 
     let (stats, metrics) = if cli.shards > 1 {
-        run_coordinator(&cfg, cli.shards, &shard_dir, &cli)
+        run_coordinator(&cfg, &kind, cli.shards, &shard_dir, &cli)
     } else {
         let registry = Arc::new(wsn_telemetry::Registry::new());
         wsn_telemetry::install(Arc::clone(&registry));
-        let stats = run_campaign_stats(&cfg, &CampaignKind::Builtin, 1, 0);
+        let stats = run_campaign_stats(&cfg, &kind, 1, 0);
         wsn_telemetry::uninstall();
         (stats, registry.snapshot())
     };
@@ -70,11 +81,11 @@ fn main() {
             eprintln!("cannot read checksum baseline {}: {e}", path.display());
             std::process::exit(1);
         });
-        match check_checksum(&text, &cfg, checksum) {
+        match check_checksum(&text, &cfg, campaign_kind_label(&kind), checksum) {
             Ok(()) => {
                 println!(
                     "determinism gate: {} checksum {} matches {}",
-                    checksum_key(&cfg),
+                    checksum_key(&cfg, campaign_kind_label(&kind)),
                     digest_hex(checksum),
                     path.display()
                 );
@@ -90,7 +101,8 @@ fn main() {
     print_table(&rows, &cfg);
     println!("campaign checksum: {}", digest_hex(checksum));
 
-    let violations = check_envelopes(&rows, campaign_field_side(&cfg));
+    let mut violations = check_envelopes(&rows, campaign_field_side(&cfg));
+    violations.extend(check_churn_digests(&stats.cells, &stats.stats));
     let json = render_json(&rows, &cfg, &violations, Some(&metrics), Some(checksum));
     let path = "BENCH_robustness.json";
     std::fs::write(path, json).expect("write BENCH_robustness.json");
@@ -112,14 +124,20 @@ fn shard_file(shard_dir: &Path, shard_id: usize, shards: usize) -> PathBuf {
 }
 
 /// Worker mode: run one shard's trial subset, write its stats + metrics.
-fn run_shard(cfg: &CampaignConfig, shards: usize, shard_id: usize, shard_dir: &Path) {
+fn run_shard(
+    cfg: &CampaignConfig,
+    kind: &CampaignKind,
+    shards: usize,
+    shard_id: usize,
+    shard_dir: &Path,
+) {
     assert!(
         shard_id < shards,
         "--shard-id {shard_id} out of range for --shards {shards}"
     );
     let registry = Arc::new(wsn_telemetry::Registry::new());
     wsn_telemetry::install(Arc::clone(&registry));
-    let stats = run_campaign_stats(cfg, &CampaignKind::Builtin, shards, shard_id);
+    let stats = run_campaign_stats(cfg, kind, shards, shard_id);
     wsn_telemetry::uninstall();
     std::fs::create_dir_all(shard_dir).expect("create shard dir");
     let path = shard_file(shard_dir, shard_id, shards);
@@ -144,6 +162,7 @@ fn run_shard(cfg: &CampaignConfig, shards: usize, shard_id: usize, shard_dir: &P
 /// derivation (same cells, same map digest, full trial set).
 fn run_coordinator(
     cfg: &CampaignConfig,
+    kind: &CampaignKind,
     shards: usize,
     shard_dir: &Path,
     cli: &Cli,
@@ -164,6 +183,9 @@ fn run_coordinator(
             .arg(shard_dir);
         if cli.fast {
             cmd.arg("--fast");
+        }
+        if cli.churn {
+            cmd.arg("--churn");
         }
         children.push((shard_id, cmd.spawn().expect("spawn shard worker")));
     }
@@ -204,7 +226,7 @@ fn run_coordinator(
         metrics.merge(&shard.metrics);
     }
     merged.sort_by_key(|s| (s.cell, s.trial));
-    let cells = fttt_bench::robustness::campaign_cells(&CampaignKind::Builtin);
+    let cells = fttt_bench::robustness::campaign_cells(kind);
     println!("merged {} trials from {shards} shard files", merged.len());
     (
         CampaignStats {

@@ -17,6 +17,14 @@
 //! * match reference — the seed's exhaustive scan: per face one
 //!   `difference_norm_squared` plus a `1/√d²`, tracking the max similarity.
 //!
+//! A final `map_repair_us` row times the live-churn path at n = 40,
+//! cell 4 m: the median single-node death + revive repair, incremental
+//! (gated sub-millisecond) against the rebuild-per-event control
+//! (ungated — it normalizes the speedup story). Repair cost scales
+//! linearly with grid cell count, so the gated point is the finest
+//! n = 40 geometry that holds the interactive sub-ms budget with margin
+//! on a shared box; DESIGN.md records the full cell-size scaling.
+//!
 //! Writes a table to stdout and a hand-formatted `BENCH_core.json` at the
 //! repository root (the vendored `serde_json` is a compile-only stub).
 //!
@@ -25,7 +33,7 @@
 //! committed baseline through [`fttt_bench::gate`] and exits nonzero on
 //! any regression beyond tolerance — the bench-trajectory gate.
 
-use fttt::facemap::{signature_of, FaceMap};
+use fttt::facemap::{signature_of, FaceMap, RepairMode};
 use fttt::matching::{match_exhaustive, match_heuristic, match_indexed};
 use fttt::sampling::basic_sampling_vector;
 use fttt::vector::{difference_norm_squared, SamplingVector, SignatureVector};
@@ -252,6 +260,45 @@ fn indexed_p99_us(map: &FaceMap, probes: &[SamplingVector], rounds: usize) -> f6
     per[idx.saturating_sub(1).min(per.len() - 1)]
 }
 
+/// The `map_repair_us` row: live-churn repair latency at the campaign
+/// geometry.
+struct RepairRow {
+    n: usize,
+    faces: usize,
+    cell_m: f64,
+    /// Repair events behind each median (death + revive per node).
+    events: usize,
+    incremental_median_us: f64,
+    rebuild_median_us: f64,
+}
+
+/// Median best-of-rounds latency of one single-node repair under `mode`.
+///
+/// Each event kills a node and then revives it, timing the two repairs
+/// separately — the map returns to its pre-event content (incremental
+/// repair is bit-identical to a fresh build of the live set), so events
+/// are independent and the map never drifts across rounds.
+fn repair_median_us(map: &mut FaceMap, nodes: usize, mode: RepairMode, rounds: usize) -> f64 {
+    // One untimed warmup pass: page in the repair scratch and planes.
+    for node in 0..nodes {
+        std::hint::black_box(map.kill_node(node, mode));
+        std::hint::black_box(map.revive_node(node, mode));
+    }
+    let mut best = vec![f64::INFINITY; 2 * nodes];
+    for _ in 0..rounds.max(1) {
+        for node in 0..nodes {
+            let t0 = Instant::now();
+            std::hint::black_box(map.kill_node(node, mode));
+            best[2 * node] = best[2 * node].min(t0.elapsed().as_secs_f64() * 1e6);
+            let t0 = Instant::now();
+            std::hint::black_box(map.revive_node(node, mode));
+            best[2 * node + 1] = best[2 * node + 1].min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    best.sort_unstable_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    best[best.len() / 2]
+}
+
 fn main() {
     let cli = Cli::parse();
     let build_rounds = if cli.fast { 2 } else { 24 };
@@ -430,6 +477,29 @@ fn main() {
         eprintln!("[perf_snapshot] n = {n} done");
     }
 
+    // The live-churn row: median single-node repair at n = 40, cell 4 m
+    // (625 cells — the finest n = 40 grid that keeps the median repair
+    // sub-millisecond with real margin; cost is linear in cell count).
+    // Runs after the timed tables so the repair workload never
+    // interleaves with the build/match candidates.
+    let repair_rounds = if cli.fast { 1 } else { 5 };
+    let rebuild_rounds = if cli.fast { 1 } else { 2 };
+    let repair = {
+        let mut s = setup(40, 7, 4.0);
+        let faces = s.map.face_count();
+        let incremental = repair_median_us(&mut s.map, 40, RepairMode::Incremental, repair_rounds);
+        let rebuild = repair_median_us(&mut s.map, 40, RepairMode::Rebuild, rebuild_rounds);
+        eprintln!("[perf_snapshot] map repair done");
+        RepairRow {
+            n: 40,
+            faces,
+            cell_m: 4.0,
+            events: 2 * 40,
+            incremental_median_us: incremental,
+            rebuild_median_us: rebuild,
+        }
+    };
+
     table.print();
     println!();
     for r in &rows {
@@ -451,6 +521,16 @@ fn main() {
             );
         }
     }
+    println!(
+        "map repair @ n = {}, cell {} m ({} events): incremental median = {:.1} µs, \
+         rebuild-per-event median = {:.1} µs ({:.1}x)",
+        repair.n,
+        repair.cell_m,
+        repair.events,
+        repair.incremental_median_us,
+        repair.rebuild_median_us,
+        repair.rebuild_median_us / repair.incremental_median_us,
+    );
 
     // The timing loops above ran with NO telemetry sink installed — the
     // enabled-check must stay effectively free on the hot paths. A single
@@ -466,10 +546,17 @@ fn main() {
         std::hint::black_box(match_heuristic(&s.map, &s.vector, warm));
         std::hint::black_box(match_indexed(&s.map, &s.vector));
     }
+    {
+        // One instrumented death + revive so the `fttt.map.repair.*`
+        // counters land in the embedded metrics snapshot.
+        let mut s = setup(40, 7, 4.0);
+        std::hint::black_box(s.map.kill_node(7, RepairMode::Incremental));
+        std::hint::black_box(s.map.revive_node(7, RepairMode::Incremental));
+    }
     wsn_telemetry::uninstall();
     let metrics = registry.snapshot();
 
-    let json = render_json(&rows, threads, cli.seed, &metrics);
+    let json = render_json(&rows, &repair, threads, cli.seed, &metrics);
     if let Some(baseline_path) = &cli.check {
         // Regression-gate mode: compare against the committed baseline and
         // leave BENCH_core.json untouched (a gate run must not move its
@@ -531,6 +618,7 @@ fn run_gate(fresh_json: &str, path: &std::path::Path) -> i32 {
 /// timed loops run sink-free) and is embedded under `"metrics"`.
 fn render_json(
     rows: &[Row],
+    repair: &RepairRow,
     threads: usize,
     seed: u64,
     metrics: &wsn_telemetry::Snapshot,
@@ -552,7 +640,7 @@ fn render_json(
     );
     out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    for r in rows {
         out.push_str("    {\n");
         out.push_str(&format!("      \"n\": {},\n", r.n));
         out.push_str(&format!("      \"faces\": {},\n", r.faces));
@@ -613,12 +701,27 @@ fn render_json(
         } else {
             out.push('\n');
         }
-        out.push_str(if i + 1 == rows.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+        out.push_str("    },\n");
     }
+    // The repair row closes the results array: same shape as the others
+    // (keyed by n + cell_m) with a single `map_repair_us` group, so the
+    // gate's presence-driven matching gates exactly its metrics.
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"n\": {},\n", repair.n));
+    out.push_str(&format!("      \"faces\": {},\n", repair.faces));
+    out.push_str(&format!("      \"cell_m\": {},\n", repair.cell_m));
+    out.push_str("      \"map_repair_us\": {\n");
+    out.push_str(&format!(
+        "        \"incremental_median\": {:.3},\n",
+        repair.incremental_median_us
+    ));
+    out.push_str(&format!(
+        "        \"rebuild_median\": {:.3},\n",
+        repair.rebuild_median_us
+    ));
+    out.push_str(&format!("        \"events\": {}\n", repair.events));
+    out.push_str("      }\n");
+    out.push_str("    }\n");
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"metrics\": {}\n",

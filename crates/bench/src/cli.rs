@@ -32,6 +32,10 @@ pub struct Cli {
     /// against the committed baseline instead of writing artifacts; exit
     /// non-zero on drift.
     pub check_determinism: bool,
+    /// Run the live-topology-churn campaign (three map-repair policies
+    /// under a death/birth storm) instead of the built-in sweep
+    /// (`fault_campaign` only).
+    pub churn: bool,
     /// Override for the golden-checksum baseline path (default:
     /// `crates/bench/baselines/robustness_checksums.json`).
     pub checksum_baseline: Option<std::path::PathBuf>,
@@ -49,6 +53,7 @@ impl Default for Cli {
             shard_id: None,
             shard_dir: None,
             check_determinism: false,
+            churn: false,
             checksum_baseline: None,
         }
     }
@@ -102,6 +107,7 @@ impl Cli {
                     cli.shard_dir = Some(it.next().expect("--shard-dir needs a value").into());
                 }
                 "--check-determinism" => cli.check_determinism = true,
+                "--churn" => cli.churn = true,
                 "--checksum-baseline" => {
                     cli.checksum_baseline = Some(
                         it.next()
@@ -111,7 +117,7 @@ impl Cli {
                 }
                 other => panic!(
                     "unknown argument {other}; usage: [--seed N] [--trials N] [--out DIR] \
-                     [--fast] [--check BASELINE.json] [--shards N [--shard-id I]] \
+                     [--fast] [--churn] [--check BASELINE.json] [--shards N [--shard-id I]] \
                      [--shard-dir DIR] [--check-determinism] [--checksum-baseline FILE]"
                 ),
             }
@@ -205,6 +211,12 @@ mod tests {
         assert_eq!(d.shards, 1);
         assert_eq!(d.shard_id, None);
         assert!(!d.check_determinism);
+        assert!(!d.churn);
+    }
+
+    #[test]
+    fn churn_flag_parses() {
+        assert!(parse(&["--churn"]).churn);
     }
 
     #[test]

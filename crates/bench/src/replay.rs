@@ -200,6 +200,7 @@ pub fn parse_recording(text: &str) -> Result<RecordedCampaign, String> {
                         label: req_str(event, "label", ctx)?,
                         schedule: req_str(event, "schedule", ctx)?,
                     },
+                    "churn" => CampaignKind::Churn,
                     other => return Err(format!("{ctx}: unknown campaign kind {other:?}")),
                 };
                 let map_digest = req_hex(event, "map_digest", ctx)?;
@@ -610,16 +611,19 @@ fn first_field_diff(
     None
 }
 
-/// The baseline key a config maps to in the golden-checksum file.
-pub fn checksum_key(cfg: &CampaignConfig) -> String {
+/// The baseline key a `(config, campaign kind)` pair maps to in the
+/// golden-checksum file. `campaign` is a
+/// [`crate::robustness::campaign_kind_label`].
+pub fn checksum_key(cfg: &CampaignConfig, campaign: &str) -> String {
     format!(
-        "seed={},trials={},duration={},nodes={}",
-        cfg.seed, cfg.trials, cfg.duration, cfg.nodes
+        "campaign={},seed={},trials={},duration={},nodes={}",
+        campaign, cfg.seed, cfg.trials, cfg.duration, cfg.nodes
     )
 }
 
-/// Renders the golden-checksum baseline document.
-pub fn render_checksum_baseline(entries: &[(CampaignConfig, u64)]) -> String {
+/// Renders the golden-checksum baseline document. Each entry is keyed by
+/// `(campaign kind label, config)`.
+pub fn render_checksum_baseline(entries: &[(CampaignConfig, &str, u64)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"fault_campaign_checksums\",\n");
@@ -628,10 +632,11 @@ pub fn render_checksum_baseline(entries: &[(CampaignConfig, u64)]) -> String {
          checksum — update these only on an intentional simulation change\",\n",
     );
     out.push_str("  \"entries\": [\n");
-    for (i, (cfg, sum)) in entries.iter().enumerate() {
+    for (i, (cfg, campaign, sum)) in entries.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"seed\": {}, \"trials\": {}, \"duration_s\": {}, \"nodes\": {}, \
-             \"checksum\": \"{}\" }}{}\n",
+            "    {{ \"campaign\": \"{}\", \"seed\": {}, \"trials\": {}, \"duration_s\": {}, \
+             \"nodes\": {}, \"checksum\": \"{}\" }}{}\n",
+            campaign,
             cfg.seed,
             cfg.trials,
             wsn_telemetry::json::format_f64(cfg.duration),
@@ -646,10 +651,13 @@ pub fn render_checksum_baseline(entries: &[(CampaignConfig, u64)]) -> String {
 
 /// Checks a freshly computed campaign checksum against the committed
 /// baseline document. `Ok(())` means the run matches its golden value;
-/// `Err` names the drift or the missing entry.
+/// `Err` names the drift or the missing entry. Entries without a
+/// `"campaign"` field date from before the churn family and mean
+/// `"builtin"`.
 pub fn check_checksum(
     baseline_text: &str,
     cfg: &CampaignConfig,
+    campaign: &str,
     checksum: u64,
 ) -> Result<(), String> {
     let doc = JsonValue::parse(baseline_text).map_err(|e| format!("checksum baseline: {e}"))?;
@@ -668,7 +676,11 @@ pub fn check_checksum(
             duration: req_f64(e, "duration_s", &ctx)?,
             nodes: req_u64(e, "nodes", &ctx)? as usize,
         };
-        if entry_cfg == *cfg {
+        let entry_campaign = e
+            .get("campaign")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("builtin");
+        if entry_cfg == *cfg && entry_campaign == campaign {
             let golden = e
                 .get("checksum")
                 .and_then(JsonValue::as_str)
@@ -680,7 +692,7 @@ pub fn check_checksum(
                 Err(format!(
                     "campaign checksum drift for {}: committed {} vs computed {} — \
                      the simulation no longer reproduces its golden trajectory",
-                    checksum_key(cfg),
+                    checksum_key(cfg, campaign),
                     digest_hex(golden),
                     digest_hex(checksum)
                 ))
@@ -690,7 +702,7 @@ pub fn check_checksum(
     Err(format!(
         "checksum baseline has no entry for {} — run fault_campaign with this config \
          (it prints the checksum) and commit it",
-        checksum_key(cfg)
+        checksum_key(cfg, campaign)
     ))
 }
 
@@ -702,17 +714,33 @@ mod tests {
     fn checksum_baseline_round_trips_and_gates() {
         let fast = CampaignConfig::fast(42);
         let full = CampaignConfig::full(42);
-        let text = render_checksum_baseline(&[(fast, 0xabc), (full, 0xdef)]);
-        assert!(check_checksum(&text, &fast, 0xabc).is_ok());
-        assert!(check_checksum(&text, &full, 0xdef).is_ok());
+        let text = render_checksum_baseline(&[
+            (fast, "builtin", 0xabc),
+            (full, "builtin", 0xdef),
+            (fast, "churn", 0x123),
+        ]);
+        assert!(check_checksum(&text, &fast, "builtin", 0xabc).is_ok());
+        assert!(check_checksum(&text, &full, "builtin", 0xdef).is_ok());
+        // The same config under a different campaign kind is a different
+        // golden entry.
+        assert!(check_checksum(&text, &fast, "churn", 0x123).is_ok());
+        assert!(check_checksum(&text, &fast, "churn", 0xabc).is_err());
 
-        let drift = check_checksum(&text, &fast, 0xabd).unwrap_err();
+        let drift = check_checksum(&text, &fast, "builtin", 0xabd).unwrap_err();
         assert!(drift.contains("drift"), "{drift}");
         assert!(drift.contains("0x0000000000000abc"), "{drift}");
 
-        let missing = check_checksum(&text, &CampaignConfig::fast(7), 0xabc).unwrap_err();
+        let missing =
+            check_checksum(&text, &CampaignConfig::fast(7), "builtin", 0xabc).unwrap_err();
         assert!(missing.contains("no entry"), "{missing}");
         assert!(missing.contains("seed=7"), "{missing}");
+
+        // A pre-churn entry without a "campaign" field means builtin.
+        let legacy = r#"{ "bench": "fault_campaign_checksums", "entries": [
+            { "seed": 42, "trials": 3, "duration_s": 20, "nodes": 8, "checksum": "0x0000000000000abc" }
+        ] }"#;
+        assert!(check_checksum(legacy, &fast, "builtin", 0xabc).is_ok());
+        assert!(check_checksum(legacy, &fast, "churn", 0xabc).is_err());
     }
 
     #[test]

@@ -15,7 +15,18 @@
 //! * **showcase regimes** exercising each [`wsn_network::RegimeKind`]:
 //!   bursty loss, a total blackout window (which must drive the session
 //!   Lost *and back*), energy-coupled death, stuck-at and drifting
-//!   sensors.
+//!   sensors;
+//! * a **churn family** ([`CampaignKind::Churn`]): a staggered death/birth
+//!   storm run under three map policies — `churn-stale` (the map is never
+//!   repaired, the control a fault-oblivious deployment would be),
+//!   `churn-incremental` (live incremental face-map repair) and
+//!   `churn-rebuild` (full rebuild per event, the reference the
+//!   incremental path must digest-match). Every repair folds the
+//!   post-repair map epoch and face-map digest into the trial's world
+//!   digest, so churned campaigns stay bit-replayable and shard-identical
+//!   exactly like static ones; [`check_churn_digests`] asserts the
+//!   incremental and rebuild policies produced identical per-trial
+//!   digests.
 //!
 //! [`check_envelopes`] turns those expectations into machine-checked
 //! assertions; the `fault_campaign` binary and the CLI `campaign`
@@ -36,9 +47,11 @@
 //! per-trial stats in `(cell, trial)` order, so single-process and merged
 //! sharded runs produce bit-identical rows and checksums.
 
+use std::cell::RefCell;
+
 use fttt::config::PaperParams;
-use fttt::facemap::FaceMap;
-use fttt::replay::{digest_hex, digest_world, parse_digest_hex, Digest};
+use fttt::facemap::{FaceMap, RepairMode};
+use fttt::replay::{digest_face_map, digest_hex, digest_world, parse_digest_hex, Digest};
 use fttt::session::{SessionOptions, SessionRun, TrackStatus, TrackingSession};
 use fttt::tracker::{Tracker, TrackerOptions};
 use rand::SeedableRng;
@@ -94,6 +107,43 @@ pub const SWEEP_REGIME: &str = "node-failure";
 /// anchor).
 pub const BLACKOUT_REGIME: &str = "blackout";
 
+/// The churn campaign's schedule: a staggered death storm (nodes 1, 3, 5
+/// die at t = 4, 6, 8) whose casualties all come back 6 s later — both
+/// repair directions (retire *and* re-rasterize) exercised inside even
+/// the fast config's 20 s trace.
+pub const CHURN_SCHEDULE: &str = "churn nodes=1,3,5 from=4 every=2 dead_for=6";
+
+/// How a churn-campaign cell maintains its face map while nodes die and
+/// return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnPolicy {
+    /// Never repair: sessions keep matching against the stale pristine
+    /// map (dead nodes still silenced by the regime). The
+    /// fault-oblivious control.
+    Stale,
+    /// Incremental repair per event ([`RepairMode::Incremental`]).
+    Incremental,
+    /// Full rebuild per event ([`RepairMode::Rebuild`]) — the reference
+    /// trajectory the incremental path must digest-match.
+    Rebuild,
+}
+
+/// The churn policies in campaign order, with their regime labels.
+pub const CHURN_POLICIES: [(&str, ChurnPolicy); 3] = [
+    ("churn-stale", ChurnPolicy::Stale),
+    ("churn-incremental", ChurnPolicy::Incremental),
+    ("churn-rebuild", ChurnPolicy::Rebuild),
+];
+
+/// Resolves a churn regime label back to its policy (`None` for
+/// non-churn cells).
+pub fn churn_policy_of(regime: &str) -> Option<ChurnPolicy> {
+    CHURN_POLICIES
+        .iter()
+        .find(|(label, _)| *label == regime)
+        .map(|&(_, policy)| policy)
+}
+
 /// The showcase regimes: `(label, schedule text)`. Windows are placed
 /// inside even the fast config's 20 s trace.
 pub fn showcase_regimes() -> Vec<(&'static str, &'static str)> {
@@ -145,7 +195,8 @@ fn method_by_label(label: &str) -> Option<(&'static str, bool)> {
 /// user-provided schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignKind {
-    /// The node-failure sweep plus every showcase regime.
+    /// The node-failure sweep, every showcase regime, and the churn
+    /// family.
     Builtin,
     /// Both methods against one schedule (the CLI `--schedule` path).
     Custom {
@@ -155,6 +206,19 @@ pub enum CampaignKind {
         /// can re-run without the original file).
         schedule: String,
     },
+    /// The live-topology-churn family: [`CHURN_SCHEDULE`] under every
+    /// [`ChurnPolicy`], both methods.
+    Churn,
+}
+
+/// The label a campaign kind carries in journal headers and the golden
+/// checksum baseline.
+pub fn campaign_kind_label(kind: &CampaignKind) -> &'static str {
+    match kind {
+        CampaignKind::Builtin => "builtin",
+        CampaignKind::Custom { .. } => "custom",
+        CampaignKind::Churn => "churn",
+    }
 }
 
 /// One campaign cell's static identity, in deterministic campaign order.
@@ -208,6 +272,7 @@ pub fn campaign_cells(kind: &CampaignKind) -> Vec<CellSpec> {
                     });
                 }
             }
+            cells.extend(churn_cells(cells.len()));
         }
         CampaignKind::Custom { label, schedule } => {
             Schedule::parse(schedule).expect("custom schedule must have been validated");
@@ -221,6 +286,27 @@ pub fn campaign_cells(kind: &CampaignKind) -> Vec<CellSpec> {
                     schedule_text: schedule.clone(),
                 });
             }
+        }
+        CampaignKind::Churn => cells.extend(churn_cells(0)),
+    }
+    cells
+}
+
+/// The churn family's cells (every policy × every method), starting at
+/// `base` in campaign order. The builtin campaign appends these after
+/// the showcases; [`CampaignKind::Churn`] runs exactly these.
+fn churn_cells(base: usize) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for (label, _) in CHURN_POLICIES {
+        for (method, extended) in METHODS {
+            cells.push(CellSpec {
+                index: base + cells.len(),
+                regime: label.to_string(),
+                method,
+                extended,
+                fault_rate: None,
+                schedule_text: CHURN_SCHEDULE.to_string(),
+            });
         }
     }
     cells
@@ -277,9 +363,19 @@ struct TrialEnv<'a> {
 
 /// Runs one seeded session trial, returning the run plus its replay
 /// digest; `session_id` must be the trial's stable id.
+///
+/// For churn cells (`churn` is `Some`), the schedule's churn events are
+/// applied between rounds at their simulation times: repairing policies
+/// call [`TrackingSession::apply_churn`] and fold the post-repair map
+/// epoch and [`digest_face_map`] into the world digest, so the digest
+/// pins not just what the session saw but the exact map it matched
+/// against after every repair. The stale policy applies nothing — the
+/// regime still silences the dead columns, but the map (and the digest)
+/// never move.
 fn run_session_trial(
     env: &TrialEnv<'_>,
     extended: bool,
+    churn: Option<ChurnPolicy>,
     seed: u64,
     session_id: u64,
 ) -> (SessionRun, u64) {
@@ -305,22 +401,48 @@ fn run_session_trial(
     let session_options = SessionOptions::new(params.samples_k).with_max_speed(params.max_speed);
     let mut session = TrackingSession::new(Tracker::new(map.clone(), options), session_options)
         .with_session_id(session_id);
-    let mut engine = schedule.engine(field.len());
+    // The engine and world digest are shared between the sampling closure
+    // and the between-rounds churn closure; the two never run
+    // concurrently, so runtime borrows are safe.
+    let engine = RefCell::new(schedule.engine(field.len()));
     let base = params.sampler();
-    let mut world = Digest::new();
-    let run = session.run(&trace, &mut rng, |k, pos, t, r| {
-        let sampler = GroupSampler {
-            samples: k,
-            ..base.clone()
-        };
-        let mut g = sampler.sample(field, pos, r);
-        engine.apply(t, &mut g, r);
-        digest_world(&mut world, &engine, &g);
-        g
-    });
+    let world = RefCell::new(Digest::new());
+    let mut prev_t: Option<f64> = None;
+    let run = session.run_with(
+        &trace,
+        &mut rng,
+        |k, pos, t, r| {
+            let sampler = GroupSampler {
+                samples: k,
+                ..base.clone()
+            };
+            let mut g = sampler.sample(field, pos, r);
+            let mut engine = engine.borrow_mut();
+            engine.apply(t, &mut g, r);
+            digest_world(&mut world.borrow_mut(), &engine, &g);
+            g
+        },
+        |s, t| {
+            let Some(policy) = churn else { return };
+            let events = engine.borrow().churn_events_between(prev_t, t);
+            prev_t = Some(t);
+            let mode = match policy {
+                ChurnPolicy::Stale => None,
+                ChurnPolicy::Incremental => Some(RepairMode::Incremental),
+                ChurnPolicy::Rebuild => Some(RepairMode::Rebuild),
+            };
+            for e in events {
+                let Some(mode) = mode else { continue };
+                let report = s.apply_churn(t, e.node, e.death, mode);
+                let mut w = world.borrow_mut();
+                w.write_u64(report.epoch);
+                w.write_u64(digest_face_map(s.tracker().map()));
+            }
+        },
+    );
     let mut digest = Digest::new();
     digest.write_u64(seed);
-    digest.write_digest(world);
+    digest.write_digest(world.into_inner());
     fttt::replay::digest_run(&mut digest, &run);
     (run, digest.value())
 }
@@ -329,6 +451,7 @@ fn trial_stat_of(
     cell: &CellSpec,
     trial: u64,
     seed: u64,
+    session: u64,
     run: &SessionRun,
     digest: u64,
 ) -> TrialStat {
@@ -336,7 +459,7 @@ fn trial_stat_of(
         cell: cell.index,
         trial,
         seed,
-        session: fttt::replay::stable_session_id(&cell.regime, cell.method, cell.fault_rate, trial),
+        session,
         mean_error: run.error_stats().mean,
         rounds: run.rounds.len() as u64,
         lost_rounds: run.rounds_in(TrackStatus::Lost) as u64,
@@ -388,6 +511,7 @@ pub fn run_campaign_stats(
     let mut stats = Vec::with_capacity(cells.len() * cfg.trials.div_ceil(shards));
     for cell in &cells {
         let schedule = Schedule::parse(&cell.schedule_text).expect("cell schedule is valid");
+        let churn = churn_policy_of(&cell.regime);
         let env = TrialEnv {
             params: &params,
             field: &field,
@@ -400,10 +524,18 @@ pub fn run_campaign_stats(
             .collect();
         let cell_stats: Vec<TrialStat> = par_map(&idx, |_, &i| {
             let seed = seed_for(cfg.seed, i);
-            let session =
-                fttt::replay::stable_session_id(&cell.regime, cell.method, cell.fault_rate, i);
-            let (run, digest) = run_session_trial(&env, cell.extended, seed, session);
-            let stat = trial_stat_of(cell, i, seed, &run, digest);
+            // The epoch folded into the id is the map's at session start —
+            // always the pristine build here, but a harness that re-runs
+            // a trial against an already-churned map keys differently.
+            let session = fttt::replay::stable_session_id(
+                &cell.regime,
+                cell.method,
+                cell.fault_rate,
+                i,
+                map.epoch(),
+            );
+            let (run, digest) = run_session_trial(&env, cell.extended, churn, seed, session);
+            let stat = trial_stat_of(cell, i, seed, session, &run, digest);
             journal_trial(cell, &stat);
             stat
         });
@@ -437,13 +569,13 @@ fn journal_header(cfg: &CampaignConfig, kind: &CampaignKind, cells: &[CellSpec],
     // "campaign_kind", not "kind": the JSONL event root already carries a
     // "kind" (the trace-event kind tag) and the replay parser reads both
     // layers.
-    match kind {
-        CampaignKind::Builtin => args.push(("campaign_kind", ArgValue::Str("builtin".into()))),
-        CampaignKind::Custom { label, schedule } => {
-            args.push(("campaign_kind", ArgValue::Str("custom".into())));
-            args.push(("label", ArgValue::Str(label.clone())));
-            args.push(("schedule", ArgValue::Str(schedule.clone())));
-        }
+    args.push((
+        "campaign_kind",
+        ArgValue::Str(campaign_kind_label(kind).into()),
+    ));
+    if let CampaignKind::Custom { label, schedule } = kind {
+        args.push(("label", ArgValue::Str(label.clone())));
+        args.push(("schedule", ArgValue::Str(schedule.clone())));
     }
     telemetry::trace_instant("fttt.campaign.header", args);
 }
@@ -607,6 +739,51 @@ pub fn run_custom_schedule(
     rows_from_stats(cfg, &cs.cells, &cs.stats)
 }
 
+/// The churn family's strongest invariant, checked over the *per-trial*
+/// stats: the `churn-incremental` and `churn-rebuild` cells of the same
+/// method must have produced bit-identical trial digests — the
+/// incrementally repaired map walked the exact trajectory the
+/// rebuild-per-event reference did, round for round, epoch for epoch.
+/// Returns one message per mismatch; empty for campaigns without churn
+/// cells.
+pub fn check_churn_digests(cells: &[CellSpec], stats: &[TrialStat]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (method, _) in METHODS {
+        let cell_of = |policy_label: &str| {
+            cells
+                .iter()
+                .find(|c| c.regime == policy_label && c.method == method)
+        };
+        let (Some(inc), Some(reb)) = (cell_of("churn-incremental"), cell_of("churn-rebuild"))
+        else {
+            continue;
+        };
+        let digest_of = |cell: usize, trial: u64| {
+            stats
+                .iter()
+                .find(|s| s.cell == cell && s.trial == trial)
+                .map(|s| s.digest)
+        };
+        let trials: Vec<u64> = stats
+            .iter()
+            .filter(|s| s.cell == inc.index)
+            .map(|s| s.trial)
+            .collect();
+        for trial in trials {
+            match (digest_of(inc.index, trial), digest_of(reb.index, trial)) {
+                (Some(a), Some(b)) if a != b => violations.push(format!(
+                    "{method} churn trial {trial}: incremental digest {} != rebuild digest {} — \
+                     incremental repair left the rebuild-per-event trajectory",
+                    digest_hex(a),
+                    digest_hex(b)
+                )),
+                _ => {}
+            }
+        }
+    }
+    violations
+}
+
 /// Checks the graceful-degradation envelopes; returns one message per
 /// violation (empty = campaign passes).
 ///
@@ -638,6 +815,12 @@ pub fn check_envelopes(rows: &[CampaignRow], field_side: f64) -> Vec<String> {
             .iter()
             .filter(|r| r.regime == SWEEP_REGIME && r.method == label)
             .collect();
+        // No sweep rows at all: a custom or churn campaign — nothing to
+        // anchor. A *partial* sweep (rows but no rate-0 anchor) is still
+        // an error.
+        if sweep.is_empty() {
+            continue;
+        }
         let Some(baseline) = sweep.iter().find(|r| r.fault_rate == Some(0.0)) else {
             violations.push(format!("{label}: sweep has no fault-free baseline row"));
             continue;
@@ -974,12 +1157,12 @@ mod tests {
             schedule: &schedule,
             duration: cfg.duration,
         };
-        let a = run_session_trial(&env, false, 123, 1);
-        let b = run_session_trial(&env, false, 123, 1);
+        let a = run_session_trial(&env, false, None, 123, 1);
+        let b = run_session_trial(&env, false, None, 123, 1);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1, "trial digests must agree");
         // A different seed must move the digest.
-        let c = run_session_trial(&env, false, 124, 1);
+        let c = run_session_trial(&env, false, None, 124, 1);
         assert_ne!(a.1, c.1, "different seed, same digest — digest is blind");
     }
 
@@ -1081,13 +1264,23 @@ mod tests {
             mean_samples: 5.0,
         };
         // A 0-rate baseline of 5 m and a 0.5-rate mean of 40 m breaks
-        // 3·5 + 12 = 27 m.
+        // 3·5 + 12 = 27 m. FTTT-ext has no sweep rows at all, which is a
+        // campaign without a sweep family for that method — skipped, not
+        // flagged.
         let rows = vec![
             row(SWEEP_REGIME, Some(0.0), 5.0),
             row(SWEEP_REGIME, Some(0.5), 40.0),
         ];
         let v = check_envelopes(&rows, 100.0);
-        assert_eq!(v.len(), 2, "envelope + missing FTTT-ext baseline: {v:?}");
+        assert_eq!(v.len(), 1, "exactly the envelope break: {v:?}");
+        assert!(v[0].contains("breaks the envelope"), "{v:?}");
+        // A partial sweep — rows but no rate-0 anchor — is still flagged.
+        let rows = vec![row(SWEEP_REGIME, Some(0.5), 10.0)];
+        let v = check_envelopes(&rows, 100.0);
+        assert!(
+            v.iter().any(|m| m.contains("no fault-free baseline")),
+            "{v:?}"
+        );
         // A blackout row that never reached Lost is a violation too.
         let rows = vec![row(BLACKOUT_REGIME, None, 10.0)];
         let v = check_envelopes(&rows, 100.0);

@@ -46,7 +46,13 @@ fn session_batch(threads: usize) {
             Tracker::new(map.clone(), TrackerOptions::heuristic()),
             SessionOptions::new(params.samples_k).with_max_speed(params.max_speed),
         )
-        .with_session_id(stable_session_id("det-test", "FTTT-basic", None, i));
+        .with_session_id(stable_session_id(
+            "det-test",
+            "FTTT-basic",
+            None,
+            i,
+            map.epoch(),
+        ));
         let sampler = params.sampler();
         session.run(&trace, &mut rng, |_, pos, _, r| {
             sampler.sample(&field, pos, r)

@@ -12,8 +12,16 @@ use fttt_bench::robustness::{
 fn fast_campaign_holds_all_envelopes() {
     let cfg = CampaignConfig::fast(42);
     let rows = run_campaign(&cfg);
-    // Both methods × (4 sweep rates + 5 showcase regimes).
-    assert_eq!(rows.len(), 2 * (SWEEP_RATES.len() + 5));
+    // Both methods × (4 sweep rates + 5 showcase regimes + 3 churn map
+    // policies).
+    assert_eq!(rows.len(), 2 * (SWEEP_RATES.len() + 5 + 3));
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.regime.starts_with("churn-"))
+            .count(),
+        6,
+        "churn family missing from the builtin campaign"
+    );
     let violations = check_envelopes(&rows, campaign_field_side(&cfg));
     assert!(
         violations.is_empty(),

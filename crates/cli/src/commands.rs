@@ -303,7 +303,8 @@ pub fn sweep(opts: &Options) {
 /// file is rejected at parse time with the offending line.
 pub fn campaign(opts: &Options) {
     use fttt_bench::robustness::{
-        campaign_field_side, check_envelopes, run_campaign, run_custom_schedule, CampaignConfig,
+        campaign_field_side, check_churn_digests, check_envelopes, rows_from_stats,
+        run_campaign_stats, run_custom_schedule, CampaignConfig, CampaignKind,
     };
     let metrics = metrics_sink(opts);
     let journal = trace_sink(opts);
@@ -313,7 +314,7 @@ pub fn campaign(opts: &Options) {
         CampaignConfig::full(opts.seed)
     };
     cfg.trials = opts.trials.max(1);
-    let (rows, check) = match &opts.schedule {
+    let (rows, check, churn_violations) = match &opts.schedule {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("error: cannot read {}: {e}", path.display());
@@ -331,9 +332,17 @@ pub fn campaign(opts: &Options) {
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("schedule");
-            (run_custom_schedule(&cfg, label, &text), false)
+            (run_custom_schedule(&cfg, label, &text), false, Vec::new())
         }
-        None => (run_campaign(&cfg), true),
+        None => {
+            let cs = run_campaign_stats(&cfg, &CampaignKind::Builtin, 1, 0);
+            let rows = rows_from_stats(&cfg, &cs.cells, &cs.stats);
+            // The churn family's strongest invariant rides along: the
+            // incremental and rebuild policies must have produced
+            // bit-identical per-trial digests.
+            let churn = check_churn_digests(&cs.cells, &cs.stats);
+            (rows, true, churn)
+        }
     };
     let mut t = Table::new(
         format!(
@@ -368,7 +377,8 @@ pub fn campaign(opts: &Options) {
     emit_metrics(opts, metrics);
     emit_trace(opts, journal);
     if check {
-        let violations = check_envelopes(&rows, campaign_field_side(&cfg));
+        let mut violations = check_envelopes(&rows, campaign_field_side(&cfg));
+        violations.extend(churn_violations);
         if violations.is_empty() {
             println!("\nall graceful-degradation envelopes hold");
         } else {

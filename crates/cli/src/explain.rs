@@ -38,6 +38,31 @@ impl IndexStats {
     }
 }
 
+/// One `fttt.map.repair` event: a live-churn face-map repair. The epoch
+/// arrives hex-encoded like every other digest in the journal; `epoch`
+/// holds the parsed ordinal when the hex is canonical.
+#[derive(Debug, Clone)]
+pub struct RepairRecord {
+    /// Owning session's process-unique id (0 for traces without one).
+    pub session: u64,
+    /// Simulation time of the churn event.
+    pub t: f64,
+    /// Post-repair map epoch (`None` when the hex field is malformed).
+    pub epoch: Option<u64>,
+    pub node: u64,
+    /// Death when true, (re)birth otherwise.
+    pub death: bool,
+    pub planes_retired: u64,
+    pub planes_added: u64,
+    pub cells_reclassified: u64,
+    pub faces_before: u64,
+    pub faces_after: u64,
+    pub repair_us: f64,
+    /// The session's warm-start face did not survive the repair exactly
+    /// (it re-enters the recovery ladder at a forced re-acquisition).
+    pub face_remapped: bool,
+}
+
 /// One `fttt.session.round` event, decoded from either trace format.
 #[derive(Debug, Clone)]
 pub struct RoundRecord {
@@ -65,6 +90,9 @@ pub struct RoundRecord {
 pub struct TraceSummary {
     /// Session rounds in journal order.
     pub rounds: Vec<RoundRecord>,
+    /// Live-churn face-map repairs, ordered by (session, time) so the
+    /// timeline can interleave them with their session's rounds.
+    pub repairs: Vec<RepairRecord>,
     /// Dropped-event count from the journal meta, when present.
     pub dropped: Option<u64>,
     /// Whole-trace indexed-matcher totals (including matches after the
@@ -115,6 +143,31 @@ fn round_of(event: &JsonValue) -> Option<RoundRecord> {
     })
 }
 
+/// Decodes one journal event object; `Some` only for map repairs.
+fn repair_of(event: &JsonValue) -> Option<RepairRecord> {
+    if str_of(event, "name").as_deref() != Some("fttt.map.repair") {
+        return None;
+    }
+    let args = event.get("args")?;
+    let u = |key| args.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    Some(RepairRecord {
+        session: u("session"),
+        t: f64_of(args, "t").unwrap_or(0.0),
+        epoch: str_of(args, "epoch")
+            .as_deref()
+            .and_then(wsn_network::replay::parse_digest_hex),
+        node: u("node"),
+        death: bool_of(args, "death"),
+        planes_retired: u("planes_retired"),
+        planes_added: u("planes_added"),
+        cells_reclassified: u("cells"),
+        faces_before: u("faces_before"),
+        faces_after: u("faces_after"),
+        repair_us: f64_of(args, "repair_us").unwrap_or(0.0),
+        face_remapped: bool_of(args, "face_remapped"),
+    })
+}
+
 /// Parses a trace file's text in either format into a [`TraceSummary`].
 pub fn load(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
@@ -128,6 +181,10 @@ pub fn load(text: &str) -> Result<TraceSummary, String> {
         if str_of(event, "name").as_deref() == Some("fttt.match.index") {
             pending.absorb(event);
             summary.index_totals.absorb(event);
+            return;
+        }
+        if let Some(rep) = repair_of(event) {
+            summary.repairs.push(rep);
             return;
         }
         if let Some(mut r) = round_of(event) {
@@ -166,8 +223,59 @@ pub fn load(text: &str) -> Result<TraceSummary, String> {
         }
     }
     summary.rounds.sort_by_key(|r| (r.session, r.round));
+    summary
+        .repairs
+        .sort_by(|a, b| a.session.cmp(&b.session).then(a.t.total_cmp(&b.t)));
     summary.other_events = counts.into_iter().collect();
     Ok(summary)
+}
+
+/// Writes every not-yet-rendered repair at or before `upto` (as a
+/// `(session, t)` bound; `None` drains the rest), advancing `next` and
+/// opening a new per-session block when the timeline crosses sessions.
+fn flush_repairs(
+    out: &mut String,
+    repairs: &[RepairRecord],
+    next: &mut usize,
+    upto: Option<(u64, f64)>,
+    many_sessions: bool,
+    current_session: &mut Option<u64>,
+) {
+    use std::fmt::Write as _;
+    while let Some(rep) = repairs.get(*next) {
+        if let Some((session, t)) = upto {
+            let due = rep.session < session || (rep.session == session && rep.t <= t);
+            if !due {
+                break;
+            }
+        }
+        if many_sessions && *current_session != Some(rep.session) {
+            *current_session = Some(rep.session);
+            let _ = writeln!(out, "— session {} —", rep.session);
+        }
+        let epoch = rep.epoch.map_or_else(|| "?".to_owned(), |e| e.to_string());
+        let _ = writeln!(
+            out,
+            "churn       t={:>6.1}s  epoch {}: node {} {}, {} planes retired, {} added, \
+             {} cells reclassified, faces {} -> {}, repair {:.0} µs{}",
+            rep.t,
+            epoch,
+            rep.node,
+            if rep.death { "died" } else { "joined" },
+            rep.planes_retired,
+            rep.planes_added,
+            rep.cells_reclassified,
+            rep.faces_before,
+            rep.faces_after,
+            rep.repair_us,
+            if rep.face_remapped {
+                ", face remapped"
+            } else {
+                ""
+            },
+        );
+        *next += 1;
+    }
 }
 
 fn pct(fraction: f64) -> String {
@@ -179,18 +287,34 @@ fn pct(fraction: f64) -> String {
 pub fn render(summary: &TraceSummary) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    if summary.rounds.is_empty() {
+    if summary.rounds.is_empty() && summary.repairs.is_empty() {
         out.push_str("no session rounds in this trace\n");
         if !summary.other_events.is_empty() {
             out.push_str("(the journal holds other events — see below)\n");
         }
     }
-    let sessions: std::collections::BTreeSet<u64> =
-        summary.rounds.iter().map(|r| r.session).collect();
+    let sessions: std::collections::BTreeSet<u64> = summary
+        .rounds
+        .iter()
+        .map(|r| r.session)
+        .chain(summary.repairs.iter().map(|r| r.session))
+        .collect();
     let many_sessions = sessions.len() > 1;
     let mut current_session = None;
     let mut transitions = 0usize;
+    let mut next_repair = 0usize;
     for r in &summary.rounds {
+        // Churn repairs interleave with rounds by simulation time: render
+        // every repair due at or before this round first (even when the
+        // round itself stays silent).
+        flush_repairs(
+            &mut out,
+            &summary.repairs,
+            &mut next_repair,
+            Some((r.session, r.t)),
+            many_sessions,
+            &mut current_session,
+        );
         let mut notes = Vec::new();
         if r.status_before != r.status {
             transitions += 1;
@@ -246,6 +370,14 @@ pub fn render(summary: &TraceSummary) -> String {
         }
         let _ = writeln!(out, "  | {}", notes.join("; "));
     }
+    flush_repairs(
+        &mut out,
+        &summary.repairs,
+        &mut next_repair,
+        None,
+        many_sessions,
+        &mut current_session,
+    );
     let _ = writeln!(out, "---");
     let _ = writeln!(
         out,
@@ -261,6 +393,18 @@ pub fn render(summary: &TraceSummary) -> String {
     if !causes.is_empty() {
         let rendered: Vec<String> = causes.iter().map(|(c, n)| format!("{c} x{n}")).collect();
         let _ = writeln!(out, "causes: {}", rendered.join(", "));
+    }
+    if !summary.repairs.is_empty() {
+        let deaths = summary.repairs.iter().filter(|r| r.death).count();
+        let remaps = summary.repairs.iter().filter(|r| r.face_remapped).count();
+        let _ = writeln!(
+            out,
+            "map repairs: {} ({} death(s), {} birth(s)), {} warm-face remap(s)",
+            summary.repairs.len(),
+            deaths,
+            summary.repairs.len() - deaths,
+            remaps
+        );
     }
     if let Some(last) = summary.rounds.last() {
         let _ = writeln!(out, "final status: {}", last.status);
@@ -495,6 +639,120 @@ mod tests {
             text.contains("indexed matching: 4 match(es), pruned 31 of 48 chunk bounds (65%)"),
             "{text}"
         );
+    }
+
+    /// A journal interleaving churn repairs with rounds: a silent round,
+    /// a death repair (t between the rounds), a transition round, then a
+    /// birth repair after the final round (flushed by the trailing drain).
+    fn churn_trace() -> String {
+        let j = Journal::with_capacity(32);
+        let round = |round: u64, status: &str| {
+            j.record(
+                "fttt.session.round",
+                TraceKind::Round { round },
+                vec![
+                    ("t", ArgValue::F64(round as f64 * 10.0)),
+                    ("status_before", ArgValue::Str("Tracking".into())),
+                    ("status", ArgValue::Str(status.into())),
+                    ("cause", ArgValue::Str("healthy".into())),
+                ],
+            );
+        };
+        let repair = |t: f64, epoch: &str, node: u64, death: bool, remapped: bool| {
+            j.record(
+                "fttt.map.repair",
+                TraceKind::Instant,
+                vec![
+                    ("t", ArgValue::F64(t)),
+                    ("epoch", ArgValue::Str(epoch.into())),
+                    ("node", ArgValue::U64(node)),
+                    ("death", ArgValue::Bool(death)),
+                    ("planes_retired", ArgValue::U64(if death { 12 } else { 0 })),
+                    ("planes_added", ArgValue::U64(if death { 9 } else { 14 })),
+                    ("cells", ArgValue::U64(625)),
+                    ("faces_before", ArgValue::U64(841)),
+                    ("faces_after", ArgValue::U64(838)),
+                    ("repair_us", ArgValue::F64(480.2)),
+                    ("face_remapped", ArgValue::Bool(remapped)),
+                ],
+            );
+        };
+        round(0, "Tracking");
+        repair(5.0, &wsn_network::replay::digest_hex(3), 7, true, true);
+        round(1, "Degraded");
+        repair(15.0, "not-hex", 7, false, false);
+        j.snapshot().to_jsonl()
+    }
+
+    #[test]
+    fn repairs_decode_with_parsed_epochs() {
+        let s = load(&churn_trace()).unwrap();
+        assert_eq!(s.repairs.len(), 2);
+        assert_eq!(s.repairs[0].epoch, Some(3));
+        assert_eq!(s.repairs[0].node, 7);
+        assert!(s.repairs[0].death);
+        assert_eq!(s.repairs[0].planes_retired, 12);
+        assert_eq!(s.repairs[0].faces_before, 841);
+        assert_eq!(s.repairs[0].faces_after, 838);
+        assert!(s.repairs[0].face_remapped);
+        // A malformed epoch hex decodes to None, not a parse failure.
+        assert_eq!(s.repairs[1].epoch, None);
+        assert!(!s.repairs[1].death);
+        // Repairs are rendered as churn lines, not "other events".
+        assert!(s.other_events.is_empty(), "{:?}", s.other_events);
+    }
+
+    #[test]
+    fn render_interleaves_repairs_by_time_and_totals_them() {
+        let text = render(&load(&churn_trace()).unwrap());
+        let death = text
+            .find("epoch 3: node 7 died, 12 planes retired, 9 added, 625 cells reclassified")
+            .expect(&text);
+        assert!(text[death..].contains("faces 841 -> 838"), "{text}");
+        assert!(
+            text[death..].contains("repair 480 µs, face remapped"),
+            "{text}"
+        );
+        // The death (t=5) lands between round 0 (silent, t=0) and the
+        // round-1 transition (t=10); the birth (t=15) follows round 1 and
+        // renders an unparseable epoch as "?".
+        let transition = text.find("round    1").expect(&text);
+        let birth = text.find("epoch ?: node 7 joined").expect(&text);
+        assert!(death < transition && transition < birth, "{text}");
+        assert!(
+            text.contains("map repairs: 2 (1 death(s), 1 birth(s)), 1 warm-face remap(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn repair_only_sessions_still_open_a_timeline_block() {
+        let j = Journal::with_capacity(8);
+        for session in [2u64, 5] {
+            j.record(
+                "fttt.map.repair",
+                TraceKind::Instant,
+                vec![
+                    ("session", ArgValue::U64(session)),
+                    ("t", ArgValue::F64(1.0)),
+                    (
+                        "epoch",
+                        ArgValue::Str(wsn_network::replay::digest_hex(session)),
+                    ),
+                    ("node", ArgValue::U64(1)),
+                    ("death", ArgValue::Bool(true)),
+                ],
+            );
+        }
+        let s = load(&j.snapshot().to_jsonl()).unwrap();
+        let text = render(&s);
+        // No rounds at all: the trailing drain still renders both repairs
+        // under their own session headers.
+        assert!(!text.contains("no session rounds"), "{text}");
+        assert!(text.contains("— session 2 —"), "{text}");
+        assert!(text.contains("— session 5 —"), "{text}");
+        assert!(text.contains("epoch 5: node 1 died"), "{text}");
+        assert!(text.contains("0 rounds across 2 session(s)"), "{text}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub fn run(path: &Path) {
     let kind = match &rec.kind {
         CampaignKind::Builtin => "builtin sweep + showcases".to_string(),
         CampaignKind::Custom { label, .. } => format!("custom schedule `{label}`"),
+        CampaignKind::Churn => "churn storm x 3 map policies".to_string(),
     };
     println!(
         "recording: {kind} | seed {:#x} | {} trials x {} s, {} nodes | \

@@ -12,7 +12,7 @@
 //! bit-identical to [`signature_of`] — an algebraically expanded quadratic
 //! form would round differently on boundary cells.
 
-use crate::vector::{words_for, SignaturePlanes, SignatureVector};
+use crate::vector::{words_for, SamplingVector, SignaturePlanes, SignatureVector};
 use std::collections::HashMap;
 use std::fmt;
 use wsn_geometry::{CellIndex, Grid, PairRegion, Point, Rect};
@@ -87,7 +87,7 @@ pub fn signature_of(p: Point, positions: &[Point], c: f64) -> SignatureVector {
 
 /// One rasterized grid row: per-cell signature planes stored contiguously
 /// (cell `ix`'s planes occupy words `ix·W .. (ix+1)·W` of each arena).
-struct PackedRow {
+pub(super) struct PackedRow {
     words: usize,
     plus: Vec<u64>,
     minus: Vec<u64>,
@@ -103,7 +103,7 @@ impl PackedRow {
     }
 
     #[inline]
-    fn cell(&self, ix: usize) -> (&[u64], &[u64]) {
+    pub(super) fn cell(&self, ix: usize) -> (&[u64], &[u64]) {
         let r = ix * self.words..(ix + 1) * self.words;
         (&self.plus[r.clone()], &self.minus[r])
     }
@@ -123,7 +123,7 @@ impl PackedRow {
 /// results go to one-byte lanes first (a pure vectorizable compare sweep
 /// per node — a direct bit accumulator would serialize the whole pair loop
 /// on one shift/or chain) and are packed to plane words afterwards.
-struct RowRasterizer {
+pub(super) struct RowRasterizer {
     xs: Vec<f64>,
     ys: Vec<f64>,
     c2: f64,
@@ -134,7 +134,7 @@ struct RowRasterizer {
 /// node squared distances, their `c²` multiples, and the one-byte compare
 /// lanes (`words × 64` long so packing sees whole words; the tail past the
 /// pair dimension is written once at allocation and never touched again).
-struct ClassifyScratch {
+pub(super) struct ClassifyScratch {
     dy2: Vec<f64>,
     nd2: Vec<f64>,
     nc2: Vec<f64>,
@@ -159,7 +159,7 @@ fn pack_compare_bytes(chunk: &[u8]) -> u64 {
 }
 
 impl RowRasterizer {
-    fn new(positions: &[Point], c: f64) -> Self {
+    pub(super) fn new(positions: &[Point], c: f64) -> Self {
         Self {
             xs: positions.iter().map(|p| p.x).collect(),
             ys: positions.iter().map(|p| p.y).collect(),
@@ -168,7 +168,7 @@ impl RowRasterizer {
         }
     }
 
-    fn scratch(&self) -> ClassifyScratch {
+    pub(super) fn scratch(&self) -> ClassifyScratch {
         let n = self.xs.len();
         ClassifyScratch {
             dy2: vec![0.0; n],
@@ -181,7 +181,7 @@ impl RowRasterizer {
 
     /// Fixes the row ordinate: every cell centre of a grid row shares `y`,
     /// so `dy²` per node is computed once per row.
-    fn begin_row(&self, cy: f64, s: &mut ClassifyScratch) {
+    pub(super) fn begin_row(&self, cy: f64, s: &mut ClassifyScratch) {
         for (k, d) in s.dy2.iter_mut().enumerate() {
             let dy = cy - self.ys[k];
             *d = dy * dy;
@@ -231,8 +231,45 @@ impl RowRasterizer {
         }
     }
 
+    /// Classifies only the pairs that involve the sensor at list index
+    /// `p` for the cell centre at abscissa `cx` of the current row,
+    /// returning the compare bits packed ascending in the canonical pair
+    /// enumeration's order of those pairs — `(0,p) … (p−1,p)`, then
+    /// `(p,p+1) … (p,n−1)` — bit 0 first. Only valid for `n ≤ 65` (at
+    /// most 64 such pairs). Every floating-point operation matches
+    /// [`RowRasterizer::classify_into`] operand for operand, so the bits
+    /// equal the corresponding bits of a full classification.
+    pub(super) fn classify_node(&self, cx: f64, p: usize, s: &mut ClassifyScratch) -> (u64, u64) {
+        let n = self.xs.len();
+        debug_assert!(n <= 65, "classify_node packs at most 64 pair bits");
+        for k in 0..n {
+            let dx = cx - self.xs[k];
+            let d2 = dx * dx + s.dy2[k];
+            s.nd2[k] = d2;
+            s.nc2[k] = self.c2 * d2;
+        }
+        let dp2 = s.nd2[p];
+        let pp = dp2 * self.c2;
+        let mut fp = 0u64;
+        let mut fm = 0u64;
+        let mut bit = 0u32;
+        for i in 0..p {
+            let da2 = s.nd2[i];
+            let pa = da2 * self.c2;
+            fp |= u64::from(pa < dp2) << bit;
+            fm |= u64::from(da2 > s.nc2[p]) << bit;
+            bit += 1;
+        }
+        for j in p + 1..n {
+            fp |= u64::from(pp < s.nd2[j]) << bit;
+            fm |= u64::from(dp2 > s.nc2[j]) << bit;
+            bit += 1;
+        }
+        (fp, fm)
+    }
+
     /// Rasterizes grid row `iy` into a fresh packed arena.
-    fn rasterize_row(&self, grid: &Grid, iy: u32) -> PackedRow {
+    pub(super) fn rasterize_row(&self, grid: &Grid, iy: u32) -> PackedRow {
         let nx = grid.nx() as usize;
         let mut row = PackedRow::zeroed(nx, self.words);
         let mut s = self.scratch();
@@ -285,7 +322,7 @@ fn chunk_assignment(grid: &Grid, faces: &[Face]) -> (Vec<u32>, Vec<u32>) {
 
 /// Word mixer keying the grouping table; full planes are compared on the
 /// rare collisions, so this only needs to spread well.
-fn hash_planes(plus: &[u64], minus: &[u64]) -> u64 {
+pub(super) fn hash_planes(plus: &[u64], minus: &[u64]) -> u64 {
     const K: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut h = 0u64;
     for &w in plus.iter().chain(minus.iter()) {
@@ -298,7 +335,7 @@ fn hash_planes(plus: &[u64], minus: &[u64]) -> u64 {
 /// them through SipHash again would only cost time on the hottest grouping
 /// path.
 #[derive(Default)]
-struct PlaneKeyHasher(u64);
+pub(super) struct PlaneKeyHasher(u64);
 
 impl std::hash::Hasher for PlaneKeyHasher {
     fn finish(&self) -> u64 {
@@ -314,28 +351,322 @@ impl std::hash::Hasher for PlaneKeyHasher {
     }
 }
 
-type PlaneKeyState = std::hash::BuildHasherDefault<PlaneKeyHasher>;
+pub(super) type PlaneKeyState = std::hash::BuildHasherDefault<PlaneKeyHasher>;
 
 /// Signature → face index over the packed planes: a word-hash bucket map
 /// (first face per hash) plus an overflow list for the astronomically rare
 /// 64-bit collisions; lookups always confirm by full component comparison.
 #[derive(Debug, Clone, Default)]
-struct SignatureIndex {
-    first: HashMap<u64, u32, PlaneKeyState>,
-    overflow: Vec<u32>,
+pub(super) struct SignatureIndex {
+    pub(super) first: HashMap<u64, u32, PlaneKeyState>,
+    pub(super) overflow: Vec<u32>,
 }
 
-/// The offline face division of a monitored field.
-#[derive(Debug, Clone)]
-pub struct FaceMap {
+/// Per-cell accumulators of a grouping pass: centroid sums, bounding
+/// boxes, the cell→face index and boundary crossings, fed resolved face
+/// ids in raster order.
+///
+/// Shared between the fresh build ([`Grouper`]) and the churn-repair fast
+/// paths, which resolve ids without per-cell plane comparisons but must
+/// reproduce the exact same accumulation — in particular the f64 centroid
+/// sums, whose rounding depends on raster order.
+pub(super) struct CellAccum {
+    nx: usize,
+    iy: usize,
+    prev: Option<u32>,
+    cell_to_face: Vec<u32>,
+    sums: Vec<(f64, f64, usize)>,
+    boxes: Vec<Rect>,
+    crossings: Vec<(u32, u32)>,
+}
+
+impl CellAccum {
+    pub(super) fn new(grid: &Grid, hint: usize) -> Self {
+        Self {
+            nx: grid.nx() as usize,
+            iy: 0,
+            prev: None,
+            cell_to_face: vec![0u32; grid.cell_count()],
+            sums: Vec::with_capacity(hint),
+            boxes: Vec::with_capacity(hint),
+            crossings: Vec::new(),
+        }
+    }
+
+    pub(super) fn begin_row(&mut self, iy: usize) {
+        self.prev = None;
+        self.iy = iy;
+    }
+
+    /// Face id of the cell directly above the current one, if any.
+    #[inline]
+    fn above(&self, ix: usize) -> Option<u32> {
+        if self.iy > 0 {
+            Some(self.cell_to_face[(self.iy - 1) * self.nx + ix])
+        } else {
+            None
+        }
+    }
+
+    /// Folds one resolved cell into the accumulators. Face ids must be
+    /// numbered by first raster encounter: a brand-new id equals the
+    /// current face count and allocates its accumulator slots here, which
+    /// is what lets repair paths pre-resolve ids and still share this
+    /// code verbatim.
+    pub(super) fn record(&mut self, grid: &Grid, ix: usize, id: u32) {
+        let idx = CellIndex::new(ix as u32, self.iy as u32);
+        let center = grid.center(idx);
+        let above = self.above(ix);
+        if id as usize == self.sums.len() {
+            self.sums.push((0.0, 0.0, 0));
+            self.boxes.push(Rect::point(center));
+        }
+        debug_assert!(
+            (id as usize) < self.sums.len(),
+            "face ids must be dense first-encounter numbers"
+        );
+        let s = &mut self.sums[id as usize];
+        s.0 += center.x;
+        s.1 += center.y;
+        s.2 += 1;
+        self.boxes[id as usize] = self.boxes[id as usize].union_point(center);
+        self.cell_to_face[grid.linear(idx)] = id;
+        // Skip a crossing identical to the last one recorded: a straight
+        // boundary repeats the same pair every cell, and the post-pass
+        // dedups the rest.
+        if let Some(p) = self.prev {
+            if p != id && self.crossings.last() != Some(&(p, id)) {
+                self.crossings.push((p, id));
+            }
+        }
+        if let Some(a) = above {
+            if a != id && self.crossings.last() != Some(&(a, id)) {
+                self.crossings.push((a, id));
+            }
+        }
+        self.prev = Some(id);
+    }
+}
+
+/// Incremental face grouping over per-cell packed signatures fed in
+/// raster order: resolves each cell's planes to a face id — run-length
+/// fast paths against the previous cell and the cell above, then the
+/// word-hash [`SignatureIndex`] with full plane comparison on collision —
+/// and accumulates via [`CellAccum`]. Faces keep their first-encounter,
+/// row-major numbering.
+pub(super) struct Grouper {
+    planes: SignaturePlanes,
+    sig_index: SignatureIndex,
+    accum: CellAccum,
+}
+
+impl Grouper {
+    pub(super) fn new(grid: &Grid, dim: usize, hint: usize) -> Self {
+        let mut planes = SignaturePlanes::new(dim);
+        planes.reserve(hint);
+        let mut sig_index = SignatureIndex::default();
+        sig_index.first.reserve(hint);
+        Self {
+            planes,
+            sig_index,
+            accum: CellAccum::new(grid, hint),
+        }
+    }
+
+    pub(super) fn begin_row(&mut self, iy: usize) {
+        self.accum.begin_row(iy);
+    }
+
+    /// Resolves one cell's packed planes to a face id (creating the face
+    /// on first sight) and folds the cell into the accumulators.
+    pub(super) fn cell(&mut self, grid: &Grid, ix: usize, cp: &[u64], cm: &[u64]) -> u32 {
+        let matches = |planes: &SignaturePlanes, f: u32| {
+            planes.plus(f as usize) == cp && planes.minus(f as usize) == cm
+        };
+        let mut id = self.accum.prev.filter(|&f| matches(&self.planes, f));
+        if id.is_none() {
+            id = self.accum.above(ix).filter(|&f| matches(&self.planes, f));
+        }
+        let id = match id {
+            Some(f) => f,
+            None => match self.sig_index.first.entry(hash_planes(cp, cm)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let f = self.planes.push_packed(cp, cm) as u32;
+                    e.insert(f);
+                    f
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let first = *e.get();
+                    if matches(&self.planes, first) {
+                        first
+                    } else if let Some(&f) = self
+                        .sig_index
+                        .overflow
+                        .iter()
+                        .find(|&&f| matches(&self.planes, f))
+                    {
+                        f
+                    } else {
+                        let f = self.planes.push_packed(cp, cm) as u32;
+                        self.sig_index.overflow.push(f);
+                        f
+                    }
+                }
+            },
+        };
+        self.accum.record(grid, ix, id);
+        id
+    }
+
+    /// Finalizes into a [`FaceMap`] via [`assemble`].
+    pub(super) fn finish(
+        self,
+        grid: Grid,
+        positions: Vec<Point>,
+        c: f64,
+        prov: Provenance,
+    ) -> FaceMap {
+        assemble(
+            self.planes,
+            self.sig_index,
+            self.accum,
+            grid,
+            positions,
+            c,
+            prov,
+        )
+    }
+}
+
+/// Provenance bookkeeping a grouped map carries: how its live sensor list
+/// relates to the original deployment, and the repair epoch.
+pub(super) struct Provenance {
+    pub(super) deployment: Vec<Point>,
+    pub(super) live: Vec<u32>,
+    pub(super) pair_gather: Vec<u32>,
+    pub(super) epoch: u64,
+}
+
+/// Finalizes a grouping pass into a [`FaceMap`]: shrinks the arenas,
+/// materializes faces and neighbor links from the accumulated sums and
+/// crossings, and builds the chunk summaries. Every construction *and*
+/// repair path funnels through here, so face, centroid, neighbor and
+/// chunk layout cannot drift between them.
+pub(super) fn assemble(
+    mut planes: SignaturePlanes,
+    mut sig_index: SignatureIndex,
+    accum: CellAccum,
     grid: Grid,
     positions: Vec<Point>,
     c: f64,
-    faces: Vec<Face>,
-    cell_to_face: Vec<u32>,
-    neighbors: Vec<Vec<FaceId>>,
-    sig_index: SignatureIndex,
-    planes: SignaturePlanes,
+    prov: Provenance,
+) -> FaceMap {
+    let CellAccum {
+        cell_to_face,
+        sums,
+        boxes,
+        crossings,
+        ..
+    } = accum;
+    // Return the worst-case reservation headroom: coarse maps (faces ≪
+    // cells) would otherwise retain it for their whole lifetime.
+    planes.shrink_to_fit();
+    sig_index.first.shrink_to_fit();
+    let faces: Vec<Face> = (0..planes.face_count())
+        .map(|i| {
+            let (sx, sy, count) = sums[i];
+            Face {
+                id: FaceId(i as u32),
+                signature: planes.signature(i),
+                centroid: Point::new(sx / count as f64, sy / count as f64),
+                cell_count: count,
+                bbox: boxes[i],
+            }
+        })
+        .collect();
+
+    // Invariant the matchers lean on (`ties[0]`, heuristic seeds): a
+    // grid always has ≥ 1 cell (Grid rejects empty extents) and every
+    // cell is assigned to exactly one face, so a built map carries
+    // ≥ 1 face. Fail here with a clear message rather than as an
+    // index-out-of-bounds deep inside a matcher.
+    assert!(
+        !faces.is_empty(),
+        "FaceMap invariant violated: rasterization of {} cells produced zero faces",
+        grid.cell_count()
+    );
+
+    // Neighbor-face links from the recorded boundary crossings. A
+    // counting pass sizes each face's set exactly up front: at fine
+    // resolutions nearly every cell border is a crossing, and letting
+    // thousands of tiny vectors grow by doubling is measurable on the
+    // churn-repair path (which re-runs this per event).
+    let mut degree = vec![0u32; faces.len()];
+    for &(a, b) in &crossings {
+        degree[a as usize] += 1;
+        degree[b as usize] += 1;
+    }
+    let mut neighbor_sets: Vec<Vec<FaceId>> = degree
+        .into_iter()
+        .map(|d| Vec::with_capacity(d as usize))
+        .collect();
+    for (a, b) in crossings {
+        neighbor_sets[a as usize].push(FaceId(b));
+        neighbor_sets[b as usize].push(FaceId(a));
+    }
+    for set in &mut neighbor_sets {
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    let (chunk_of, super_of) = chunk_assignment(&grid, &faces);
+    planes.build_chunks(&chunk_of, &super_of);
+
+    FaceMap {
+        grid,
+        positions,
+        c,
+        faces,
+        cell_to_face,
+        neighbors: neighbor_sets,
+        sig_index,
+        planes,
+        epoch: prov.epoch,
+        deployment: prov.deployment,
+        live: prov.live,
+        pair_gather: prov.pair_gather,
+    }
+}
+
+/// The offline face division of a monitored field.
+///
+/// Built once from a deployment, then kept **alive** under topology
+/// churn: [`FaceMap::kill_node`] / [`FaceMap::revive_node`] (see the
+/// [`repair`](super::repair) module) patch the division in place when a
+/// sensor dies or comes back, bumping [`FaceMap::epoch`]. `positions`
+/// always holds the *live* sensors; `deployment` remembers the original
+/// roster so a node can return, and `pair_gather` maps the deployment's
+/// pair enumeration onto the live one.
+#[derive(Debug, Clone)]
+pub struct FaceMap {
+    pub(super) grid: Grid,
+    pub(super) positions: Vec<Point>,
+    pub(super) c: f64,
+    pub(super) faces: Vec<Face>,
+    pub(super) cell_to_face: Vec<u32>,
+    pub(super) neighbors: Vec<Vec<FaceId>>,
+    pub(super) sig_index: SignatureIndex,
+    pub(super) planes: SignaturePlanes,
+    /// Repair generation: 0 at build, +1 per churn repair.
+    pub(super) epoch: u64,
+    /// The full original deployment (ID order), dead sensors included.
+    pub(super) deployment: Vec<Point>,
+    /// Sorted deployment indices of the live sensors (`positions[i]` is
+    /// `deployment[live[i]]`).
+    pub(super) live: Vec<u32>,
+    /// Deployment pair index per live pair index; empty ⇔ identity (all
+    /// deployment nodes live).
+    pub(super) pair_gather: Vec<u32>,
 }
 
 impl FaceMap {
@@ -473,158 +804,36 @@ impl FaceMap {
     }
 
     /// Groups per-cell packed signatures (row-major) into faces,
-    /// centroids, neighbor links, the signature index and the plane arena.
-    ///
-    /// Cells are resolved to face ids without allocating or rehashing a
-    /// signature per cell: a run-length fast path against the previous
-    /// cell and the cell above handles contiguous regions, and the rest go
-    /// through the word-hash [`SignatureIndex`] with full plane comparison
-    /// on collision. Face boundaries for the neighbor links are recorded
-    /// in the same pass from the left/above ids already at hand. Faces
-    /// keep their first-encounter, row-major numbering.
+    /// centroids, neighbor links, the signature index and the plane arena
+    /// — a thin raster loop over the shared [`Grouper`].
     fn from_packed_rows(grid: Grid, positions: &[Point], c: f64, rows: Vec<PackedRow>) -> Self {
         let _span = telemetry::span("fttt.build.group");
         let dim = pair_count(positions.len());
         let nx = grid.nx() as usize;
-        let mut planes = SignaturePlanes::new(dim);
-        let mut cell_to_face = vec![0u32; grid.cell_count()];
         // At the paper's densities most cells found a new face, so size
         // for the worst case once instead of paying growth reallocations.
-        let hint = grid.cell_count();
-        planes.reserve(hint);
-        let mut sums: Vec<(f64, f64, usize)> = Vec::with_capacity(hint);
-        let mut boxes: Vec<Rect> = Vec::with_capacity(hint);
-        let mut sig_index = SignatureIndex::default();
-        sig_index.first.reserve(hint);
-        // Face-boundary crossings, recorded inline (each raster edge once,
-        // seen from the right/lower side).
-        let mut crossings: Vec<(u32, u32)> = Vec::new();
+        let mut grouper = Grouper::new(&grid, dim, grid.cell_count());
         for (iy, row) in rows.iter().enumerate() {
-            let mut prev: Option<u32> = None;
+            grouper.begin_row(iy);
             for ix in 0..nx {
                 let (cp, cm) = row.cell(ix);
-                let idx = CellIndex::new(ix as u32, iy as u32);
-                let center = grid.center(idx);
-                let above = if iy > 0 {
-                    Some(cell_to_face[(iy - 1) * nx + ix])
-                } else {
-                    None
-                };
-                let matches = |planes: &SignaturePlanes, f: u32| {
-                    planes.plus(f as usize) == cp && planes.minus(f as usize) == cm
-                };
-                let mut id = prev.filter(|&f| matches(&planes, f));
-                if id.is_none() {
-                    id = above.filter(|&f| matches(&planes, f));
-                }
-                let id = match id {
-                    Some(f) => f,
-                    None => match sig_index.first.entry(hash_planes(cp, cm)) {
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            let f = planes.push_packed(cp, cm) as u32;
-                            sums.push((0.0, 0.0, 0));
-                            boxes.push(Rect::point(center));
-                            e.insert(f);
-                            f
-                        }
-                        std::collections::hash_map::Entry::Occupied(e) => {
-                            let first = *e.get();
-                            if matches(&planes, first) {
-                                first
-                            } else if let Some(&f) =
-                                sig_index.overflow.iter().find(|&&f| matches(&planes, f))
-                            {
-                                f
-                            } else {
-                                let f = planes.push_packed(cp, cm) as u32;
-                                sums.push((0.0, 0.0, 0));
-                                boxes.push(Rect::point(center));
-                                sig_index.overflow.push(f);
-                                f
-                            }
-                        }
-                    },
-                };
-                let s = &mut sums[id as usize];
-                s.0 += center.x;
-                s.1 += center.y;
-                s.2 += 1;
-                boxes[id as usize] = boxes[id as usize].union_point(center);
-                cell_to_face[grid.linear(idx)] = id;
-                // Skip a crossing identical to the last one recorded: a
-                // straight boundary repeats the same pair every cell, and
-                // the post-pass dedups the rest.
-                if let Some(p) = prev {
-                    if p != id && crossings.last() != Some(&(p, id)) {
-                        crossings.push((p, id));
-                    }
-                }
-                if let Some(a) = above {
-                    if a != id && crossings.last() != Some(&(a, id)) {
-                        crossings.push((a, id));
-                    }
-                }
-                prev = Some(id);
+                grouper.cell(&grid, ix, cp, cm);
             }
         }
-        // Return the worst-case reservation headroom: coarse maps (faces ≪
-        // cells) would otherwise retain it for their whole lifetime.
-        planes.shrink_to_fit();
-        sig_index.first.shrink_to_fit();
-        let faces: Vec<Face> = (0..planes.face_count())
-            .map(|i| {
-                let (sx, sy, count) = sums[i];
-                Face {
-                    id: FaceId(i as u32),
-                    signature: planes.signature(i),
-                    centroid: Point::new(sx / count as f64, sy / count as f64),
-                    cell_count: count,
-                    bbox: boxes[i],
-                }
-            })
-            .collect();
-
-        // Invariant the matchers lean on (`ties[0]`, heuristic seeds): a
-        // grid always has ≥ 1 cell (Grid rejects empty extents) and every
-        // cell is assigned to exactly one face, so a built map carries
-        // ≥ 1 face. Fail here with a clear message rather than as an
-        // index-out-of-bounds deep inside a matcher.
-        assert!(
-            !faces.is_empty(),
-            "FaceMap invariant violated: rasterization of {} cells produced zero faces",
-            grid.cell_count()
-        );
-
-        // Neighbor-face links from the recorded boundary crossings.
-        let mut neighbor_sets: Vec<Vec<FaceId>> = vec![Vec::new(); faces.len()];
-        for (a, b) in crossings {
-            neighbor_sets[a as usize].push(FaceId(b));
-            neighbor_sets[b as usize].push(FaceId(a));
-        }
-        for set in &mut neighbor_sets {
-            set.sort_unstable();
-            set.dedup();
-        }
-
+        let live = (0..positions.len() as u32).collect();
+        let prov = Provenance {
+            deployment: positions.to_vec(),
+            live,
+            pair_gather: Vec::new(),
+            epoch: 0,
+        };
+        let map = grouper.finish(grid, positions.to_vec(), c, prov);
         if telemetry::enabled() {
             telemetry::counter_add("fttt.build.calls", 1);
-            telemetry::counter_add("fttt.build.faces", faces.len() as u64);
-            telemetry::counter_add("fttt.build.cells", grid.cell_count() as u64);
+            telemetry::counter_add("fttt.build.faces", map.faces.len() as u64);
+            telemetry::counter_add("fttt.build.cells", map.grid.cell_count() as u64);
         }
-
-        let (chunk_of, super_of) = chunk_assignment(&grid, &faces);
-        planes.build_chunks(&chunk_of, &super_of);
-
-        Self {
-            grid,
-            positions: positions.to_vec(),
-            c,
-            faces,
-            cell_to_face,
-            neighbors: neighbor_sets,
-            sig_index,
-            planes,
-        }
+        map
     }
 
     /// The raster grid.
@@ -633,10 +842,67 @@ impl FaceMap {
         &self.grid
     }
 
-    /// Sensor positions the map was built from (ID order).
+    /// Positions of the currently *live* sensors (ascending deployment
+    /// order). Equal to [`FaceMap::deployment`] until a repair removes a
+    /// node.
     #[inline]
     pub fn positions(&self) -> &[Point] {
         &self.positions
+    }
+
+    /// The full original deployment (ID order), dead sensors included.
+    #[inline]
+    pub fn deployment(&self) -> &[Point] {
+        &self.deployment
+    }
+
+    /// Repair epoch: `0` for a freshly built (or decoded) map, bumped by
+    /// one on every churn repair — death, birth, or full rebuild alike —
+    /// so sessions and replay digests can tell map generations apart.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sorted deployment indices of the currently live sensors.
+    #[inline]
+    pub fn live_nodes(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// `true` if deployment node `node` is alive in this map. A map that
+    /// never lost a node reports every index live.
+    #[inline]
+    pub fn is_node_live(&self, node: usize) -> bool {
+        self.pair_gather.is_empty() || self.live.binary_search(&(node as u32)).is_ok()
+    }
+
+    /// Projects a sampling vector indexed by the *deployment's* pair
+    /// enumeration down to this map's live-pair space, dropping the
+    /// components that mention a dead sensor. A move when every
+    /// deployment node is live, and a pass-through when the vector
+    /// already has the map's own dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` matches neither the deployment's pair count nor the
+    /// map's pair dimension.
+    pub fn project_sampling_vector(&self, v: SamplingVector) -> SamplingVector {
+        if self.pair_gather.is_empty() || v.len() == self.pair_dimension() {
+            return v;
+        }
+        assert_eq!(
+            v.len(),
+            pair_count(self.deployment.len()),
+            "sampling vector matches neither the deployment nor the map pairs"
+        );
+        let comps = v.components();
+        SamplingVector::new(
+            self.pair_gather
+                .iter()
+                .map(|&i| comps[i as usize])
+                .collect(),
+        )
     }
 
     /// The uncertainty constant used.
@@ -752,9 +1018,15 @@ impl FaceMap {
 
     /// Approximate resident size of the map in bytes: signature storage
     /// (`faces × pairs`), the packed plane arena, the cell→face index,
-    /// and the neighbor links — the quantities behind the paper's `O(n⁴)`
-    /// storage claim (Section 4.4.2). Excludes allocator overhead and
-    /// small fixed fields.
+    /// the neighbor links and the churn bookkeeping (deployment roster,
+    /// live list, pair gather) — the quantities behind the paper's
+    /// `O(n⁴)` storage claim (Section 4.4.2). Excludes allocator overhead
+    /// and small fixed fields.
+    ///
+    /// The accounting is length-based (plus the plane arena, which every
+    /// construction and repair path shrinks to fit before handing the map
+    /// back), so the reported bytes stay exact across repairs: killing
+    /// and reviving the same node returns the map to the original value.
     pub fn memory_bytes(&self) -> usize {
         let signatures = self.faces.len() * self.pair_dimension() * std::mem::size_of::<i8>();
         let faces = self.faces.len() * std::mem::size_of::<Face>();
@@ -763,7 +1035,30 @@ impl FaceMap {
         // The signature index stores one hash + id per face, not a second
         // copy of the signatures.
         let index = self.faces.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
-        signatures + index + faces + cells + links + self.planes.memory_bytes()
+        let topology = self.deployment.len() * std::mem::size_of::<Point>()
+            + (self.live.len() + self.pair_gather.len()) * std::mem::size_of::<u32>();
+        signatures + index + faces + cells + links + topology + self.planes.memory_bytes()
+    }
+
+    /// Drops any slack capacity left by construction or repair. Both
+    /// paths already hand back shrunk arenas, so this is normally a
+    /// no-op; it exists so callers holding a long-lived map across many
+    /// repairs can enforce the [`FaceMap::memory_bytes`] accounting
+    /// invariant explicitly.
+    pub fn shrink_to_fit(&mut self) {
+        self.positions.shrink_to_fit();
+        self.deployment.shrink_to_fit();
+        self.live.shrink_to_fit();
+        self.pair_gather.shrink_to_fit();
+        self.faces.shrink_to_fit();
+        self.cell_to_face.shrink_to_fit();
+        for set in &mut self.neighbors {
+            set.shrink_to_fit();
+        }
+        self.neighbors.shrink_to_fit();
+        self.sig_index.first.shrink_to_fit();
+        self.sig_index.overflow.shrink_to_fit();
+        self.planes.shrink_to_fit();
     }
 }
 
@@ -1015,8 +1310,10 @@ impl FaceMap {
         // the one it was encoded from — `SignaturePlanes` stays `Eq`.
         let (chunk_of, super_of) = chunk_assignment(&grid, &faces);
         planes.build_chunks(&chunk_of, &super_of);
+        let live = (0..positions.len() as u32).collect();
         Ok(Self {
             grid,
+            deployment: positions.clone(),
             positions,
             c,
             faces,
@@ -1024,6 +1321,9 @@ impl FaceMap {
             neighbors,
             sig_index,
             planes,
+            epoch: 0,
+            live,
+            pair_gather: Vec::new(),
         })
     }
 }

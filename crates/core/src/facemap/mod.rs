@@ -13,5 +13,7 @@
 //! (Algorithm 2).
 
 mod build;
+mod repair;
 
 pub use build::{signature_of, CodecError, Face, FaceId, FaceMap};
+pub use repair::{RepairMode, RepairReport};

@@ -69,7 +69,7 @@ pub mod tracker;
 pub mod vector;
 
 pub use config::{ConstantRule, NoiseModel, PaperParams};
-pub use facemap::{Face, FaceId, FaceMap};
+pub use facemap::{Face, FaceId, FaceMap, RepairMode, RepairReport};
 pub use matching::{
     match_exhaustive, match_full, match_heuristic, match_indexed, MatchOutcome, MatchStrategy,
 };

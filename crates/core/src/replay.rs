@@ -66,8 +66,8 @@ pub fn digest_run(digest: &mut Digest, run: &SessionRun) {
     }
 }
 
-/// Digests a face map: face count, then per face (in id order) the
-/// signature components, centroid and cell count.
+/// Digests a face map: the map epoch, face count, then per face (in id
+/// order) the signature components, centroid and cell count.
 ///
 /// This is the audit anchor for the map-construction path: face ids are
 /// assigned by first encounter in row-major raster order, *not* by
@@ -76,8 +76,16 @@ pub fn digest_run(digest: &mut Digest, run: &SessionRun) {
 /// campaign checksum would move. A map digest in the campaign header
 /// catches that class of bug at the source instead of as an unexplained
 /// round divergence.
+///
+/// The epoch fold (PR 8) means a churned map can never digest equal to a
+/// static one even when the surviving division happens to coincide —
+/// "same faces after node 3 died and came back" and "never churned" are
+/// different replay histories. The epoch is hex-encoded with
+/// [`digest_hex`] wherever it surfaces in journals, like every other u64
+/// digest (the PR-7 convention).
 pub fn digest_face_map(map: &FaceMap) -> u64 {
     let mut d = Digest::new();
+    d.write_u64(map.epoch());
     let faces = map.faces();
     d.write_u64(faces.len() as u64);
     for face in faces {
@@ -94,7 +102,10 @@ pub fn digest_face_map(map: &FaceMap) -> u64 {
 
 /// A stable session id for one campaign trial, derived from the trial's
 /// identity rather than a process counter: `(regime label, method label,
-/// fault-rate bits, trial index)` hashed and truncated to 48 bits.
+/// fault-rate bits, trial index, map epoch)` hashed and truncated to 48
+/// bits. The epoch is the face map's epoch *at session start* — a trial
+/// replayed against a churned map keys differently from one against the
+/// pristine build, so merged journals never alias the two.
 ///
 /// 48 bits keeps ids exactly representable as JSON numbers (f64 is exact
 /// below 2⁵³) while leaving the collision probability over a campaign's
@@ -102,13 +113,20 @@ pub fn digest_face_map(map: &FaceMap) -> u64 {
 /// the same id in every process, which is what lets a sharded run's
 /// journal merge with — and a replay diff key against — a single-process
 /// run's.
-pub fn stable_session_id(regime: &str, method: &str, fault_rate: Option<f64>, trial: u64) -> u64 {
+pub fn stable_session_id(
+    regime: &str,
+    method: &str,
+    fault_rate: Option<f64>,
+    trial: u64,
+    epoch: u64,
+) -> u64 {
     let mut d = Digest::new();
     d.write_str(regime);
     d.write_str(method);
     d.write_bool(fault_rate.is_some());
     d.write_f64(fault_rate.unwrap_or(0.0));
     d.write_u64(trial);
+    d.write_u64(epoch);
     d.value() & ((1 << 48) - 1)
 }
 
@@ -155,7 +173,8 @@ mod tests {
         let baseline = value_of(&base);
         assert_eq!(value_of(&base), baseline, "digesting is pure");
 
-        let mutations: Vec<Box<dyn Fn(&mut SessionRound)>> = vec![
+        type Mutation = Box<dyn Fn(&mut SessionRound)>;
+        let mutations: Vec<Mutation> = vec![
             Box::new(|r| r.t = 2.0),
             Box::new(|r| r.estimate.x += 0.001),
             Box::new(|r| r.status = TrackStatus::Lost),
@@ -201,10 +220,10 @@ mod tests {
 
     #[test]
     fn stable_ids_are_stable_distinct_and_json_safe() {
-        let id = stable_session_id("node-failure", "FTTT-ext", Some(0.3), 2);
+        let id = stable_session_id("node-failure", "FTTT-ext", Some(0.3), 2, 0);
         assert_eq!(
             id,
-            stable_session_id("node-failure", "FTTT-ext", Some(0.3), 2)
+            stable_session_id("node-failure", "FTTT-ext", Some(0.3), 2, 0)
         );
         assert!(id < (1 << 48), "must survive an f64 JSON round-trip");
 
@@ -213,18 +232,20 @@ mod tests {
             for method in ["FTTT-basic", "FTTT-ext"] {
                 for rate in [None, Some(0.0), Some(0.1), Some(0.3), Some(0.5)] {
                     for trial in 0..16 {
-                        assert!(
-                            seen.insert(stable_session_id(regime, method, rate, trial)),
-                            "collision at {regime}/{method}/{rate:?}/{trial}"
-                        );
+                        for epoch in [0, 3] {
+                            assert!(
+                                seen.insert(stable_session_id(regime, method, rate, trial, epoch)),
+                                "collision at {regime}/{method}/{rate:?}/{trial}/{epoch}"
+                            );
+                        }
                     }
                 }
             }
         }
         // rate = None and rate = Some(0.0) are distinct identities.
         assert_ne!(
-            stable_session_id("r", "m", None, 0),
-            stable_session_id("r", "m", Some(0.0), 0)
+            stable_session_id("r", "m", None, 0, 0),
+            stable_session_id("r", "m", Some(0.0), 0, 0)
         );
     }
 
@@ -240,5 +261,28 @@ mod tests {
         let other = PaperParams::default().with_nodes(9);
         let other_map = other.face_map(&other.grid_field());
         assert_ne!(digest_face_map(&map_a), digest_face_map(&other_map));
+    }
+
+    #[test]
+    fn face_map_digest_is_epoch_sensitive() {
+        use crate::config::PaperParams;
+        use crate::facemap::RepairMode;
+        let params = PaperParams::default().with_nodes(8);
+        let field = params.grid_field();
+        let pristine = params.face_map(&field);
+        let mut churned = params.face_map(&field);
+        churned.kill_node(3, RepairMode::Incremental);
+        let after_kill = digest_face_map(&churned);
+        assert_ne!(digest_face_map(&pristine), after_kill);
+        // Reviving restores the identical division, but the epoch keeps
+        // counting — the digest must still differ from the pristine map.
+        churned.revive_node(3, RepairMode::Incremental);
+        assert_eq!(churned.faces(), pristine.faces());
+        assert_ne!(
+            digest_face_map(&churned),
+            digest_face_map(&pristine),
+            "a kill+revive history must not alias an unchurned map"
+        );
+        assert_ne!(digest_face_map(&churned), after_kill);
     }
 }

@@ -31,7 +31,7 @@
 //! fault regime — and decays `k` back once rounds run healthy again.
 
 use crate::error::ErrorStats;
-use crate::facemap::FaceId;
+use crate::facemap::{FaceId, RepairMode, RepairReport};
 use crate::theory::required_sampling_times;
 use crate::tracker::Tracker;
 use rand::Rng;
@@ -314,6 +314,13 @@ impl TrackingSession {
         self.options
     }
 
+    /// The wrapped tracker (read-only) — the seam deterministic harnesses
+    /// use to fold the tracker's face-map state into replay digests after
+    /// an [`TrackingSession::apply_churn`] repair.
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
+    }
+
     /// Replaces the process-unique session id with a caller-chosen one.
     ///
     /// The default ids come from a process-global counter, so sessions
@@ -482,20 +489,101 @@ impl TrackingSession {
     /// position, the round time and the RNG, and returns the grouping as
     /// delivered to the base station — the seam where a
     /// `wsn_network::RegimeEngine` and/or `Uplink` slot in.
-    pub fn run<R, F>(&mut self, trace: &Trace, rng: &mut R, mut sample: F) -> SessionRun
+    pub fn run<R, F>(&mut self, trace: &Trace, rng: &mut R, sample: F) -> SessionRun
     where
         R: Rng + ?Sized,
         F: FnMut(usize, Point, f64, &mut R) -> GroupSampling,
     {
+        self.run_with(trace, rng, sample, |_, _| {})
+    }
+
+    /// Like [`TrackingSession::run`], but calls `before_round(self, t)`
+    /// ahead of each round's sampling — the seam where a churn schedule
+    /// applies pending [`TrackingSession::apply_churn`] events at their
+    /// simulation times, between rounds, exactly where a deployed base
+    /// station would learn of them.
+    pub fn run_with<R, F, B>(
+        &mut self,
+        trace: &Trace,
+        rng: &mut R,
+        mut sample: F,
+        mut before_round: B,
+    ) -> SessionRun
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize, Point, f64, &mut R) -> GroupSampling,
+        B: FnMut(&mut Self, f64),
+    {
         let mut rounds = Vec::with_capacity(trace.len());
         let mut errors = Vec::with_capacity(trace.len());
         for p in trace.points() {
+            before_round(self, p.t);
             let group = sample(self.samples, p.pos, p.t, rng);
             let round = self.step(p.t, &group);
             errors.push(round.estimate.distance(p.pos));
             rounds.push(round);
         }
         SessionRun { rounds, errors }
+    }
+
+    /// Applies one churn event (death when `death`, birth otherwise) at
+    /// simulation time `t`: repairs the tracker's face map, migrates the
+    /// warm start across the epoch bump, restarts the health monitor's
+    /// similarity window (its medians were measured against the old pair
+    /// dimension), and — when the warm-start face did not survive the
+    /// repair exactly — re-enters the recovery ladder at a forced full
+    /// re-acquisition, since the remapped face is a merged/split stand-in
+    /// rather than the face the climb actually matched.
+    ///
+    /// Emits one `fttt.map.repair` journal event (the record `fttt-sim
+    /// explain` renders) with the post-repair epoch hex-encoded like
+    /// every other u64 digest.
+    pub fn apply_churn(
+        &mut self,
+        t: f64,
+        node: usize,
+        death: bool,
+        mode: RepairMode,
+    ) -> RepairReport {
+        let (report, warm_exact) = self.tracker.apply_churn(node, death, mode);
+        self.recent_sims.clear();
+        let face_remapped = !warm_exact;
+        if face_remapped {
+            self.force_reacquire = true;
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add("fttt.session.churn_events", 1);
+            if face_remapped {
+                telemetry::counter_add("fttt.session.churn_remaps", 1);
+            }
+        }
+        if telemetry::journal_enabled() {
+            use telemetry::ArgValue;
+            telemetry::trace_instant(
+                "fttt.map.repair",
+                vec![
+                    ("session", ArgValue::U64(self.session_id)),
+                    ("t", ArgValue::F64(t)),
+                    (
+                        "epoch",
+                        ArgValue::Str(wsn_network::replay::digest_hex(report.epoch)),
+                    ),
+                    ("node", ArgValue::U64(report.node as u64)),
+                    ("death", ArgValue::Bool(report.death)),
+                    (
+                        "planes_retired",
+                        ArgValue::U64(report.planes_retired as u64),
+                    ),
+                    ("planes_added", ArgValue::U64(report.planes_added as u64)),
+                    ("cells", ArgValue::U64(report.cells_reclassified as u64)),
+                    ("faces_before", ArgValue::U64(report.faces_before as u64)),
+                    ("faces_after", ArgValue::U64(report.faces_after as u64)),
+                    ("repair_us", ArgValue::F64(report.repair_us)),
+                    ("face_remapped", ArgValue::Bool(face_remapped)),
+                ],
+            );
+        }
+        report
     }
 
     fn hold_estimate(&self, group: &GroupSampling) -> Point {
@@ -567,8 +655,12 @@ impl TrackingSession {
     /// the session leaves `k` alone and lets the unhealthy streak walk the
     /// status toward [`TrackStatus::Lost`] instead.
     fn escalate_samples(&mut self, group: &GroupSampling) {
+        // A node the map knows is dead cannot contribute pairs even if a
+        // stale reading for it arrived; the bound must see the post-churn
+        // pair count, not phantom pairs.
+        let map = self.tracker.map();
         let live = (0..group.node_count())
-            .filter(|&j| group.node_responded(j))
+            .filter(|&j| group.node_responded(j) && map.is_node_live(j))
             .count();
         let pairs = pair_count(live);
         if pairs == 0 {

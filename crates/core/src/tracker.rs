@@ -2,7 +2,7 @@
 //! face matching → location estimate, repeated along a trace.
 
 use crate::error::ErrorStats;
-use crate::facemap::{FaceId, FaceMap};
+use crate::facemap::{FaceId, FaceMap, RepairMode, RepairReport};
 use crate::matching::{match_full, match_heuristic, MatchOutcome, MatchStrategy};
 use crate::sampling::{basic_sampling_vector, extended_sampling_vector};
 use crate::vector::SamplingVector;
@@ -213,13 +213,46 @@ impl Tracker {
         }
     }
 
-    /// Builds the sampling vector this tracker's options call for.
+    /// Builds the sampling vector this tracker's options call for,
+    /// projected onto the map's live pair set — after churn the grouping
+    /// still reports all deployment pairs, but only planes of live pairs
+    /// partition the field, so dead pairs' components must not vote.
     pub fn sampling_vector(&self, group: &GroupSampling) -> SamplingVector {
-        if self.options.extended {
+        let v = if self.options.extended {
             extended_sampling_vector(group)
         } else {
             basic_sampling_vector(group)
-        }
+        };
+        self.map.project_sampling_vector(v)
+    }
+
+    /// Repairs the tracker's map for one churn event (death when `death`,
+    /// birth otherwise) and migrates the warm-start state across the
+    /// epoch bump: the previous face is remapped through the repair's
+    /// old→new face table, and the rolling similarity window — measured
+    /// against the old pair dimension — is restarted. Returns the repair
+    /// report and whether the warm-start face survived the repair
+    /// *exactly* (same cell set); callers should treat an inexact
+    /// survival as a stale warm start and force a full re-acquisition.
+    pub fn apply_churn(
+        &mut self,
+        node: usize,
+        death: bool,
+        mode: RepairMode,
+    ) -> (RepairReport, bool) {
+        let report = if death {
+            self.map.kill_node(node, mode)
+        } else {
+            self.map.revive_node(node, mode)
+        };
+        self.recent_sims.clear();
+        let mut warm_exact = true;
+        self.previous = self.previous.take().and_then(|f| {
+            let (nf, exact) = report.remap_face(f)?;
+            warm_exact = exact;
+            Some(nf)
+        });
+        (report, warm_exact)
     }
 
     /// Localizes one grouping sampling; returns the estimate and the raw

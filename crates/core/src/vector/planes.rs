@@ -172,13 +172,23 @@ impl EnvelopeArena {
     }
 
     /// Folds one face's planes into the block at word `base`.
+    ///
+    /// The envelopes are re-sliced to the face's word count up front so
+    /// the fold loop carries no per-word bounds checks — this runs once
+    /// per face per index level on every build *and* every churn repair.
     fn absorb(&mut self, base: usize, fp: &[u64], fm: &[u64]) {
-        for k in 0..fp.len() {
-            self.union_plus[base + k] |= fp[k];
-            self.union_minus[base + k] |= fm[k];
-            self.inter_plus[base + k] &= fp[k];
-            self.inter_minus[base + k] &= fm[k];
-            self.inter_known[base + k] &= fp[k] | fm[k];
+        let w = fp.len();
+        let up = &mut self.union_plus[base..base + w];
+        let um = &mut self.union_minus[base..base + w];
+        let ip = &mut self.inter_plus[base..base + w];
+        let im = &mut self.inter_minus[base..base + w];
+        let ik = &mut self.inter_known[base..base + w];
+        for k in 0..w {
+            up[k] |= fp[k];
+            um[k] |= fm[k];
+            ip[k] &= fp[k];
+            im[k] &= fm[k];
+            ik[k] &= fp[k] | fm[k];
         }
     }
 
@@ -370,6 +380,50 @@ impl SignaturePlanes {
                 }
             }
         }
+        self.faces += 1;
+        self.faces - 1
+    }
+
+    /// Appends one face from packed words **and** a pre-gathered component
+    /// row — the churn-repair path, where both the planes and the
+    /// components are bit-moved out of an existing arena rather than
+    /// re-decoded. Returns the face index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (word/component counts) or after chunks
+    /// are built. The plane-shape invariants of
+    /// [`SignaturePlanes::push_packed`] — disjoint planes, clear padding,
+    /// component/plane agreement — hold *by construction* on this
+    /// crate-internal path (the inputs are masked copies out of an
+    /// already-validated arena), so they are debug assertions here: the
+    /// churn-repair differential tests exercise them, and release repairs
+    /// do not pay a validation sweep per surviving face.
+    pub(crate) fn push_raw(&mut self, plus: &[u64], minus: &[u64], comps: &[i8]) -> usize {
+        assert_eq!(plus.len(), self.words, "plus plane has wrong word count");
+        assert_eq!(minus.len(), self.words, "minus plane has wrong word count");
+        assert_eq!(comps.len(), self.dim, "component row has wrong length");
+        assert!(
+            !self.has_chunks(),
+            "cannot append faces after chunk summaries are built"
+        );
+        let pad = self.padding_mask();
+        debug_assert!(
+            (0..self.words).all(|w| {
+                plus[w] & minus[w] == 0 && (w + 1 < self.words || (plus[w] | minus[w]) & pad == 0)
+            }),
+            "overlapping signature planes or padding bits set"
+        );
+        debug_assert!(
+            comps.iter().enumerate().all(|(i, &c)| {
+                let (w, b) = (i / 64, i % 64);
+                c == (plus[w] >> b & 1) as i8 - (minus[w] >> b & 1) as i8
+            }),
+            "component row disagrees with the bit planes"
+        );
+        self.plus.extend_from_slice(plus);
+        self.minus.extend_from_slice(minus);
+        self.comps.extend_from_slice(comps);
         self.faces += 1;
         self.faces - 1
     }

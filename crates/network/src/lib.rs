@@ -40,6 +40,6 @@ pub use fault::{ConfigError, FaultModel};
 pub use field::SensorField;
 pub use node::{NodeId, SensorNode};
 pub use pairs::{pair_count, pair_index, PairIter};
-pub use regime::{RegimeEngine, RegimeKind};
+pub use regime::{ChurnEvent, RegimeEngine, RegimeKind};
 pub use sampling::{GroupSampler, GroupSampling, SamplerNoise};
 pub use spec::Schedule;

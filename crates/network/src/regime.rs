@@ -98,6 +98,27 @@ pub enum RegimeKind {
         /// Bias growth rate, dB per second (either sign).
         rate_db_per_s: f64,
     },
+    /// Staggered *topology* churn: the `q`-th affected node dies at
+    /// `from + q·every` and revives `dead_for` seconds later
+    /// (`f64::INFINITY` = never). While dead the node is silenced like an
+    /// [`RegimeKind::Outage`] — but unlike an outage, churn is a
+    /// *structural* change: the death/birth schedule is also surfaced via
+    /// [`RegimeEngine::churn_events_between`] so the tracking layer can
+    /// repair its face map (retire/re-rasterize the node's pair planes)
+    /// at the same simulation times. Stateless and RNG-free, so adding a
+    /// churn regime to a schedule perturbs no other regime's random
+    /// stream.
+    Churn {
+        /// Affected nodes (empty = every node), churned in ascending id
+        /// order.
+        nodes: BTreeSet<NodeId>,
+        /// Time of the first death, seconds.
+        from: f64,
+        /// Stagger between consecutive deaths, seconds.
+        every: f64,
+        /// How long each node stays dead (`f64::INFINITY` = forever).
+        dead_for: f64,
+    },
 }
 
 impl RegimeKind {
@@ -154,8 +175,41 @@ impl RegimeKind {
                 }
                 Ok(())
             }
+            RegimeKind::Churn {
+                from,
+                every,
+                dead_for,
+                ..
+            } => {
+                if from.is_nan() {
+                    return Err(ConfigError::new("churn start time must not be NaN"));
+                }
+                if !every.is_finite() || *every <= 0.0 {
+                    return Err(ConfigError::new(format!(
+                        "churn stagger must be positive seconds, got {every}"
+                    )));
+                }
+                if dead_for.is_nan() || *dead_for <= 0.0 {
+                    return Err(ConfigError::new(format!(
+                        "churn dead_for must be positive seconds (∞ = forever), got {dead_for}"
+                    )));
+                }
+                Ok(())
+            }
         }
     }
+}
+
+/// One scheduled topology change emitted by a [`RegimeKind::Churn`]
+/// regime, as consumed by the tracking layer's face-map repair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Simulation time of the change, seconds.
+    pub t: f64,
+    /// Deployment index of the churned node.
+    pub node: usize,
+    /// `true` for a death, `false` for a revival.
+    pub death: bool,
 }
 
 /// Per-regime mutable state, kept alongside its [`RegimeKind`].
@@ -275,6 +329,7 @@ impl RegimeEngine {
                 RegimeKind::EnergyDepletion { .. } => 3,
                 RegimeKind::StuckAt { .. } => 4,
                 RegimeKind::Drift { .. } => 5,
+                RegimeKind::Churn { .. } => 6,
             };
             d.write_bytes(&[tag]);
             match &entry.state {
@@ -419,6 +474,22 @@ impl RegimeEngine {
                         }
                     }
                 }
+                (
+                    RegimeKind::Churn {
+                        nodes,
+                        from,
+                        every,
+                        dead_for,
+                    },
+                    RegimeState::Stateless,
+                ) => {
+                    for (q, j) in affected(nodes, self.nodes).into_iter().enumerate() {
+                        let death_t = from + q as f64 * every;
+                        if t >= death_t && t - death_t < *dead_for {
+                            dropped += clear_column(group, j);
+                        }
+                    }
+                }
                 (kind, state) => {
                     unreachable!("regime state mismatch: {kind:?} with {state:?}")
                 }
@@ -442,6 +513,50 @@ impl RegimeEngine {
                 ],
             );
         }
+    }
+
+    /// The topology changes every stacked [`RegimeKind::Churn`] regime
+    /// schedules in the half-open window `(prev_t, t]` (`prev_t = None`
+    /// means "since the beginning of time"), sorted by `(time, node)`.
+    ///
+    /// The session layer calls this once per round, *before* sampling,
+    /// and applies each event as a face-map repair — so the structural
+    /// change (planes retired/added) lands at the same simulation time as
+    /// the behavioral one (the silenced column in
+    /// [`RegimeEngine::apply`]). Pure function of the schedule: no state
+    /// is read or advanced and no RNG is drawn, which keeps churned and
+    /// unchurned runs' random streams aligned.
+    pub fn churn_events_between(&self, prev_t: Option<f64>, t: f64) -> Vec<ChurnEvent> {
+        let lo = prev_t.unwrap_or(f64::NEG_INFINITY);
+        let mut events = Vec::new();
+        let mut push = |et: f64, node: usize, death: bool| {
+            if et > lo && et <= t {
+                events.push(ChurnEvent { t: et, node, death });
+            }
+        };
+        for entry in &self.entries {
+            if let RegimeKind::Churn {
+                nodes,
+                from,
+                every,
+                dead_for,
+            } = &entry.kind
+            {
+                for (q, j) in affected(nodes, self.nodes).into_iter().enumerate() {
+                    let death_t = from + q as f64 * every;
+                    push(death_t, j, true);
+                    if dead_for.is_finite() {
+                        push(death_t + dead_for, j, false);
+                    }
+                }
+            }
+        }
+        events.sort_by(|a, b| {
+            a.t.partial_cmp(&b.t)
+                .expect("finite event times")
+                .then(a.node.cmp(&b.node))
+        });
+        events
     }
 }
 
@@ -744,5 +859,147 @@ mod tests {
         let mut e = RegimeEngine::new(3);
         let mut g = full_group(2, 1);
         e.apply(0.0, &mut g, &mut rng(12));
+    }
+
+    #[test]
+    fn churn_silences_staggered_death_windows() {
+        // Nodes 0 and 2 churn: 0 dies at t = 3 for 4 s, 2 dies at t = 5.
+        let mut e = RegimeEngine::new(3).with(RegimeKind::Churn {
+            nodes: [NodeId(0), NodeId(2)].into_iter().collect(),
+            from: 3.0,
+            every: 2.0,
+            dead_for: 4.0,
+        });
+        let mut r = rng(13);
+        let expect = [
+            (2.9, true, true),
+            (3.0, false, true),
+            (5.0, false, false),
+            (7.0, true, false),
+            (9.0, true, true),
+        ];
+        for (t, n0, n2) in expect {
+            let mut g = full_group(3, 2);
+            e.apply(t, &mut g, &mut r);
+            assert_eq!(g.node_responded(0), n0, "node 0 at t = {t}");
+            assert_eq!(g.node_responded(2), n2, "node 2 at t = {t}");
+            assert!(g.node_responded(1), "unchurned node at t = {t}");
+        }
+    }
+
+    #[test]
+    fn churn_events_cover_windows_exactly_once() {
+        let e = RegimeEngine::new(3).with(RegimeKind::Churn {
+            nodes: [NodeId(0), NodeId(2)].into_iter().collect(),
+            from: 3.0,
+            every: 2.0,
+            dead_for: 4.0,
+        });
+        // All events at once.
+        let all = e.churn_events_between(None, 100.0);
+        assert_eq!(
+            all,
+            vec![
+                ChurnEvent {
+                    t: 3.0,
+                    node: 0,
+                    death: true
+                },
+                ChurnEvent {
+                    t: 5.0,
+                    node: 2,
+                    death: true
+                },
+                ChurnEvent {
+                    t: 7.0,
+                    node: 0,
+                    death: false
+                },
+                ChurnEvent {
+                    t: 9.0,
+                    node: 2,
+                    death: false
+                },
+            ]
+        );
+        // Half-open windows partition the schedule without overlap.
+        let mut prev = None;
+        let mut collected = Vec::new();
+        for t in [0.0, 3.0, 4.0, 6.0, 9.0, 20.0] {
+            collected.extend(e.churn_events_between(prev, t));
+            prev = Some(t);
+        }
+        assert_eq!(collected, all);
+        // Permanent deaths emit no revival.
+        let forever = RegimeEngine::new(2).with(RegimeKind::Churn {
+            nodes: BTreeSet::new(),
+            from: 1.0,
+            every: 1.0,
+            dead_for: f64::INFINITY,
+        });
+        let events = forever.churn_events_between(None, 50.0);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.death));
+    }
+
+    #[test]
+    fn churn_draws_no_rng() {
+        // Adding a churn regime must not shift any other regime's random
+        // stream: compare a burst regime's output with and without churn
+        // stacked ahead of it, on identical seeds.
+        let burst = RegimeKind::Burst {
+            p_enter: 0.3,
+            p_exit: 0.2,
+            loss_good: 0.1,
+            loss_bad: 0.9,
+        };
+        let mut plain = RegimeEngine::new(4).with(burst.clone());
+        let mut churned = RegimeEngine::new(4)
+            .with(RegimeKind::Churn {
+                nodes: [NodeId(3)].into_iter().collect(),
+                from: 2.0,
+                every: 1.0,
+                dead_for: 3.0,
+            })
+            .with(burst);
+        let mut ra = rng(14);
+        let mut rb = rng(14);
+        for i in 0..20 {
+            let mut ga = full_group(4, 2);
+            let mut gb = full_group(4, 2);
+            plain.apply(i as f64, &mut ga, &mut ra);
+            churned.apply(i as f64, &mut gb, &mut rb);
+            // Columns 0..3 see identical burst decisions.
+            for j in 0..3 {
+                assert_eq!(
+                    ga.column(j).collect::<Vec<_>>(),
+                    gb.column(j).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_churn_rejected() {
+        for (from, every, dead_for) in [
+            (f64::NAN, 1.0, 1.0),
+            (0.0, 0.0, 1.0),
+            (0.0, -1.0, 1.0),
+            (0.0, f64::INFINITY, 1.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 1.0, f64::NAN),
+        ] {
+            assert!(
+                RegimeEngine::new(2)
+                    .try_with(RegimeKind::Churn {
+                        nodes: BTreeSet::new(),
+                        from,
+                        every,
+                        dead_for,
+                    })
+                    .is_err(),
+                "churn from={from} every={every} dead_for={dead_for} must be rejected"
+            );
+        }
     }
 }

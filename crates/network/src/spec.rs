@@ -16,6 +16,7 @@
 //! outage from=20 until=30
 //! stuck nodes=3 from=10
 //! drift nodes=4 from=0 rate=0.2
+//! churn nodes=1,2 from=5 every=2.5 dead_for=5
 //! static node_failure=0.1 drop=0.05 dead=5,6
 //! energy battery=0.05
 //! uplink loss=0.1 latency_mean=0.05 latency_std=0.02 deadline=0.2
@@ -229,6 +230,17 @@ fn parse_line(line: &str, schedule: &mut Schedule) -> Result<(), ConfigError> {
             kind.validate()?;
             schedule.regimes.push(kind);
         }
+        "churn" => {
+            let kind = RegimeKind::Churn {
+                nodes: f.nodes()?,
+                from: f.f64("from")?.unwrap_or(0.0),
+                every: f.required_f64("every")?,
+                dead_for: f.f64("dead_for")?.unwrap_or(f64::INFINITY),
+            };
+            f.finish()?;
+            kind.validate()?;
+            schedule.regimes.push(kind);
+        }
         "uplink" => {
             if schedule.uplink.is_some() {
                 return Err(ConfigError::new("duplicate `uplink` directive"));
@@ -247,7 +259,7 @@ fn parse_line(line: &str, schedule: &mut Schedule) -> Result<(), ConfigError> {
         }
         other => {
             return Err(ConfigError::new(format!(
-                "unknown directive `{other}` (expected static|burst|outage|energy|stuck|drift|uplink)"
+                "unknown directive `{other}` (expected static|burst|outage|energy|stuck|drift|churn|uplink)"
             )));
         }
     }
@@ -267,12 +279,13 @@ outage nodes=0,1,2 from=20 until=30
 energy battery=0.05
 stuck nodes=3 from=10
 drift nodes=4 from=0 rate=0.2
+churn nodes=7,8 from=5 every=2.5 dead_for=5
 static node_failure=0.1 drop=0.05 dead=5,6
 uplink loss=0.1 latency_mean=0.05 latency_std=0.02 deadline=0.2
 ";
         let s = Schedule::parse(text).expect("valid schedule");
-        assert_eq!(s.regimes.len(), 6);
-        assert_eq!(s.engine(10).regime_count(), 6);
+        assert_eq!(s.regimes.len(), 7);
+        assert_eq!(s.engine(10).regime_count(), 7);
         let uplink = s.uplink.expect("uplink configured");
         assert_eq!(uplink.loss_prob, 0.1);
         assert_eq!(uplink.deadline, 0.2);
@@ -325,6 +338,39 @@ uplink loss=0.1 latency_mean=0.05 latency_std=0.02 deadline=0.2
     fn bad_node_id_rejected() {
         let err = Schedule::parse("stuck nodes=1,frog").unwrap_err();
         assert!(err.reason().contains("bad node id"), "{err}");
+    }
+
+    #[test]
+    fn churn_directive_parses_with_defaults() {
+        let s = Schedule::parse("churn every=2.5").unwrap();
+        assert_eq!(
+            s.regimes,
+            vec![RegimeKind::Churn {
+                nodes: BTreeSet::new(),
+                from: 0.0,
+                every: 2.5,
+                dead_for: f64::INFINITY,
+            }]
+        );
+        let s = Schedule::parse("churn nodes=1,2 from=5 every=2.5 dead_for=5").unwrap();
+        assert_eq!(
+            s.regimes,
+            vec![RegimeKind::Churn {
+                nodes: [NodeId(1), NodeId(2)].into_iter().collect(),
+                from: 5.0,
+                every: 2.5,
+                dead_for: 5.0,
+            }]
+        );
+        // `every` is required; zero stagger rejected at parse time.
+        assert!(Schedule::parse("churn from=5")
+            .unwrap_err()
+            .reason()
+            .contains("every"));
+        assert!(Schedule::parse("churn every=0")
+            .unwrap_err()
+            .reason()
+            .contains("stagger"));
     }
 
     #[test]
