@@ -20,6 +20,17 @@
 //! * `fault_campaign --shards N --shard-id I` — one worker: writes
 //!   `shard-I-of-N.json` into `--shard-dir` (default `<out>/shards`) and
 //!   exits without touching the merged artifact.
+//! * `fault_campaign --shards N --merge-only` — coordinator without
+//!   workers: merge whatever shard files already sit in `--shard-dir`
+//!   (a finished run, or a doctored one in the failure-path tests).
+//!
+//! Every coordinator failure — a worker that cannot spawn, exits
+//! nonzero or is killed, a missing / unreadable / corrupt shard file, a
+//! shard that ran the wrong config — is reported on stderr as a
+//! `fault_campaign: shard N: ...` diagnostic and exits 1, without a
+//! panic backtrace. When the coordinator spawned the workers itself it
+//! also removes its shard files on the way out, so a crashed run cannot
+//! poison the next one; `--merge-only` leaves the evidence in place.
 //! * `fault_campaign --check-determinism [--fast]` — golden-checksum
 //!   gate: recomputes the campaign checksum and compares it against
 //!   `crates/bench/baselines/robustness_checksums.json` (or
@@ -58,13 +69,50 @@ fn main() {
         .clone()
         .unwrap_or_else(|| cli.out.join("shards"));
 
+    // Fail on a bad baseline / output path / shard dir *now*, before the
+    // campaign burns minutes of trials.
+    let determinism_baseline = if cli.check_determinism {
+        let path = baseline_path(&cli);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Some((path, text)),
+            Err(e) => {
+                eprintln!(
+                    "fault_campaign: cannot read checksum baseline {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        if let Err(msg) = wsn_telemetry::ensure_writable_file(Path::new("BENCH_robustness.json")) {
+            eprintln!("fault_campaign: BENCH_robustness.json: {msg}");
+            std::process::exit(1);
+        }
+        None
+    };
+    if cli.shards > 1 || cli.shard_id.is_some() || cli.merge_only {
+        if let Err(msg) = wsn_telemetry::ensure_writable_dir(&shard_dir) {
+            eprintln!("fault_campaign: --shard-dir: {msg}");
+            std::process::exit(1);
+        }
+    }
+
     if let Some(shard_id) = cli.shard_id {
-        run_shard(&cfg, &kind, cli.shards, shard_id, &shard_dir);
+        if let Err(msg) = run_shard(&cfg, &kind, cli.shards, shard_id, &shard_dir) {
+            eprintln!("fault_campaign: {msg}");
+            std::process::exit(1);
+        }
         return;
     }
 
-    let (stats, metrics) = if cli.shards > 1 {
-        run_coordinator(&cfg, &kind, cli.shards, &shard_dir, &cli)
+    let (stats, metrics) = if cli.shards > 1 || cli.merge_only {
+        match run_coordinator(&cfg, &kind, cli.shards, &shard_dir, &cli) {
+            Ok(merged) => merged,
+            Err(msg) => {
+                eprintln!("fault_campaign: {msg}");
+                std::process::exit(1);
+            }
+        }
     } else {
         let registry = Arc::new(wsn_telemetry::Registry::new());
         wsn_telemetry::install(Arc::clone(&registry));
@@ -75,12 +123,7 @@ fn main() {
     let rows = rows_from_stats(&cfg, &stats.cells, &stats.stats);
     let checksum = campaign_checksum(&cfg, &stats.cells, stats.map_digest, &stats.stats);
 
-    if cli.check_determinism {
-        let path = baseline_path(&cli);
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read checksum baseline {}: {e}", path.display());
-            std::process::exit(1);
-        });
+    if let Some((path, text)) = determinism_baseline {
         match check_checksum(&text, &cfg, campaign_kind_label(&kind), checksum) {
             Ok(()) => {
                 println!(
@@ -130,16 +173,18 @@ fn run_shard(
     shards: usize,
     shard_id: usize,
     shard_dir: &Path,
-) {
-    assert!(
-        shard_id < shards,
-        "--shard-id {shard_id} out of range for --shards {shards}"
-    );
+) -> Result<(), String> {
+    if shard_id >= shards {
+        return Err(format!(
+            "--shard-id {shard_id} out of range for --shards {shards}"
+        ));
+    }
     let registry = Arc::new(wsn_telemetry::Registry::new());
     wsn_telemetry::install(Arc::clone(&registry));
     let stats = run_campaign_stats(cfg, kind, shards, shard_id);
     wsn_telemetry::uninstall();
-    std::fs::create_dir_all(shard_dir).expect("create shard dir");
+    std::fs::create_dir_all(shard_dir)
+        .map_err(|e| format!("create shard dir {}: {e}", shard_dir.display()))?;
     let path = shard_file(shard_dir, shard_id, shards);
     let json = render_shard_json(
         cfg,
@@ -149,26 +194,35 @@ fn run_shard(
         stats.map_digest,
         &registry.snapshot(),
     );
-    std::fs::write(&path, json).expect("write shard file");
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!(
         "shard {shard_id}/{shards}: {} trials -> {}",
         stats.stats.len(),
         path.display()
     );
+    Ok(())
 }
 
-/// Coordinator mode: spawn one worker per shard, re-parse their files,
-/// merge, and assert the merge reproduces the single-process checksum
-/// derivation (same cells, same map digest, full trial set).
-fn run_coordinator(
+/// Removes the coordinator's own shard files (and the directory, if that
+/// leaves it empty) so a failed run cannot feed stale shards to the next.
+fn cleanup_shard_files(shard_dir: &Path, shards: usize) {
+    for shard_id in 0..shards {
+        let _ = std::fs::remove_file(shard_file(shard_dir, shard_id, shards));
+    }
+    let _ = std::fs::remove_dir(shard_dir); // only succeeds when empty
+}
+
+/// Spawns one worker per shard and waits for all of them, reporting every
+/// failed shard by name. A worker that cannot even spawn kills the ones
+/// already running rather than leaving them orphaned.
+fn spawn_workers(
     cfg: &CampaignConfig,
-    kind: &CampaignKind,
     shards: usize,
     shard_dir: &Path,
     cli: &Cli,
-) -> (CampaignStats, wsn_telemetry::Snapshot) {
-    let exe = std::env::current_exe().expect("own executable path");
-    let mut children = Vec::with_capacity(shards);
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("own executable path: {e}"))?;
+    let mut children: Vec<(usize, std::process::Child)> = Vec::with_capacity(shards);
     for shard_id in 0..shards {
         let mut cmd = std::process::Command::new(&exe);
         cmd.arg("--seed")
@@ -187,40 +241,80 @@ fn run_coordinator(
         if cli.churn {
             cmd.arg("--churn");
         }
-        children.push((shard_id, cmd.spawn().expect("spawn shard worker")));
+        match cmd.spawn() {
+            Ok(child) => children.push((shard_id, child)),
+            Err(e) => {
+                for (_, mut running) in children {
+                    let _ = running.kill();
+                    let _ = running.wait();
+                }
+                return Err(format!("shard {shard_id}: cannot spawn worker: {e}"));
+            }
+        }
     }
+    // Wait for *all* workers before judging, so one failure does not
+    // orphan the rest; then report every casualty by shard id.
+    let mut failures = Vec::new();
     for (shard_id, child) in &mut children {
-        let status = child.wait().expect("wait for shard worker");
-        assert!(status.success(), "shard {shard_id} failed: {status}");
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("shard {shard_id}: worker exited with {status}")),
+            Err(e) => failures.push(format!("shard {shard_id}: cannot wait for worker: {e}")),
+        }
     }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n  "))
+    }
+}
 
+/// Merges the shard files in `shard_dir` into one campaign result,
+/// validating that every shard ran the coordinator's config over the
+/// same deterministic map.
+fn merge_shard_files(
+    cfg: &CampaignConfig,
+    kind: &CampaignKind,
+    shards: usize,
+    shard_dir: &Path,
+) -> Result<(CampaignStats, wsn_telemetry::Snapshot), String> {
     let mut merged: Vec<TrialStat> = Vec::new();
     let mut metrics = wsn_telemetry::Snapshot::default();
     let mut map_digest = None;
     for shard_id in 0..shards {
         let path = shard_file(shard_dir, shard_id, shards);
         let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-        let shard =
-            parse_shard_json(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
-        assert_eq!(
-            shard.config, *cfg,
-            "shard {shard_id} ran a different config than the coordinator"
-        );
-        assert_eq!(
-            shard.shard, shard_id,
-            "shard file claims the wrong shard id"
-        );
-        assert_eq!(
-            shard.shards, shards,
-            "shard file claims the wrong shard count"
-        );
+            .map_err(|e| format!("shard {shard_id}: cannot read {}: {e}", path.display()))?;
+        let shard = parse_shard_json(&text).map_err(|e| {
+            format!(
+                "shard {shard_id}: corrupt shard file {}: {e}",
+                path.display()
+            )
+        })?;
+        if shard.config != *cfg {
+            return Err(format!(
+                "shard {shard_id}: {} ran a different config than the coordinator",
+                path.display()
+            ));
+        }
+        if shard.shard != shard_id || shard.shards != shards {
+            return Err(format!(
+                "shard {shard_id}: {} claims shard {}/{} — wrong file in the shard dir",
+                path.display(),
+                shard.shard,
+                shard.shards
+            ));
+        }
         match map_digest {
             None => map_digest = Some(shard.map_digest),
-            Some(d) => assert_eq!(
-                d, shard.map_digest,
-                "shards disagree on the face-map digest — non-deterministic map build"
-            ),
+            Some(d) => {
+                if d != shard.map_digest {
+                    return Err(format!(
+                        "shard {shard_id}: face-map digest disagrees with shard 0 — \
+                         non-deterministic map build"
+                    ));
+                }
+            }
         }
         merged.extend(shard.stats);
         metrics.merge(&shard.metrics);
@@ -228,14 +322,40 @@ fn run_coordinator(
     merged.sort_by_key(|s| (s.cell, s.trial));
     let cells = fttt_bench::robustness::campaign_cells(kind);
     println!("merged {} trials from {shards} shard files", merged.len());
-    (
+    Ok((
         CampaignStats {
             cells,
             stats: merged,
-            map_digest: map_digest.expect("at least one shard"),
+            map_digest: map_digest.ok_or("no shards to merge")?,
         },
         metrics,
-    )
+    ))
+}
+
+/// Coordinator mode: spawn one worker per shard (unless `--merge-only`),
+/// re-parse their files, merge, and check the merge reproduces the
+/// single-process checksum derivation (same cells, same map digest, full
+/// trial set). Shard files the coordinator itself produced are cleaned up
+/// when anything fails.
+fn run_coordinator(
+    cfg: &CampaignConfig,
+    kind: &CampaignKind,
+    shards: usize,
+    shard_dir: &Path,
+    cli: &Cli,
+) -> Result<(CampaignStats, wsn_telemetry::Snapshot), String> {
+    let spawned = !cli.merge_only;
+    if spawned {
+        if let Err(msg) = spawn_workers(cfg, shards, shard_dir, cli) {
+            cleanup_shard_files(shard_dir, shards);
+            return Err(msg);
+        }
+    }
+    let result = merge_shard_files(cfg, kind, shards, shard_dir);
+    if result.is_err() && spawned {
+        cleanup_shard_files(shard_dir, shards);
+    }
+    result
 }
 
 fn baseline_path(cli: &Cli) -> PathBuf {

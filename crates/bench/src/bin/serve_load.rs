@@ -1,0 +1,319 @@
+//! `serve_load`: the tracking-server load generator and serve-bench gate.
+//!
+//! Drives 10⁴–10⁵ concurrent sessions against one `wsn-serve` process
+//! (spawned as a sibling binary when available, otherwise hosted
+//! in-process), verifies every session bit-for-bit against the in-process
+//! shadow engine, and writes `BENCH_serve.json`.
+//!
+//! Usage:
+//!
+//! * `serve_load [--fast] [--sessions N] [--rounds N] [--conns N]` —
+//!   run the load, print the summary, write the artifact.
+//! * `serve_load --check crates/bench/baselines/serve.json [--fast]` —
+//!   gate mode: compare the fresh run against the committed baseline and
+//!   exit 1 on regression (correctness mismatches fail regardless).
+//! * `serve_load --connect ADDR` — drive an externally started server;
+//!   it must run the same `--nodes`/`--cell-size` map or the digest
+//!   check will (correctly) fail.
+
+use fttt_bench::serve::{render_serve_json, run_load, LoadConfig};
+use std::io::BufRead;
+use std::process::ExitCode;
+use wsn_server::{Connection, Frame, Server, ServerConfig};
+use wsn_telemetry::json::JsonValue;
+
+const USAGE: &str = "serve_load — tracking-server load generator
+
+USAGE:
+    serve_load [OPTIONS]
+
+OPTIONS:
+    --sessions N      Concurrent sessions (default 10000)
+    --rounds N        Rounds per session (default 5)
+    --conns N         Client connections (default 8)
+    --window N        In-flight pushes per connection (default 64)
+    --seed N          Workload master seed (default 42)
+    --shards N        Server worker shards (default 4)
+    --queue-depth N   Server per-shard queue depth (default 256)
+    --nodes N         Deployment size (default 10)
+    --cell-size M     Face-map cell, metres (default 2.0)
+    --fast            Smoke shape: 200 sessions x 3 rounds, 8-node map
+    --out PATH        Artifact path (default BENCH_serve.json)
+    --check BASELINE  Gate against a committed BENCH_serve.json
+    --connect ADDR    Drive an already-running server instead of spawning
+    --in-process      Host the server in this process (no child spawn)
+    -h, --help        This help
+";
+
+struct Args {
+    server: ServerConfig,
+    load: LoadConfig,
+    out: String,
+    check: Option<String>,
+    connect: Option<String>,
+    in_process: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut server = ServerConfig::new(
+        fttt::PaperParams::default()
+            .with_nodes(10)
+            .with_cell_size(2.0),
+    );
+    let mut load = LoadConfig::full();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut check = None;
+    let mut connect = None;
+    let mut in_process = false;
+    let mut fast = false;
+    let mut nodes: Option<usize> = None;
+    let mut cell: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parse = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--sessions" => load.sessions = parse("--sessions", value("--sessions")?)?,
+            "--rounds" => load.rounds = parse("--rounds", value("--rounds")?)?,
+            "--conns" => load.conns = parse("--conns", value("--conns")?)?,
+            "--window" => load.window = parse("--window", value("--window")?)?,
+            "--seed" => {
+                load.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shards" => server.shards = parse("--shards", value("--shards")?)?,
+            "--queue-depth" => {
+                server.queue_depth = parse("--queue-depth", value("--queue-depth")?)?
+            }
+            "--nodes" => nodes = Some(parse("--nodes", value("--nodes")?)?),
+            "--cell-size" => {
+                cell = Some(
+                    value("--cell-size")?
+                        .parse()
+                        .map_err(|e| format!("--cell-size: {e}"))?,
+                )
+            }
+            "--fast" => fast = true,
+            "--out" => out = value("--out")?,
+            "--check" => check = Some(value("--check")?),
+            "--connect" => connect = Some(value("--connect")?),
+            "--in-process" => in_process = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if fast {
+        server.params = ServerConfig::fast().params;
+        let seed = load.seed;
+        load = LoadConfig {
+            seed,
+            ..LoadConfig::fast()
+        };
+    }
+    if let Some(n) = nodes {
+        server.params = server.params.with_nodes(n);
+    }
+    if let Some(c) = cell {
+        server.params = server.params.with_cell_size(c);
+    }
+    if server.shards == 0 || load.conns == 0 {
+        return Err("--shards and --conns must be at least 1".into());
+    }
+    Ok(Args {
+        server,
+        load,
+        out,
+        check,
+        connect,
+        in_process,
+    })
+}
+
+/// Where the server under test lives for the duration of the run.
+enum Target {
+    /// A spawned sibling `wsn-serve` child (shut down via the wire).
+    Child(std::process::Child),
+    /// A server hosted in this process.
+    InProcess(Server),
+    /// Someone else's server; left running.
+    External,
+}
+
+/// Spawns the sibling `wsn-serve` binary and parses its `LISTENING` line.
+fn spawn_sibling(server: &ServerConfig) -> Result<(String, std::process::Child), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let sibling = exe
+        .parent()
+        .ok_or("own executable has no parent directory")?
+        .join("wsn-serve");
+    if !sibling.exists() {
+        return Err(format!("{} not built", sibling.display()));
+    }
+    let mut child = std::process::Command::new(&sibling)
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--shards", &server.shards.to_string()])
+        .args(["--queue-depth", &server.queue_depth.to_string()])
+        .args(["--nodes", &server.params.nodes.to_string()])
+        .args(["--cell-size", &server.params.cell_size.to_string()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", sibling.display()))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("read child banner: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| format!("unexpected child banner {line:?}"))?
+        .to_string();
+    Ok((addr, child))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("serve_load: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A bad artifact path or unreadable baseline must fail before the
+    // load runs, not after.
+    if args.check.is_none() {
+        if let Err(msg) = wsn_telemetry::ensure_writable_file(std::path::Path::new(&args.out)) {
+            eprintln!("serve_load: --out: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let baseline = match &args.check {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match JsonValue::parse(&text) {
+                Ok(doc) => Some(doc),
+                Err(e) => {
+                    eprintln!("serve_load: parse baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("serve_load: read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let (addr, mut target) = if let Some(addr) = args.connect.clone() {
+        (addr, Target::External)
+    } else if args.in_process {
+        match Server::bind("127.0.0.1:0", args.server.clone()) {
+            Ok(s) => (s.local_addr().to_string(), Target::InProcess(s)),
+            Err(e) => {
+                eprintln!("serve_load: bind in-process server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match spawn_sibling(&args.server) {
+            Ok((addr, child)) => (addr, Target::Child(child)),
+            Err(msg) => {
+                eprintln!("serve_load: no wsn-serve sibling ({msg}); hosting in-process");
+                match Server::bind("127.0.0.1:0", args.server.clone()) {
+                    Ok(s) => (s.local_addr().to_string(), Target::InProcess(s)),
+                    Err(e) => {
+                        eprintln!("serve_load: bind in-process server: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    };
+
+    println!(
+        "driving {} sessions x {} rounds over {} conns at {addr}",
+        args.load.sessions, args.load.rounds, args.load.conns
+    );
+    let result = run_load(&addr, &args.server, &args.load);
+
+    // Tear the server down before judging the result so a failed run
+    // doesn't leak a child process.
+    match &mut target {
+        Target::Child(child) => {
+            let shutdown =
+                Connection::connect(addr.as_str()).and_then(|mut c| c.send(&Frame::Shutdown));
+            if shutdown.is_err() {
+                let _ = child.kill();
+            }
+            let _ = child.wait();
+        }
+        Target::InProcess(server) => server.shutdown(),
+        Target::External => {}
+    }
+
+    let report = match result {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("serve_load: load run failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "opens {:.0}/s, rounds {:.0}/s, round p50 {:.0} us, p99 {:.0} us, \
+         {} digests checked ({} mismatched, {} result mismatches, {} sheds retried)",
+        report.open_per_sec,
+        report.rounds_per_sec,
+        report.round_p50_us,
+        report.round_p99_us,
+        report.digest_checked,
+        report.digest_mismatches,
+        report.result_mismatches,
+        report.shed_retries
+    );
+
+    let json = render_serve_json(&args.server, &args.load, &report);
+    if let Some(base) = baseline {
+        let fresh = JsonValue::parse(&json).expect("own artifact parses");
+        match fttt_bench::gate::check_serve(&fresh, &base) {
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "serve gate: PASS against {}",
+                    args.check.as_deref().unwrap()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                eprintln!("serve gate: {} violation(s):", violations.len());
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                ExitCode::FAILURE
+            }
+            Err(msg) => {
+                eprintln!("serve gate: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if report.digest_mismatches > 0 || report.result_mismatches > 0 {
+            eprintln!(
+                "serve_load: CORRECTNESS FAILURE — server results diverged from the \
+                 in-process engine"
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&args.out, json) {
+            eprintln!("serve_load: write {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", args.out);
+        ExitCode::SUCCESS
+    }
+}

@@ -28,6 +28,11 @@ pub struct Cli {
     pub shard_id: Option<usize>,
     /// Directory for shard files (default: `<out>/shards`).
     pub shard_dir: Option<std::path::PathBuf>,
+    /// Coordinator mode without spawning workers: merge whatever shard
+    /// files already sit in `--shard-dir` (`fault_campaign` only). Used
+    /// to re-merge a finished run and to exercise the corrupt-shard
+    /// failure paths without paying for the trials.
+    pub merge_only: bool,
     /// Golden-checksum gate: recompute the campaign checksum and compare
     /// against the committed baseline instead of writing artifacts; exit
     /// non-zero on drift.
@@ -52,6 +57,7 @@ impl Default for Cli {
             shards: 1,
             shard_id: None,
             shard_dir: None,
+            merge_only: false,
             check_determinism: false,
             churn: false,
             checksum_baseline: None,
@@ -106,6 +112,7 @@ impl Cli {
                 "--shard-dir" => {
                     cli.shard_dir = Some(it.next().expect("--shard-dir needs a value").into());
                 }
+                "--merge-only" => cli.merge_only = true,
                 "--check-determinism" => cli.check_determinism = true,
                 "--churn" => cli.churn = true,
                 "--checksum-baseline" => {
@@ -118,7 +125,8 @@ impl Cli {
                 other => panic!(
                     "unknown argument {other}; usage: [--seed N] [--trials N] [--out DIR] \
                      [--fast] [--churn] [--check BASELINE.json] [--shards N [--shard-id I]] \
-                     [--shard-dir DIR] [--check-determinism] [--checksum-baseline FILE]"
+                     [--shard-dir DIR] [--merge-only] [--check-determinism] \
+                     [--checksum-baseline FILE]"
                 ),
             }
         }
@@ -212,6 +220,12 @@ mod tests {
         assert_eq!(d.shard_id, None);
         assert!(!d.check_determinism);
         assert!(!d.churn);
+        assert!(!d.merge_only);
+    }
+
+    #[test]
+    fn merge_only_flag_parses() {
+        assert!(parse(&["--shards", "2", "--merge-only"]).merge_only);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod gate;
 pub mod replay;
 pub mod robustness;
 pub mod scenario;
+pub mod serve;
 pub mod table;
 
 pub use cli::Cli;

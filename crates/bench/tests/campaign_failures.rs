@@ -1,0 +1,233 @@
+//! Failure-path tests for the sharded campaign coordinator: doctored,
+//! corrupt and missing shard files, a worker killed mid-run, and an
+//! unusable shard dir must all produce a named `shard N` diagnostic and
+//! exit 1 — never a panic backtrace — and a coordinator that spawned its
+//! own workers must clean its shard files up on the way out.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn campaign() -> &'static str {
+    env!("CARGO_BIN_EXE_fault_campaign")
+}
+
+fn run(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(campaign())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn fault_campaign")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A fresh scratch dir under the target tmp; unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fttt-campaign-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_graceful_failure(out: &Output, needles: &[&str]) {
+    let err = stderr_of(out);
+    assert!(
+        !out.status.success(),
+        "expected exit 1, got {:?}",
+        out.status
+    );
+    assert_eq!(out.status.code(), Some(1), "expected exit code 1: {err}");
+    for needle in needles {
+        assert!(err.contains(needle), "stderr missing {needle:?}:\n{err}");
+    }
+    assert!(
+        !err.contains("panicked at"),
+        "failure must not be a panic backtrace:\n{err}"
+    );
+}
+
+#[test]
+fn missing_shard_file_names_the_shard() {
+    let dir = scratch("missing");
+    let shards = dir.join("shards");
+    std::fs::create_dir_all(&shards).unwrap();
+    let out = run(
+        &dir,
+        &[
+            "--fast",
+            "--shards",
+            "2",
+            "--merge-only",
+            "--shard-dir",
+            shards.to_str().unwrap(),
+        ],
+    );
+    assert_graceful_failure(&out, &["shard 0", "cannot read"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_shard_file_names_the_shard_and_file() {
+    let dir = scratch("corrupt");
+    let shards = dir.join("shards");
+    std::fs::create_dir_all(&shards).unwrap();
+    std::fs::write(shards.join("shard-0-of-2.json"), "{ definitely not json").unwrap();
+    let out = run(
+        &dir,
+        &[
+            "--fast",
+            "--shards",
+            "2",
+            "--merge-only",
+            "--shard-dir",
+            shards.to_str().unwrap(),
+        ],
+    );
+    assert_graceful_failure(
+        &out,
+        &["shard 0", "corrupt shard file", "shard-0-of-2.json"],
+    );
+    // --merge-only never cleans up: the evidence stays for inspection.
+    assert!(shards.join("shard-0-of-2.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A structurally valid shard file in the wrong slot (a real shard 0
+/// copied over shard 1) is caught by the claims check, by name.
+#[test]
+fn doctored_shard_file_is_rejected_by_its_claims() {
+    let dir = scratch("doctored");
+    let shards = dir.join("shards");
+    let common = ["--fast", "--seed", "7", "--trials", "4", "--shards", "2"];
+    // Produce one genuine shard file.
+    let worker = run(
+        &dir,
+        &[
+            &common[..],
+            &["--shard-id", "0", "--shard-dir", shards.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert!(
+        worker.status.success(),
+        "worker failed: {}",
+        stderr_of(&worker)
+    );
+    // Doctor it into the other slot and merge.
+    std::fs::copy(
+        shards.join("shard-0-of-2.json"),
+        shards.join("shard-1-of-2.json"),
+    )
+    .unwrap();
+    let out = run(
+        &dir,
+        &[
+            &common[..],
+            &["--merge-only", "--shard-dir", shards.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert_graceful_failure(&out, &["shard 1", "claims shard 0/2"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_dir_that_is_a_file_fails_upfront() {
+    let dir = scratch("dirfile");
+    let not_a_dir = dir.join("shards");
+    std::fs::write(&not_a_dir, "occupied").unwrap();
+    let out = run(
+        &dir,
+        &[
+            "--fast",
+            "--shards",
+            "2",
+            "--shard-dir",
+            not_a_dir.to_str().unwrap(),
+        ],
+    );
+    assert_graceful_failure(&out, &["--shard-dir"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill the workers mid-run: the coordinator must name the dead shards,
+/// exit 1 without a backtrace, and remove the shard files it owns.
+#[test]
+fn killed_worker_is_reported_by_name_and_cleaned_up() {
+    let dir = scratch("killed");
+    let shards_dir = dir.join("shards");
+    let marker = shards_dir.to_str().unwrap().to_string();
+    // Plenty of trials so the workers are still running when we shoot.
+    let coordinator = Command::new(campaign())
+        .args([
+            "--fast",
+            "--trials",
+            "1000",
+            "--shards",
+            "2",
+            "--shard-dir",
+            &marker,
+        ])
+        .current_dir(&dir)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn coordinator");
+
+    // Find the worker processes by their unique --shard-dir argument.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut killed = 0;
+    while killed < 2 && std::time::Instant::now() < deadline {
+        for pid in worker_pids(&marker) {
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+            killed += 1;
+        }
+        if killed < 2 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+    assert!(killed >= 1, "never found a worker process to kill");
+
+    let out = coordinator.wait_with_output().expect("wait coordinator");
+    assert_graceful_failure(&out, &["shard", "worker exited with"]);
+    // The coordinator spawned these workers, so it cleans up after them.
+    for shard_id in 0..2 {
+        assert!(
+            !shards_dir
+                .join(format!("shard-{shard_id}-of-2.json"))
+                .exists(),
+            "shard {shard_id} file left behind after a failed spawned run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Scans procfs for fault_campaign workers whose cmdline carries
+/// `marker` (the test's unique shard dir) and a `--shard-id` argument.
+fn worker_pids(marker: &str) -> Vec<u32> {
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return pids;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        let args: Vec<&str> = cmdline
+            .split(|b| *b == 0)
+            .map(|part| std::str::from_utf8(part).unwrap_or(""))
+            .collect();
+        if args.iter().any(|a| a.contains("fault_campaign"))
+            && args.iter().any(|a| *a == "--shard-id")
+            && args.iter().any(|a| *a == marker)
+        {
+            pids.push(pid);
+        }
+    }
+    pids
+}

@@ -9,19 +9,32 @@ use fttt_bench::{run_once, trial_stats, MethodKind, Scenario, Table};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Exits with the CLI usage code when an output path cannot be written —
+/// called *before* the simulation runs, so a typo'd `--metrics-out` fails
+/// in milliseconds instead of after the whole campaign.
+fn require_writable(flag: &str, path: &std::path::Path) {
+    if let Err(msg) = wsn_telemetry::ensure_writable_file(path) {
+        eprintln!("error: {flag}: {msg}");
+        std::process::exit(2);
+    }
+}
+
 /// Installs a fresh telemetry sink when `--metrics-out` was given,
-/// returning the registry to flush after the run.
+/// returning the registry to flush after the run. Validates the output
+/// path up front.
 fn metrics_sink(opts: &Options) -> Option<std::sync::Arc<wsn_telemetry::Registry>> {
-    opts.metrics_out.as_ref()?;
+    let path = opts.metrics_out.as_ref()?;
+    require_writable("--metrics-out", path);
     let registry = std::sync::Arc::new(wsn_telemetry::Registry::new());
     wsn_telemetry::install(std::sync::Arc::clone(&registry));
     Some(registry)
 }
 
 /// Installs a fresh trace journal when `--trace-out` was given, returning
-/// it for draining after the run.
+/// it for draining after the run. Validates the output path up front.
 fn trace_sink(opts: &Options) -> Option<std::sync::Arc<wsn_telemetry::Journal>> {
-    opts.trace_out.as_ref()?;
+    let path = opts.trace_out.as_ref()?;
+    require_writable("--trace-out", path);
     let journal = std::sync::Arc::new(wsn_telemetry::Journal::new());
     wsn_telemetry::install_journal(std::sync::Arc::clone(&journal));
     Some(journal)

@@ -7,6 +7,7 @@ use crate::matching::{match_full, match_heuristic, MatchOutcome, MatchStrategy};
 use crate::sampling::{basic_sampling_vector, extended_sampling_vector};
 use crate::vector::SamplingVector;
 use rand::Rng;
+use std::sync::Arc;
 use wsn_geometry::Point;
 use wsn_mobility::Trace;
 use wsn_network::{GroupSampler, GroupSampling, SensorField};
@@ -154,19 +155,30 @@ impl TrackingRun {
     }
 }
 
-/// The FTTT tracker: owns a face map, remembers the previous face for
-/// warm-started matching.
+/// The FTTT tracker: holds a (possibly shared) face map, remembers the
+/// previous face for warm-started matching.
+///
+/// The map is behind an [`Arc`] so a server hosting tens of thousands of
+/// concurrent sessions keeps one copy of the division instead of one per
+/// session; [`Tracker::apply_churn`] copies-on-write, so a tracker that
+/// repairs its map privately never disturbs its siblings.
 #[derive(Debug, Clone)]
 pub struct Tracker {
-    map: FaceMap,
+    map: Arc<FaceMap>,
     options: TrackerOptions,
     previous: Option<FaceId>,
     recent_sims: std::collections::VecDeque<f64>,
 }
 
 impl Tracker {
-    /// Creates a tracker over a prebuilt face map.
+    /// Creates a tracker over a prebuilt face map it owns exclusively.
     pub fn new(map: FaceMap, options: TrackerOptions) -> Self {
+        Self::shared(Arc::new(map), options)
+    }
+
+    /// Creates a tracker over a face map shared with other trackers. No
+    /// map data is copied unless this tracker later churns its map.
+    pub fn shared(map: Arc<FaceMap>, options: TrackerOptions) -> Self {
         Self {
             map,
             options,
@@ -240,10 +252,14 @@ impl Tracker {
         death: bool,
         mode: RepairMode,
     ) -> (RepairReport, bool) {
+        // Copy-on-write: a shared map is cloned once here and the repair
+        // runs on the private copy; an exclusively-owned map is repaired
+        // in place with no copy at all.
+        let map = Arc::make_mut(&mut self.map);
         let report = if death {
-            self.map.kill_node(node, mode)
+            map.kill_node(node, mode)
         } else {
-            self.map.revive_node(node, mode)
+            map.revive_node(node, mode)
         };
         self.recent_sims.clear();
         let mut warm_exact = true;
@@ -520,6 +536,26 @@ mod tests {
         });
         assert_ne!(run_a, run_c);
         assert!(run_c.error_stats().mean.is_finite());
+    }
+
+    #[test]
+    fn shared_map_churn_is_copy_on_write() {
+        let (field, map, sampler) = setup(9, 6.0, 5);
+        let shared = Arc::new(map);
+        let mut a = Tracker::shared(Arc::clone(&shared), TrackerOptions::default());
+        let mut b = Tracker::shared(Arc::clone(&shared), TrackerOptions::default());
+        let epoch0 = shared.epoch();
+        a.apply_churn(3, true, RepairMode::Incremental);
+        // Only `a` sees the repair; the shared original and `b` are
+        // untouched.
+        assert!(a.map().epoch() > epoch0);
+        assert_eq!(shared.epoch(), epoch0);
+        assert_eq!(b.map().epoch(), epoch0);
+        assert!(!a.map().is_node_live(3));
+        assert!(b.map().is_node_live(3));
+        let group = sampler.sample(&field, Point::new(50.0, 50.0), &mut rng(9));
+        let (estimate, _) = b.localize(&group);
+        assert!(estimate.x.is_finite() && estimate.y.is_finite());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! `wsn-serve`: the tracking-as-a-service daemon.
+//!
+//! Binds a TCP address, prints `LISTENING <addr>` on stdout (the contract
+//! the `serve_load` generator parses when it spawns this binary), then
+//! serves sessions until a client sends a `Shutdown` frame. At exit it
+//! writes the merged `fttt.server.*` metrics / trace journal if asked.
+
+use std::process::ExitCode;
+use wsn_server::{Server, ServerConfig};
+
+const USAGE: &str = "wsn-serve — tracking-as-a-service daemon
+
+USAGE:
+    wsn-serve [OPTIONS]
+
+OPTIONS:
+    --listen ADDR        Bind address (default 127.0.0.1:0 = free port)
+    --shards N           Session-registry worker threads (default 4)
+    --queue-depth N      Bounded ingest queue depth per shard (default 256)
+    --max-sessions N     Concurrent session cap (default 200000)
+    --nodes N            Deployment size of the shared map (default 10)
+    --cell-size M        Face-map raster cell, metres (default 2.0)
+    --fast               Small-map preset (8 nodes), for smoke runs
+    --metrics-out PATH   Write merged metrics at exit
+    --metrics-format F   json (default) or prom
+    --trace-out PATH     Write the trace journal (JSONL) at exit
+    -h, --help           This help
+";
+
+struct Args {
+    listen: String,
+    config: ServerConfig,
+    metrics_out: Option<String>,
+    metrics_prom: bool,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::new(
+        fttt::PaperParams::default()
+            .with_nodes(10)
+            .with_cell_size(2.0),
+    );
+    let mut nodes: Option<usize> = None;
+    let mut cell: Option<f64> = None;
+    let mut fast = false;
+    let mut metrics_out = None;
+    let mut metrics_prom = false;
+    let mut trace_out = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--max-sessions" => {
+                config.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?;
+            }
+            "--nodes" => {
+                nodes = Some(
+                    value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                )
+            }
+            "--cell-size" => {
+                cell = Some(
+                    value("--cell-size")?
+                        .parse()
+                        .map_err(|e| format!("--cell-size: {e}"))?,
+                )
+            }
+            "--fast" => fast = true,
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "--metrics-format" => {
+                metrics_prom = match value("--metrics-format")?.as_str() {
+                    "json" => false,
+                    "prom" => true,
+                    other => return Err(format!("unknown metrics format {other:?}")),
+                }
+            }
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if fast {
+        config.params = ServerConfig::fast().params;
+    }
+    if let Some(n) = nodes {
+        config.params = config.params.with_nodes(n);
+    }
+    if let Some(c) = cell {
+        config.params = config.params.with_cell_size(c);
+    }
+    if config.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(Args {
+        listen,
+        config,
+        metrics_out,
+        metrics_prom,
+        trace_out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("wsn-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A typo'd output path must fail now, not after hours of serving.
+    for (flag, path) in [
+        ("--metrics-out", &args.metrics_out),
+        ("--trace-out", &args.trace_out),
+    ] {
+        if let Some(p) = path {
+            if let Err(msg) = wsn_telemetry::ensure_writable_file(std::path::Path::new(p)) {
+                eprintln!("wsn-serve: {flag}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let journal = args.trace_out.as_ref().map(|_| {
+        let journal = std::sync::Arc::new(wsn_telemetry::Journal::new());
+        wsn_telemetry::install_journal(std::sync::Arc::clone(&journal));
+        journal
+    });
+
+    let mut server = match Server::bind(&args.listen, args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wsn-serve: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The spawn contract: exactly one LISTENING line, immediately flushed.
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    server.wait_shutdown();
+    let snapshot = server.metrics_snapshot();
+    server.shutdown();
+
+    if let Some(path) = &args.metrics_out {
+        let payload = if args.metrics_prom {
+            snapshot.to_prometheus()
+        } else {
+            snapshot.to_json() + "\n"
+        };
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("wsn-serve: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        wsn_telemetry::uninstall_journal();
+        let log = journal
+            .expect("journal installed with --trace-out")
+            .snapshot();
+        if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+            eprintln!("wsn-serve: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

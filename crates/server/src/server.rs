@@ -1,0 +1,723 @@
+//! The sharded tracking server.
+//!
+//! One process hosts tens of thousands of [`TrackingSession`]s over a
+//! single shared [`FaceMap`]:
+//!
+//! * an **acceptor** thread takes TCP connections; each connection gets a
+//!   blocking **reader** thread (frame parse + route) and a **writer**
+//!   thread (drains an outbound byte queue);
+//! * `shards` **worker** threads own disjoint slices of the session
+//!   registry (`session_id % shards`); every session mutation happens on
+//!   its owning worker, so session state needs no locks at all;
+//! * workers are fed through **bounded** queues. When a shard's queue is
+//!   full the reader sheds the batch immediately with
+//!   [`ErrorCode::Overloaded`] instead of buffering without bound — the
+//!   session is untouched and the client retries after draining replies;
+//! * the map is **epoch-checked**: a churn repair installs a new map and
+//!   bumps the epoch; sessions bound to an older epoch are invalidated
+//!   (and their slots freed) on their next touch with
+//!   [`ErrorCode::StaleEpoch`].
+
+use crate::wire::{
+    read_frame, ErrorCode, Frame, ReadingRound, RecvError, RoundResult, DEFAULT_MAX_FRAME,
+};
+use fttt::replay::{digest_face_map, digest_round, Digest};
+use fttt::session::{SessionOptions, TrackingSession};
+use fttt::tracker::{Tracker, TrackerOptions};
+use fttt::{FaceMap, PaperParams, RepairMode};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wsn_telemetry::{Registry, Snapshot, DURATION_US_BUCKETS};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads / registry shards.
+    pub shards: usize,
+    /// Bounded depth of each shard's ingest queue, in jobs. A full queue
+    /// sheds with [`ErrorCode::Overloaded`].
+    pub queue_depth: usize,
+    /// Hard cap on concurrently open sessions across all shards.
+    pub max_sessions: usize,
+    /// Per-connection payload bound, bytes.
+    pub max_frame: u32,
+    /// The field/deployment the shared map is built from. Every session
+    /// matches against this one map.
+    pub params: PaperParams,
+    /// Fault-injection hook: stall each worker job this long before
+    /// processing. `None` in production; tests use it to make
+    /// backpressure sheds deterministic.
+    pub ingest_stall: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// A server over `params` with production-ish defaults.
+    pub fn new(params: PaperParams) -> Self {
+        ServerConfig {
+            shards: 4,
+            queue_depth: 256,
+            max_sessions: 200_000,
+            max_frame: DEFAULT_MAX_FRAME,
+            params,
+            ingest_stall: None,
+        }
+    }
+
+    /// A small-map configuration (8 nodes, 2 m cells — the fault
+    /// campaign's fast geometry) for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self::new(PaperParams::default().with_nodes(8).with_cell_size(2.0))
+    }
+
+    /// The tracker options every server session runs with — the fault
+    /// campaign's configuration (heuristic matching, optionally extended
+    /// vectors), so wire results are comparable to campaign runs.
+    pub fn tracker_options(&self, extended: bool) -> TrackerOptions {
+        if extended {
+            TrackerOptions {
+                extended: true,
+                ..TrackerOptions::heuristic()
+            }
+        } else {
+            TrackerOptions::heuristic()
+        }
+    }
+
+    /// The session options every server session runs with (mirrors the
+    /// fault campaign). Clients use this to build bit-identical shadow
+    /// sessions.
+    pub fn session_options(&self) -> SessionOptions {
+        SessionOptions::new(self.params.samples_k).with_max_speed(self.params.max_speed)
+    }
+}
+
+/// One registered session on a worker.
+struct Entry {
+    session: TrackingSession,
+    conn: u64,
+    epoch: u64,
+    digest: Digest,
+    rounds: u64,
+}
+
+/// Work routed to a shard worker. Replies travel back through the
+/// connection's outbound byte queue.
+enum Job {
+    Open {
+        reply: Sender<Vec<u8>>,
+        conn: u64,
+        client_tag: u64,
+        session: u64,
+        extended: bool,
+    },
+    Push {
+        reply: Sender<Vec<u8>>,
+        session: u64,
+        rounds: Vec<ReadingRound>,
+    },
+    Close {
+        reply: Sender<Vec<u8>>,
+        session: u64,
+    },
+    ConnClosed {
+        conn: u64,
+    },
+    Stop,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    /// The current shared map. Replaced wholesale by churn repairs;
+    /// sessions keep their `Arc` until invalidated.
+    map: RwLock<Arc<FaceMap>>,
+    /// Mirrors `map.epoch()` for lock-free stale checks on the hot path.
+    epoch: AtomicU64,
+    map_digest: AtomicU64,
+    next_session: AtomicU64,
+    session_count: AtomicU64,
+    shutdown: AtomicBool,
+    shutdown_signal: (Mutex<bool>, Condvar),
+    /// Connection-plane metrics (frame counts, decode errors, sheds).
+    conn_registry: Registry,
+    /// One registry per shard worker, merged deterministically by
+    /// [`Server::metrics_snapshot`].
+    worker_registries: Vec<Arc<Registry>>,
+}
+
+impl ServerState {
+    fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cvar) = &self.shutdown_signal;
+        *lock.lock().expect("shutdown lock poisoned") = true;
+        cvar.notify_all();
+    }
+}
+
+/// A running tracking server. Dropping it shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shard_txs: Vec<SyncSender<Job>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the shared map from `config.params`, binds `addr`
+    /// (`"127.0.0.1:0"` picks a free port) and starts the acceptor and
+    /// worker threads.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.queue_depth > 0, "need a positive queue depth");
+        let field = config.params.grid_field();
+        let map = Arc::new(config.params.face_map(&field));
+        let map_digest = digest_face_map(&map);
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+
+        let worker_registries: Vec<Arc<Registry>> = (0..config.shards)
+            .map(|_| Arc::new(Registry::new()))
+            .collect();
+        let state = Arc::new(ServerState {
+            epoch: AtomicU64::new(map.epoch()),
+            map_digest: AtomicU64::new(map_digest),
+            map: RwLock::new(map),
+            next_session: AtomicU64::new(1),
+            session_count: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            conn_registry: Registry::new(),
+            worker_registries,
+            config,
+        });
+
+        let mut shard_txs = Vec::with_capacity(state.config.shards);
+        let mut workers = Vec::with_capacity(state.config.shards);
+        for shard in 0..state.config.shards {
+            let (tx, rx) = sync_channel::<Job>(state.config.queue_depth);
+            shard_txs.push(tx);
+            let st = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("wsn-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, st, rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let acceptor = {
+            let st = Arc::clone(&state);
+            let txs = shard_txs.clone();
+            std::thread::Builder::new()
+                .name("wsn-accept".into())
+                .spawn(move || accept_loop(listener, st, txs))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr: local,
+            state,
+            shard_txs,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently registered across all shards.
+    pub fn session_count(&self) -> u64 {
+        self.state.session_count.load(Ordering::SeqCst)
+    }
+
+    /// The current map epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Digest of the current shared map.
+    pub fn map_digest(&self) -> u64 {
+        self.state.map_digest.load(Ordering::SeqCst)
+    }
+
+    /// Merged metrics: the connection plane plus every shard worker,
+    /// folded in ascending shard order ([`Snapshot::merge_shards`]) so the
+    /// merged snapshot does not depend on thread timing.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let parts: Vec<(usize, Snapshot)> = self
+            .state
+            .worker_registries
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.snapshot()))
+            .collect();
+        let mut merged = Snapshot::merge_shards(parts);
+        // Connection-plane names are disjoint from worker names, so this
+        // final fold is order-insensitive.
+        merged.merge(&self.state.conn_registry.snapshot());
+        merged
+    }
+
+    /// Blocks until a client sends [`Frame::Shutdown`] or
+    /// [`Server::shutdown`] runs.
+    pub fn wait_shutdown(&self) {
+        let (lock, cvar) = &self.state.shutdown_signal;
+        let mut down = lock.lock().expect("shutdown lock poisoned");
+        while !*down {
+            down = cvar.wait(down).expect("shutdown lock poisoned");
+        }
+    }
+
+    /// Stops accepting, drains the workers and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.state.signal_shutdown();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for tx in &self.shard_txs {
+            let _ = tx.send(Job::Stop);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, txs: Vec<SyncSender<Job>>) {
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        next_conn += 1;
+        let conn_id = next_conn;
+        let st = Arc::clone(&state);
+        let conn_txs = txs.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("wsn-conn-{conn_id}"))
+            .spawn(move || conn_loop(stream, conn_id, st, conn_txs));
+        if spawned.is_err() {
+            // Out of threads: drop the connection rather than the server.
+            continue;
+        }
+        state
+            .conn_registry
+            .counter("fttt.server.conns_opened")
+            .inc();
+    }
+}
+
+fn conn_loop(
+    mut stream: TcpStream,
+    conn_id: u64,
+    state: Arc<ServerState>,
+    txs: Vec<SyncSender<Job>>,
+) {
+    let (out_tx, out_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = {
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        std::thread::Builder::new()
+            .name(format!("wsn-conn-{conn_id}-w"))
+            .spawn(move || writer_loop(write_half, out_rx))
+    };
+    let Ok(writer) = writer else { return };
+
+    let max_frame = state.config.max_frame;
+    let shards = txs.len() as u64;
+    loop {
+        let frame = match read_frame(&mut stream, max_frame) {
+            Ok(f) => f,
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => break,
+            Err(RecvError::Protocol(e)) => {
+                // Answer the violation, then drop the connection: framing
+                // is unrecoverable mid-stream.
+                state
+                    .conn_registry
+                    .counter("fttt.server.decode_errors")
+                    .inc();
+                let code = match &e {
+                    crate::wire::WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+                    crate::wire::WireError::Oversize { .. } => ErrorCode::Oversize,
+                    _ => ErrorCode::Malformed,
+                };
+                let _ = out_tx.send(
+                    Frame::Error {
+                        code,
+                        context: 0,
+                        detail: e.to_string(),
+                    }
+                    .encode(),
+                );
+                break;
+            }
+        };
+        state.conn_registry.counter("fttt.server.frames_in").inc();
+        match frame {
+            Frame::Open {
+                client_tag,
+                extended,
+            } => {
+                let session = state.next_session.fetch_add(1, Ordering::SeqCst);
+                let shard = (session % shards) as usize;
+                route(
+                    &state,
+                    &txs[shard],
+                    &out_tx,
+                    client_tag,
+                    Job::Open {
+                        reply: out_tx.clone(),
+                        conn: conn_id,
+                        client_tag,
+                        session,
+                        extended,
+                    },
+                );
+            }
+            Frame::Push { session, rounds } => {
+                let shard = (session % shards) as usize;
+                route(
+                    &state,
+                    &txs[shard],
+                    &out_tx,
+                    session,
+                    Job::Push {
+                        reply: out_tx.clone(),
+                        session,
+                        rounds,
+                    },
+                );
+            }
+            Frame::Close { session } => {
+                let shard = (session % shards) as usize;
+                route(
+                    &state,
+                    &txs[shard],
+                    &out_tx,
+                    session,
+                    Job::Close {
+                        reply: out_tx.clone(),
+                        session,
+                    },
+                );
+            }
+            Frame::Churn { node, death } => {
+                let reply = apply_churn(&state, node as usize, death);
+                let _ = out_tx.send(reply.encode());
+            }
+            Frame::Shutdown => {
+                let _ = out_tx.send(Frame::ShutdownAck.encode());
+                state.conn_registry.counter("fttt.server.shutdowns").inc();
+                state.signal_shutdown();
+            }
+            // Server-to-client frames arriving at the server are protocol
+            // abuse; answer and drop.
+            _ => {
+                let _ = out_tx.send(
+                    Frame::Error {
+                        code: ErrorCode::Malformed,
+                        context: 0,
+                        detail: "client sent a server frame".into(),
+                    }
+                    .encode(),
+                );
+                break;
+            }
+        }
+    }
+
+    // Sweep this connection's sessions from every shard. Blocking send:
+    // cleanup must never be shed.
+    for tx in &txs {
+        let _ = tx.send(Job::ConnClosed { conn: conn_id });
+    }
+    state
+        .conn_registry
+        .counter("fttt.server.conns_closed")
+        .inc();
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// Routes `job` to its shard, shedding with [`ErrorCode::Overloaded`]
+/// when the shard's bounded queue is full.
+fn route(state: &ServerState, tx: &SyncSender<Job>, out: &Sender<Vec<u8>>, context: u64, job: Job) {
+    match tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            state.conn_registry.counter("fttt.server.shed").inc();
+            let _ = out.send(
+                Frame::Error {
+                    code: ErrorCode::Overloaded,
+                    context,
+                    detail: "shard ingest queue full; retry after draining replies".into(),
+                }
+                .encode(),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            // Worker already stopped: the server is draining. This must
+            // NOT be `Overloaded` — a client retrying a dead shard would
+            // spin forever.
+            let _ = out.send(
+                Frame::Error {
+                    code: ErrorCode::ShuttingDown,
+                    context,
+                    detail: "server is shutting down".into(),
+                }
+                .encode(),
+            );
+        }
+    }
+}
+
+/// Repairs the shared map for one churn event and installs the new epoch.
+/// Runs on the connection thread under the map write lock — churn is rare
+/// and the repair is incremental (PR 8), so stalling ingest briefly is the
+/// honest cost of a topology change.
+fn apply_churn(state: &ServerState, node: usize, death: bool) -> Frame {
+    let mut guard = state.map.write().expect("map lock poisoned");
+    let map = guard.as_ref();
+    if node >= map.deployment().len() {
+        return Frame::Error {
+            code: ErrorCode::BadChurn,
+            context: node as u64,
+            detail: format!("node {node} outside the deployment"),
+        };
+    }
+    if death && !map.is_node_live(node) {
+        return Frame::Error {
+            code: ErrorCode::BadChurn,
+            context: node as u64,
+            detail: format!("node {node} is already dead"),
+        };
+    }
+    if !death && map.is_node_live(node) {
+        return Frame::Error {
+            code: ErrorCode::BadChurn,
+            context: node as u64,
+            detail: format!("node {node} is already live"),
+        };
+    }
+    if death && map.live_nodes().len() <= 2 {
+        return Frame::Error {
+            code: ErrorCode::BadChurn,
+            context: node as u64,
+            detail: "a face map needs at least two live sensors".into(),
+        };
+    }
+    let mut repaired = map.clone();
+    if death {
+        repaired.kill_node(node, RepairMode::Incremental);
+    } else {
+        repaired.revive_node(node, RepairMode::Incremental);
+    }
+    let epoch = repaired.epoch();
+    let digest = digest_face_map(&repaired);
+    *guard = Arc::new(repaired);
+    state.epoch.store(epoch, Ordering::SeqCst);
+    state.map_digest.store(digest, Ordering::SeqCst);
+    state
+        .conn_registry
+        .counter("fttt.server.churn_repairs")
+        .inc();
+    Frame::ChurnAck {
+        epoch,
+        map_digest: digest,
+    }
+}
+
+fn worker_loop(shard: usize, state: Arc<ServerState>, rx: Receiver<Job>) {
+    let registry = Arc::clone(&state.worker_registries[shard]);
+    let opened = registry.counter("fttt.server.sessions_opened");
+    let closed = registry.counter("fttt.server.sessions_closed");
+    let invalidated = registry.counter("fttt.server.sessions_invalidated");
+    let dropped = registry.counter("fttt.server.sessions_dropped");
+    let rounds_total = registry.counter("fttt.server.rounds");
+    let batches = registry.counter("fttt.server.push_batches");
+    let round_us = registry.histogram("fttt.server.round_us", DURATION_US_BUCKETS);
+    let mut sessions: HashMap<u64, Entry> = HashMap::new();
+
+    while let Ok(job) = rx.recv() {
+        if let Some(stall) = state.config.ingest_stall {
+            std::thread::sleep(stall);
+        }
+        match job {
+            Job::Open {
+                reply,
+                conn,
+                client_tag,
+                session,
+                extended,
+            } => {
+                let before = state.session_count.fetch_add(1, Ordering::SeqCst);
+                if before as usize >= state.config.max_sessions {
+                    state.session_count.fetch_sub(1, Ordering::SeqCst);
+                    let _ = reply.send(
+                        Frame::Error {
+                            code: ErrorCode::SessionLimit,
+                            context: client_tag,
+                            detail: format!("at capacity ({} sessions)", state.config.max_sessions),
+                        }
+                        .encode(),
+                    );
+                    continue;
+                }
+                let map = Arc::clone(&state.map.read().expect("map lock poisoned"));
+                let epoch = map.epoch();
+                let tracker = Tracker::shared(map, state.config.tracker_options(extended));
+                let entry = Entry {
+                    session: TrackingSession::new(tracker, state.config.session_options())
+                        .with_session_id(session),
+                    conn,
+                    epoch,
+                    digest: Digest::new(),
+                    rounds: 0,
+                };
+                sessions.insert(session, entry);
+                opened.inc();
+                let _ = reply.send(
+                    Frame::OpenAck {
+                        client_tag,
+                        session,
+                        epoch,
+                        map_digest: state.map_digest.load(Ordering::SeqCst),
+                    }
+                    .encode(),
+                );
+            }
+            Job::Push {
+                reply,
+                session,
+                rounds,
+            } => {
+                let Some(entry) = sessions.get_mut(&session) else {
+                    let _ = reply.send(unknown_session(session).encode());
+                    continue;
+                };
+                let current = state.epoch.load(Ordering::SeqCst);
+                if entry.epoch != current {
+                    // The map churned since this session opened: free the
+                    // slot and tell the client to re-open.
+                    let stale = entry.epoch;
+                    sessions.remove(&session);
+                    state.session_count.fetch_sub(1, Ordering::SeqCst);
+                    invalidated.inc();
+                    let _ = reply.send(
+                        Frame::Error {
+                            code: ErrorCode::StaleEpoch,
+                            context: session,
+                            detail: format!("map epoch moved {stale} → {current}; re-open"),
+                        }
+                        .encode(),
+                    );
+                    continue;
+                }
+                // A reading sized for a different deployment would panic
+                // the matcher — and a panicking worker takes the whole
+                // shard (and every session on it) down with it. Reject
+                // the batch whole before touching the session, so the
+                // digest stays intact and the shard stays alive.
+                let expected = state.config.params.nodes;
+                if let Some(bad) = rounds.iter().find(|r| r.group.node_count() != expected) {
+                    let _ = reply.send(
+                        Frame::Error {
+                            code: ErrorCode::Malformed,
+                            context: session,
+                            detail: format!(
+                                "reading has {} nodes; this server's map has {expected}",
+                                bad.group.node_count()
+                            ),
+                        }
+                        .encode(),
+                    );
+                    continue;
+                }
+                let mut results = Vec::with_capacity(rounds.len());
+                for r in &rounds {
+                    let started = Instant::now();
+                    let round = entry.session.step(r.t, &r.group);
+                    round_us.observe(started.elapsed().as_secs_f64() * 1e6);
+                    digest_round(&mut entry.digest, &round);
+                    entry.rounds += 1;
+                    results.push(RoundResult::from_round(&round));
+                }
+                rounds_total.add(results.len() as u64);
+                batches.inc();
+                let _ = reply.send(
+                    Frame::Rounds {
+                        session,
+                        results,
+                        digest: entry.digest.value(),
+                    }
+                    .encode(),
+                );
+            }
+            Job::Close { reply, session } => {
+                let Some(entry) = sessions.remove(&session) else {
+                    let _ = reply.send(unknown_session(session).encode());
+                    continue;
+                };
+                state.session_count.fetch_sub(1, Ordering::SeqCst);
+                closed.inc();
+                let _ = reply.send(
+                    Frame::CloseAck {
+                        session,
+                        rounds: entry.rounds,
+                        digest: entry.digest.value(),
+                    }
+                    .encode(),
+                );
+            }
+            Job::ConnClosed { conn } => {
+                let before = sessions.len();
+                sessions.retain(|_, e| e.conn != conn);
+                let swept = (before - sessions.len()) as u64;
+                if swept > 0 {
+                    state.session_count.fetch_sub(swept, Ordering::SeqCst);
+                    dropped.add(swept);
+                }
+            }
+            Job::Stop => break,
+        }
+    }
+}
+
+fn unknown_session(session: u64) -> Frame {
+    Frame::Error {
+        code: ErrorCode::UnknownSession,
+        context: session,
+        detail: format!("session {session} is not registered on this shard"),
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
+    use std::io::Write;
+    while let Ok(buf) = rx.recv() {
+        if stream.write_all(&buf).is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+}

@@ -1,0 +1,306 @@
+//! Live-server tests over loopback TCP: backpressure sheds, epoch
+//! invalidation, protocol abuse, and the no-leaked-slots contract.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+use wsn_network::GroupSampling;
+use wsn_server::{ClientError, Connection, ErrorCode, Frame, ReadingRound, Server, ServerConfig};
+use wsn_signal::Rss;
+
+fn reading_round(t: f64, nodes: usize) -> ReadingRound {
+    let mut group = GroupSampling::empty(nodes, 3);
+    for instant in 0..3 {
+        for node in 0..nodes {
+            let dbm = -40.0 - 2.0 * node as f64 - 0.5 * instant as f64;
+            group.set(instant, node, Some(Rss::new(dbm)));
+        }
+    }
+    ReadingRound { t, group }
+}
+
+fn wait_for_session_count(server: &Server, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.session_count() != want {
+        assert!(
+            Instant::now() < deadline,
+            "session count stuck at {} (want {want})",
+            server.session_count()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn open_push_close_round_trip() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::fast()).unwrap();
+    let nodes = 8;
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let info = conn.open_session(99, false).unwrap();
+    assert_eq!(info.epoch, server.epoch());
+    assert_eq!(info.map_digest, server.map_digest());
+    assert_eq!(server.session_count(), 1);
+
+    let (results, digest) = conn
+        .push_rounds(
+            info.session,
+            vec![reading_round(0.0, nodes), reading_round(1.0, nodes)],
+        )
+        .unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].round, 0);
+    assert_eq!(results[1].round, 1);
+    let (rounds, final_digest) = conn.close_session(info.session).unwrap();
+    assert_eq!(rounds, 2);
+    assert_eq!(final_digest, digest);
+    wait_for_session_count(&server, 0);
+
+    let metrics = server.metrics_snapshot();
+    assert_eq!(metrics.counters["fttt.server.sessions_opened"], 1);
+    assert_eq!(metrics.counters["fttt.server.rounds"], 2);
+}
+
+#[test]
+fn unknown_session_is_a_typed_error() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::fast()).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    match conn.push_rounds(424242, vec![reading_round(0.0, 8)]) {
+        Err(ClientError::Server { code, context, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownSession);
+            assert_eq!(context, 424242);
+        }
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+}
+
+#[test]
+fn churn_invalidates_stale_sessions_and_frees_their_slots() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::fast()).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let stale = conn.open_session(1, false).unwrap();
+
+    let (epoch, map_digest) = conn.churn(3, true).unwrap();
+    assert!(epoch > stale.epoch);
+    assert_eq!(server.epoch(), epoch);
+    assert_eq!(server.map_digest(), map_digest);
+
+    // The pre-churn session is rejected and its slot freed.
+    match conn.push_rounds(stale.session, vec![reading_round(0.0, 8)]) {
+        Err(ClientError::Server { code, context, .. }) => {
+            assert_eq!(code, ErrorCode::StaleEpoch);
+            assert_eq!(context, stale.session);
+        }
+        other => panic!("expected StaleEpoch, got {other:?}"),
+    }
+    wait_for_session_count(&server, 0);
+
+    // A fresh session binds to the new epoch and works.
+    let fresh = conn.open_session(2, false).unwrap();
+    assert_eq!(fresh.epoch, epoch);
+    let (results, _) = conn
+        .push_rounds(fresh.session, vec![reading_round(0.0, 8)])
+        .unwrap();
+    assert_eq!(results.len(), 1);
+
+    // Reviving restores the full deployment for later tests' sanity.
+    let (epoch2, _) = conn.churn(3, false).unwrap();
+    assert!(epoch2 > epoch);
+    let metrics = server.metrics_snapshot();
+    assert_eq!(metrics.counters["fttt.server.sessions_invalidated"], 1);
+    assert_eq!(metrics.counters["fttt.server.churn_repairs"], 2);
+}
+
+#[test]
+fn bad_churn_requests_are_refused_not_panics() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::fast()).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    // Out-of-range node.
+    match conn.churn(10_000, true) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadChurn),
+        other => panic!("expected BadChurn, got {other:?}"),
+    }
+    // Reviving a node that is already live.
+    match conn.churn(0, false) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadChurn),
+        other => panic!("expected BadChurn, got {other:?}"),
+    }
+    // The connection survives typed refusals.
+    assert!(conn.open_session(1, false).is_ok());
+}
+
+#[test]
+fn full_shard_queue_sheds_with_overloaded() {
+    let mut config = ServerConfig::fast();
+    config.shards = 1;
+    config.queue_depth = 2;
+    // The fault-injection stall makes the worker drain far slower than
+    // the reader enqueues, so the bounded queue fills deterministically.
+    config.ingest_stall = Some(Duration::from_millis(40));
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let info = conn.open_session(7, false).unwrap();
+
+    // Fire a burst of pushes without reading any replies.
+    let burst = 12usize;
+    for i in 0..burst {
+        conn.send(&Frame::Push {
+            session: info.session,
+            rounds: vec![reading_round(i as f64, 8)],
+        })
+        .unwrap();
+    }
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..burst {
+        match conn.recv().unwrap() {
+            Frame::Rounds { session, .. } => {
+                assert_eq!(session, info.session);
+                served += 1;
+            }
+            Frame::Error { code, context, .. } => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert_eq!(context, info.session);
+                shed += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(shed > 0, "a 12-deep burst into a 2-deep queue must shed");
+    assert!(served > 0, "queued batches must still be served");
+    // Shed batches never touched the session: rounds served == engine
+    // rounds stepped.
+    let (rounds, _) = conn.close_session(info.session).unwrap();
+    assert_eq!(rounds as usize, served);
+    let metrics = server.metrics_snapshot();
+    assert_eq!(metrics.counters["fttt.server.shed"], shed as u64);
+}
+
+#[test]
+fn malformed_frame_errors_close_the_conn_and_free_the_slot() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::fast()).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let _info = conn.open_session(5, false).unwrap();
+    assert_eq!(server.session_count(), 1);
+
+    // A garbage frame: valid length prefix, junk payload.
+    conn.send(&Frame::Open {
+        client_tag: 0,
+        extended: false,
+    })
+    .ok();
+    let _ = conn.recv(); // drain the second open's ack
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&6u32.to_le_bytes());
+    raw.extend_from_slice(&[9, 9, 9, 9, 9, 9]); // bad version byte
+
+    // Reach the raw stream through a fresh connection to keep the typed
+    // helper API clean.
+    let mut bad = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    bad.write_all(&raw).unwrap();
+    let mut bad_conn = Connection::connect(server.local_addr()).unwrap();
+    drop(bad_conn.open_session(1, false)); // ensure server is responsive
+    drop(bad);
+
+    // The abusive connection owned no sessions; the polite one owns two.
+    // Drop it and verify every slot is swept.
+    drop(conn);
+    drop(bad_conn);
+    wait_for_session_count(&server, 0);
+    let metrics = server.metrics_snapshot();
+    assert!(metrics.counters["fttt.server.decode_errors"] >= 1);
+    assert!(
+        metrics
+            .counters
+            .get("fttt.server.sessions_dropped")
+            .copied()
+            .unwrap_or(0)
+            >= 2
+    );
+}
+
+#[test]
+fn bad_version_answers_unsupported_version_then_closes() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::fast()).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    // Send a frame with a bogus version byte.
+    let mut bytes = Frame::Shutdown.encode();
+    bytes[4] = 77;
+    conn.send(&Frame::Open {
+        client_tag: 1,
+        extended: false,
+    })
+    .unwrap();
+    let _ = conn.recv().unwrap();
+    // Raw write past the typed API.
+    use std::io::Write as _;
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&bytes).unwrap();
+    let mut raw_reader = raw.try_clone().unwrap();
+    let reply = wsn_server::read_frame(&mut raw_reader, 1 << 20).unwrap();
+    match reply {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected version error, got {other:?}"),
+    }
+    // The server then closes that connection.
+    match wsn_server::read_frame(&mut raw_reader, 1 << 20) {
+        Err(wsn_server::RecvError::Closed) => {}
+        other => panic!("expected close after framing violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn session_limit_is_enforced_per_open() {
+    let mut config = ServerConfig::fast();
+    config.max_sessions = 3;
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let mut opened = Vec::new();
+    for tag in 0..3 {
+        opened.push(conn.open_session(tag, false).unwrap());
+    }
+    match conn.open_session(99, false) {
+        Err(ClientError::Server { code, context, .. }) => {
+            assert_eq!(code, ErrorCode::SessionLimit);
+            assert_eq!(context, 99);
+        }
+        other => panic!("expected SessionLimit, got {other:?}"),
+    }
+    // Closing one frees capacity.
+    conn.close_session(opened[0].session).unwrap();
+    assert!(conn.open_session(100, false).is_ok());
+}
+
+/// A reading sized for a different deployment must be rejected with
+/// `Malformed` — not panic the shard worker. The session (and every
+/// other session on the shard) must keep working afterwards, with the
+/// digest unaffected by the rejected batch.
+#[test]
+fn wrong_dimension_reading_is_rejected_not_fatal() {
+    let config = ServerConfig::fast(); // 8-node map
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let info = conn.open_session(1, false).unwrap();
+
+    match conn.push_rounds(info.session, vec![reading_round(0.0, 10)]) {
+        Err(ClientError::Server {
+            code,
+            context,
+            detail,
+        }) => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert_eq!(context, info.session);
+            assert!(detail.contains("10 nodes"), "{detail}");
+            assert!(detail.contains('8'), "{detail}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // The shard survived and the rejected batch never touched the
+    // session: a correct push works and counts from round 0.
+    let (results, _) = conn
+        .push_rounds(info.session, vec![reading_round(0.0, 8)])
+        .unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].round, 0);
+    let (rounds, _) = conn.close_session(info.session).unwrap();
+    assert_eq!(rounds, 1);
+}

@@ -51,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 mod export;
 pub mod json;
 mod metrics;
 mod registry;
 pub mod trace;
 
+pub use artifacts::{ensure_writable_dir, ensure_writable_file};
 pub use metrics::{Counter, Gauge, Histogram, COUNT_BUCKETS, DURATION_US_BUCKETS};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};
 pub use trace::{ArgValue, Journal, TraceEvent, TraceKind, TraceLog, DEFAULT_JOURNAL_CAPACITY};

@@ -185,6 +185,27 @@ impl Snapshot {
             }
         }
     }
+
+    /// Merges per-shard snapshots into one, folding in ascending shard-id
+    /// order regardless of the order `parts` arrives in.
+    ///
+    /// [`Snapshot::merge`] is order-sensitive for gauges (last write wins)
+    /// and for histograms whose bounds disagree, so a coordinator that
+    /// merged shards in arrival order — thread completion, readdir order,
+    /// hash-map iteration — would produce merged gauge values that differ
+    /// from run to run. Sorting by shard id first makes the merged
+    /// snapshot a pure function of the shard contents: ties on shard id
+    /// keep their relative order (stable sort), so duplicate ids are at
+    /// least deterministic for a given input order.
+    pub fn merge_shards(parts: Vec<(usize, Snapshot)>) -> Snapshot {
+        let mut parts = parts;
+        parts.sort_by_key(|(shard, _)| *shard);
+        let mut merged = Snapshot::new();
+        for (_, snap) in &parts {
+            merged.merge(snap);
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +267,32 @@ mod tests {
         assert_eq!(h.counts, vec![1, 1, 0]);
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 2.0);
+    }
+
+    #[test]
+    fn merge_shards_is_order_independent() {
+        // Three shards that all set the same gauge: the merged value must
+        // be shard 2's no matter how the parts are ordered on arrival.
+        let part = |shard: usize| {
+            let r = Registry::new();
+            r.counter("rounds").add(10 + shard as u64);
+            r.gauge("queue_depth").set(shard as f64);
+            r.histogram("lat", &[1.0, 2.0]).observe(shard as f64);
+            (shard, r.snapshot())
+        };
+        let orderings: [[usize; 3]; 3] = [[0, 1, 2], [2, 0, 1], [1, 2, 0]];
+        let merged: Vec<Snapshot> = orderings
+            .iter()
+            .map(|o| Snapshot::merge_shards(o.iter().map(|&s| part(s)).collect()))
+            .collect();
+        assert_eq!(merged[0], merged[1]);
+        assert_eq!(merged[0], merged[2]);
+        assert_eq!(merged[0].counters["rounds"], 33);
+        assert_eq!(
+            merged[0].gauges["queue_depth"], 2.0,
+            "highest shard id wins the gauge, not arrival order"
+        );
+        assert_eq!(merged[0].histograms["lat"].count, 3);
     }
 
     #[test]
