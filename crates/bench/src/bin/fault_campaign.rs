@@ -317,7 +317,16 @@ fn merge_shard_files(
             }
         }
         merged.extend(shard.stats);
-        metrics.merge(&shard.metrics);
+        if let Err(e) = metrics.try_merge(&shard.metrics) {
+            // Shard workers are spawned from this very binary, so bucket
+            // ladders should always agree — a mismatch means a stale or
+            // foreign shard file and the merge must not silently mangle
+            // the histograms.
+            return Err(format!(
+                "shard {shard_id}: {} has incompatible metrics: {e}",
+                path.display()
+            ));
+        }
     }
     merged.sort_by_key(|s| (s.cell, s.trial));
     let cells = fttt_bench::robustness::campaign_cells(kind);

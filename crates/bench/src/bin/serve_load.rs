@@ -42,6 +42,17 @@ OPTIONS:
     --check BASELINE  Gate against a committed BENCH_serve.json
     --connect ADDR    Drive an already-running server instead of spawning
     --in-process      Host the server in this process (no child spawn)
+    --trace-out PATH  Write the client trace journal (JSONL); pushes are
+                      sent as traced v2 frames whose ids the server echoes
+                      and journals, for fttt-sim explain --correlate
+    --ops-check       Also stand up / scrape the HTTP ops plane: verify
+                      /metrics parses and its counters advance across the
+                      run, and /healthz reports every shard healthy
+    --ops ADDR        Ops address to scrape (required with --connect
+                      --ops-check; ignored otherwise)
+    --shutdown ADDR   Send one clean Shutdown frame to a running server and
+                      exit; the server flushes --trace-out/--metrics-out on
+                      the way down (signals kill it without flushing)
     -h, --help        This help
 ";
 
@@ -52,6 +63,10 @@ struct Args {
     check: Option<String>,
     connect: Option<String>,
     in_process: bool,
+    trace_out: Option<String>,
+    ops_check: bool,
+    ops: Option<String>,
+    shutdown: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +80,10 @@ fn parse_args() -> Result<Args, String> {
     let mut check = None;
     let mut connect = None;
     let mut in_process = false;
+    let mut trace_out = None;
+    let mut ops_check = false;
+    let mut ops = None;
+    let mut shutdown = None;
     let mut fast = false;
     let mut nodes: Option<usize> = None;
     let mut cell: Option<f64> = None;
@@ -102,6 +121,10 @@ fn parse_args() -> Result<Args, String> {
             "--check" => check = Some(value("--check")?),
             "--connect" => connect = Some(value("--connect")?),
             "--in-process" => in_process = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--ops-check" => ops_check = true,
+            "--ops" => ops = Some(value("--ops")?),
+            "--shutdown" => shutdown = Some(value("--shutdown")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -126,6 +149,10 @@ fn parse_args() -> Result<Args, String> {
     if server.shards == 0 || load.conns == 0 {
         return Err("--shards and --conns must be at least 1".into());
     }
+    if ops_check && connect.is_some() && ops.is_none() {
+        return Err("--ops-check with --connect needs --ops ADDR to scrape".into());
+    }
+    load.trace = trace_out.is_some();
     Ok(Args {
         server,
         load,
@@ -133,6 +160,10 @@ fn parse_args() -> Result<Args, String> {
         check,
         connect,
         in_process,
+        trace_out,
+        ops_check,
+        ops,
+        shutdown,
     })
 }
 
@@ -146,8 +177,12 @@ enum Target {
     External,
 }
 
-/// Spawns the sibling `wsn-serve` binary and parses its `LISTENING` line.
-fn spawn_sibling(server: &ServerConfig) -> Result<(String, std::process::Child), String> {
+/// Spawns the sibling `wsn-serve` binary and parses its `LISTENING` line
+/// (plus the `OPS LISTENING` line when `ops` asks for the ops plane).
+fn spawn_sibling(
+    server: &ServerConfig,
+    ops: bool,
+) -> Result<(String, Option<String>, std::process::Child), String> {
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
     let sibling = exe
         .parent()
@@ -156,18 +191,23 @@ fn spawn_sibling(server: &ServerConfig) -> Result<(String, std::process::Child),
     if !sibling.exists() {
         return Err(format!("{} not built", sibling.display()));
     }
-    let mut child = std::process::Command::new(&sibling)
-        .args(["--listen", "127.0.0.1:0"])
+    let mut cmd = std::process::Command::new(&sibling);
+    cmd.args(["--listen", "127.0.0.1:0"])
         .args(["--shards", &server.shards.to_string()])
         .args(["--queue-depth", &server.queue_depth.to_string()])
         .args(["--nodes", &server.params.nodes.to_string()])
         .args(["--cell-size", &server.params.cell_size.to_string()])
-        .stdout(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped());
+    if ops {
+        cmd.args(["--ops-listen", "127.0.0.1:0"]);
+    }
+    let mut child = cmd
         .spawn()
         .map_err(|e| format!("spawn {}: {e}", sibling.display()))?;
     let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut reader = std::io::BufReader::new(stdout);
     let mut line = String::new();
-    std::io::BufReader::new(stdout)
+    reader
         .read_line(&mut line)
         .map_err(|e| format!("read child banner: {e}"))?;
     let addr = line
@@ -175,7 +215,78 @@ fn spawn_sibling(server: &ServerConfig) -> Result<(String, std::process::Child),
         .strip_prefix("LISTENING ")
         .ok_or_else(|| format!("unexpected child banner {line:?}"))?
         .to_string();
-    Ok((addr, child))
+    let ops_addr = if ops {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read child ops banner: {e}"))?;
+        Some(
+            line.trim()
+                .strip_prefix("OPS LISTENING ")
+                .ok_or_else(|| format!("unexpected child ops banner {line:?}"))?
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    Ok((addr, ops_addr, child))
+}
+
+/// One minimal HTTP/1.1 GET against the ops plane; returns (status, body).
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: wsn-ops\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send GET {path}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read GET {path} reply: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed reply to GET {path}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// The first sample value of `series` in Prometheus exposition text.
+fn prom_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        let rest = l.strip_prefix(series)?;
+        rest.strip_prefix(' ')?
+            .split_whitespace()
+            .next()?
+            .parse()
+            .ok()
+    })
+}
+
+/// Scrapes `/metrics` (must be valid exposition text) and `/healthz`
+/// (must be 200 = every shard healthy); returns the served-rounds counter.
+fn ops_scrape(addr: &str) -> Result<f64, String> {
+    let (code, metrics) = http_get(addr, "/metrics")?;
+    if code != 200 {
+        return Err(format!("/metrics returned {code}"));
+    }
+    if let Err((line, why)) = wsn_telemetry::validate_prometheus_text(&metrics) {
+        return Err(format!("/metrics line {line} is invalid: {why}"));
+    }
+    let rounds = prom_value(&metrics, "fttt_server_rounds").unwrap_or(0.0);
+    let (code, health) = http_get(addr, "/healthz")?;
+    if code != 200 {
+        return Err(format!("/healthz returned {code}: {}", health.trim()));
+    }
+    Ok(rounds)
 }
 
 fn main() -> ExitCode {
@@ -186,6 +297,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Stop-a-server mode: one Shutdown frame over the wire is the only
+    // way a `wsn-serve` flushes its journal/metrics (it has no signal
+    // handler), so ship it and exit without running any load.
+    if let Some(addr) = &args.shutdown {
+        return match Connection::connect(addr.as_str())
+            .and_then(|mut conn| conn.send(&Frame::Shutdown))
+        {
+            Ok(()) => {
+                println!("sent shutdown to {addr}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve_load: --shutdown {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     // A bad artifact path or unreadable baseline must fail before the
     // load runs, not after.
     if args.check.is_none() {
@@ -211,25 +340,53 @@ fn main() -> ExitCode {
         },
     };
 
-    let (addr, mut target) = if let Some(addr) = args.connect.clone() {
-        (addr, Target::External)
+    // Traced pushes feed a client-side journal that `fttt-sim explain
+    // --correlate` joins against the server's.
+    let journal = args.trace_out.as_ref().map(|path| {
+        if let Err(msg) = wsn_telemetry::ensure_writable_file(std::path::Path::new(path)) {
+            eprintln!("serve_load: --trace-out: {msg}");
+            std::process::exit(1);
+        }
+        let journal = std::sync::Arc::new(wsn_telemetry::Journal::new());
+        wsn_telemetry::install_journal(std::sync::Arc::clone(&journal));
+        journal
+    });
+
+    let mut ops_handle: Option<wsn_server::OpsHandle> = None;
+    let in_process_bind = |ops_handle: &mut Option<wsn_server::OpsHandle>| {
+        let server = Server::bind("127.0.0.1:0", args.server.clone())
+            .map_err(|e| format!("bind in-process server: {e}"))?;
+        let ops_addr = if args.ops_check {
+            let handle = server
+                .serve_ops("127.0.0.1:0")
+                .map_err(|e| format!("{e}"))?;
+            let addr = handle.local_addr().to_string();
+            *ops_handle = Some(handle);
+            Some(addr)
+        } else {
+            None
+        };
+        Ok::<_, String>((server.local_addr().to_string(), ops_addr, server))
+    };
+    let (addr, ops_addr, mut target) = if let Some(addr) = args.connect.clone() {
+        (addr, args.ops.clone(), Target::External)
     } else if args.in_process {
-        match Server::bind("127.0.0.1:0", args.server.clone()) {
-            Ok(s) => (s.local_addr().to_string(), Target::InProcess(s)),
+        match in_process_bind(&mut ops_handle) {
+            Ok((addr, ops_addr, s)) => (addr, ops_addr, Target::InProcess(s)),
             Err(e) => {
-                eprintln!("serve_load: bind in-process server: {e}");
+                eprintln!("serve_load: {e}");
                 return ExitCode::FAILURE;
             }
         }
     } else {
-        match spawn_sibling(&args.server) {
-            Ok((addr, child)) => (addr, Target::Child(child)),
+        match spawn_sibling(&args.server, args.ops_check) {
+            Ok((addr, ops_addr, child)) => (addr, ops_addr, Target::Child(child)),
             Err(msg) => {
                 eprintln!("serve_load: no wsn-serve sibling ({msg}); hosting in-process");
-                match Server::bind("127.0.0.1:0", args.server.clone()) {
-                    Ok(s) => (s.local_addr().to_string(), Target::InProcess(s)),
+                match in_process_bind(&mut ops_handle) {
+                    Ok((addr, ops_addr, s)) => (addr, ops_addr, Target::InProcess(s)),
                     Err(e) => {
-                        eprintln!("serve_load: bind in-process server: {e}");
+                        eprintln!("serve_load: {e}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -237,11 +394,50 @@ fn main() -> ExitCode {
         }
     };
 
+    let rounds_before = if args.ops_check {
+        let ops = ops_addr.as_deref().expect("ops address resolved above");
+        match ops_scrape(ops) {
+            Ok(rounds) => {
+                println!("ops plane at {ops}: healthy before load");
+                Some(rounds)
+            }
+            Err(msg) => {
+                eprintln!("serve_load: ops check (before load): {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     println!(
         "driving {} sessions x {} rounds over {} conns at {addr}",
         args.load.sessions, args.load.rounds, args.load.conns
     );
     let result = run_load(&addr, &args.server, &args.load);
+
+    // Scrape again while the server is still up: the counters must have
+    // advanced by the run just driven and every shard must still be live.
+    let mut ops_failure: Option<String> = None;
+    if let Some(before) = rounds_before {
+        let ops = ops_addr.as_deref().expect("ops address resolved above");
+        match ops_scrape(ops) {
+            Ok(after) if after > before => {
+                println!(
+                    "ops plane at {ops}: healthy after load, \
+                     fttt_server_rounds {before} -> {after}"
+                );
+            }
+            Ok(after) => {
+                ops_failure = Some(format!(
+                    "fttt_server_rounds did not advance across the run \
+                     ({before} -> {after})"
+                ));
+            }
+            Err(msg) => ops_failure = Some(format!("after load: {msg}")),
+        }
+    }
+    ops_handle.take();
 
     // Tear the server down before judging the result so a failed run
     // doesn't leak a child process.
@@ -256,6 +452,24 @@ fn main() -> ExitCode {
         }
         Target::InProcess(server) => server.shutdown(),
         Target::External => {}
+    }
+
+    if let Some(path) = &args.trace_out {
+        wsn_telemetry::uninstall_journal();
+        let log = journal
+            .expect("journal installed with --trace-out")
+            .snapshot();
+        if let Err(msg) =
+            wsn_telemetry::write_file_atomic(std::path::Path::new(path), log.to_jsonl().as_bytes())
+        {
+            eprintln!("serve_load: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote client trace {path}");
+    }
+    if let Some(msg) = ops_failure {
+        eprintln!("serve_load: ops check failed: {msg}");
+        return ExitCode::FAILURE;
     }
 
     let report = match result {

@@ -29,8 +29,10 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
+use wsn_network::replay::digest_hex;
 use wsn_parallel::seed_for;
 use wsn_server::{Connection, ErrorCode, Frame, ReadingRound, RoundResult, ServerConfig};
+use wsn_telemetry::ArgValue;
 
 /// Load-generator shape.
 #[derive(Debug, Clone)]
@@ -48,6 +50,11 @@ pub struct LoadConfig {
     /// Every `k`-th session runs the extended sampling-vector tracker
     /// (`0` = none), mirroring the campaign's basic/extended split.
     pub extended_every: usize,
+    /// Send pushes as traced v2 wire frames ([`push_trace_id`]) and emit
+    /// one `fttt.client.push` journal event per acked push, so a client
+    /// trace can be joined against the server's journal by trace id.
+    /// `false` keeps every frame bit-identical to the v1 encoding.
+    pub trace: bool,
 }
 
 impl LoadConfig {
@@ -60,6 +67,7 @@ impl LoadConfig {
             window: 64,
             seed: 42,
             extended_every: 4,
+            trace: false,
         }
     }
 
@@ -72,8 +80,19 @@ impl LoadConfig {
             window: 16,
             seed: 42,
             extended_every: 4,
+            trace: false,
         }
     }
+}
+
+/// The deterministic trace id a traced load run stamps on the push of
+/// round `round` for workload session `global`: `(global+1) << 20 |
+/// (round+1)`. Never zero (zero means "untraced v1"), unique per
+/// (session, round), and *stable across shed retries* — a retried push
+/// reuses the id, so the server-side shed and the eventual serve share
+/// one correlation key.
+pub fn push_trace_id(global: u64, round: usize) -> u64 {
+    ((global + 1) << 20) | (round as u64 + 1)
 }
 
 /// What one load run measured and verified.
@@ -281,6 +300,7 @@ fn push_phase(
     conn: &mut Connection,
     work: &mut [SessWork],
     window: usize,
+    traced: bool,
     stats: &mut ConnStats,
 ) -> Result<(), String> {
     let total_rounds: usize = work.iter().map(|w| w.rounds.len()).sum();
@@ -291,14 +311,23 @@ fn push_phase(
         while inflight.len() < window {
             let Some(i) = ready.pop_front() else { break };
             let w = &work[i];
-            conn.send(&Frame::Push {
-                session: w.server_session,
-                rounds: vec![w.rounds[w.next_round].clone()],
-            })
+            let trace = if traced {
+                push_trace_id(w.global, w.next_round)
+            } else {
+                0
+            };
+            conn.send_traced(
+                &Frame::Push {
+                    session: w.server_session,
+                    rounds: vec![w.rounds[w.next_round].clone()],
+                },
+                trace,
+            )
             .map_err(|e| e.to_string())?;
             inflight.insert(w.server_session, (i, Instant::now()));
         }
-        match conn.recv().map_err(|e| e.to_string())? {
+        let (frame, trace) = conn.recv_traced().map_err(|e| e.to_string())?;
+        match frame {
             Frame::Rounds {
                 session,
                 results,
@@ -307,9 +336,21 @@ fn push_phase(
                 let (i, sent_at) = inflight
                     .remove(&session)
                     .ok_or_else(|| format!("rounds reply for idle session {session}"))?;
-                stats
-                    .latencies_us
-                    .push(sent_at.elapsed().as_secs_f64() * 1e6);
+                let rtt_us = sent_at.elapsed().as_secs_f64() * 1e6;
+                stats.latencies_us.push(rtt_us);
+                // The client half of cross-wire correlation: same trace id
+                // the server stamped on its `fttt.server.push` event.
+                if traced && wsn_telemetry::journal_enabled() {
+                    wsn_telemetry::trace_instant(
+                        "fttt.client.push",
+                        vec![
+                            ("trace", ArgValue::Str(digest_hex(trace))),
+                            ("session", ArgValue::U64(session)),
+                            ("rounds", ArgValue::U64(results.len() as u64)),
+                            ("rtt_us", ArgValue::F64(rtt_us)),
+                        ],
+                    );
+                }
                 let w = &mut work[i];
                 for r in &results {
                     if !bits_eq(r, &w.expected[w.next_round]) {
@@ -460,7 +501,9 @@ pub fn run_load(
                 phase(&mut |conn, work, stats| open_phase(conn, work, load.window, stats));
                 barrier.wait(); // open ends
                 barrier.wait(); // push starts
-                phase(&mut |conn, work, stats| push_phase(conn, work, load.window, stats));
+                phase(&mut |conn, work, stats| {
+                    push_phase(conn, work, load.window, load.trace, stats)
+                });
                 barrier.wait(); // push ends
                 phase(&mut |conn, work, stats| close_phase(conn, work, stats));
                 match failure {

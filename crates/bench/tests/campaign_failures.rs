@@ -223,8 +223,8 @@ fn worker_pids(marker: &str) -> Vec<u32> {
             .map(|part| std::str::from_utf8(part).unwrap_or(""))
             .collect();
         if args.iter().any(|a| a.contains("fault_campaign"))
-            && args.iter().any(|a| *a == "--shard-id")
-            && args.iter().any(|a| *a == marker)
+            && args.contains(&"--shard-id")
+            && args.contains(&marker)
         {
             pids.push(pid);
         }

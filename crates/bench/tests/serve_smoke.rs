@@ -23,6 +23,7 @@ fn load_harness_is_bit_identical_to_the_engine() {
         window: 8,
         seed: 42,
         extended_every: 4,
+        trace: false,
     };
     let report = run_load(
         &server.local_addr().to_string(),

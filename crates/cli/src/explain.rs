@@ -168,6 +168,42 @@ fn repair_of(event: &JsonValue) -> Option<RepairRecord> {
     })
 }
 
+/// Walks every event object in a trace file's text — Chrome trace-event
+/// or line-delimited JSON — and returns the journal's dropped-event count
+/// when the meta carries one.
+fn for_each_event(text: &str, note: &mut dyn FnMut(&JsonValue)) -> Result<Option<u64>, String> {
+    if let Ok(doc) = JsonValue::parse(text) {
+        // A whole-file parse succeeding means Chrome trace-event format.
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .ok_or("not a trace file: no \"traceEvents\" array")?;
+        for e in events {
+            note(e);
+        }
+        Ok(doc
+            .get("otherData")
+            .and_then(|o| o.get("dropped"))
+            .and_then(JsonValue::as_u64))
+    } else {
+        // Otherwise it must be line-delimited JSON.
+        let mut dropped = None;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e = JsonValue::parse(line)
+                .map_err(|err| format!("line {}: not JSON ({err})", i + 1))?;
+            if str_of(&e, "kind").as_deref() == Some("meta") {
+                dropped = e.get("dropped").and_then(JsonValue::as_u64);
+                continue;
+            }
+            note(&e);
+        }
+        Ok(dropped)
+    }
+}
+
 /// Parses a trace file's text in either format into a [`TraceSummary`].
 pub fn load(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
@@ -194,34 +230,8 @@ pub fn load(text: &str) -> Result<TraceSummary, String> {
             *counts.entry(name).or_insert(0) += 1;
         }
     };
-    if let Ok(doc) = JsonValue::parse(text) {
-        // A whole-file parse succeeding means Chrome trace-event format.
-        let events = doc
-            .get("traceEvents")
-            .and_then(JsonValue::as_array)
-            .ok_or("not a trace file: no \"traceEvents\" array")?;
-        for e in events {
-            note(e);
-        }
-        summary.dropped = doc
-            .get("otherData")
-            .and_then(|o| o.get("dropped"))
-            .and_then(JsonValue::as_u64);
-    } else {
-        // Otherwise it must be line-delimited JSON.
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let e = JsonValue::parse(line)
-                .map_err(|err| format!("line {}: not JSON ({err})", i + 1))?;
-            if str_of(&e, "kind").as_deref() == Some("meta") {
-                summary.dropped = e.get("dropped").and_then(JsonValue::as_u64);
-                continue;
-            }
-            note(&e);
-        }
-    }
+    let dropped = for_each_event(text, &mut note)?;
+    summary.dropped = dropped;
     summary.rounds.sort_by_key(|r| (r.session, r.round));
     summary
         .repairs
@@ -435,6 +445,323 @@ pub fn render(summary: &TraceSummary) -> String {
         let _ = writeln!(out, "other events: {name} x{n}");
     }
     out
+}
+
+/// One `fttt.client.push` event: the client-observed side of a traced
+/// push batch (`serve_load --trace-out`).
+#[derive(Debug, Clone)]
+pub struct ClientPush {
+    /// Wire trace id, parsed from the hex field (`None` when malformed).
+    pub trace: Option<u64>,
+    pub session: u64,
+    pub rounds: u64,
+    /// Full client-observed round trip: send → matching reply.
+    pub rtt_us: f64,
+}
+
+/// One `fttt.server.push` event: the shard-side span for the same batch,
+/// stamped with the request's trace id.
+#[derive(Debug, Clone)]
+pub struct ServerPush {
+    pub trace: Option<u64>,
+    pub session: u64,
+    pub shard: u64,
+    pub rounds: u64,
+    /// Time the worker spent actually stepping rounds (no queue wait).
+    pub work_us: f64,
+}
+
+/// Push-correlation view of one journal: every cross-wire event, keyed
+/// for a trace-id join against the journal from the other side.
+#[derive(Debug, Clone, Default)]
+pub struct WireTrace {
+    pub client_pushes: Vec<ClientPush>,
+    pub server_pushes: Vec<ServerPush>,
+    /// `fttt.server.shed` trace ids. The client retries a shed push under
+    /// the *same* trace id, so a shed and a server span sharing an id
+    /// read as "shed, retried, served".
+    pub sheds: Vec<Option<u64>>,
+    /// `fttt.server.stale_epoch` rejections: (trace, session, opened
+    /// epoch, current epoch).
+    pub stales: Vec<(Option<u64>, u64, u64, u64)>,
+}
+
+/// Parses a trace file's text (either format) into its cross-wire events.
+pub fn load_wire(text: &str) -> Result<WireTrace, String> {
+    let mut w = WireTrace::default();
+    for_each_event(text, &mut |event| {
+        let Some(name) = str_of(event, "name") else {
+            return;
+        };
+        let Some(args) = event.get("args") else {
+            return;
+        };
+        let trace = str_of(args, "trace")
+            .as_deref()
+            .and_then(wsn_network::replay::parse_digest_hex);
+        let u = |key: &str| args.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        match name.as_str() {
+            "fttt.client.push" => w.client_pushes.push(ClientPush {
+                trace,
+                session: u("session"),
+                rounds: u("rounds"),
+                rtt_us: f64_of(args, "rtt_us").unwrap_or(0.0),
+            }),
+            "fttt.server.push" => w.server_pushes.push(ServerPush {
+                trace,
+                session: u("session"),
+                shard: u("shard"),
+                rounds: u("rounds"),
+                work_us: f64_of(args, "work_us").unwrap_or(0.0),
+            }),
+            "fttt.server.shed" => w.sheds.push(trace),
+            "fttt.server.stale_epoch" => {
+                w.stales
+                    .push((trace, u("session"), u("opened_epoch"), u("current_epoch")))
+            }
+            _ => {}
+        }
+    })?;
+    Ok(w)
+}
+
+/// One push batch seen on both sides of the wire, joined by trace id.
+#[derive(Debug, Clone)]
+pub struct MatchedPush {
+    pub trace: u64,
+    pub session: u64,
+    pub shard: u64,
+    pub rounds: u64,
+    pub rtt_us: f64,
+    pub work_us: f64,
+    /// Server sheds carrying this trace id (retries before it was served).
+    pub sheds: u64,
+}
+
+/// The cross-wire join of a client trace against a server journal.
+#[derive(Debug, Clone, Default)]
+pub struct Correlation {
+    pub matched: Vec<MatchedPush>,
+    pub client_total: usize,
+    pub server_total: usize,
+    /// Client pushes with no matching server span (untraced v1 frames,
+    /// a malformed id, or a dropped server event).
+    pub client_only: usize,
+    /// Server spans no client push claimed (other clients, drops).
+    pub server_only: usize,
+    pub sheds_total: usize,
+    /// Sheds whose trace id the server eventually served — the client
+    /// retried and got through.
+    pub sheds_retried: usize,
+    pub stales: usize,
+    /// Trace ids on which the two journals disagree about the session id
+    /// or round count (almost certainly journals from different runs).
+    pub session_mismatches: usize,
+}
+
+/// Joins the two sides by trace id; journal order is irrelevant.
+pub fn correlate(client: &WireTrace, server: &WireTrace) -> Correlation {
+    let mut spans = std::collections::HashMap::<u64, &ServerPush>::new();
+    let mut untraced_spans = 0usize;
+    for s in &server.server_pushes {
+        match s.trace {
+            Some(t) => {
+                spans.insert(t, s);
+            }
+            None => untraced_spans += 1,
+        }
+    }
+    let served: std::collections::HashSet<u64> = server
+        .server_pushes
+        .iter()
+        .filter_map(|s| s.trace)
+        .collect();
+    let mut shed_counts = std::collections::HashMap::<u64, u64>::new();
+    for t in server.sheds.iter().flatten() {
+        *shed_counts.entry(*t).or_insert(0) += 1;
+    }
+    let mut c = Correlation {
+        client_total: client.client_pushes.len(),
+        server_total: server.server_pushes.len(),
+        sheds_total: server.sheds.len(),
+        sheds_retried: shed_counts
+            .iter()
+            .filter(|(t, _)| served.contains(t))
+            .map(|(_, n)| *n as usize)
+            .sum(),
+        stales: server.stales.len(),
+        ..Correlation::default()
+    };
+    for p in &client.client_pushes {
+        let Some(t) = p.trace else {
+            c.client_only += 1;
+            continue;
+        };
+        let Some(s) = spans.remove(&t) else {
+            c.client_only += 1;
+            continue;
+        };
+        if s.session != p.session || s.rounds != p.rounds {
+            c.session_mismatches += 1;
+        }
+        c.matched.push(MatchedPush {
+            trace: t,
+            session: p.session,
+            shard: s.shard,
+            rounds: p.rounds,
+            rtt_us: p.rtt_us,
+            work_us: s.work_us,
+            sheds: shed_counts.get(&t).copied().unwrap_or(0),
+        });
+    }
+    c.server_only = untraced_spans + spans.len();
+    c
+}
+
+/// `sorted` ascending; nearest-rank percentile.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Renders the cross-wire join: where each slow round actually spent its
+/// time (shard work vs queue/wire), named per trace id.
+pub fn render_correlation(c: &Correlation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cross-wire correlation: {} client push(es) <-> {} server span(s), {} matched by trace id",
+        c.client_total,
+        c.server_total,
+        c.matched.len()
+    );
+    if c.matched.is_empty() {
+        out.push_str(
+            "no pushes share a trace id — run the client with --trace-out (traced v2 \
+             frames) and the server with a journal, then correlate those two files\n",
+        );
+        return out;
+    }
+    let mut overheads: Vec<f64> = c
+        .matched
+        .iter()
+        .map(|m| (m.rtt_us - m.work_us).max(0.0))
+        .collect();
+    overheads.sort_by(f64::total_cmp);
+    let work: f64 = c.matched.iter().map(|m| m.work_us).sum();
+    let rtt: f64 = c.matched.iter().map(|m| m.rtt_us).sum();
+    let _ = writeln!(
+        out,
+        "queue+wire overhead per push (rtt − server work): p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs",
+        percentile(&overheads, 0.5),
+        percentile(&overheads, 0.99),
+        overheads.last().copied().unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "server work accounts for {:.0}% of client-observed rtt overall",
+        100.0 * work / rtt.max(1e-9),
+    );
+    let mut shards = std::collections::BTreeMap::<u64, u64>::new();
+    for m in &c.matched {
+        *shards.entry(m.shard).or_insert(0) += 1;
+    }
+    let spread: Vec<String> = shards
+        .iter()
+        .map(|(s, n)| format!("shard {s} x{n}"))
+        .collect();
+    let _ = writeln!(out, "shard spread: {}", spread.join(", "));
+    let mut slowest: Vec<&MatchedPush> = c.matched.iter().collect();
+    slowest.sort_by(|a, b| b.rtt_us.total_cmp(&a.rtt_us));
+    let _ = writeln!(out, "slowest pushes (server-side attribution):");
+    for m in slowest.iter().take(5) {
+        let overhead = (m.rtt_us - m.work_us).max(0.0);
+        let cause = if m.sheds > 0 {
+            format!("  [shed x{} before served]", m.sheds)
+        } else if overhead > m.work_us {
+            "  [queue/wire dominated]".to_owned()
+        } else {
+            "  [server work dominated]".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "  trace {}  session {:>4}  shard {}  {} round(s)  rtt {:>7.0} µs = {:>6.0} µs work + {:>6.0} µs queue/wire{}",
+            wsn_network::replay::digest_hex(m.trace),
+            m.session,
+            m.shard,
+            m.rounds,
+            m.rtt_us,
+            m.work_us,
+            overhead,
+            cause,
+        );
+    }
+    if c.sheds_total > 0 {
+        let _ = writeln!(
+            out,
+            "sheds: {} ({} retried under the same trace id and served)",
+            c.sheds_total, c.sheds_retried,
+        );
+    }
+    if c.stales > 0 {
+        let _ = writeln!(out, "stale-epoch rejections: {}", c.stales);
+    }
+    if c.client_only > 0 {
+        let _ = writeln!(
+            out,
+            "client pushes with no server span: {} (untraced v1 frames, or the server \
+             journal dropped events)",
+            c.client_only,
+        );
+    }
+    if c.server_only > 0 {
+        let _ = writeln!(
+            out,
+            "server spans with no client push: {} (other clients, or the client journal \
+             dropped events)",
+            c.server_only,
+        );
+    }
+    if c.session_mismatches > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} trace id(s) name different sessions or round counts on the two \
+             sides — are these journals from the same run?",
+            c.session_mismatches,
+        );
+    }
+    out
+}
+
+/// `explain CLIENT --correlate SERVER`: join the two journals and print
+/// the attribution report.
+pub fn run_correlate(client_path: &std::path::Path, server_path: &std::path::Path) {
+    let read = |path: &std::path::Path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &std::path::Path, text: &str| {
+        load_wire(text).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let client = parse(client_path, &read(client_path));
+    let server = parse(server_path, &read(server_path));
+    if client.client_pushes.is_empty() && !client.server_pushes.is_empty() {
+        eprintln!(
+            "note: {} holds server spans but no client pushes — argument order is \
+             `explain CLIENT_TRACE --correlate SERVER_TRACE`",
+            client_path.display(),
+        );
+    }
+    print!("{}", render_correlation(&correlate(&client, &server)));
 }
 
 /// The `explain` subcommand: load, render, print.
@@ -759,6 +1086,155 @@ mod tests {
     fn foreign_files_are_rejected_with_a_reason() {
         assert!(load("{\"hello\": 1}").is_err());
         assert!(load("not json at all").is_err());
+    }
+
+    /// Client + server journals for one traced run: trace 1 served clean,
+    /// trace 2 shed once then served, trace 3 never journaled server-side
+    /// (a v1 push or a drop), trace 9 served for some other client, plus
+    /// one stale-epoch rejection.
+    fn wire_pair() -> (String, String) {
+        use wsn_network::replay::digest_hex;
+        let client = Journal::with_capacity(16);
+        for (trace, session, rtt) in [(1u64, 10u64, 500.0), (2, 11, 2500.0), (3, 12, 400.0)] {
+            client.record(
+                "fttt.client.push",
+                TraceKind::Instant,
+                vec![
+                    ("trace", ArgValue::Str(digest_hex(trace))),
+                    ("session", ArgValue::U64(session)),
+                    ("rounds", ArgValue::U64(4)),
+                    ("rtt_us", ArgValue::F64(rtt)),
+                ],
+            );
+        }
+        let server = Journal::with_capacity(16);
+        server.record(
+            "fttt.server.shed",
+            TraceKind::Instant,
+            vec![
+                ("trace", ArgValue::Str(digest_hex(2))),
+                ("shard", ArgValue::U64(1)),
+                ("context", ArgValue::U64(11)),
+            ],
+        );
+        for (trace, session, shard, work) in [
+            (1u64, 10u64, 0u64, 300.0),
+            (2, 11, 1, 700.0),
+            (9, 40, 1, 100.0),
+        ] {
+            server.record(
+                "fttt.server.push",
+                TraceKind::Instant,
+                vec![
+                    ("trace", ArgValue::Str(digest_hex(trace))),
+                    ("session", ArgValue::U64(session)),
+                    ("shard", ArgValue::U64(shard)),
+                    ("rounds", ArgValue::U64(4)),
+                    ("work_us", ArgValue::F64(work)),
+                ],
+            );
+        }
+        server.record(
+            "fttt.server.stale_epoch",
+            TraceKind::Instant,
+            vec![
+                ("trace", ArgValue::Str(digest_hex(7))),
+                ("session", ArgValue::U64(33)),
+                ("shard", ArgValue::U64(0)),
+                ("opened_epoch", ArgValue::U64(1)),
+                ("current_epoch", ArgValue::U64(2)),
+            ],
+        );
+        (client.snapshot().to_jsonl(), server.snapshot().to_jsonl())
+    }
+
+    #[test]
+    fn correlation_joins_both_sides_by_trace_id() {
+        let (c_text, s_text) = wire_pair();
+        let client = load_wire(&c_text).unwrap();
+        let server = load_wire(&s_text).unwrap();
+        assert_eq!(client.client_pushes.len(), 3);
+        assert_eq!(server.server_pushes.len(), 3);
+        let c = correlate(&client, &server);
+        assert_eq!(c.matched.len(), 2);
+        let clean = c.matched.iter().find(|m| m.session == 10).unwrap();
+        assert_eq!(clean.shard, 0);
+        assert_eq!(clean.rtt_us, 500.0);
+        assert_eq!(clean.work_us, 300.0);
+        assert_eq!(clean.sheds, 0);
+        let retried = c.matched.iter().find(|m| m.session == 11).unwrap();
+        assert_eq!(
+            retried.sheds, 1,
+            "the shed retry shares the push's trace id"
+        );
+        assert_eq!(c.client_only, 1, "trace 3 has no server span");
+        assert_eq!(c.server_only, 1, "trace 9 has no client push");
+        assert_eq!((c.sheds_total, c.sheds_retried), (1, 1));
+        assert_eq!(c.stales, 1);
+        assert_eq!(c.session_mismatches, 0);
+    }
+
+    #[test]
+    fn correlation_render_names_the_server_side_cause() {
+        let (c_text, s_text) = wire_pair();
+        let c = correlate(&load_wire(&c_text).unwrap(), &load_wire(&s_text).unwrap());
+        let text = render_correlation(&c);
+        assert!(
+            text.contains("3 client push(es) <-> 3 server span(s), 2 matched"),
+            "{text}"
+        );
+        assert!(text.contains("shard 0 x1, shard 1 x1"), "{text}");
+        // The slowest push (trace 2, rtt 2500) is attributed to its shed.
+        assert!(text.contains("[shed x1 before served]"), "{text}");
+        assert!(
+            text.contains("sheds: 1 (1 retried under the same trace id and served)"),
+            "{text}"
+        );
+        assert!(text.contains("stale-epoch rejections: 1"), "{text}");
+        assert!(
+            text.contains("client pushes with no server span: 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("server spans with no client push: 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn correlation_of_unrelated_traces_says_so() {
+        let j = Journal::with_capacity(4);
+        let empty = j.snapshot().to_chrome_json();
+        let c = correlate(&load_wire(&empty).unwrap(), &load_wire(&empty).unwrap());
+        let text = render_correlation(&c);
+        assert!(text.contains("no pushes share a trace id"), "{text}");
+    }
+
+    #[test]
+    fn correlation_flags_session_mismatches() {
+        use wsn_network::replay::digest_hex;
+        let one = |name: &'static str, session: u64| {
+            let j = Journal::with_capacity(4);
+            let mut kv = vec![
+                ("trace", ArgValue::Str(digest_hex(5))),
+                ("session", ArgValue::U64(session)),
+                ("rounds", ArgValue::U64(1)),
+            ];
+            kv.push(if name == "fttt.client.push" {
+                ("rtt_us", ArgValue::F64(10.0))
+            } else {
+                ("work_us", ArgValue::F64(5.0))
+            });
+            j.record(name, TraceKind::Instant, kv);
+            j.snapshot().to_jsonl()
+        };
+        let c = correlate(
+            &load_wire(&one("fttt.client.push", 1)).unwrap(),
+            &load_wire(&one("fttt.server.push", 2)).unwrap(),
+        );
+        assert_eq!(c.matched.len(), 1);
+        assert_eq!(c.session_mismatches, 1);
+        assert!(render_correlation(&c).contains("different sessions"));
     }
 
     #[test]

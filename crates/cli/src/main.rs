@@ -27,14 +27,36 @@ fn main() {
     }
     let cmd = argv.remove(0);
     // `explain` and `replay` take a positional trace-file argument, not
-    // options.
+    // options (plus `--correlate SERVER_TRACE` for explain).
     if cmd == "explain" || cmd == "replay" {
         let Some(path) = argv.first() else {
             eprintln!("error: {cmd} needs a trace file\n\n{}", args::USAGE);
             std::process::exit(2);
         };
         if cmd == "explain" {
-            explain::run(std::path::Path::new(path));
+            match argv.get(1).map(String::as_str) {
+                None => explain::run(std::path::Path::new(path)),
+                Some("--correlate") => {
+                    let Some(server) = argv.get(2) else {
+                        eprintln!(
+                            "error: --correlate needs a server trace file\n\n{}",
+                            args::USAGE
+                        );
+                        std::process::exit(2);
+                    };
+                    explain::run_correlate(
+                        std::path::Path::new(path),
+                        std::path::Path::new(server),
+                    );
+                }
+                Some(other) => {
+                    eprintln!(
+                        "error: explain: unknown option `{other}`\n\n{}",
+                        args::USAGE
+                    );
+                    std::process::exit(2);
+                }
+            }
         } else {
             replay::run(std::path::Path::new(path));
         }

@@ -6,8 +6,8 @@
 //! helpers for tests and tools.
 
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, Frame, ReadingRound, RecvError, RoundResult,
-    DEFAULT_MAX_FRAME,
+    read_frame, read_frame_traced, write_frame, write_frame_traced, ErrorCode, Frame, ReadingRound,
+    RecvError, RoundResult, DEFAULT_MAX_FRAME,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -101,9 +101,23 @@ impl Connection {
         write_frame(&mut self.stream, frame)
     }
 
+    /// Sends one frame carrying a correlation `trace` id (v2 wire frame
+    /// unless `trace` is 0, which degrades to plain v1). The server
+    /// echoes the id in its reply and stamps it into its journal, so a
+    /// traced client run can be joined against the server's trace.
+    pub fn send_traced(&mut self, frame: &Frame, trace: u64) -> std::io::Result<()> {
+        write_frame_traced(&mut self.stream, frame, trace)
+    }
+
     /// Receives one frame.
     pub fn recv(&mut self) -> Result<Frame, RecvError> {
         read_frame(&mut self.stream, self.max_frame)
+    }
+
+    /// Receives one frame together with its echoed trace id (0 for
+    /// untraced v1 replies).
+    pub fn recv_traced(&mut self) -> Result<(Frame, u64), RecvError> {
+        read_frame_traced(&mut self.stream, self.max_frame)
     }
 
     fn expect_reply(&mut self) -> Result<Frame, ClientError> {

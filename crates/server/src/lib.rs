@@ -25,12 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod ops;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientError, Connection, OpenInfo};
-pub use server::{Server, ServerConfig};
+pub use ops::{OpsError, OpsHandle};
+pub use server::{FlightConfig, Server, ServerConfig, SessionStatus, SessionView};
 pub use wire::{
-    read_frame, write_frame, ErrorCode, Frame, ReadingRound, RecvError, RoundResult, WireError,
-    DEFAULT_MAX_FRAME, MAX_ROUNDS_PER_PUSH, WIRE_VERSION,
+    read_frame, read_frame_traced, write_frame, write_frame_traced, ErrorCode, Frame, ReadingRound,
+    RecvError, RoundResult, WireError, DEFAULT_MAX_FRAME, MAX_ROUNDS_PER_PUSH, WIRE_VERSION,
+    WIRE_VERSION_TRACED,
 };

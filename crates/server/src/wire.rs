@@ -28,8 +28,16 @@ use wsn_geometry::Point;
 use wsn_network::GroupSampling;
 use wsn_signal::Rss;
 
-/// Protocol version carried in every frame.
+/// Baseline protocol version carried in every untraced frame.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Traced protocol minor version: identical to [`WIRE_VERSION`] except
+/// that a non-zero 64-bit trace id follows the kind byte. Both sides
+/// accept v1 and v2 interchangeably, so old clients keep working; a v2
+/// frame whose trace id is zero is rejected as non-canonical (untraced
+/// frames must travel as v1), mirroring the zero-padding checks on every
+/// other optional field.
+pub const WIRE_VERSION_TRACED: u8 = 2;
 
 /// Default upper bound on a payload, bytes. A push of
 /// [`MAX_ROUNDS_PER_PUSH`] rounds at the paper's dimensions is ~100 KiB,
@@ -63,7 +71,7 @@ mod kind {
 pub enum ErrorCode {
     /// The frame failed to decode (truncated, bad value, unknown kind).
     Malformed,
-    /// The frame's version byte is not [`WIRE_VERSION`].
+    /// The frame's version byte names no supported protocol version.
     UnsupportedVersion,
     /// The length prefix exceeded the connection's frame bound.
     Oversize,
@@ -302,7 +310,8 @@ impl RoundResult {
     }
 }
 
-/// Every frame of protocol version 1.
+/// Every frame of the protocol (versions 1 and 2 share one frame set;
+/// v2 additionally carries a trace id, see [`WIRE_VERSION_TRACED`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client: open a session. `client_tag` is echoed in the ack so
@@ -400,7 +409,7 @@ pub enum WireError {
         /// The bound it violated.
         max: u32,
     },
-    /// The version byte is not [`WIRE_VERSION`].
+    /// The version byte names no supported protocol version.
     BadVersion(u8),
     /// The kind byte names no known frame.
     UnknownKind(u8),
@@ -433,12 +442,20 @@ struct Writer {
 }
 
 impl Writer {
-    fn new(kind: u8) -> Self {
-        // Length placeholder first; patched in finish().
+    fn new(kind: u8, trace: u64) -> Self {
+        // Length placeholder first; patched in finish(). A zero trace id
+        // encodes as v1 (no trace field); non-zero as v2 with the id
+        // right after the kind byte.
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&[0, 0, 0, 0]);
-        buf.push(WIRE_VERSION);
-        buf.push(kind);
+        if trace == 0 {
+            buf.push(WIRE_VERSION);
+            buf.push(kind);
+        } else {
+            buf.push(WIRE_VERSION_TRACED);
+            buf.push(kind);
+            buf.extend_from_slice(&trace.to_le_bytes());
+        }
         Writer { buf }
     }
 
@@ -518,7 +535,7 @@ fn encode_result(w: &mut Writer, r: &RoundResult) {
 }
 
 impl Frame {
-    /// Encodes the frame, length prefix included.
+    /// Encodes the frame as v1 (untraced), length prefix included.
     ///
     /// # Panics
     ///
@@ -526,12 +543,23 @@ impl Frame {
     /// or a grouping exceeds [`MAX_GROUP_CELLS`] / `u16` dimensions —
     /// producer-side programming errors, not wire conditions.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(0)
+    }
+
+    /// Encodes the frame carrying `trace` as its correlation id. A zero
+    /// trace id produces a v1 frame bit-identical to [`Frame::encode`];
+    /// a non-zero id produces a [`WIRE_VERSION_TRACED`] frame.
+    ///
+    /// # Panics
+    ///
+    /// Same bounds as [`Frame::encode`].
+    pub fn encode_traced(&self, trace: u64) -> Vec<u8> {
         match self {
             Frame::Open {
                 client_tag,
                 extended,
             } => {
-                let mut w = Writer::new(kind::OPEN);
+                let mut w = Writer::new(kind::OPEN, trace);
                 w.u64(*client_tag);
                 w.u8(*extended as u8);
                 w.finish()
@@ -542,7 +570,7 @@ impl Frame {
                     "push batch of {} exceeds MAX_ROUNDS_PER_PUSH",
                     rounds.len()
                 );
-                let mut w = Writer::new(kind::PUSH);
+                let mut w = Writer::new(kind::PUSH, trace);
                 w.u64(*session);
                 w.u16(rounds.len() as u16);
                 for r in rounds {
@@ -560,24 +588,24 @@ impl Frame {
                 w.finish()
             }
             Frame::Close { session } => {
-                let mut w = Writer::new(kind::CLOSE);
+                let mut w = Writer::new(kind::CLOSE, trace);
                 w.u64(*session);
                 w.finish()
             }
             Frame::Churn { node, death } => {
-                let mut w = Writer::new(kind::CHURN);
+                let mut w = Writer::new(kind::CHURN, trace);
                 w.u32(*node);
                 w.u8(*death as u8);
                 w.finish()
             }
-            Frame::Shutdown => Writer::new(kind::SHUTDOWN).finish(),
+            Frame::Shutdown => Writer::new(kind::SHUTDOWN, trace).finish(),
             Frame::OpenAck {
                 client_tag,
                 session,
                 epoch,
                 map_digest,
             } => {
-                let mut w = Writer::new(kind::OPEN_ACK);
+                let mut w = Writer::new(kind::OPEN_ACK, trace);
                 w.u64(*client_tag);
                 w.u64(*session);
                 w.u64(*epoch);
@@ -594,7 +622,7 @@ impl Frame {
                     "result batch of {} exceeds MAX_ROUNDS_PER_PUSH",
                     results.len()
                 );
-                let mut w = Writer::new(kind::ROUNDS);
+                let mut w = Writer::new(kind::ROUNDS, trace);
                 w.u64(*session);
                 w.u16(results.len() as u16);
                 for r in results {
@@ -608,25 +636,25 @@ impl Frame {
                 rounds,
                 digest,
             } => {
-                let mut w = Writer::new(kind::CLOSE_ACK);
+                let mut w = Writer::new(kind::CLOSE_ACK, trace);
                 w.u64(*session);
                 w.u64(*rounds);
                 w.u64(*digest);
                 w.finish()
             }
             Frame::ChurnAck { epoch, map_digest } => {
-                let mut w = Writer::new(kind::CHURN_ACK);
+                let mut w = Writer::new(kind::CHURN_ACK, trace);
                 w.u64(*epoch);
                 w.u64(*map_digest);
                 w.finish()
             }
-            Frame::ShutdownAck => Writer::new(kind::SHUTDOWN_ACK).finish(),
+            Frame::ShutdownAck => Writer::new(kind::SHUTDOWN_ACK, trace).finish(),
             Frame::Error {
                 code,
                 context,
                 detail,
             } => {
-                let mut w = Writer::new(kind::ERROR);
+                let mut w = Writer::new(kind::ERROR, trace);
                 w.u16(code.as_u16());
                 w.u64(*context);
                 w.bytes(detail.as_bytes());
@@ -765,14 +793,32 @@ fn decode_result(r: &mut Reader) -> Result<RoundResult, WireError> {
 }
 
 impl Frame {
-    /// Decodes one payload (the bytes after the length prefix).
+    /// Decodes one payload (the bytes after the length prefix),
+    /// discarding any v2 trace id. See [`Frame::decode_traced`].
     pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        Frame::decode_traced(payload).map(|(frame, _)| frame)
+    }
+
+    /// Decodes one payload (the bytes after the length prefix) together
+    /// with its correlation trace id: `0` for a v1 frame, the carried id
+    /// for a [`WIRE_VERSION_TRACED`] frame. A v2 frame with trace id `0`
+    /// is non-canonical and rejected — the untraced encoding of the same
+    /// frame is v1, so accepting both would break decode∘encode identity.
+    pub fn decode_traced(payload: &[u8]) -> Result<(Frame, u64), WireError> {
         let mut r = Reader::new(payload);
         let version = r.u8()?;
-        if version != WIRE_VERSION {
+        if version != WIRE_VERSION && version != WIRE_VERSION_TRACED {
             return Err(WireError::BadVersion(version));
         }
         let k = r.u8()?;
+        let trace = if version == WIRE_VERSION_TRACED {
+            match r.u64()? {
+                0 => return Err(WireError::BadValue("zero trace id in traced frame")),
+                id => id,
+            }
+        } else {
+            0
+        };
         let frame = match k {
             kind::OPEN => Frame::Open {
                 client_tag: r.u64()?,
@@ -844,7 +890,7 @@ impl Frame {
             other => return Err(WireError::UnknownKind(other)),
         };
         r.done()?;
-        Ok(frame)
+        Ok((frame, trace))
     }
 }
 
@@ -875,15 +921,34 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
-/// Writes one frame.
+/// Writes one frame (v1, untraced).
 pub fn write_frame<W: std::io::Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&frame.encode())
 }
 
-/// Reads one frame, enforcing `max_frame` on the payload length *before*
-/// allocating. EOF exactly at a frame boundary is [`RecvError::Closed`];
-/// EOF mid-frame is a truncation ([`RecvError::Protocol`]).
+/// Writes one frame carrying `trace` as its correlation id (`0` emits a
+/// plain v1 frame).
+pub fn write_frame_traced<W: std::io::Write>(
+    w: &mut W,
+    frame: &Frame,
+    trace: u64,
+) -> std::io::Result<()> {
+    w.write_all(&frame.encode_traced(trace))
+}
+
+/// Reads one frame, discarding any trace id. See [`read_frame_traced`].
 pub fn read_frame<R: std::io::Read>(r: &mut R, max_frame: u32) -> Result<Frame, RecvError> {
+    read_frame_traced(r, max_frame).map(|(frame, _)| frame)
+}
+
+/// Reads one frame plus its correlation trace id (`0` for v1 frames),
+/// enforcing `max_frame` on the payload length *before* allocating. EOF
+/// exactly at a frame boundary is [`RecvError::Closed`]; EOF mid-frame is
+/// a truncation ([`RecvError::Protocol`]).
+pub fn read_frame_traced<R: std::io::Read>(
+    r: &mut R,
+    max_frame: u32,
+) -> Result<(Frame, u64), RecvError> {
     let mut header = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -920,7 +985,7 @@ pub fn read_frame<R: std::io::Read>(r: &mut R, max_frame: u32) -> Result<Frame, 
             Err(e) => return Err(RecvError::Io(e)),
         }
     }
-    Frame::decode(&payload).map_err(RecvError::Protocol)
+    Frame::decode_traced(&payload).map_err(RecvError::Protocol)
 }
 
 #[cfg(test)]
@@ -966,6 +1031,58 @@ mod tests {
             }
             other => panic!("expected oversize, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_v1_stays_bit_identical() {
+        let frame = Frame::Close { session: 9 };
+        // Zero trace id encodes as v1 — byte-for-byte the old encoding.
+        assert_eq!(frame.encode_traced(0), frame.encode());
+        assert_eq!(frame.encode()[4], WIRE_VERSION);
+        // A non-zero id rides as v2 and round-trips.
+        let bytes = frame.encode_traced(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(bytes[4], WIRE_VERSION_TRACED);
+        let (decoded, trace) = Frame::decode_traced(&bytes[4..]).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(trace, 0xDEAD_BEEF_CAFE_F00D);
+        // The untraced decoder serves old readers: same frame, id dropped.
+        assert_eq!(Frame::decode(&bytes[4..]).unwrap(), frame);
+    }
+
+    #[test]
+    fn traced_push_round_trips_with_payload() {
+        let mut g = GroupSampling::empty(3, 2);
+        g.set(0, 1, Some(Rss::new(-55.5)));
+        let frame = Frame::Push {
+            session: 7,
+            rounds: vec![ReadingRound { t: 1.5, group: g }],
+        };
+        let bytes = frame.encode_traced(42);
+        let (decoded, trace) = Frame::decode_traced(&bytes[4..]).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(trace, 42);
+    }
+
+    #[test]
+    fn zero_trace_id_in_v2_is_non_canonical() {
+        // Hand-build a v2 frame whose trace field is zero: version 2,
+        // kind CLOSE, trace 0, session 9.
+        let mut payload = vec![WIRE_VERSION_TRACED, 0x03];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        match Frame::decode_traced(&payload) {
+            Err(WireError::BadValue(what)) => assert!(what.contains("trace"), "{what}"),
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_trace_id_is_truncated_not_panic() {
+        let payload = [WIRE_VERSION_TRACED, 0x03, 1, 2, 3];
+        assert_eq!(
+            Frame::decode_traced(&payload).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

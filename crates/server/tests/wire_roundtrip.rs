@@ -181,10 +181,13 @@ proptest! {
         }
     }
 
-    /// The version byte is checked before anything else.
+    /// The version byte is checked before anything else. Both accepted
+    /// versions are excluded: v2 (traced) reinterprets the following
+    /// bytes as kind + trace id, which is exercised by the wire unit
+    /// tests instead.
     #[test]
     fn wrong_version_is_rejected(frame in arb_frame(), v in 0u8..=255) {
-        prop_assume!(v != wsn_server::WIRE_VERSION);
+        prop_assume!(v != wsn_server::WIRE_VERSION && v != wsn_server::WIRE_VERSION_TRACED);
         let mut bytes = frame.encode();
         bytes[4] = v;
         prop_assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::BadVersion(v)));
@@ -194,7 +197,7 @@ proptest! {
     #[test]
     fn trailing_bytes_are_rejected(frame in arb_frame(), extra in 1usize..8) {
         let mut bytes = frame.encode()[4..].to_vec();
-        bytes.extend(std::iter::repeat(0xAA).take(extra));
+        bytes.extend(std::iter::repeat_n(0xAA, extra));
         prop_assert!(Frame::decode(&bytes).is_err());
     }
 }

@@ -57,6 +57,34 @@ pub fn ensure_writable_dir(dir: &Path) -> Result<(), String> {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// `.tmp` file in the same directory (same filesystem, so the rename
+/// cannot cross a mount) which is then renamed over `path`.
+///
+/// This is the crash-consistency primitive behind periodic artifact
+/// flushes (`wsn-serve --metrics-interval`, the flight recorder): a
+/// reader never observes a half-written file — it sees either the
+/// previous complete artifact or the new one. A crash mid-write leaves
+/// at worst a stale `<name>.tmp` beside an intact `path`.
+pub fn write_file_atomic(path: &Path, contents: &[u8]) -> Result<(), String> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| format!("{} has no file name", path.display()))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(format!(
+            "cannot rename {} over {}: {e}",
+            tmp.display(),
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +119,27 @@ mod tests {
         assert!(err.contains("out.json"), "diagnostic names the path: {err}");
         let err = ensure_writable_file(&dir).unwrap_err();
         assert!(err.contains("directory"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = scratch("atomic");
+        let path = dir.join("snap.json");
+        write_file_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_file_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "no .tmp residue after a successful write"
+        );
+        // A doomed target (missing parent) fails with a named diagnostic
+        // and leaves nothing behind.
+        let bad = dir.join("no/such/out.json");
+        let err = write_file_atomic(&bad, b"x").unwrap_err();
+        assert!(err.contains("out.json"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -35,7 +35,7 @@
 //! ```
 //!
 //! Snapshots ([`Registry::snapshot`]) are plain data: they merge across
-//! trials ([`Snapshot::merge`]) and export as JSON ([`Snapshot::to_json`],
+//! trials ([`Snapshot::try_merge`]) and export as JSON ([`Snapshot::to_json`],
 //! embedded in the `BENCH_*.json` artifacts) or Prometheus text
 //! ([`Snapshot::to_prometheus`]).
 //!
@@ -58,9 +58,10 @@ mod metrics;
 mod registry;
 pub mod trace;
 
-pub use artifacts::{ensure_writable_dir, ensure_writable_file};
+pub use artifacts::{ensure_writable_dir, ensure_writable_file, write_file_atomic};
+pub use export::validate_prometheus_text;
 pub use metrics::{Counter, Gauge, Histogram, COUNT_BUCKETS, DURATION_US_BUCKETS};
-pub use registry::{HistogramSnapshot, Registry, Snapshot};
+pub use registry::{HistogramSnapshot, MergeError, Registry, Snapshot};
 pub use trace::{ArgValue, Journal, TraceEvent, TraceKind, TraceLog, DEFAULT_JOURNAL_CAPACITY};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -161,9 +161,28 @@ impl Snapshot {
 
     /// Fold `other` into `self`: counters add, gauges take `other`'s value
     /// (last write wins), histograms with identical bounds add bucket
-    /// counts and sums; a histogram whose bounds disagree is replaced by
-    /// `other`'s copy wholesale.
-    pub fn merge(&mut self, other: &Snapshot) {
+    /// counts and sums.
+    ///
+    /// A histogram present on both sides whose bucket bounds disagree —
+    /// snapshots from different telemetry versions, or a registry whose
+    /// bucket ladder changed between releases — cannot be merged
+    /// meaningfully: adding counts bucket-by-bucket would silently
+    /// misattribute observations. That case is a named
+    /// [`MergeError::HistogramBounds`], and the merge is atomic: on error
+    /// `self` is left exactly as it was (validation happens before any
+    /// mutation).
+    pub fn try_merge(&mut self, other: &Snapshot) -> Result<(), MergeError> {
+        for (name, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get(name) {
+                if mine.bounds != h.bounds {
+                    return Err(MergeError::HistogramBounds {
+                        name: name.clone(),
+                        ours: mine.bounds.clone(),
+                        theirs: h.bounds.clone(),
+                    });
+                }
+            }
+        }
         for (name, v) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += v;
         }
@@ -172,41 +191,76 @@ impl Snapshot {
         }
         for (name, h) in &other.histograms {
             match self.histograms.get_mut(name) {
-                Some(mine) if mine.bounds == h.bounds => {
+                Some(mine) => {
                     for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
                         *a += b;
                     }
                     mine.count += h.count;
                     mine.sum += h.sum;
                 }
-                _ => {
+                None => {
                     self.histograms.insert(name.clone(), h.clone());
                 }
             }
         }
+        Ok(())
     }
 
     /// Merges per-shard snapshots into one, folding in ascending shard-id
     /// order regardless of the order `parts` arrives in.
     ///
-    /// [`Snapshot::merge`] is order-sensitive for gauges (last write wins)
-    /// and for histograms whose bounds disagree, so a coordinator that
-    /// merged shards in arrival order — thread completion, readdir order,
-    /// hash-map iteration — would produce merged gauge values that differ
-    /// from run to run. Sorting by shard id first makes the merged
-    /// snapshot a pure function of the shard contents: ties on shard id
-    /// keep their relative order (stable sort), so duplicate ids are at
-    /// least deterministic for a given input order.
-    pub fn merge_shards(parts: Vec<(usize, Snapshot)>) -> Snapshot {
+    /// [`Snapshot::try_merge`] is order-sensitive for gauges (last write
+    /// wins), so a coordinator that merged shards in arrival order —
+    /// thread completion, readdir order, hash-map iteration — would
+    /// produce merged gauge values that differ from run to run. Sorting by
+    /// shard id first makes the merged snapshot a pure function of the
+    /// shard contents: ties on shard id keep their relative order (stable
+    /// sort), so duplicate ids are at least deterministic for a given
+    /// input order.
+    ///
+    /// Fails with the first [`MergeError`] encountered (in shard-id
+    /// order), naming the offending histogram.
+    pub fn merge_shards(parts: Vec<(usize, Snapshot)>) -> Result<Snapshot, MergeError> {
         let mut parts = parts;
         parts.sort_by_key(|(shard, _)| *shard);
         let mut merged = Snapshot::new();
         for (_, snap) in &parts {
-            merged.merge(snap);
+            merged.try_merge(snap)?;
         }
-        merged
+        Ok(merged)
     }
 }
+
+/// Why two [`Snapshot`]s refused to merge.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MergeError {
+    /// The same histogram name carries different bucket ladders on the two
+    /// sides — typically snapshots produced by different telemetry
+    /// versions. Bucket-by-bucket addition would be garbage, so the merge
+    /// refuses instead.
+    HistogramBounds {
+        /// The histogram's registry name.
+        name: String,
+        /// The bounds already held by the merge target.
+        ours: Vec<f64>,
+        /// The bounds carried by the snapshot being folded in.
+        theirs: Vec<f64>,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::HistogramBounds { name, ours, theirs } => write!(
+                f,
+                "histogram {name:?}: bucket bounds differ ({ours:?} vs {theirs:?}) — \
+                 snapshots from different telemetry versions cannot be merged"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 #[cfg(test)]
 mod tests {
@@ -259,7 +313,7 @@ mod tests {
         b.gauge("g").set(9.0);
         b.histogram("h", &[1.0, 2.0]).observe(1.5);
         let mut merged = a.snapshot();
-        merged.merge(&b.snapshot());
+        merged.try_merge(&b.snapshot()).unwrap();
         assert_eq!(merged.counters["c"], 42);
         assert_eq!(merged.counters["only_b"], 1);
         assert_eq!(merged.gauges["g"], 9.0);
@@ -283,7 +337,7 @@ mod tests {
         let orderings: [[usize; 3]; 3] = [[0, 1, 2], [2, 0, 1], [1, 2, 0]];
         let merged: Vec<Snapshot> = orderings
             .iter()
-            .map(|o| Snapshot::merge_shards(o.iter().map(|&s| part(s)).collect()))
+            .map(|o| Snapshot::merge_shards(o.iter().map(|&s| part(s)).collect()).unwrap())
             .collect();
         assert_eq!(merged[0], merged[1]);
         assert_eq!(merged[0], merged[2]);
@@ -295,15 +349,52 @@ mod tests {
         assert_eq!(merged[0].histograms["lat"].count, 3);
     }
 
+    /// Regression for the silent-garbage bug: merging snapshots whose
+    /// histogram bucket ladders disagree (e.g. produced by two different
+    /// telemetry versions) used to replace the histogram wholesale,
+    /// silently discarding one side's observations. It is now a named
+    /// error, and the failed merge leaves the target untouched.
     #[test]
-    fn merge_replaces_histogram_on_bounds_mismatch() {
+    fn merge_refuses_mismatched_histogram_bounds() {
+        // "Old telemetry version": a 2-bucket latency ladder.
+        let a = Registry::new();
+        a.counter("rounds").add(5);
+        a.histogram("lat_us", &[1.0, 10.0]).observe(0.5);
+        // "New telemetry version": the ladder grew a bucket.
+        let b = Registry::new();
+        b.counter("rounds").add(7);
+        b.histogram("lat_us", &[1.0, 10.0, 100.0]).observe(3.0);
+
+        let mut merged = a.snapshot();
+        let before = merged.clone();
+        let err = merged.try_merge(&b.snapshot()).unwrap_err();
+        match &err {
+            MergeError::HistogramBounds { name, ours, theirs } => {
+                assert_eq!(name, "lat_us");
+                assert_eq!(ours, &vec![1.0, 10.0]);
+                assert_eq!(theirs, &vec![1.0, 10.0, 100.0]);
+            }
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("lat_us"), "{msg}");
+        assert!(msg.contains("telemetry versions"), "{msg}");
+        // Atomic failure: nothing — not even the counters — was folded in.
+        assert_eq!(merged, before);
+
+        // merge_shards surfaces the same error instead of folding garbage.
+        let parts = vec![(0usize, a.snapshot()), (1usize, b.snapshot())];
+        assert!(Snapshot::merge_shards(parts).is_err());
+    }
+
+    #[test]
+    fn merge_accepts_histogram_only_on_one_side() {
         let a = Registry::new();
         a.histogram("h", &[1.0]).observe(0.5);
         let b = Registry::new();
-        b.histogram("h", &[2.0, 4.0]).observe(3.0);
+        b.histogram("other", &[2.0, 4.0]).observe(3.0);
         let mut merged = a.snapshot();
-        merged.merge(&b.snapshot());
-        assert_eq!(merged.histograms["h"].bounds, vec![2.0, 4.0]);
-        assert_eq!(merged.histograms["h"].counts, vec![0, 1, 0]);
+        merged.try_merge(&b.snapshot()).unwrap();
+        assert_eq!(merged.histograms["h"].count, 1);
+        assert_eq!(merged.histograms["other"].count, 1);
     }
 }
